@@ -1,0 +1,142 @@
+#ifndef SQLB_BENCH_BENCH_COMMON_H_
+#define SQLB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env_config.h"
+#include "common/reporting.h"
+#include "des/time_series.h"
+#include "experiments/experiments.h"
+
+/// \file
+/// Shared plumbing for the figure/table reproduction binaries: consistent
+/// headers, sampled-series console tables, and CSV drops under the results
+/// directory (SQLB_RESULTS, default "results/").
+
+namespace sqlb::bench {
+
+/// Prints the standard bench banner.
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("=== %s — %s ===\n", id.c_str(), title.c_str());
+  if (FastBenchMode()) {
+    std::printf("(SQLB_FAST=1: scaled-down population/duration — shapes "
+                "hold, absolute values shift)\n");
+  }
+  std::printf("\n");
+}
+
+/// One Figure-4-style console table: a time column plus one column per
+/// method, sampled every `stride`-th probe so stdout stays readable. The
+/// full-resolution series go to CSV.
+inline void PrintSeriesTable(
+    const std::string& caption, const char* series_key,
+    const std::vector<experiments::QualityRampResult>& runs,
+    std::size_t stride) {
+  std::printf("%s\n", caption.c_str());
+  std::vector<std::string> header{"time(s)"};
+  for (const auto& run : runs) {
+    header.push_back(experiments::MethodName(run.method));
+  }
+  TablePrinter table(header);
+
+  const des::TimeSeries* reference =
+      runs.empty() ? nullptr : runs.front().run.series.Find(series_key);
+  if (reference == nullptr) {
+    std::printf("  (series %s missing)\n\n", series_key);
+    return;
+  }
+  for (std::size_t i = 0; i < reference->samples.size(); i += stride) {
+    const SimTime t = reference->samples[i].first;
+    std::vector<std::string> row{FormatNumber(t)};
+    for (const auto& run : runs) {
+      const auto* series = run.run.series.Find(series_key);
+      row.push_back(series == nullptr
+                        ? std::string("-")
+                        : FormatNumber(series->ValueAt(t), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+/// Writes one CSV per run: <results>/<file_prefix>_<method>.csv with every
+/// collected series of that run.
+inline void WriteRunCsvs(
+    const std::string& file_prefix,
+    const std::vector<experiments::QualityRampResult>& runs) {
+  for (const auto& run : runs) {
+    std::string method = experiments::MethodName(run.method);
+    for (char& c : method) {
+      if (c == ' ' || c == '(' || c == ')' || c == '-') c = '_';
+    }
+    auto path = EnsureOutputPath(ResultsDirectory(),
+                                 file_prefix + "_" + method + ".csv");
+    if (!path.ok()) {
+      std::fprintf(stderr, "cannot create results dir: %s\n",
+                   path.status().ToString().c_str());
+      return;
+    }
+    const Status status =
+        run.run.series.ToCsv().WriteFile(path.value());
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n",
+                   status.ToString().c_str());
+    } else {
+      std::printf("wrote %s\n", path.value().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+/// Writes a sweep-result CSV: workload column + one column per method.
+inline void WriteSweepCsv(
+    const std::string& filename,
+    const std::vector<experiments::SweepResult>& sweeps,
+    double experiments::SweepPoint::*field) {
+  if (sweeps.empty()) return;
+  std::vector<std::string> header{"workload_percent"};
+  for (const auto& sweep : sweeps) {
+    header.push_back(experiments::MethodName(sweep.method));
+  }
+  CsvWriter csv(header);
+  for (std::size_t i = 0; i < sweeps.front().points.size(); ++i) {
+    csv.BeginRow();
+    csv.AddCell(sweeps.front().points[i].workload_fraction * 100.0);
+    for (const auto& sweep : sweeps) {
+      csv.AddCell(sweep.points[i].*field);
+    }
+  }
+  auto path = EnsureOutputPath(ResultsDirectory(), filename);
+  if (path.ok() && csv.WriteFile(path.value()).ok()) {
+    std::printf("wrote %s\n\n", path.value().c_str());
+  }
+}
+
+/// Prints a sweep as a console table.
+inline void PrintSweepTable(
+    const std::string& caption,
+    const std::vector<experiments::SweepResult>& sweeps,
+    double experiments::SweepPoint::*field, int precision = 4) {
+  std::printf("%s\n", caption.c_str());
+  std::vector<std::string> header{"workload(%)"};
+  for (const auto& sweep : sweeps) {
+    header.push_back(experiments::MethodName(sweep.method));
+  }
+  TablePrinter table(header);
+  if (sweeps.empty()) return;
+  for (std::size_t i = 0; i < sweeps.front().points.size(); ++i) {
+    std::vector<std::string> row{
+        FormatNumber(sweeps.front().points[i].workload_fraction * 100.0)};
+    for (const auto& sweep : sweeps) {
+      row.push_back(FormatNumber(sweep.points[i].*field, precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace sqlb::bench
+
+#endif  // SQLB_BENCH_BENCH_COMMON_H_

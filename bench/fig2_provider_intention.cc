@@ -1,0 +1,65 @@
+// Reproduces Figure 2: the provider intention surface pi_p(q) as a
+// function of (preference, utilization) at satisfaction 0.5 (Section 5.2).
+//
+// Paper shape: intentions are positive only in the quadrant where the
+// provider wants the query (preference > 0) and is not overutilized
+// (Ut < 1); elsewhere the surface dives, reaching ~-2.5 at
+// (preference -1, utilization 2).
+
+#include "bench_common.h"
+#include "core/intention.h"
+
+namespace sqlb {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Figure 2",
+                     "provider intention vs (preference, utilization) at "
+                     "satisfaction 0.5");
+
+  const ProviderIntentionParams params;  // Definition 8, epsilon = 1
+  const double satisfaction = 0.5;
+
+  // Console: a coarse grid; CSV: a fine one for replotting.
+  TablePrinter table({"pref\\Ut", "0", "0.25", "0.5", "0.75", "1", "1.5",
+                      "2"});
+  const double uts[] = {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  for (double pref = -1.0; pref <= 1.0 + 1e-9; pref += 0.25) {
+    std::vector<std::string> row{FormatNumber(pref)};
+    for (double ut : uts) {
+      row.push_back(
+          FormatNumber(ProviderIntention(pref, ut, satisfaction, params), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  CsvWriter csv({"preference", "utilization", "intention"});
+  for (double pref = -1.0; pref <= 1.0 + 1e-9; pref += 0.05) {
+    for (double ut = 0.0; ut <= 2.0 + 1e-9; ut += 0.05) {
+      csv.BeginRow();
+      csv.AddCell(pref);
+      csv.AddCell(ut);
+      csv.AddCell(ProviderIntention(pref, ut, satisfaction, params));
+    }
+  }
+  auto path =
+      EnsureOutputPath(ResultsDirectory(), "fig2_provider_intention.csv");
+  if (path.ok() && csv.WriteFile(path.value()).ok()) {
+    std::printf("wrote %s\n", path.value().c_str());
+  }
+
+  // The surface's corners, as sanity anchors.
+  std::printf("\nanchors: pi(1, 0) = %.3f (max), pi(-1, 2) = %.3f "
+              "(paper plots ~-2.5)\n\n",
+              ProviderIntention(1.0, 0.0, satisfaction, params),
+              ProviderIntention(-1.0, 2.0, satisfaction, params));
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 3: the omega balance surface of Eq. 6 as a function of
+// the consumer's and the provider's satisfaction (Section 5.3).
+//
+// Shape: a plane from omega = 0 (consumer fully dissatisfied relative to
+// the provider: the consumer's intention dominates the score) to omega = 1
+// (provider fully dissatisfied: the provider's intention dominates).
+
+#include "bench_common.h"
+#include "core/scoring.h"
+
+namespace sqlb {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Figure 3",
+                     "omega vs (provider satisfaction, consumer "
+                     "satisfaction)");
+
+  TablePrinter table({"prov sat\\cons sat", "0", "0.25", "0.5", "0.75",
+                      "1"});
+  const double cons[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (double sp = 0.0; sp <= 1.0 + 1e-9; sp += 0.25) {
+    std::vector<std::string> row{FormatNumber(sp)};
+    for (double sc : cons) {
+      row.push_back(FormatNumber(OmegaBalance(sc, sp), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  CsvWriter csv({"provider_satisfaction", "consumer_satisfaction", "omega"});
+  for (double sp = 0.0; sp <= 1.0 + 1e-9; sp += 0.05) {
+    for (double sc = 0.0; sc <= 1.0 + 1e-9; sc += 0.05) {
+      csv.BeginRow();
+      csv.AddCell(sp);
+      csv.AddCell(sc);
+      csv.AddCell(OmegaBalance(sc, sp));
+    }
+  }
+  auto path = EnsureOutputPath(ResultsDirectory(), "fig3_omega.csv");
+  if (path.ok() && csv.WriteFile(path.value()).ok()) {
+    std::printf("wrote %s\n\n", path.value().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 4(i): mean response time vs workload with captive
+// participants (Section 6.3.1).
+//
+// Paper shape: Capacity based is best at every workload; SQLB costs a
+// factor of ~1.4 on average (the price of honouring intentions); the
+// Mariposa-like method costs a factor of ~3 (it overutilizes the most
+// adapted providers).
+
+#include "bench_common.h"
+
+namespace sqlb {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Figure 4(i)", "response time vs workload, captive");
+
+  runtime::SystemConfig base = experiments::PaperConfig(BenchSeed(42));
+  if (FastBenchMode()) experiments::ApplyFastMode(base);
+
+  experiments::SweepOptions options;
+  options.duration = FastBenchMode() ? 1200.0 : 2500.0;
+  options.warmup = options.duration * 0.2;
+  options.repetitions = static_cast<std::size_t>(BenchRepetitions(1));
+  options.seed = base.seed;
+  // Captive: the default DepartureConfig keeps everyone in the system.
+
+  const auto sweeps = experiments::RunWorkloadSweep(
+      base, options, experiments::PaperTrio());
+
+  bench::PrintSweepTable("Mean response time (seconds) vs workload:",
+                         sweeps,
+                         &experiments::SweepPoint::mean_response_time);
+  bench::WriteSweepCsv("fig4i_response_time_captive.csv", sweeps,
+                       &experiments::SweepPoint::mean_response_time);
+
+  // The paper's headline factors, relative to Capacity based.
+  const auto& capacity = sweeps.back();  // PaperTrio order: SQLB, MP, CAP
+  TablePrinter factors({"workload(%)", "SQLB/Capacity", "Mariposa/Capacity"});
+  double sqlb_factor_sum = 0.0, mariposa_factor_sum = 0.0;
+  for (std::size_t i = 0; i < capacity.points.size(); ++i) {
+    const double cap_rt = capacity.points[i].mean_response_time;
+    const double sqlb_rt = sweeps[0].points[i].mean_response_time;
+    const double mp_rt = sweeps[1].points[i].mean_response_time;
+    const double fs = cap_rt > 0 ? sqlb_rt / cap_rt : 0.0;
+    const double fm = cap_rt > 0 ? mp_rt / cap_rt : 0.0;
+    sqlb_factor_sum += fs;
+    mariposa_factor_sum += fm;
+    factors.AddRow(
+        {FormatNumber(capacity.points[i].workload_fraction * 100.0),
+         FormatNumber(fs, 3), FormatNumber(fm, 3)});
+  }
+  std::printf("Degradation factors (paper: ~1.4 for SQLB, ~3 for "
+              "Mariposa-like on average):\n%s",
+              factors.ToString().c_str());
+  const double n = static_cast<double>(capacity.points.size());
+  std::printf("average factors: SQLB %.2f, Mariposa-like %.2f\n\n",
+              sqlb_factor_sum / n, mariposa_factor_sum / n);
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

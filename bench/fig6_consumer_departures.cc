@@ -1,0 +1,43 @@
+// Reproduces Figure 6: the percentage of consumer departures (by
+// dissatisfaction) vs workload (Section 6.3.2).
+//
+// Paper shape: SQLB loses no consumers at any workload; both baselines
+// lose more than 20% of consumers at every workload.
+
+#include "bench_common.h"
+
+namespace sqlb {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Figure 6", "consumer departures vs workload");
+
+  runtime::SystemConfig base = experiments::PaperConfig(BenchSeed(42));
+  if (FastBenchMode()) experiments::ApplyFastMode(base);
+
+  experiments::SweepOptions options;
+  options.duration = FastBenchMode() ? 1500.0 : 3000.0;
+  options.warmup = options.duration * 0.2;
+  options.repetitions = static_cast<std::size_t>(BenchRepetitions(1));
+  options.seed = base.seed;
+  options.departures = runtime::DepartureConfig::AllEnabled();
+  options.departures.grace_period = options.duration * 0.2;
+  options.departures.check_interval = 300.0;
+
+  const auto sweeps = experiments::RunWorkloadSweep(
+      base, options, experiments::PaperTrio());
+
+  bench::PrintSweepTable(
+      "Consumer departures (% of initial consumers) vs workload:", sweeps,
+      &experiments::SweepPoint::consumer_departure_percent, 3);
+  bench::WriteSweepCsv("fig6_consumer_departures.csv", sweeps,
+                       &experiments::SweepPoint::consumer_departure_percent);
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks: the per-query cost of each allocation method as a
+// function of the candidate-set size N. The mediator runs this code once
+// per incoming query, so ns/query here bounds the sustainable system
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sqlb_method.h"
+#include "experiments/experiments.h"
+#include "methods/capacity_based.h"
+#include "methods/mariposa.h"
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+AllocationRequest MakeRequest(Query* query, std::size_t n_candidates,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  AllocationRequest request;
+  request.query = query;
+  request.consumer_satisfaction = rng.NextDouble();
+  request.candidates.reserve(n_candidates);
+  for (std::size_t i = 0; i < n_candidates; ++i) {
+    CandidateProvider c;
+    c.id = ProviderId(static_cast<std::uint32_t>(i));
+    c.consumer_intention = rng.Uniform(-1.0, 1.0);
+    c.provider_intention = rng.Uniform(-2.0, 1.0);
+    c.provider_satisfaction = rng.NextDouble();
+    c.utilization = rng.Uniform(0.0, 1.5);
+    c.capacity = rng.Uniform(14.0, 100.0);
+    c.backlog_seconds = rng.Uniform(0.0, 30.0);
+    c.bid_price = rng.Uniform(0.05, 1.05);
+    c.estimated_delay = c.backlog_seconds + 1.4;
+    request.candidates.push_back(c);
+  }
+  return request;
+}
+
+template <typename MethodT>
+void BenchmarkMethod(benchmark::State& state) {
+  Query query;
+  query.id = 1;
+  query.consumer = ConsumerId(0);
+  query.n = 1;
+  query.units = 130.0;
+  auto request = MakeRequest(&query, static_cast<std::size_t>(state.range(0)),
+                             /*seed=*/7);
+  MethodT method;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.Allocate(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+
+void BM_SqlbAllocate(benchmark::State& state) {
+  BenchmarkMethod<SqlbMethod>(state);
+}
+void BM_CapacityAllocate(benchmark::State& state) {
+  BenchmarkMethod<CapacityBasedMethod>(state);
+}
+void BM_MariposaAllocate(benchmark::State& state) {
+  BenchmarkMethod<MariposaMethod>(state);
+}
+
+BENCHMARK(BM_SqlbAllocate)->Arg(64)->Arg(256)->Arg(400)->Arg(1024);
+BENCHMARK(BM_CapacityAllocate)->Arg(64)->Arg(256)->Arg(400)->Arg(1024);
+BENCHMARK(BM_MariposaAllocate)->Arg(64)->Arg(256)->Arg(400)->Arg(1024);
+
+// Selecting several providers (q.n > 1) exercises the partial sort.
+void BM_SqlbAllocateMulti(benchmark::State& state) {
+  Query query;
+  query.id = 1;
+  query.consumer = ConsumerId(0);
+  query.n = static_cast<std::uint32_t>(state.range(0));
+  query.units = 130.0;
+  auto request = MakeRequest(&query, 400, /*seed=*/11);
+  SqlbMethod method;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.Allocate(request));
+  }
+}
+BENCHMARK(BM_SqlbAllocateMulti)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,75 @@
+// Microbenchmarks: the discrete-event substrate — event scheduling
+// throughput, the non-homogeneous Poisson generator, and the sliding-window
+// utilization accounting.
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.h"
+#include "des/arrival_process.h"
+#include "des/simulator.h"
+
+namespace sqlb::des {
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  // Schedule/execute cycles with a queue depth of `range`.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    state.ResumeTiming();
+    for (int i = 0; i < depth; ++i) {
+      sim.ScheduleAt(static_cast<SimTime>(i % 97), [](Simulator&) {});
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1024)->Arg(16384);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  // Half the scheduled events get cancelled: tombstone-skipping path.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    std::vector<EventId> ids;
+    ids.reserve(8192);
+    state.ResumeTiming();
+    for (int i = 0; i < 8192; ++i) {
+      ids.push_back(
+          sim.ScheduleAt(static_cast<SimTime>(i % 61), [](Simulator&) {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.Cancel(ids[i]);
+    sim.RunAll();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+}
+BENCHMARK(BM_CancelHeavy);
+
+void BM_PoissonArrivals(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(42);
+    std::uint64_t count = 0;
+    PoissonArrivalProcess process([](SimTime) { return 100.0; }, 100.0, rng);
+    process.Start(sim, 0.0, 100.0, [&count](Simulator&) { ++count; });
+    sim.RunAll();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PoissonArrivals);
+
+void BM_WindowedSum(benchmark::State& state) {
+  WindowedSum window(60.0);
+  SimTime t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    window.Add(t, 130.0);
+    benchmark::DoNotOptimize(window.SumAt(t));
+  }
+}
+BENCHMARK(BM_WindowedSum);
+
+}  // namespace
+}  // namespace sqlb::des

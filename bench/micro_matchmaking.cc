@@ -1,0 +1,64 @@
+// Microbenchmarks: matchmaking latency vs catalogue size — the first step
+// of every mediation (Section 2 assumes it exists; matchmaking/ builds it).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "matchmaking/matchmaker.h"
+
+namespace sqlb {
+namespace {
+
+TermIndexMatchmaker BuildCatalogue(std::size_t providers,
+                                   std::uint32_t vocabulary,
+                                   std::uint64_t seed) {
+  TermIndexMatchmaker matchmaker;
+  Rng rng(seed);
+  for (std::size_t p = 0; p < providers; ++p) {
+    std::vector<std::uint32_t> terms;
+    for (std::uint32_t t = 0; t < vocabulary; ++t) {
+      if (rng.Bernoulli(0.3)) terms.push_back(t);
+    }
+    matchmaker.Register(ProviderId(static_cast<std::uint32_t>(p)),
+                        Capability(std::move(terms)));
+  }
+  return matchmaker;
+}
+
+void BM_TermIndexMatch(benchmark::State& state) {
+  const auto providers = static_cast<std::size_t>(state.range(0));
+  auto matchmaker = BuildCatalogue(providers, 64, 17);
+  Query query;
+  query.required_terms = {1, 5, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matchmaker.Match(query));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(providers));
+}
+BENCHMARK(BM_TermIndexMatch)->Arg(400)->Arg(4000)->Arg(40000);
+
+void BM_AcceptAllMatch(benchmark::State& state) {
+  AcceptAllMatchmaker matchmaker;
+  for (std::uint32_t p = 0; p < 400; ++p) {
+    matchmaker.Register(ProviderId(p), Capability{});
+  }
+  Query query;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matchmaker.Match(query));
+  }
+}
+BENCHMARK(BM_AcceptAllMatch);
+
+void BM_RegisterUnregister(benchmark::State& state) {
+  auto matchmaker = BuildCatalogue(1000, 64, 23);
+  Capability churn_cap({1, 2, 3});
+  for (auto _ : state) {
+    matchmaker.Register(ProviderId(1000), churn_cap);
+    matchmaker.Unregister(ProviderId(1000));
+  }
+}
+BENCHMARK(BM_RegisterUnregister);
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,77 @@
+// Microbenchmarks: the characterization-model primitives. Every proposed
+// query touches one ProviderWindow per candidate (400 Record calls per
+// query at paper scale), so these are the hottest non-allocation paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/intention.h"
+#include "core/scoring.h"
+#include "model/metrics.h"
+#include "model/windows.h"
+
+namespace sqlb {
+namespace {
+
+void BM_ProviderWindowRecord(benchmark::State& state) {
+  WindowConfig config;
+  config.capacity = static_cast<std::size_t>(state.range(0));
+  ProviderWindow window(config);
+  Rng rng(3);
+  for (auto _ : state) {
+    window.Record(rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0),
+                  rng.Bernoulli(0.01));
+    benchmark::DoNotOptimize(
+        window.Satisfaction(ProviderWindow::Channel::kIntention));
+  }
+}
+BENCHMARK(BM_ProviderWindowRecord)->Arg(500)->Arg(2000);
+
+void BM_ConsumerWindowRecord(benchmark::State& state) {
+  WindowConfig config;
+  config.capacity = 200;
+  ConsumerWindow window(config);
+  Rng rng(5);
+  for (auto _ : state) {
+    window.Record(rng.NextDouble(), rng.NextDouble());
+    benchmark::DoNotOptimize(window.AllocationSatisfactionValue());
+  }
+}
+BENCHMARK(BM_ConsumerWindowRecord);
+
+void BM_ProviderIntention(benchmark::State& state) {
+  ProviderIntentionParams params;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ProviderIntention(rng.Uniform(-1.0, 1.0), rng.Uniform(0.0, 2.0),
+                          rng.NextDouble(), params));
+  }
+}
+BENCHMARK(BM_ProviderIntention);
+
+void BM_ProviderScore(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ProviderScore(rng.Uniform(-2.0, 1.0), rng.Uniform(-1.0, 1.0),
+                      rng.NextDouble()));
+  }
+}
+BENCHMARK(BM_ProviderScore);
+
+void BM_MetricsSummarize(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < state.range(0); ++i) {
+    values.push_back(rng.NextDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Summarize(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetricsSummarize)->Arg(400)->Arg(4000);
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,96 @@
+// Reproduces Table 1 and the Section 1.1 motivating discussion: eWine's
+// call for international-shipping proposals, five candidate providers,
+// q.n = 2 desired answers.
+//
+// The point of the example: a pure QLB method picks the most available
+// providers (p1, p2) although p1 is distrusted by eWine and p2 does not
+// want the query; the only mutually agreeable provider (p5) is overloaded.
+// SQLB's score resolves the dilemma by trading both sides' intentions.
+
+#include "bench_common.h"
+#include "core/sqlb_method.h"
+#include "methods/capacity_based.h"
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+struct ExampleProvider {
+  const char* name;
+  double provider_intention;  // "Prov.'s Int." (binary in the paper)
+  double consumer_intention;  // "Cons.'s Int."
+  double available_capacity;  // "Avail. Cap."
+};
+
+void Main() {
+  bench::PrintHeader("Table 1", "eWine's motivating example (Section 1.1)");
+
+  const ExampleProvider table1[] = {
+      {"p1", 1.0, -1.0, 0.85},
+      {"p2", -1.0, 1.0, 0.57},
+      {"p3", 1.0, -1.0, 0.22},
+      {"p4", -1.0, 1.0, 0.15},
+      {"p5", 1.0, 1.0, 0.0},
+  };
+
+  Query query;
+  query.id = 1;
+  query.consumer = ConsumerId(0);
+  query.n = 2;  // eWine wants proposals from the two best providers
+  query.units = 130.0;
+
+  AllocationRequest request;
+  request.query = &query;
+  request.consumer_satisfaction = 0.5;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    CandidateProvider c;
+    c.id = ProviderId(i + 1);
+    c.provider_intention = table1[i].provider_intention;
+    c.consumer_intention = table1[i].consumer_intention;
+    c.provider_satisfaction = 0.5;
+    c.capacity = 100.0;
+    c.utilization = 1.0 - table1[i].available_capacity;
+    request.candidates.push_back(c);
+  }
+
+  TablePrinter input({"provider", "prov. int.", "cons. int.",
+                      "avail. cap."});
+  for (const auto& p : table1) {
+    input.AddRow({p.name, FormatNumber(p.provider_intention),
+                  FormatNumber(p.consumer_intention),
+                  FormatNumber(p.available_capacity)});
+  }
+  std::printf("Table 1 input:\n%s\n", input.ToString().c_str());
+
+  auto report = [&](const char* label, const AllocationDecision& decision) {
+    std::printf("%s selects:", label);
+    for (std::size_t idx : decision.selected) {
+      std::printf(" %s (score %.3f)", table1[idx].name,
+                  decision.scores[idx]);
+    }
+    std::printf("\n");
+  };
+
+  CapacityBasedMethod capacity;
+  report("Capacity based", capacity.Allocate(request));
+  std::printf("  -> the pure QLB pick: ignores that eWine distrusts p1 and "
+              "that p2 does not want the query.\n");
+
+  SqlbMethod sqlb;
+  report("SQLB          ", sqlb.Allocate(request));
+  std::printf("  -> p5, the only mutually agreeable provider, ranks first; "
+              "the rest are refusals ranked by\n"
+              "     least mutual reluctance. Allocating to an unwilling "
+              "provider risks its departure\n"
+              "     (Section 1.1); SQLB accepts p5's load instead and the "
+              "adaptive omega (Eq. 6) rebalances\n"
+              "     as satisfactions drift.\n\n");
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

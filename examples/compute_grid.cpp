@@ -1,0 +1,75 @@
+// The computing-resources scenario of Section 1.1 (grid4all-style):
+// consumers submit jobs, providers are compute nodes of heterogeneous
+// capacity with their own interests, and the operator wants to know which
+// allocation policy keeps both sides on the platform.
+//
+// Runs the same grid workload under four methods and prints a scoreboard:
+// response time (performance), consumer/provider allocation satisfaction
+// (who the method works for) and utilization balance.
+//
+//   $ ./build/examples/compute_grid
+
+#include <cstdio>
+#include <memory>
+
+#include "common/reporting.h"
+#include "experiments/experiments.h"
+#include "runtime/mediation_system.h"
+
+int main() {
+  using namespace sqlb;
+  using runtime::MediationSystem;
+
+  runtime::SystemConfig config;
+  config.population.num_consumers = 50;
+  config.population.num_providers = 100;
+  // Grid jobs: two classes, 300 and 600 units (~3 s / 6 s on a fast node).
+  config.population.query_class_units = {300.0, 600.0};
+  config.workload = runtime::WorkloadSpec::Constant(0.7);
+  config.duration = 600.0;
+  config.stats_warmup = 100.0;
+  config.seed = 11;
+
+  const experiments::MethodKind methods[] = {
+      experiments::MethodKind::kSqlb,
+      experiments::MethodKind::kCapacityBased,
+      experiments::MethodKind::kMariposa,
+      experiments::MethodKind::kKnBest,
+  };
+
+  TablePrinter table({"method", "mean RT(s)", "cons. allocsat",
+                      "prov. allocsat", "ut fairness"});
+  for (experiments::MethodKind kind : methods) {
+    auto method = experiments::MakeMethod(kind, config.seed);
+    runtime::RunResult result =
+        runtime::RunScenario(config, method.get());
+
+    const double cons_allocsat =
+        result.series.Find(MediationSystem::kSeriesConsAllocSatMean)
+            ->MeanOver(config.stats_warmup, config.duration);
+    const double prov_allocsat =
+        result.series.Find(MediationSystem::kSeriesProvAllocSatPrefMean)
+            ->MeanOver(config.stats_warmup, config.duration);
+    const double ut_fairness =
+        result.series.Find(MediationSystem::kSeriesUtFair)
+            ->MeanOver(config.stats_warmup, config.duration);
+
+    table.AddRow({experiments::MethodName(kind),
+                  FormatNumber(result.response_time.mean(), 3),
+                  FormatNumber(cons_allocsat, 3),
+                  FormatNumber(prov_allocsat, 3),
+                  FormatNumber(ut_fairness, 3)});
+  }
+
+  std::printf("grid with 100 heterogeneous nodes, 50 tenants, 70%% load:\n\n"
+              "%s\n", table.ToString().c_str());
+  std::printf(
+      "reading the scoreboard (Section 6's tradeoff):\n"
+      "  - CapacityBased wins raw response time but is neutral-at-best to\n"
+      "    everyone's interests (allocsat ~ 1): autonomous participants\n"
+      "    have no reason to stay.\n"
+      "  - SQLB pays a modest response-time premium to keep both allocsat\n"
+      "    columns above 1.\n"
+      "  - KnBest (the companion-work hybrid) sits between the two.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// The e-marketplace scenario of Section 1.1, run on the *distributed*
+// (message-passing) runtime: eWine asks the mediator for companies able to
+// ship wine internationally; providers answer intention requests; the
+// mediator scores, ranks and allocates with SQLB; responses flow back over
+// the simulated network.
+//
+// This example exercises the parts of the library the batch experiments
+// bypass: real term-based matchmaking (P_q is a strict subset of the
+// provider population), the fork/waituntil/timeout mediation of
+// Algorithm 1, and the reputation registry behind Definition 7.
+//
+//   $ ./build/examples/emarketplace
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/sqlb_method.h"
+#include "matchmaking/matchmaker.h"
+#include "msg/network.h"
+#include "runtime/async_mediator.h"
+
+int main() {
+  using namespace sqlb;
+
+  des::Simulator sim;
+  msg::Network network(sim, msg::LatencyModel{0.010, 0.005}, Rng(2024));
+
+  // --- The marketplace catalogue -----------------------------------------
+  TermDictionary dict;
+  const auto kShipping = dict.Intern("shipping");
+  const auto kInternational = dict.Intern("international");
+  const auto kNational = dict.Intern("national");
+  const auto kCompute = dict.Intern("compute");
+
+  struct Listing {
+    const char* name;
+    std::vector<std::uint32_t> capability;
+  };
+  const std::vector<Listing> listings = {
+      {"p1-globalfreight", {kShipping, kInternational}},
+      {"p2-asiacargo", {kShipping, kInternational}},
+      {"p3-wineexpress", {kShipping, kInternational, kNational}},
+      {"p4-localcourier", {kShipping, kNational}},
+      {"p5-gridworks", {kCompute}},
+  };
+
+  // --- Wire the distributed system ---------------------------------------
+  PopulationConfig pop_config;
+  pop_config.num_consumers = 2;
+  pop_config.num_providers = listings.size();
+  Population population(pop_config, /*seed=*/99);
+  runtime::ReputationRegistry reputation(listings.size());
+  reputation.Set(ProviderId(0), 0.9);   // well-reputed
+  reputation.Set(ProviderId(1), -0.4);  // eWine has heard bad things
+  reputation.Set(ProviderId(2), 0.5);
+  reputation.Set(ProviderId(3), 0.2);
+  reputation.Set(ProviderId(4), 0.8);
+
+  SqlbMethod method;
+  TermIndexMatchmaker matchmaker;
+  runtime::AsyncMediator mediator(runtime::AsyncMediatorConfig{}, &method,
+                                  &matchmaker);
+  mediator.set_address(network.Register(&mediator));
+
+  // Consumers blend preference and reputation (upsilon = 0.4: eWine has
+  // little direct experience, so reputation weighs more — Section 5.1).
+  runtime::ConsumerAgentConfig consumer_config;
+  consumer_config.intention.mode = ConsumerIntentionMode::kFormula;
+  consumer_config.intention.upsilon = 0.4;
+
+  std::vector<std::unique_ptr<runtime::AsyncConsumerNode>> consumers;
+  for (std::uint32_t c = 0; c < pop_config.num_consumers; ++c) {
+    auto node = std::make_unique<runtime::AsyncConsumerNode>(
+        ConsumerId(c), consumer_config, &population, &reputation);
+    node->set_address(network.Register(node.get()));
+    mediator.RegisterConsumer(ConsumerId(c), node->address());
+    consumers.push_back(std::move(node));
+  }
+
+  std::vector<std::unique_ptr<runtime::AsyncProviderNode>> providers;
+  for (std::uint32_t p = 0; p < listings.size(); ++p) {
+    auto node = std::make_unique<runtime::AsyncProviderNode>(
+        population.provider(ProviderId(p)), runtime::ProviderAgentConfig{},
+        &population);
+    node->set_address(network.Register(node.get()));
+    node->SetConsumerDirectory(&mediator.consumer_directory());
+    mediator.RegisterProvider(ProviderId(p), node->address());
+    matchmaker.Register(ProviderId(p), Capability(listings[p].capability));
+    providers.push_back(std::move(node));
+  }
+
+  // --- eWine's call for proposals ----------------------------------------
+  // q.d = {shipping, international}; q.n = 2: proposals from the two best.
+  Query query;
+  query.id = 1;
+  query.consumer = ConsumerId(0);
+  query.n = 2;
+  query.units = 140.0;
+  query.required_terms = {kShipping, kInternational};
+  query.issue_time = sim.Now();
+
+  const auto match = matchmaker.Match(query);
+  std::printf("matchmaking: P_q = {");
+  for (std::size_t i = 0; i < match.size(); ++i) {
+    std::printf("%s%s", i > 0 ? ", " : "", listings[match[i].index()].name);
+  }
+  std::printf("}  (%zu of %zu listings cover the required terms)\n",
+              match.size(), listings.size());
+
+  consumers[0]->Submit(network, mediator.address(), query);
+
+  // A second buyer wants compute capacity (the paper's grid scenario) —
+  // a disjoint P_q through the same mediator.
+  Query job;
+  job.id = 2;
+  job.consumer = ConsumerId(1);
+  job.n = 1;
+  job.units = 300.0;
+  job.required_terms = {kCompute};
+  job.issue_time = sim.Now();
+  consumers[1]->Submit(network, mediator.address(), job);
+
+  sim.RunAll();
+
+  std::printf("\nafter the mediation rounds:\n");
+  std::printf("  mediations completed : %llu (timeouts: %llu)\n",
+              static_cast<unsigned long long>(
+                  mediator.mediations_completed()),
+              static_cast<unsigned long long>(mediator.timeouts()));
+  std::printf("  network messages     : %llu sent, %llu delivered\n",
+              static_cast<unsigned long long>(network.sent_messages()),
+              static_cast<unsigned long long>(
+                  network.delivered_messages()));
+  for (std::uint32_t c = 0; c < consumers.size(); ++c) {
+    // RawSatisfaction: the unblended Eq. 2 average over the (few) issued
+    // queries; the blended Satisfaction() would still sit near the 0.5
+    // prior after a single interaction.
+    std::printf("  consumer %u           : %llu response(s), "
+                "per-query satisfaction %.3f\n",
+                c,
+                static_cast<unsigned long long>(
+                    consumers[c]->responses_received()),
+                consumers[c]->agent().window().RawSatisfaction());
+  }
+  for (std::uint32_t p = 0; p < providers.size(); ++p) {
+    const auto& window = providers[p]->agent().window();
+    std::printf("  %-18s: proposed %llu, performed %llu\n",
+                listings[p].name,
+                static_cast<unsigned long long>(window.proposed()),
+                static_cast<unsigned long long>(window.performed()));
+  }
+  return 0;
+}

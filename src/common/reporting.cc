@@ -1,0 +1,157 @@
+#include "common/reporting.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sqlb {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] != '.' && s[i] != 'e' && s[i] != 'E' && s[i] != '-' &&
+               s[i] != '+' && s[i] != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string FormatNumber(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::BeginRow() { rows_.emplace_back(); }
+
+void CsvWriter::AddCell(const std::string& value) {
+  SQLB_CHECK(!rows_.empty(), "BeginRow() before AddCell()");
+  rows_.back().push_back(value);
+}
+
+void CsvWriter::AddCell(double value) { AddCell(FormatNumber(value)); }
+
+void CsvWriter::AddCell(std::size_t value) {
+  AddCell(std::to_string(value));
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteCell(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << QuoteCell(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::Internal("cannot create directory " + parent.string() +
+                              ": " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << ToString();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << "  ";
+      const std::size_t pad = widths[i] - row[i].size();
+      if (LooksNumeric(row[i])) {
+        out << std::string(pad, ' ') << row[i];
+      } else {
+        out << row[i] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+Result<std::string> EnsureOutputPath(const std::string& directory,
+                                     const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  return directory + "/" + filename;
+}
+
+}  // namespace sqlb

@@ -1,0 +1,72 @@
+#ifndef SQLB_COMMON_REPORTING_H_
+#define SQLB_COMMON_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Output helpers for the experiment harness: CSV files (one per figure /
+/// table, gnuplot-friendly) and fixed-width console tables that mirror the
+/// rows the paper reports.
+
+namespace sqlb {
+
+/// Accumulates rows and writes them as an RFC-4180-ish CSV file. Values are
+/// quoted only when needed; numeric cells are formatted with up to six
+/// significant digits.
+class CsvWriter {
+ public:
+  /// Column headers, written as the first row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Starts a new row; cells are appended with Add*().
+  void BeginRow();
+  void AddCell(const std::string& value);
+  void AddCell(double value);
+  void AddCell(std::size_t value);
+
+  /// Convenience: appends a full row at once.
+  void AddRow(const std::vector<std::string>& cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full document (header + rows).
+  std::string ToString() const;
+
+  /// Writes the document to `path`, creating parent directories if needed.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits, trimming trailing
+/// zeros ("0.5", "1.33", "12000").
+std::string FormatNumber(double value, int precision = 6);
+
+/// Fixed-width console table: column sizing from content, right-aligned
+/// numeric-looking cells.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Returns `directory` + "/" + `filename`, creating `directory` (and
+/// parents) when missing. Used by benches to drop CSVs under results/.
+Result<std::string> EnsureOutputPath(const std::string& directory,
+                                     const std::string& filename);
+
+}  // namespace sqlb
+
+#endif  // SQLB_COMMON_REPORTING_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sqlb {
+
+double Rng::Exponential(double rate) {
+  SQLB_CHECK(rate > 0.0, "Exponential() requires a positive rate");
+  // Avoid log(0): NextDouble() is in [0, 1), so 1 - NextDouble() is in (0, 1].
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Marsaglia polar method; one of the pair is discarded to keep the
+  // generator stateless beyond the xoshiro words.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace sqlb

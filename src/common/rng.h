@@ -1,0 +1,142 @@
+#ifndef SQLB_COMMON_RNG_H_
+#define SQLB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Deterministic random number generation.
+///
+/// Two generators are provided:
+///  - Rng: a sequential xoshiro256++ stream, seeded via SplitMix64. Used where
+///    draws happen in a fixed order (arrival processes, population building).
+///  - CounterRng: a stateless counter-based generator. A draw is a pure
+///    function of (seed, key1, key2), so results do not depend on call order.
+///    Used for per-(provider, query) preferences, which may be evaluated
+///    lazily and in any order without breaking reproducibility.
+///
+/// Neither is cryptographic; both are fast and adequate for simulation.
+
+namespace sqlb {
+
+/// Advances `state` and returns the next SplitMix64 output. Good seeder and
+/// the mixing core of CounterRng.
+inline std::uint64_t SplitMix64Next(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ sequential generator.
+class Rng {
+ public:
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5317b00cafef00dULL) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(&sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  /// `rate` must be > 0.
+  double Exponential(double rate);
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream; `label` distinguishes siblings.
+  Rng Fork(std::uint64_t label) {
+    std::uint64_t sm = NextUint64() ^ (label * 0x9e3779b97f4a7c15ULL);
+    return Rng(SplitMix64Next(&sm));
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Stateless, order-independent generator: every draw is a pure function of
+/// (seed, key1, key2).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  /// Uniform 64-bit value for the given key pair.
+  std::uint64_t Uint64(std::uint64_t key1, std::uint64_t key2 = 0) const {
+    std::uint64_t s = seed_ ^ (key1 * 0x9e3779b97f4a7c15ULL);
+    s = SplitMix64Next(&s) ^ (key2 * 0xc2b2ae3d27d4eb4fULL);
+    return SplitMix64Next(&s);
+  }
+
+  /// Uniform double in [0, 1) for the given key pair.
+  double Double(std::uint64_t key1, std::uint64_t key2 = 0) const {
+    return static_cast<double>(Uint64(key1, key2) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi) for the given key pair.
+  double Uniform(double lo, double hi, std::uint64_t key1,
+                 std::uint64_t key2 = 0) const {
+    return lo + (hi - lo) * Double(key1, key2);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_COMMON_RNG_H_

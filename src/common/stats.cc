@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sqlb {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+WindowedSum::WindowedSum(SimTime width) : width_(width) {
+  SQLB_CHECK(width > 0.0, "WindowedSum width must be positive");
+}
+
+void WindowedSum::Add(SimTime t, double value) {
+  SQLB_CHECK(t >= last_time_, "WindowedSum times must be non-decreasing");
+  last_time_ = t;
+  events_.push_back(Event{t, value});
+  sum_ += value;
+}
+
+double WindowedSum::SumAt(SimTime t) {
+  while (!events_.empty() && events_.front().time <= t - width_) {
+    sum_ -= events_.front().value;
+    events_.pop_front();
+  }
+  // Guard against drift from repeated subtraction.
+  if (events_.empty()) sum_ = 0.0;
+  return sum_;
+}
+
+void WindowedSum::Clear() {
+  events_.clear();
+  sum_ = 0.0;
+  last_time_ = -kSimTimeInfinity;
+}
+
+WindowedMean::WindowedMean(std::size_t capacity) : capacity_(capacity) {
+  SQLB_CHECK(capacity >= 1, "WindowedMean capacity must be >= 1");
+}
+
+void WindowedMean::Add(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  if (values_.size() > capacity_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double WindowedMean::Mean(double empty_value) const {
+  if (values_.empty()) return empty_value;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace sqlb

@@ -1,0 +1,104 @@
+#ifndef SQLB_COMMON_STATS_H_
+#define SQLB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Generic descriptive-statistics helpers: streaming accumulators, a
+/// time-windowed sum (used for the utilization definition, DESIGN.md fidelity
+/// decision 1), and a windowed mean for response-time series.
+
+namespace sqlb {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  /// Mean of the added values; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two values.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sum of (time, value) events inside a sliding time window [t - width, t].
+///
+/// Add() must be called with non-decreasing timestamps. SumAt(t) evicts
+/// expired events and returns the remaining sum; it is O(evicted).
+class WindowedSum {
+ public:
+  /// `width` is the window length in simulated seconds (must be > 0).
+  explicit WindowedSum(SimTime width);
+
+  /// Records `value` at time `t`. Times must be non-decreasing.
+  void Add(SimTime t, double value);
+
+  /// Sum of events with timestamp > t - width.
+  double SumAt(SimTime t);
+
+  /// Average rate over the window: SumAt(t) / width.
+  double RateAt(SimTime t) { return SumAt(t) / width_; }
+
+  SimTime width() const { return width_; }
+  std::size_t pending_events() const { return events_.size(); }
+
+  void Clear();
+
+ private:
+  struct Event {
+    SimTime time;
+    double value;
+  };
+
+  SimTime width_;
+  SimTime last_time_ = -kSimTimeInfinity;
+  double sum_ = 0.0;
+  std::deque<Event> events_;
+};
+
+/// Mean of the last `capacity` observations (response-time smoothing for the
+/// figure series). O(1) per update.
+class WindowedMean {
+ public:
+  explicit WindowedMean(std::size_t capacity);
+
+  void Add(double x);
+  /// Mean of retained observations; `empty_value` when none were added.
+  double Mean(double empty_value = 0.0) const;
+  std::size_t count() const { return values_.size(); }
+
+ private:
+  std::size_t capacity_;
+  double sum_ = 0.0;
+  std::deque<double> values_;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by sorting a copy;
+/// linear interpolation between order statistics. Returns 0 when empty.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace sqlb
+
+#endif  // SQLB_COMMON_STATS_H_

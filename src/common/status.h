@@ -1,0 +1,138 @@
+#ifndef SQLB_COMMON_STATUS_H_
+#define SQLB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file
+/// Status / Result<T> error handling in the RocksDB/Arrow idiom: operations
+/// that can fail return a Status (or a Result<T> carrying a value), never
+/// throw. Programming errors use SQLB_CHECK, which aborts.
+
+namespace sqlb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kTimedOut,
+  kUnavailable,
+  kInternal,
+};
+
+/// Returns a short stable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// failed result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sqlb
+
+/// Aborts the process with a message when `condition` is false. For
+/// programming errors only; recoverable failures use Status.
+#define SQLB_CHECK(condition, message)                            \
+  do {                                                            \
+    if (!(condition)) {                                           \
+      ::sqlb::internal::CheckFailed(__FILE__, __LINE__, #condition, \
+                                    (message));                   \
+    }                                                             \
+  } while (false)
+
+namespace sqlb::internal {
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition, const char* message);
+}  // namespace sqlb::internal
+
+#endif  // SQLB_COMMON_STATUS_H_

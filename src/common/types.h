@@ -1,0 +1,88 @@
+#ifndef SQLB_COMMON_TYPES_H_
+#define SQLB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+/// \file
+/// Strongly typed identifiers and the simulation time type used across the
+/// whole library. Participant identifiers are small dense integers so that
+/// per-participant state can live in flat vectors.
+
+namespace sqlb {
+
+/// Simulated wall-clock time, in seconds. The discrete-event kernel advances
+/// this; nothing in the library reads real time.
+using SimTime = double;
+
+/// Sentinel meaning "no deadline" / "never".
+inline constexpr SimTime kSimTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+namespace internal {
+
+/// CRTP-free strongly typed integer id. Distinct Tag types do not convert
+/// into one another, which keeps consumer/provider/query ids from mixing.
+template <typename Tag>
+struct TypedId {
+  using ValueType = std::uint32_t;
+
+  static constexpr ValueType kInvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(ValueType v) : value(v) {}
+
+  /// Dense index for flat-vector storage.
+  constexpr ValueType index() const { return value; }
+  constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value < b.value;
+  }
+
+  ValueType value = kInvalidValue;
+};
+
+}  // namespace internal
+
+struct ConsumerIdTag {};
+struct ProviderIdTag {};
+struct NodeIdTag {};
+
+/// Identifier of a consumer registered at the mediator.
+using ConsumerId = internal::TypedId<ConsumerIdTag>;
+/// Identifier of a provider registered at the mediator.
+using ProviderId = internal::TypedId<ProviderIdTag>;
+/// Identifier of a node in the message-passing runtime.
+using NodeId = internal::TypedId<NodeIdTag>;
+
+/// Queries get 64-bit monotonically increasing ids; they are never recycled
+/// within a run, so they double as an arrival sequence number.
+using QueryId = std::uint64_t;
+
+inline constexpr QueryId kInvalidQueryId =
+    std::numeric_limits<QueryId>::max();
+
+}  // namespace sqlb
+
+namespace std {
+
+template <typename Tag>
+struct hash<sqlb::internal::TypedId<Tag>> {
+  size_t operator()(sqlb::internal::TypedId<Tag> id) const noexcept {
+    return std::hash<typename sqlb::internal::TypedId<Tag>::ValueType>{}(
+        id.value);
+  }
+};
+
+}  // namespace std
+
+#endif  // SQLB_COMMON_TYPES_H_

@@ -1,0 +1,14 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sqlb {
+
+std::size_t SelectionCount(const AllocationRequest& request) {
+  SQLB_CHECK(request.query != nullptr, "allocation request without a query");
+  return std::min<std::size_t>(request.query->n, request.candidates.size());
+}
+
+}  // namespace sqlb

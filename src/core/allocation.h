@@ -1,0 +1,84 @@
+#ifndef SQLB_CORE_ALLOCATION_H_
+#define SQLB_CORE_ALLOCATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "model/query.h"
+
+/// \file
+/// The allocation-method interface the mediator dispatches to. A method
+/// receives, per query, the candidate set P_q with everything a mediator can
+/// legitimately observe — shown intentions, utilization-related state the
+/// providers chose to expose, economic bids — and returns the ordered
+/// selection of min(q.n, N) providers (the All_oc vector of Section 2).
+///
+/// SQLB (core/sqlb_method.h), the baselines and the extensions
+/// (methods/*.h) all implement this interface, which is what lets the
+/// experiment harness swap them while keeping everything else identical
+/// ("the only thing that changes is the way in which each method allocates
+/// the queries", Section 6.1).
+
+namespace sqlb {
+
+/// Mediator-visible snapshot of one candidate provider for one query.
+struct CandidateProvider {
+  ProviderId id;
+  /// CI_q[p] — the consumer's shown intention for allocating q to p.
+  double consumer_intention = 0.0;
+  /// PI_q[p] — p's shown intention for performing q.
+  double provider_intention = 0.0;
+  /// p's mediator-visible (intention-based) satisfaction, for Eq. 6.
+  double provider_satisfaction = 0.5;
+  /// Ut(p) — p's current utilization (allocated work rate / capacity).
+  double utilization = 0.0;
+  /// p's processing capacity in treatment units per second.
+  double capacity = 1.0;
+  /// Seconds of work currently queued at p (backlog / capacity).
+  double backlog_seconds = 0.0;
+  /// Mariposa-style asking price for this query (methods/mariposa.h).
+  double bid_price = 0.0;
+  /// p's estimate of the delay before q would complete, in seconds.
+  double estimated_delay = 0.0;
+};
+
+/// One allocation request: the query plus its candidate set P_q.
+struct AllocationRequest {
+  const Query* query = nullptr;
+  /// The issuing consumer's mediator-visible satisfaction, for Eq. 6.
+  double consumer_satisfaction = 0.5;
+  std::vector<CandidateProvider> candidates;
+};
+
+/// The outcome: `selected` holds indices into request.candidates, best
+/// first, with size min(q.n, N). `scores` (aligned with candidates) records
+/// each method's internal ranking value for diagnostics and tests; methods
+/// for which "higher is better" does not apply (e.g. bid prices) negate.
+struct AllocationDecision {
+  std::vector<std::size_t> selected;
+  std::vector<double> scores;
+};
+
+/// Strategy interface. Implementations must be deterministic given the
+/// request (any randomness must come through injected state), so that
+/// experiment runs are reproducible.
+class AllocationMethod {
+ public:
+  virtual ~AllocationMethod() = default;
+
+  /// Stable identifier used in reports ("SQLB", "CapacityBased", ...).
+  virtual std::string name() const = 0;
+
+  /// Picks min(q.n, candidates.size()) providers. `request.candidates` is
+  /// never empty (the system only admits feasible queries, Section 2).
+  virtual AllocationDecision Allocate(const AllocationRequest& request) = 0;
+};
+
+/// Number of providers Algorithm 1 must select for `request`.
+std::size_t SelectionCount(const AllocationRequest& request);
+
+}  // namespace sqlb
+
+#endif  // SQLB_CORE_ALLOCATION_H_

@@ -1,0 +1,58 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace sqlb {
+
+double OmegaBalance(double consumer_satisfaction,
+                    double provider_satisfaction) {
+  const double sc = Clamp(consumer_satisfaction, 0.0, 1.0);
+  const double sp = Clamp(provider_satisfaction, 0.0, 1.0);
+  return ((sc - sp) + 1.0) / 2.0;
+}
+
+double ProviderScore(double provider_intention, double consumer_intention,
+                     double omega, double epsilon) {
+  SQLB_CHECK(epsilon > 0.0, "Definition 9 requires epsilon > 0");
+  const double w = Clamp(omega, 0.0, 1.0);
+  const double pi = provider_intention;
+  const double ci = consumer_intention;
+  if (pi > 0.0 && ci > 0.0) {
+    return BoundedPow(pi, w) * BoundedPow(ci, 1.0 - w);
+  }
+  // Negative branch: distance of each intention from full agreement (1),
+  // weighted by omega. Intentions below -1 (possible with epsilon = 1 in
+  // Defs. 7-8) simply deepen the refusal.
+  return -(BoundedPow(1.0 - pi + epsilon, w) *
+           BoundedPow(1.0 - ci + epsilon, 1.0 - w));
+}
+
+std::vector<std::size_t> RankByScore(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> SelectTopN(const std::vector<double>& scores,
+                                    std::size_t n) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t take = std::min(n, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace sqlb

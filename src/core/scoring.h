@@ -1,0 +1,45 @@
+#ifndef SQLB_CORE_SCORING_H_
+#define SQLB_CORE_SCORING_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Scoring and ranking of providers (Section 5.3).
+///
+/// The score of a provider for a query balances the provider's intention to
+/// perform it against the consumer's intention to allocate it there
+/// (Definition 9). The balance weight omega is derived from the two sides'
+/// mediator-visible satisfactions (Eq. 6): the less satisfied side gets the
+/// larger say, which is what lets SQLB trade consumers' intentions for
+/// providers' intentions "in according to their satisfaction".
+
+namespace sqlb {
+
+/// Eq. 6 — omega = ((sat_consumer - sat_provider) + 1) / 2, in [0, 1].
+/// omega = 1 weighs only the provider's intention; omega = 0 only the
+/// consumer's. Inputs are satisfactions in [0, 1] (clamped).
+double OmegaBalance(double consumer_satisfaction,
+                    double provider_satisfaction);
+
+/// Definition 9 — the score of provider p for query q given the provider's
+/// intention PI_q[p], the consumer's intention CI_q[p], and the balance
+/// omega. epsilon > 0 keeps the negative branch away from zero. Intentions
+/// may exceed [-1, 1] on the negative side (see core/intention.h); larger
+/// scores are better.
+double ProviderScore(double provider_intention, double consumer_intention,
+                     double omega, double epsilon = 1.0);
+
+/// Ranks candidate indices by descending score; ties broken by original
+/// index (deterministic). Returns the permutation (the R_q vector of
+/// Section 5.3: element 0 is the best-scored provider).
+std::vector<std::size_t> RankByScore(const std::vector<double>& scores);
+
+/// Returns the first min(n, scores.size()) entries of RankByScore: the
+/// providers Algorithm 1 selects. Uses a partial sort; O(N log n).
+std::vector<std::size_t> SelectTopN(const std::vector<double>& scores,
+                                    std::size_t n);
+
+}  // namespace sqlb
+
+#endif  // SQLB_CORE_SCORING_H_

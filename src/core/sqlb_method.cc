@@ -1,0 +1,33 @@
+#include "core/sqlb_method.h"
+
+#include "common/status.h"
+#include "core/scoring.h"
+
+namespace sqlb {
+
+SqlbMethod::SqlbMethod(SqlbOptions options) : options_(options) {
+  SQLB_CHECK(options_.epsilon > 0.0, "SQLB requires epsilon > 0");
+  if (options_.fixed_omega.has_value()) {
+    SQLB_CHECK(*options_.fixed_omega >= 0.0 && *options_.fixed_omega <= 1.0,
+               "fixed omega must lie in [0, 1]");
+  }
+}
+
+AllocationDecision SqlbMethod::Allocate(const AllocationRequest& request) {
+  AllocationDecision decision;
+  decision.scores.reserve(request.candidates.size());
+  for (const CandidateProvider& p : request.candidates) {
+    const double omega =
+        options_.fixed_omega.has_value()
+            ? *options_.fixed_omega
+            : OmegaBalance(request.consumer_satisfaction,
+                           p.provider_satisfaction);
+    decision.scores.push_back(ProviderScore(p.provider_intention,
+                                            p.consumer_intention, omega,
+                                            options_.epsilon));
+  }
+  decision.selected = SelectTopN(decision.scores, SelectionCount(request));
+  return decision;
+}
+
+}  // namespace sqlb

@@ -1,0 +1,86 @@
+#include "des/arrival_process.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace sqlb::des {
+
+ConstantWorkload::ConstantWorkload(double fraction) : fraction_(fraction) {
+  SQLB_CHECK(fraction >= 0.0, "workload fraction must be >= 0");
+}
+
+RampWorkload::RampWorkload(double start_fraction, double end_fraction,
+                           SimTime duration)
+    : start_(start_fraction), end_(end_fraction), duration_(duration) {
+  SQLB_CHECK(start_fraction >= 0.0 && end_fraction >= 0.0,
+             "workload fractions must be >= 0");
+  SQLB_CHECK(duration > 0.0, "ramp duration must be positive");
+}
+
+double RampWorkload::FractionAt(SimTime t) const {
+  if (t <= 0.0) return start_;
+  if (t >= duration_) return end_;
+  return Lerp(start_, end_, t / duration_);
+}
+
+double RampWorkload::MaxFraction(SimTime horizon) const {
+  return std::max(start_, FractionAt(horizon));
+}
+
+PoissonArrivalProcess::PoissonArrivalProcess(RateFn rate_at, double max_rate,
+                                             Rng rng)
+    : rate_at_(std::move(rate_at)), max_rate_(max_rate), rng_(rng) {
+  SQLB_CHECK(max_rate_ > 0.0, "max arrival rate must be positive");
+}
+
+void PoissonArrivalProcess::Start(Simulator& sim, SimTime start, SimTime stop,
+                                  ArrivalFn on_arrival) {
+  SQLB_CHECK(!running_, "arrival process already running");
+  SQLB_CHECK(stop > start, "empty arrival horizon");
+  on_arrival_ = std::move(on_arrival);
+  stop_ = stop;
+  running_ = true;
+  // The first candidate is an exponential step after `start`.
+  const SimTime first = start + rng_.Exponential(max_rate_);
+  if (first >= stop_) {
+    running_ = false;
+    return;
+  }
+  sim.ScheduleAt(first, [this](Simulator& s) {
+    if (!running_) return;
+    // Thinning: accept with probability rate(t) / max_rate.
+    const double rate = rate_at_(s.Now());
+    SQLB_CHECK(rate <= max_rate_ * (1.0 + 1e-9),
+               "rate function exceeds the declared max_rate");
+    if (rng_.NextDouble() < rate / max_rate_) {
+      ++arrivals_;
+      on_arrival_(s);
+    }
+    ScheduleNextCandidate(s);
+  });
+}
+
+void PoissonArrivalProcess::ScheduleNextCandidate(Simulator& sim) {
+  const SimTime next = sim.Now() + rng_.Exponential(max_rate_);
+  if (next >= stop_) {
+    running_ = false;
+    return;
+  }
+  sim.ScheduleAt(next, [this](Simulator& s) {
+    if (!running_) return;
+    const double rate = rate_at_(s.Now());
+    SQLB_CHECK(rate <= max_rate_ * (1.0 + 1e-9),
+               "rate function exceeds the declared max_rate");
+    if (rng_.NextDouble() < rate / max_rate_) {
+      ++arrivals_;
+      on_arrival_(s);
+    }
+    ScheduleNextCandidate(s);
+  });
+}
+
+void PoissonArrivalProcess::Stop() { running_ = false; }
+
+}  // namespace sqlb::des

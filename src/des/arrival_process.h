@@ -1,0 +1,91 @@
+#ifndef SQLB_DES_ARRIVAL_PROCESS_H_
+#define SQLB_DES_ARRIVAL_PROCESS_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "des/simulator.h"
+
+/// \file
+/// Poisson arrival generation (Section 6.1: "queries arrive to the system in
+/// a Poisson distribution, as found in dynamic autonomous environments"),
+/// with either a constant rate (workload sweeps, Figures 4(i), 5, 6) or a
+/// linear ramp (the 30% -> 100% captive experiments behind Figure 4(a)-(h)).
+
+namespace sqlb::des {
+
+/// Workload intensity as a function of time, expressed as a fraction of the
+/// total system capacity (0.8 = 80% of aggregate provider capacity).
+class WorkloadProfile {
+ public:
+  virtual ~WorkloadProfile() = default;
+  /// Workload fraction at time t; must be >= 0.
+  virtual double FractionAt(SimTime t) const = 0;
+  /// Upper bound of FractionAt over [0, horizon]; used for thinning.
+  virtual double MaxFraction(SimTime horizon) const = 0;
+};
+
+/// Constant workload fraction.
+class ConstantWorkload final : public WorkloadProfile {
+ public:
+  explicit ConstantWorkload(double fraction);
+  double FractionAt(SimTime) const override { return fraction_; }
+  double MaxFraction(SimTime) const override { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+/// Linear ramp from `start_fraction` at t=0 to `end_fraction` at t=duration,
+/// constant afterwards. The paper's quality experiments ramp 0.3 -> 1.0.
+class RampWorkload final : public WorkloadProfile {
+ public:
+  RampWorkload(double start_fraction, double end_fraction, SimTime duration);
+  double FractionAt(SimTime t) const override;
+  double MaxFraction(SimTime horizon) const override;
+
+ private:
+  double start_;
+  double end_;
+  SimTime duration_;
+};
+
+/// Non-homogeneous Poisson process via Lewis-Shedler thinning: candidate
+/// events are generated at the profile's maximum rate and accepted with
+/// probability rate(t) / max_rate, which yields an exact NHPP.
+class PoissonArrivalProcess {
+ public:
+  /// `rate_at` maps time -> instantaneous arrival rate (events/second);
+  /// `max_rate` must dominate it over the run horizon.
+  using RateFn = std::function<double(SimTime)>;
+  using ArrivalFn = std::function<void(Simulator&)>;
+
+  PoissonArrivalProcess(RateFn rate_at, double max_rate, Rng rng);
+
+  /// Starts generating arrivals in [start, stop); each accepted arrival
+  /// invokes `on_arrival`.
+  void Start(Simulator& sim, SimTime start, SimTime stop,
+             ArrivalFn on_arrival);
+
+  /// Stops the process after the current event.
+  void Stop();
+
+  std::uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  void ScheduleNextCandidate(Simulator& sim);
+
+  RateFn rate_at_;
+  double max_rate_;
+  Rng rng_;
+  ArrivalFn on_arrival_;
+  SimTime stop_ = 0.0;
+  bool running_ = false;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace sqlb::des
+
+#endif  // SQLB_DES_ARRIVAL_PROCESS_H_

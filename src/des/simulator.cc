@@ -1,0 +1,95 @@
+#include "des/simulator.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace sqlb::des {
+
+EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  SQLB_CHECK(t >= now_, "cannot schedule an event in the past");
+  SQLB_CHECK(static_cast<bool>(cb), "cannot schedule an empty callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::PopLive(Entry* out, Callback* cb) {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // tombstone from Cancel()
+      continue;
+    }
+    *out = top;
+    *cb = std::move(it->second);
+    heap_.pop();
+    callbacks_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  Entry entry;
+  Callback cb;
+  if (!PopLive(&entry, &cb)) return false;
+  now_ = entry.time;
+  ++executed_;
+  cb(*this);
+  return true;
+}
+
+void Simulator::RunUntil(SimTime end) {
+  SQLB_CHECK(end >= now_, "RunUntil target is in the past");
+  while (!heap_.empty()) {
+    // Peek for the next live entry without consuming it.
+    Entry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > end) break;
+    Step();
+  }
+  now_ = end;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+void PeriodicTask::Start(Simulator& sim, SimTime start, SimTime interval,
+                         SimTime stop, Callback fn) {
+  SQLB_CHECK(!running_, "PeriodicTask already running");
+  SQLB_CHECK(interval > 0.0, "PeriodicTask interval must be positive");
+  fn_ = std::move(fn);
+  interval_ = interval;
+  stop_ = stop;
+  running_ = true;
+  Arm(sim, start);
+}
+
+void PeriodicTask::Arm(Simulator& sim, SimTime t) {
+  if (t > stop_) {
+    running_ = false;
+    return;
+  }
+  pending_ = sim.ScheduleAt(t, [this](Simulator& s) {
+    fn_(s);
+    if (running_) Arm(s, s.Now() + interval_);
+  });
+}
+
+void PeriodicTask::Cancel(Simulator& sim) {
+  if (!running_) return;
+  running_ = false;
+  sim.Cancel(pending_);
+}
+
+}  // namespace sqlb::des

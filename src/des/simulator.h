@@ -1,0 +1,120 @@
+#ifndef SQLB_DES_SIMULATOR_H_
+#define SQLB_DES_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/types.h"
+
+/// \file
+/// Discrete-event simulation kernel.
+///
+/// The paper's evaluation (Section 6.1) runs a Java simulator of a
+/// mono-mediator distributed information system; this kernel is its C++
+/// substrate. Events are closures ordered by (time, sequence number), so
+/// simultaneous events fire in scheduling order and runs are deterministic
+/// for a fixed seed.
+
+namespace sqlb::des {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// The event queue + clock. Single-threaded by design: mediation is an
+/// inherently serialized decision point in the paper's architecture, and a
+/// deterministic kernel makes every experiment reproducible bit-for-bit.
+class Simulator {
+ public:
+  using Callback = std::function<void(Simulator&)>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds). Starts at 0.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= Now()). Returns an id
+  /// usable with Cancel().
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false when the event already fired,
+  /// was cancelled before, or never existed. Amortized O(1): the heap entry
+  /// becomes a tombstone that the run loop skips.
+  bool Cancel(EventId id);
+
+  /// Runs events with time <= `end` (events at exactly `end` still fire),
+  /// then advances the clock to `end` even if the queue drained early, so
+  /// periodic probes observe a consistent final time.
+  void RunUntil(SimTime end);
+
+  /// Runs until the queue is empty.
+  void RunAll();
+
+  /// Executes at most one event. Returns false when no live event remains.
+  bool Step();
+
+  /// Number of scheduled-but-unfired events (tombstones excluded).
+  std::size_t pending_events() const { return callbacks_.size(); }
+  /// Total events executed since construction.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the tie-breaking sequence number
+    // std::priority_queue is a max-heap; invert for earliest-first order.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Pops heap entries until a live one is found. Returns false when none.
+  bool PopLive(Entry* out, Callback* cb);
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 0;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t executed_ = 0;
+};
+
+/// Periodically invokes fn(sim) every `interval` seconds, starting at
+/// `start`, until `stop` (inclusive) or until Cancel(). Used for the metric
+/// probes that sample the figure time series.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void(Simulator&)>;
+
+  PeriodicTask() = default;
+
+  /// Begins the schedule. Must not already be running.
+  void Start(Simulator& sim, SimTime start, SimTime interval, SimTime stop,
+             Callback fn);
+
+  /// Stops future invocations.
+  void Cancel(Simulator& sim);
+
+  bool running() const { return running_; }
+
+ private:
+  void Arm(Simulator& sim, SimTime t);
+
+  Callback fn_;
+  SimTime interval_ = 0.0;
+  SimTime stop_ = 0.0;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace sqlb::des
+
+#endif  // SQLB_DES_SIMULATOR_H_

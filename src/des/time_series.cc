@@ -1,0 +1,87 @@
+#include "des/time_series.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqlb::des {
+
+double TimeSeries::MeanOver(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : samples) {
+    if (t >= from && t <= to) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::ValueAt(SimTime t, double fallback) const {
+  double value = fallback;
+  for (const auto& [time, v] : samples) {
+    if (time > t) break;
+    value = v;
+  }
+  return value;
+}
+
+double TimeSeries::Max() const {
+  double best = 0.0;
+  for (const auto& [t, v] : samples) best = std::max(best, v);
+  return best;
+}
+
+TimeSeries& SeriesSet::Get(const std::string& name) {
+  auto [it, inserted] = series_.try_emplace(name);
+  if (inserted) it->second.name = name;
+  return it->second;
+}
+
+const TimeSeries* SeriesSet::Find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void SeriesSet::Add(const std::string& name, SimTime t, double value) {
+  Get(name).Add(t, value);
+}
+
+std::vector<std::string> SeriesSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+CsvWriter SeriesSet::ToCsv() const {
+  std::vector<std::string> header{"time"};
+  for (const auto& [name, unused] : series_) header.push_back(name);
+  CsvWriter csv(std::move(header));
+
+  std::set<SimTime> times;
+  for (const auto& [name, s] : series_) {
+    for (const auto& [t, v] : s.samples) times.insert(t);
+  }
+
+  // Per-series cursor for step interpolation.
+  std::map<std::string, std::size_t> cursor;
+  std::map<std::string, double> last;
+  for (SimTime t : times) {
+    csv.BeginRow();
+    csv.AddCell(FormatNumber(t));
+    for (const auto& [name, s] : series_) {
+      std::size_t& i = cursor[name];
+      while (i < s.samples.size() && s.samples[i].first <= t) {
+        last[name] = s.samples[i].second;
+        ++i;
+      }
+      auto it = last.find(name);
+      csv.AddCell(it == last.end() ? std::string("")
+                                   : FormatNumber(it->second));
+    }
+  }
+  return csv;
+}
+
+}  // namespace sqlb::des

@@ -1,0 +1,59 @@
+#ifndef SQLB_DES_TIME_SERIES_H_
+#define SQLB_DES_TIME_SERIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/reporting.h"
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file
+/// Named (time, value) series collected by the metric probes; one SeriesSet
+/// per simulation run, exportable as a single CSV whose rows are sample
+/// times and whose columns are the series (gnuplot/pandas friendly).
+
+namespace sqlb::des {
+
+/// A single named series of (time, value) samples in arrival order.
+struct TimeSeries {
+  std::string name;
+  std::vector<std::pair<SimTime, double>> samples;
+
+  void Add(SimTime t, double v) { samples.emplace_back(t, v); }
+  std::size_t size() const { return samples.size(); }
+
+  /// Mean of the sample values in [from, to]; 0 when no samples fall there.
+  double MeanOver(SimTime from, SimTime to) const;
+  /// Value of the last sample at or before `t`; `fallback` when none.
+  double ValueAt(SimTime t, double fallback = 0.0) const;
+  /// Maximum sample value; 0 when empty.
+  double Max() const;
+};
+
+/// A keyed collection of series sampled on a shared probe schedule.
+class SeriesSet {
+ public:
+  /// Returns the series with `name`, creating it on first use.
+  TimeSeries& Get(const std::string& name);
+  const TimeSeries* Find(const std::string& name) const;
+
+  /// Adds one sample to series `name` at time `t`.
+  void Add(const std::string& name, SimTime t, double value);
+
+  std::vector<std::string> Names() const;
+  bool empty() const { return series_.empty(); }
+
+  /// Writes all series as one CSV: first column "time", one column per
+  /// series. Rows are the union of sample times; a series missing a sample
+  /// at a given time reuses its previous value (step interpolation).
+  CsvWriter ToCsv() const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace sqlb::des
+
+#endif  // SQLB_DES_TIME_SERIES_H_

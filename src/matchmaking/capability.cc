@@ -1,0 +1,47 @@
+#include "matchmaking/capability.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sqlb {
+
+std::uint32_t TermDictionary::Intern(const std::string& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  SQLB_CHECK(id != kNotFoundId, "term dictionary overflow");
+  ids_.emplace(term, id);
+  names_.push_back(term);
+  return id;
+}
+
+std::uint32_t TermDictionary::Lookup(const std::string& term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kNotFoundId : it->second;
+}
+
+const std::string& TermDictionary::Name(std::uint32_t id) const {
+  SQLB_CHECK(id < names_.size(), "unknown term id");
+  return names_[id];
+}
+
+Capability::Capability(std::vector<std::uint32_t> terms)
+    : terms_(std::move(terms)) {
+  std::sort(terms_.begin(), terms_.end());
+  terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+}
+
+bool Capability::Covers(
+    const std::vector<std::uint32_t>& required_terms) const {
+  for (std::uint32_t t : required_terms) {
+    if (!Contains(t)) return false;
+  }
+  return true;
+}
+
+bool Capability::Contains(std::uint32_t term) const {
+  return std::binary_search(terms_.begin(), terms_.end(), term);
+}
+
+}  // namespace sqlb

@@ -1,0 +1,61 @@
+#ifndef SQLB_MATCHMAKING_CAPABILITY_H_
+#define SQLB_MATCHMAKING_CAPABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Capability descriptions for matchmaking. Section 2 assumes a sound and
+/// complete matchmaking procedure exists ("there is a large body of work on
+/// matchmaking [11, 14]"); this substrate provides one: providers declare a
+/// set of capability terms ("international-shipping", "cpu", ...), a query
+/// carries required terms, and a provider matches when its capability set
+/// covers the query's requirements. Terms are interned to dense ids so that
+/// matching is integer work.
+
+namespace sqlb {
+
+/// Interns term strings to dense uint32 ids.
+class TermDictionary {
+ public:
+  /// Returns the id for `term`, creating it on first use.
+  std::uint32_t Intern(const std::string& term);
+
+  /// Returns the id for `term` or kNotFoundId when unknown.
+  std::uint32_t Lookup(const std::string& term) const;
+
+  /// The term string of an id minted by Intern().
+  const std::string& Name(std::uint32_t id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  static constexpr std::uint32_t kNotFoundId = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// A provider's declared capability: a deduplicated, sorted set of term ids.
+class Capability {
+ public:
+  Capability() = default;
+  /// Builds from arbitrary (possibly duplicated, unsorted) term ids.
+  explicit Capability(std::vector<std::uint32_t> terms);
+
+  /// True when this capability covers every required term.
+  bool Covers(const std::vector<std::uint32_t>& required_terms) const;
+
+  bool Contains(std::uint32_t term) const;
+  const std::vector<std::uint32_t>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> terms_;  // sorted, unique
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_MATCHMAKING_CAPABILITY_H_

@@ -1,0 +1,89 @@
+#include "matchmaking/matchmaker.h"
+
+#include <algorithm>
+
+namespace sqlb {
+namespace {
+
+/// Inserts `id` into a sorted unique vector (no-op when present).
+void SortedInsert(std::vector<ProviderId>& v, ProviderId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+
+/// Removes `id` from a sorted vector (no-op when absent).
+void SortedErase(std::vector<ProviderId>& v, ProviderId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) v.erase(it);
+}
+
+}  // namespace
+
+void AcceptAllMatchmaker::Register(ProviderId provider,
+                                   const Capability& /*capability*/) {
+  SortedInsert(sorted_, provider);
+}
+
+void AcceptAllMatchmaker::Unregister(ProviderId provider) {
+  SortedErase(sorted_, provider);
+}
+
+std::vector<ProviderId> AcceptAllMatchmaker::Match(
+    const Query& /*query*/) const {
+  return sorted_;
+}
+
+void TermIndexMatchmaker::Register(ProviderId provider,
+                                   const Capability& capability) {
+  auto it = capabilities_.find(provider);
+  if (it != capabilities_.end()) {
+    for (std::uint32_t t : it->second.terms()) SortedErase(postings_[t], provider);
+  }
+  capabilities_[provider] = capability;
+  for (std::uint32_t t : capability.terms()) {
+    SortedInsert(postings_[t], provider);
+  }
+}
+
+void TermIndexMatchmaker::Unregister(ProviderId provider) {
+  auto it = capabilities_.find(provider);
+  if (it == capabilities_.end()) return;
+  for (std::uint32_t t : it->second.terms()) {
+    SortedErase(postings_[t], provider);
+  }
+  capabilities_.erase(it);
+}
+
+std::vector<ProviderId> TermIndexMatchmaker::Match(const Query& query) const {
+  if (query.required_terms.empty()) {
+    // No constraints: every registered provider qualifies.
+    std::vector<ProviderId> all;
+    all.reserve(capabilities_.size());
+    for (const auto& [id, unused] : capabilities_) all.push_back(id);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  // Intersect postings, starting from the rarest term for speed.
+  std::vector<const std::vector<ProviderId>*> lists;
+  lists.reserve(query.required_terms.size());
+  for (std::uint32_t t : query.required_terms) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) return {};  // term held by nobody
+    lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::vector<ProviderId> result = *lists.front();
+  std::vector<ProviderId> next;
+  for (std::size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+}  // namespace sqlb

@@ -1,0 +1,76 @@
+#ifndef SQLB_MATCHMAKING_MATCHMAKER_H_
+#define SQLB_MATCHMAKING_MATCHMAKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "matchmaking/capability.h"
+#include "model/query.h"
+
+/// \file
+/// Matchmakers compute P_q, the set of providers able to treat a query
+/// (Section 2). Two implementations:
+///
+///  - AcceptAllMatchmaker: the paper's simulation setup ("all the providers
+///    in the system are able to perform all the incoming queries").
+///  - TermIndexMatchmaker: a real inverted-index matchmaker over capability
+///    terms — sound (no false positives: every returned provider covers the
+///    query's terms) and complete (no false negatives: every covering
+///    provider is returned), the two properties Section 2 assumes.
+///
+/// Both track provider registration/departure, so P_q always reflects the
+/// currently active population.
+
+namespace sqlb {
+
+class Matchmaker {
+ public:
+  virtual ~Matchmaker() = default;
+
+  /// Declares a provider and its capability. Re-registering replaces the
+  /// capability.
+  virtual void Register(ProviderId provider, const Capability& capability) = 0;
+
+  /// Removes a departed provider; it no longer appears in any P_q.
+  virtual void Unregister(ProviderId provider) = 0;
+
+  /// Computes P_q for `query`, in ascending provider-id order.
+  virtual std::vector<ProviderId> Match(const Query& query) const = 0;
+
+  virtual std::size_t registered_count() const = 0;
+};
+
+/// P_q = all registered providers, regardless of the query description.
+class AcceptAllMatchmaker final : public Matchmaker {
+ public:
+  void Register(ProviderId provider, const Capability& capability) override;
+  void Unregister(ProviderId provider) override;
+  std::vector<ProviderId> Match(const Query& query) const override;
+  std::size_t registered_count() const override { return sorted_.size(); }
+
+ private:
+  std::vector<ProviderId> sorted_;  // ascending, unique
+};
+
+/// Inverted-index matchmaker: P_q = providers whose capability covers all
+/// of the query's required terms. A query with no required terms matches
+/// every registered provider.
+class TermIndexMatchmaker final : public Matchmaker {
+ public:
+  void Register(ProviderId provider, const Capability& capability) override;
+  void Unregister(ProviderId provider) override;
+  std::vector<ProviderId> Match(const Query& query) const override;
+  std::size_t registered_count() const override {
+    return capabilities_.size();
+  }
+
+ private:
+  std::unordered_map<ProviderId, Capability> capabilities_;
+  // term id -> ascending provider ids holding that term.
+  std::unordered_map<std::uint32_t, std::vector<ProviderId>> postings_;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_MATCHMAKING_MATCHMAKER_H_

@@ -1,0 +1,32 @@
+#include "methods/capacity_based.h"
+
+#include "core/scoring.h"
+
+namespace sqlb {
+
+CapacityBasedMethod::CapacityBasedMethod(CapacityRanking ranking)
+    : ranking_(ranking) {}
+
+std::string CapacityBasedMethod::name() const {
+  return ranking_ == CapacityRanking::kLeastUtilized
+             ? "CapacityBased"
+             : "CapacityBased(max-available)";
+}
+
+AllocationDecision CapacityBasedMethod::Allocate(
+    const AllocationRequest& request) {
+  AllocationDecision decision;
+  decision.scores.reserve(request.candidates.size());
+  for (const CandidateProvider& p : request.candidates) {
+    // Available capacity may go negative under overload; overloaded
+    // providers then rank last, which is the intended behaviour.
+    const double score = ranking_ == CapacityRanking::kMaxAvailableCapacity
+                             ? p.capacity * (1.0 - p.utilization)
+                             : -p.utilization;
+    decision.scores.push_back(score);
+  }
+  decision.selected = SelectTopN(decision.scores, SelectionCount(request));
+  return decision;
+}
+
+}  // namespace sqlb

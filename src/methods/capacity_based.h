@@ -1,0 +1,47 @@
+#ifndef SQLB_METHODS_CAPACITY_BASED_H_
+#define SQLB_METHODS_CAPACITY_BASED_H_
+
+#include <string>
+
+#include "core/allocation.h"
+
+/// \file
+/// The Capacity based baseline (Section 6.2.1): allocate each query to the
+/// providers "that have the highest available capacity (i.e. the least
+/// utilized)" among P_q, ignoring all intentions. The classic QLB approach
+/// of [13, 18, 21], known to work well in heterogeneous systems.
+///
+/// The paper's parenthetical names two rankings that differ under
+/// heterogeneous capacity, so both are provided (ablation
+/// `bench/ablation_capacity_variant` compares them):
+///   - kLeastUtilized: rank by -Ut, the relative load (default — it
+///     equalizes utilization across heterogeneous providers, which matches
+///     the paper's "optimal utilization = workload fraction" premise and
+///     its observation that Capacity based does not starve anyone).
+///   - kMaxAvailableCapacity: rank by capacity * (1 - Ut), the absolute
+///     spare processing rate. Greedier response times, but it starves
+///     low-capacity providers at moderate load (they are never the max).
+
+namespace sqlb {
+
+enum class CapacityRanking {
+  kLeastUtilized,
+  kMaxAvailableCapacity,
+};
+
+class CapacityBasedMethod final : public AllocationMethod {
+ public:
+  explicit CapacityBasedMethod(
+      CapacityRanking ranking = CapacityRanking::kLeastUtilized);
+
+  std::string name() const override;
+
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+ private:
+  CapacityRanking ranking_;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_METHODS_CAPACITY_BASED_H_

@@ -1,0 +1,44 @@
+#ifndef SQLB_METHODS_KN_BEST_H_
+#define SQLB_METHODS_KN_BEST_H_
+
+#include <string>
+
+#include "core/sqlb_method.h"
+
+/// \file
+/// A KnBest-style hybrid, after the authors' companion work [17]
+/// ("KnBest - A Balanced Request Allocation Method", DASFAA 2007), which
+/// the paper cites as a complementary set of strategies: first shortlist
+/// the K best providers by one criterion, then pick the q.n final providers
+/// from the shortlist by another. Here the shortlist is by SQLB score
+/// (interest alignment) and the final pick is by least utilization (load
+/// balance) — trading a little satisfaction for smoother QLB.
+
+namespace sqlb {
+
+struct KnBestOptions {
+  /// Shortlist size as a fraction of |P_q| (at least q.n providers are
+  /// always shortlisted).
+  double shortlist_fraction = 0.1;
+  /// Options of the inner SQLB scorer.
+  SqlbOptions sqlb;
+};
+
+class KnBestMethod final : public AllocationMethod {
+ public:
+  explicit KnBestMethod(KnBestOptions options = {});
+
+  std::string name() const override { return "KnBest"; }
+
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+  const KnBestOptions& options() const { return options_; }
+
+ private:
+  KnBestOptions options_;
+  SqlbMethod scorer_;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_METHODS_KN_BEST_H_

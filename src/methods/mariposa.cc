@@ -1,0 +1,83 @@
+#include "methods/mariposa.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace sqlb {
+
+MariposaMethod::MariposaMethod(MariposaOptions options) : options_(options) {
+  SQLB_CHECK(options_.max_price > 0.0, "bid curve needs max_price > 0");
+  SQLB_CHECK(options_.max_delay > 0.0, "bid curve needs max_delay > 0");
+  SQLB_CHECK(options_.load_factor >= 0.0, "load factor must be >= 0");
+}
+
+double MariposaMethod::EffectivePrice(const CandidateProvider& p) const {
+  return p.bid_price *
+         (1.0 + options_.load_factor * std::max(0.0, p.backlog_seconds));
+}
+
+bool MariposaMethod::UnderBidCurve(double effective_price,
+                                   double delay) const {
+  if (delay >= options_.max_delay) return false;
+  return effective_price <=
+         options_.max_price * (1.0 - delay / options_.max_delay);
+}
+
+AllocationDecision MariposaMethod::Allocate(
+    const AllocationRequest& request) {
+  AllocationDecision decision;
+  const std::size_t n = SelectionCount(request);
+  const std::size_t count = request.candidates.size();
+
+  std::vector<double> price(count);
+  std::vector<bool> acceptable(count);
+  bool any_acceptable = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const CandidateProvider& p = request.candidates[i];
+    price[i] = EffectivePrice(p);
+    acceptable[i] = UnderBidCurve(price[i], p.estimated_delay);
+    any_acceptable = any_acceptable || acceptable[i];
+  }
+
+  // Scores are negated prices so that "higher is better" holds for the
+  // diagnostics; unacceptable bids are pushed below every acceptable one.
+  const double penalty =
+      2.0 * (options_.max_price +
+             *std::max_element(price.begin(), price.end()) + 1.0);
+  decision.scores.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    decision.scores[i] = -(price[i] + (acceptable[i] ? 0.0 : penalty));
+  }
+
+  if (!any_acceptable) {
+    ++unacceptable_;
+    if (!options_.allocate_when_no_acceptable_bid) {
+      return decision;  // strict broker: query goes untreated
+    }
+  }
+
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t take = std::min(n, count);
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&decision](std::size_t a, std::size_t b) {
+                      if (decision.scores[a] != decision.scores[b]) {
+                        return decision.scores[a] > decision.scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(take);
+  decision.selected = std::move(order);
+  return decision;
+}
+
+double MariposaAskingPrice(double preference, double price_floor) {
+  const double prf = Clamp(preference, -1.0, 1.0);
+  // preference 1 -> floor (eager); preference -1 -> 1 + floor (reluctant).
+  return price_floor + (1.0 - prf) / 2.0;
+}
+
+}  // namespace sqlb

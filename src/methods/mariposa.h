@@ -1,0 +1,76 @@
+#ifndef SQLB_METHODS_MARIPOSA_H_
+#define SQLB_METHODS_MARIPOSA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/allocation.h"
+
+/// \file
+/// The Mariposa-like economic baseline (Section 6.2.2), modelled on
+/// Mariposa's bidding protocol [22]: providers bid for queries; the broker
+/// accepts the cheapest bids whose (price, delay) lies under the consumer's
+/// bid curve; bids are scaled by current load ("bid x load") as Mariposa's
+/// crude form of load balancing.
+///
+/// Provider agents compute the asking price from their preference — a
+/// provider that wants a query bids aggressively low — which is exactly why
+/// the method concentrates load on the most adapted providers and
+/// overutilizes them (Section 6.3). The price lands in
+/// CandidateProvider::bid_price; this class implements the broker side.
+
+namespace sqlb {
+
+struct MariposaOptions {
+  /// Consumer bid curve: a bid is acceptable when
+  ///   price <= max_price * (1 - delay / max_delay)   (delay < max_delay).
+  double max_price = 2.0;
+  double max_delay = 60.0;
+  /// Load scaling of the raw asking price: effective = price * (1 +
+  /// load_factor * backlog_seconds). Mariposa's "bid x load" feedback is
+  /// deliberately crude (Section 6.2.2): the default lets an eager
+  /// provider accumulate a minute of backlog before a reluctant idle one
+  /// underbids it, reproducing the paper's overutilization of the most
+  /// adapted providers (Figure 4(g), Table 3) and its ~3x response time
+  /// penalty (Figure 4(i)).
+  double load_factor = 0.05;
+  /// When true, queries with no acceptable bid are still allocated to the
+  /// cheapest bidder (the paper's setup treats every feasible query; pure
+  /// Mariposa could leave them untreated — that count is reported).
+  bool allocate_when_no_acceptable_bid = true;
+};
+
+class MariposaMethod final : public AllocationMethod {
+ public:
+  explicit MariposaMethod(MariposaOptions options = {});
+
+  std::string name() const override { return "Mariposa-like"; }
+
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+  /// Computes the effective (load-scaled) price of a candidate's bid.
+  double EffectivePrice(const CandidateProvider& p) const;
+
+  /// True when the bid lies under the consumer's bid curve.
+  bool UnderBidCurve(double effective_price, double delay) const;
+
+  /// Queries for which no bid was under the curve (would be rejected by a
+  /// strict Mariposa broker).
+  std::uint64_t unacceptable_queries() const { return unacceptable_; }
+
+  const MariposaOptions& options() const { return options_; }
+
+ private:
+  MariposaOptions options_;
+  std::uint64_t unacceptable_ = 0;
+};
+
+/// The provider-side asking price used by the runtime's provider agents:
+/// maps preference in [-1, 1] to a price in [price_floor, 1 + price_floor]
+/// that decreases with preference (providers bid low for queries they
+/// want).
+double MariposaAskingPrice(double preference, double price_floor = 0.05);
+
+}  // namespace sqlb
+
+#endif  // SQLB_METHODS_MARIPOSA_H_

@@ -1,0 +1,49 @@
+#include "methods/simple_methods.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sqlb {
+
+RandomMethod::RandomMethod(std::uint64_t seed) : rng_(seed) {}
+
+AllocationDecision RandomMethod::Allocate(const AllocationRequest& request) {
+  AllocationDecision decision;
+  const std::size_t count = request.candidates.size();
+  const std::size_t n = SelectionCount(request);
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  // Partial Fisher-Yates: draw n positions without replacement.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.NextBounded(count - i));
+    std::swap(order[i], order[j]);
+  }
+  order.resize(n);
+  decision.selected = std::move(order);
+  decision.scores.assign(count, 0.0);
+  for (std::size_t rank = 0; rank < decision.selected.size(); ++rank) {
+    decision.scores[decision.selected[rank]] =
+        1.0 - static_cast<double>(rank) / static_cast<double>(count);
+  }
+  return decision;
+}
+
+AllocationDecision RoundRobinMethod::Allocate(
+    const AllocationRequest& request) {
+  AllocationDecision decision;
+  const std::size_t count = request.candidates.size();
+  const std::size_t n = SelectionCount(request);
+  decision.scores.assign(count, 0.0);
+  decision.selected.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(cursor_ % count);
+    ++cursor_;
+    decision.selected.push_back(pick);
+    decision.scores[pick] = 1.0 - static_cast<double>(i) /
+                                      static_cast<double>(count);
+  }
+  return decision;
+}
+
+}  // namespace sqlb

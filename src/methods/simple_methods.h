@@ -1,0 +1,46 @@
+#ifndef SQLB_METHODS_SIMPLE_METHODS_H_
+#define SQLB_METHODS_SIMPLE_METHODS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "core/allocation.h"
+
+/// \file
+/// Two reference methods that bound the design space in the ablations:
+/// uniform random allocation (no information at all) and round-robin
+/// (perfectly even spread in query count, blind to capacity and intentions).
+/// Neither is evaluated in the paper, but both make useful control points
+/// for the metrics of Section 4: random/round-robin should be neutral
+/// (allocation satisfaction ~ 1) and capacity-unaware.
+
+namespace sqlb {
+
+/// Allocates to q.n candidates drawn uniformly without replacement.
+class RandomMethod final : public AllocationMethod {
+ public:
+  explicit RandomMethod(std::uint64_t seed = 0xdecafbadULL);
+
+  std::string name() const override { return "Random"; }
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Cycles deterministically over candidate positions.
+class RoundRobinMethod final : public AllocationMethod {
+ public:
+  RoundRobinMethod() = default;
+
+  std::string name() const override { return "RoundRobin"; }
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_METHODS_SIMPLE_METHODS_H_

@@ -1,0 +1,46 @@
+#ifndef SQLB_METHODS_SQLB_ECONOMIC_H_
+#define SQLB_METHODS_SQLB_ECONOMIC_H_
+
+#include <string>
+
+#include "core/sqlb_method.h"
+
+/// \file
+/// An economic variant of SQLB — the paper's stated future work
+/// (Section 7: "one can combine them to obtain an economic version of SQLB,
+/// by computing bids w.r.t. intentions"). Each provider's Mariposa-style
+/// load-scaled bid is folded into the SQLB score: the score of Definition 9
+/// is discounted by the effective price, so between two providers of equal
+/// intention alignment the cheaper/less loaded one wins, and a high enough
+/// mutual intention can still outbid a cheaper but unwilling provider.
+
+namespace sqlb {
+
+struct SqlbEconomicOptions {
+  /// Weight of the price discount: score' = score - price_weight *
+  /// normalized_effective_price. 0 recovers plain SQLB ranking.
+  double price_weight = 0.5;
+  /// Load scaling of the asking price (as in Mariposa's "bid x load").
+  double load_factor = 1.0;
+  /// Options of the inner SQLB scorer (adaptive omega by default).
+  SqlbOptions sqlb;
+};
+
+class SqlbEconomicMethod final : public AllocationMethod {
+ public:
+  explicit SqlbEconomicMethod(SqlbEconomicOptions options = {});
+
+  std::string name() const override { return "SQLB-Economic"; }
+
+  AllocationDecision Allocate(const AllocationRequest& request) override;
+
+  const SqlbEconomicOptions& options() const { return options_; }
+
+ private:
+  SqlbEconomicOptions options_;
+  SqlbMethod scorer_;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_METHODS_SQLB_ECONOMIC_H_

@@ -1,0 +1,42 @@
+#include "model/characterization.h"
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace sqlb {
+
+double QueryAdequation(const std::vector<double>& intentions_over_pq) {
+  SQLB_CHECK(!intentions_over_pq.empty(),
+             "Eq. 1 requires a non-empty provider set P_q");
+  double sum = 0.0;
+  for (double ci : intentions_over_pq) sum += ClampIntention(ci);
+  const double avg = sum / static_cast<double>(intentions_over_pq.size());
+  return (avg + 1.0) / 2.0;
+}
+
+double QuerySatisfaction(const std::vector<double>& intentions_over_selected,
+                         std::size_t n) {
+  SQLB_CHECK(n >= 1, "Eq. 2 requires q.n >= 1");
+  double sum = 0.0;
+  for (double ci : intentions_over_selected) sum += ClampIntention(ci);
+  const double avg = sum / static_cast<double>(n);
+  // With |selected| < n the average can only reach |selected|/n, so missing
+  // results depress satisfaction, as intended by the paper's Eq. 2. The
+  // result still lies in [0, 1] because each clamped term is in [-1, 1] and
+  // |selected| <= n by construction of the allocation (Section 2).
+  return Clamp((avg + 1.0) / 2.0, 0.0, 1.0);
+}
+
+double AllocationSatisfaction(double satisfaction, double adequation) {
+  constexpr double kTiny = 1e-12;
+  if (adequation <= kTiny) {
+    // Degenerate participant: nothing in the system matches its intentions.
+    // 0/0 is defined as neutral; positive satisfaction over zero adequation
+    // cannot arise from Eqs. 1-2 with a consistent window, but is mapped to
+    // a large finite value to keep downstream metrics finite.
+    return satisfaction <= kTiny ? 1.0 : satisfaction / kTiny;
+  }
+  return satisfaction / adequation;
+}
+
+}  // namespace sqlb

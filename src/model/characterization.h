@@ -1,0 +1,37 @@
+#ifndef SQLB_MODEL_CHARACTERIZATION_H_
+#define SQLB_MODEL_CHARACTERIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Per-query characterization formulas of Section 3 (consumer side), plus
+/// the allocation-satisfaction ratio shared by both sides.
+///
+/// All intention inputs are on the paper's [-1, 1] scale (values outside are
+/// clamped, DESIGN.md fidelity decision 2); all outputs live in [0, 1]
+/// except the ratio, which lives in [0, +inf).
+
+namespace sqlb {
+
+/// Eq. 1 — adequation of a consumer for one query allocation: the average of
+/// the consumer's shown intentions towards every provider in P_q, mapped to
+/// [0, 1]. `intentions_over_pq` must be non-empty.
+double QueryAdequation(const std::vector<double>& intentions_over_pq);
+
+/// Eq. 2 — satisfaction of a consumer with one query allocation: the sum of
+/// its intentions towards the providers that got the query, divided by q.n
+/// (not by the number actually selected: receiving fewer results than wanted
+/// costs satisfaction), mapped to [0, 1]. `n` must be >= 1.
+double QuerySatisfaction(const std::vector<double>& intentions_over_selected,
+                         std::size_t n);
+
+/// Defs. 3 and 6 — allocation satisfaction = satisfaction / adequation.
+/// > 1: the allocation method works well for the participant; < 1: the
+/// participant is punished; = 1: neutral. The 0/0 corner (a participant with
+/// zero adequation and zero satisfaction) is defined as neutral (1).
+double AllocationSatisfaction(double satisfaction, double adequation);
+
+}  // namespace sqlb
+
+#endif  // SQLB_MODEL_CHARACTERIZATION_H_

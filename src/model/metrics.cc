@@ -1,0 +1,53 @@
+#include "model/metrics.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sqlb {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double JainFairness(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double MinMaxRatio(const std::vector<double>& values, double c0) {
+  SQLB_CHECK(c0 > 0.0, "Min-Max ratio requires c0 > 0 (Eq. 5)");
+  if (values.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return (*lo + c0) / (*hi + c0);
+}
+
+MetricSummary Summarize(const std::vector<double>& values, double c0) {
+  MetricSummary out;
+  out.count = values.size();
+  out.mean = Mean(values);
+  out.fairness = JainFairness(values);
+  out.min_max = MinMaxRatio(values, c0);
+  return out;
+}
+
+MetricSummary SummarizeBy(std::size_t count,
+                          const std::function<double(std::size_t)>& accessor,
+                          double c0) {
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) values.push_back(accessor(i));
+  return Summarize(values, c0);
+}
+
+}  // namespace sqlb

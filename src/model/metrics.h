@@ -1,0 +1,54 @@
+#ifndef SQLB_MODEL_METRICS_H_
+#define SQLB_MODEL_METRICS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+/// \file
+/// The three system metrics of Section 4, applicable to any per-participant
+/// quantity g (adequation, satisfaction, allocation satisfaction,
+/// utilization) over a set S of consumers or providers:
+///
+///   - efficiency:   arithmetic mean mu(g, S)                      (Eq. 3)
+///   - sensitivity:  Jain fairness index f(g, S) in [1/|S|, 1]     (Eq. 4)
+///   - balance:      Min-Max ratio sigma(g, S) with constant c0    (Eq. 5)
+///
+/// The paper stresses that the three are complementary: using only one loses
+/// information (Section 4, last paragraph).
+
+namespace sqlb {
+
+/// Arithmetic mean of `values` (Eq. 3). Returns 0 for an empty set.
+double Mean(const std::vector<double>& values);
+
+/// Jain fairness index (Eq. 4): (sum g)^2 / (|S| * sum g^2).
+/// Returns 1 for an empty set or when all values are zero (a degenerate
+/// allocation is vacuously fair); otherwise lies in [1/|S|, 1].
+double JainFairness(const std::vector<double>& values);
+
+/// Min-Max balance ratio (Eq. 5): (min g + c0) / (max g + c0), c0 > 0.
+/// Returns 1 for an empty set. The paper uses sigma to spot punished
+/// participants.
+double MinMaxRatio(const std::vector<double>& values, double c0 = 0.1);
+
+/// Bundle of the three metrics over one value set.
+struct MetricSummary {
+  double mean = 0.0;
+  double fairness = 1.0;
+  double min_max = 1.0;
+  std::size_t count = 0;
+};
+
+/// Computes all three metrics in one pass over `values`.
+MetricSummary Summarize(const std::vector<double>& values, double c0 = 0.1);
+
+/// Collects g(s) for every element of a population and summarizes it.
+/// `accessor` maps an element index to its g value; `count` is |S|.
+MetricSummary SummarizeBy(std::size_t count,
+                          const std::function<double(std::size_t)>& accessor,
+                          double c0 = 0.1);
+
+}  // namespace sqlb
+
+#endif  // SQLB_MODEL_METRICS_H_

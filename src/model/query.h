@@ -1,0 +1,40 @@
+#ifndef SQLB_MODEL_QUERY_H_
+#define SQLB_MODEL_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// The query abstraction of Section 2: q = <c, d, n> where q.c is the issuing
+/// consumer, q.d describes the task (here: required capability terms plus a
+/// treatment cost), and q.n is the number of providers the consumer wants.
+
+namespace sqlb {
+
+/// A feasible query flowing through the mediator.
+struct Query {
+  /// Monotonically increasing arrival sequence number (unique per run).
+  QueryId id = kInvalidQueryId;
+  /// q.c — the consumer that issued the query.
+  ConsumerId consumer;
+  /// q.n — how many providers the consumer wants the query allocated to.
+  /// The paper's simulations use n = 1 ("consumers only ask for one
+  /// informational answer"); the model and allocation methods support any n.
+  std::uint32_t n = 1;
+  /// Treatment cost in abstract units; Section 6.1 uses two classes (130 and
+  /// 150 units, ~1.3 s / 1.5 s on a high-capacity provider).
+  double units = 0.0;
+  /// Index of the workload class the query was drawn from (reporting only).
+  std::uint32_t class_index = 0;
+  /// Required capability terms for matchmaking (q.d). Empty means the
+  /// accept-all matchmaker of the paper's simulation setup applies.
+  std::vector<std::uint32_t> required_terms;
+  /// Simulated issue time.
+  SimTime issue_time = 0.0;
+};
+
+}  // namespace sqlb
+
+#endif  // SQLB_MODEL_QUERY_H_

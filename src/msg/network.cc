@@ -1,0 +1,42 @@
+#include "msg/network.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace sqlb::msg {
+
+Network::Network(des::Simulator& sim, LatencyModel latency, Rng rng)
+    : sim_(sim), latency_(latency), rng_(rng) {
+  SQLB_CHECK(latency.base >= 0.0 && latency.jitter >= 0.0,
+             "latency must be non-negative");
+}
+
+NodeId Network::Register(Node* node) {
+  SQLB_CHECK(node != nullptr, "cannot register a null node");
+  const NodeId id(next_node_++);
+  nodes_.emplace(id, node);
+  return id;
+}
+
+void Network::Unregister(NodeId id) { nodes_.erase(id); }
+
+void Network::Send(Message message) {
+  SQLB_CHECK(message.to.valid(), "message needs a destination");
+  ++sent_;
+  const SimTime delay =
+      latency_.base +
+      (latency_.jitter > 0.0 ? rng_.Uniform(0.0, latency_.jitter) : 0.0);
+  sim_.ScheduleAfter(
+      delay, [this, msg = std::move(message)](des::Simulator&) {
+        auto it = nodes_.find(msg.to);
+        if (it == nodes_.end()) {
+          ++dropped_;  // destination departed while the message was in flight
+          return;
+        }
+        ++delivered_;
+        it->second->OnMessage(*this, msg);
+      });
+}
+
+}  // namespace sqlb::msg

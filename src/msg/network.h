@@ -1,0 +1,93 @@
+#ifndef SQLB_MSG_NETWORK_H_
+#define SQLB_MSG_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "des/simulator.h"
+
+/// \file
+/// In-process message-passing runtime over the discrete-event kernel: the
+/// distributed-system boilerplate behind Figure 1's architecture. Nodes
+/// (mediator, consumers, providers) exchange asynchronous messages through a
+/// simulated network with configurable latency; Algorithm 1's "fork ask /
+/// waituntil ... or timeout" lines run literally on this substrate
+/// (runtime/async_mediator.h).
+///
+/// The experiment harness uses the synchronous pipeline instead (zero
+/// mediation latency, Section 6.1 ignores bandwidth); this layer exists so
+/// the timeout/partial-response code paths are real, tested code, and so the
+/// examples can show a genuinely distributed mediation round.
+
+namespace sqlb::msg {
+
+/// An asynchronous message. `kind` identifies the protocol message type
+/// (each protocol defines its own enum); `correlation` ties responses to
+/// requests; `payload` carries the protocol struct.
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::uint32_t kind = 0;
+  std::uint64_t correlation = 0;
+  std::any payload;
+};
+
+class Network;
+
+/// A participant in the message runtime.
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Delivery callback; runs at the simulated delivery time.
+  virtual void OnMessage(Network& network, const Message& message) = 0;
+};
+
+/// Message transfer delay: uniform in [base, base + jitter] seconds. The
+/// paper assumes homogeneous network capacity (Section 6.1), which a shared
+/// latency model reflects.
+struct LatencyModel {
+  SimTime base = 0.005;
+  SimTime jitter = 0.0;
+};
+
+/// The simulated network: registration, routing, latency, loss accounting.
+class Network {
+ public:
+  Network(des::Simulator& sim, LatencyModel latency, Rng rng);
+
+  /// Registers a node and assigns its address. The node must outlive the
+  /// network or unregister first.
+  NodeId Register(Node* node);
+
+  /// Removes a node; messages in flight towards it are dropped on arrival
+  /// (counted in dropped_messages()).
+  void Unregister(NodeId id);
+
+  /// Sends `message` (from/to must be set); delivery is scheduled after a
+  /// latency sample.
+  void Send(Message message);
+
+  des::Simulator& sim() { return sim_; }
+
+  std::uint64_t sent_messages() const { return sent_; }
+  std::uint64_t delivered_messages() const { return delivered_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  des::Simulator& sim_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::uint32_t next_node_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sqlb::msg
+
+#endif  // SQLB_MSG_NETWORK_H_

@@ -1,0 +1,356 @@
+#include "runtime/async_mediator.h"
+
+#include <any>
+
+#include "common/status.h"
+#include "model/characterization.h"
+
+namespace sqlb::runtime {
+namespace {
+
+msg::Message Make(NodeId from, NodeId to, MediationMessageKind kind,
+                  std::uint64_t correlation, std::any payload) {
+  msg::Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = static_cast<std::uint32_t>(kind);
+  m.correlation = correlation;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+// --------------------------- AsyncConsumerNode ------------------------------
+
+AsyncConsumerNode::AsyncConsumerNode(ConsumerId id,
+                                     const ConsumerAgentConfig& config,
+                                     const Population* population,
+                                     const ReputationRegistry* reputation)
+    : agent_(id, config), population_(population), reputation_(reputation) {
+  SQLB_CHECK(population != nullptr, "consumer node needs the population");
+}
+
+void AsyncConsumerNode::Submit(msg::Network& network, NodeId mediator,
+                               const Query& query) {
+  network.Send(Make(address_, mediator, MediationMessageKind::kSubmitQuery,
+                    query.id, query));
+}
+
+void AsyncConsumerNode::OnMessage(msg::Network& network,
+                                  const msg::Message& message) {
+  switch (static_cast<MediationMessageKind>(message.kind)) {
+    case MediationMessageKind::kConsumerIntentionReq: {
+      const auto& req = std::any_cast<const ConsumerIntentionReq&>(
+          message.payload);
+      ConsumerIntentionRep rep;
+      rep.query_id = req.query.id;
+      rep.satisfaction = agent_.Satisfaction();
+      rep.intentions.reserve(req.candidates.size());
+      for (ProviderId p : req.candidates) {
+        const double pref =
+            population_->ConsumerPreference(agent_.id(), p);
+        const double reputation =
+            reputation_ != nullptr ? reputation_->Get(p) : 0.0;
+        rep.intentions.push_back(agent_.ComputeIntention(pref, reputation));
+      }
+      network.Send(Make(address_, message.from,
+                        MediationMessageKind::kConsumerIntentionRep,
+                        message.correlation, std::move(rep)));
+      break;
+    }
+    case MediationMessageKind::kAllocationNotice: {
+      const auto& notice =
+          std::any_cast<const AllocationNotice&>(message.payload);
+      // Eq. 1 over P_q and Eq. 2 over the selection, from the consumer's
+      // own echoed intentions.
+      const double adequation = QueryAdequation(notice.consumer_intentions);
+      std::vector<double> selected_ci;
+      selected_ci.reserve(notice.selected.size());
+      for (ProviderId chosen : notice.selected) {
+        for (std::size_t i = 0; i < notice.candidates.size(); ++i) {
+          if (notice.candidates[i] == chosen) {
+            selected_ci.push_back(notice.consumer_intentions[i]);
+            break;
+          }
+        }
+      }
+      // q.n is not echoed; the notice applies to this consumer's query, so
+      // the selected count equals min(q.n, N) — use its size as n for the
+      // per-query value, which matches Eq. 2 whenever n <= N.
+      agent_.OnAllocated(
+          adequation,
+          QuerySatisfaction(selected_ci,
+                            std::max<std::size_t>(1, selected_ci.size())));
+      break;
+    }
+    case MediationMessageKind::kQueryResponse: {
+      const auto& response =
+          std::any_cast<const QueryResponse&>(message.payload);
+      ++responses_;
+      agent_.OnResult(network.sim().Now() - response.query.issue_time);
+      break;
+    }
+    default:
+      break;  // not addressed to consumers
+  }
+}
+
+// --------------------------- AsyncProviderNode ------------------------------
+
+AsyncProviderNode::AsyncProviderNode(const ProviderProfile& profile,
+                                     const ProviderAgentConfig& config,
+                                     const Population* population)
+    : agent_(profile, config), population_(population) {
+  SQLB_CHECK(population != nullptr, "provider node needs the population");
+}
+
+void AsyncProviderNode::OnMessage(msg::Network& network,
+                                  const msg::Message& message) {
+  switch (static_cast<MediationMessageKind>(message.kind)) {
+    case MediationMessageKind::kProviderIntentionReq: {
+      if (mute_) return;  // exercise the mediator's timeout path
+      const auto& req =
+          std::any_cast<const ProviderIntentionReq&>(message.payload);
+      const double pref =
+          population_->ProviderPreference(agent_.id(), req.query.id);
+      ProviderIntentionRep rep;
+      rep.query_id = req.query.id;
+      rep.provider = agent_.id();
+      rep.intention = agent_.ComputeIntention(pref, network.sim().Now());
+      rep.satisfaction = agent_.SatisfactionOnIntentions();
+      rep.utilization = agent_.Utilization(network.sim().Now());
+      rep.capacity = agent_.capacity();
+      rep.backlog_seconds = agent_.BacklogSeconds();
+      rep.bid_price = agent_.ComputeBidPrice(pref);
+      rep.estimated_delay = agent_.EstimateDelay(req.query.units);
+      network.Send(Make(address_, message.from,
+                        MediationMessageKind::kProviderIntentionRep,
+                        message.correlation, std::move(rep)));
+      break;
+    }
+    case MediationMessageKind::kMediationResult: {
+      const auto& result =
+          std::any_cast<const MediationResult&>(message.payload);
+      const double pref =
+          population_->ProviderPreference(agent_.id(), result.query_id);
+      agent_.OnProposed(result.shown_intention, pref, result.selected);
+      break;
+    }
+    case MediationMessageKind::kGrant: {
+      const auto& query = std::any_cast<const Query&>(message.payload);
+      agent_.Enqueue(
+          network.sim(), query,
+          [this, &network](const Query& q, ProviderId performer, SimTime) {
+            if (consumer_addresses_ == nullptr) return;
+            auto it = consumer_addresses_->find(q.consumer.index());
+            if (it == consumer_addresses_->end()) return;
+            network.Send(Make(address_, it->second,
+                              MediationMessageKind::kQueryResponse, q.id,
+                              QueryResponse{q, performer}));
+          });
+      break;
+    }
+    default:
+      break;  // not addressed to providers
+  }
+}
+
+// ------------------------------ AsyncMediator -------------------------------
+
+AsyncMediator::AsyncMediator(AsyncMediatorConfig config,
+                             AllocationMethod* method, Matchmaker* matchmaker)
+    : config_(config), method_(method), matchmaker_(matchmaker) {
+  SQLB_CHECK(method != nullptr, "mediator needs an allocation method");
+  SQLB_CHECK(matchmaker != nullptr, "mediator needs a matchmaker");
+  SQLB_CHECK(config.intention_timeout > 0.0,
+             "intention timeout must be positive");
+}
+
+void AsyncMediator::RegisterProvider(ProviderId id, NodeId address) {
+  provider_addresses_[id.index()] = address;
+}
+
+void AsyncMediator::RegisterConsumer(ConsumerId id, NodeId address) {
+  consumer_addresses_[id.index()] = address;
+}
+
+void AsyncMediator::UnregisterProvider(ProviderId id) {
+  provider_addresses_.erase(id.index());
+  matchmaker_->Unregister(id);
+}
+
+void AsyncMediator::OnMessage(msg::Network& network,
+                              const msg::Message& message) {
+  switch (static_cast<MediationMessageKind>(message.kind)) {
+    case MediationMessageKind::kSubmitQuery:
+      StartMediation(network, message);
+      break;
+    case MediationMessageKind::kConsumerIntentionRep:
+      OnConsumerReply(network, message);
+      break;
+    case MediationMessageKind::kProviderIntentionRep:
+      OnProviderReply(network, message);
+      break;
+    default:
+      break;
+  }
+}
+
+void AsyncMediator::StartMediation(msg::Network& network,
+                                   const msg::Message& message) {
+  const auto& query = std::any_cast<const Query&>(message.payload);
+  const std::uint64_t mediation_id = next_mediation_++;
+  ++started_;
+
+  PendingMediation pending;
+  pending.query = query;
+  pending.consumer_node = message.from;
+  pending.candidates = matchmaker_->Match(query);
+  if (pending.candidates.empty()) return;  // infeasible: no active provider
+
+  const std::size_t n = pending.candidates.size();
+  pending.consumer_intentions.assign(n, 0.0);
+  pending.provider_replies.resize(n);
+  pending.provider_answered.assign(n, false);
+  pending.outstanding = n + 1;  // all providers + the consumer
+
+  // Line 2: fork ask for q.c's intentions.
+  ConsumerIntentionReq consumer_req;
+  consumer_req.query = query;
+  consumer_req.candidates = pending.candidates;
+  network.Send(Make(address_, message.from,
+                    MediationMessageKind::kConsumerIntentionReq, mediation_id,
+                    std::move(consumer_req)));
+
+  // Lines 3-4: fork ask each provider in P_q.
+  for (ProviderId p : pending.candidates) {
+    auto it = provider_addresses_.find(p.index());
+    SQLB_CHECK(it != provider_addresses_.end(),
+               "matchmaker returned an unregistered provider");
+    network.Send(Make(address_, it->second,
+                      MediationMessageKind::kProviderIntentionReq,
+                      mediation_id, ProviderIntentionReq{query}));
+  }
+
+  // Line 5: waituntil ... or timeout.
+  pending.timeout_event = network.sim().ScheduleAfter(
+      config_.intention_timeout,
+      [this, &network, mediation_id](des::Simulator&) {
+        ++timeouts_;
+        FinishMediation(network, mediation_id, /*timed_out=*/true);
+      });
+
+  pending_.emplace(mediation_id, std::move(pending));
+}
+
+void AsyncMediator::OnConsumerReply(msg::Network& network,
+                                    const msg::Message& message) {
+  auto it = pending_.find(message.correlation);
+  if (it == pending_.end()) return;  // mediation already finished (timeout)
+  PendingMediation& pending = it->second;
+  if (pending.consumer_answered) return;
+
+  const auto& rep =
+      std::any_cast<const ConsumerIntentionRep&>(message.payload);
+  SQLB_CHECK(rep.intentions.size() == pending.candidates.size(),
+             "consumer reply misaligned with the candidate set");
+  pending.consumer_intentions = rep.intentions;
+  pending.consumer_satisfaction = rep.satisfaction;
+  pending.consumer_answered = true;
+  if (--pending.outstanding == 0) {
+    FinishMediation(network, message.correlation, /*timed_out=*/false);
+  }
+}
+
+void AsyncMediator::OnProviderReply(msg::Network& network,
+                                    const msg::Message& message) {
+  auto it = pending_.find(message.correlation);
+  if (it == pending_.end()) return;
+  PendingMediation& pending = it->second;
+
+  const auto& rep =
+      std::any_cast<const ProviderIntentionRep&>(message.payload);
+  for (std::size_t i = 0; i < pending.candidates.size(); ++i) {
+    if (pending.candidates[i] == rep.provider) {
+      if (pending.provider_answered[i]) return;
+      pending.provider_answered[i] = true;
+      pending.provider_replies[i] = rep;
+      if (--pending.outstanding == 0) {
+        FinishMediation(network, message.correlation, /*timed_out=*/false);
+      }
+      return;
+    }
+  }
+}
+
+void AsyncMediator::FinishMediation(msg::Network& network,
+                                    std::uint64_t mediation_id,
+                                    bool timed_out) {
+  auto it = pending_.find(mediation_id);
+  if (it == pending_.end()) return;
+  PendingMediation pending = std::move(it->second);
+  pending_.erase(it);
+  if (!timed_out) network.sim().Cancel(pending.timeout_event);
+
+  // Lines 6-8: score and rank with whatever arrived; missing intentions
+  // stay at the neutral 0 defaults.
+  AllocationRequest request;
+  request.query = &pending.query;
+  request.consumer_satisfaction = pending.consumer_satisfaction;
+  request.candidates.reserve(pending.candidates.size());
+  for (std::size_t i = 0; i < pending.candidates.size(); ++i) {
+    CandidateProvider candidate;
+    candidate.id = pending.candidates[i];
+    candidate.consumer_intention = pending.consumer_intentions[i];
+    if (pending.provider_answered[i]) {
+      const ProviderIntentionRep& rep = pending.provider_replies[i];
+      candidate.provider_intention = rep.intention;
+      candidate.provider_satisfaction = rep.satisfaction;
+      candidate.utilization = rep.utilization;
+      candidate.capacity = rep.capacity;
+      candidate.backlog_seconds = rep.backlog_seconds;
+      candidate.bid_price = rep.bid_price;
+      candidate.estimated_delay = rep.estimated_delay;
+    }
+    request.candidates.push_back(candidate);
+  }
+
+  const AllocationDecision decision = method_->Allocate(request);
+  ++completed_;
+
+  // Lines 9-10: grant the selected providers, inform every provider of the
+  // mediation result, notify the consumer.
+  std::vector<bool> selected_mask(pending.candidates.size(), false);
+  AllocationNotice notice;
+  notice.query_id = pending.query.id;
+  notice.candidates = pending.candidates;
+  notice.consumer_intentions = pending.consumer_intentions;
+  for (std::size_t idx : decision.selected) {
+    selected_mask[idx] = true;
+    notice.selected.push_back(pending.candidates[idx]);
+  }
+
+  for (std::size_t i = 0; i < pending.candidates.size(); ++i) {
+    auto address = provider_addresses_.find(pending.candidates[i].index());
+    if (address == provider_addresses_.end()) continue;
+    MediationResult result;
+    result.query_id = pending.query.id;
+    result.selected = selected_mask[i];
+    result.shown_intention = request.candidates[i].provider_intention;
+    network.Send(Make(address_, address->second,
+                      MediationMessageKind::kMediationResult, mediation_id,
+                      result));
+    if (selected_mask[i]) {
+      network.Send(Make(address_, address->second,
+                        MediationMessageKind::kGrant, mediation_id,
+                        pending.query));
+    }
+  }
+
+  network.Send(Make(address_, pending.consumer_node,
+                    MediationMessageKind::kAllocationNotice, mediation_id,
+                    std::move(notice)));
+}
+
+}  // namespace sqlb::runtime

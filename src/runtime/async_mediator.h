@@ -1,0 +1,211 @@
+#ifndef SQLB_RUNTIME_ASYNC_MEDIATOR_H_
+#define SQLB_RUNTIME_ASYNC_MEDIATOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocation.h"
+#include "matchmaking/matchmaker.h"
+#include "model/query.h"
+#include "msg/network.h"
+#include "runtime/consumer_agent.h"
+#include "runtime/provider_agent.h"
+#include "runtime/reputation.h"
+#include "workload/population.h"
+
+/// \file
+/// Algorithm 1 over the message substrate, line by line:
+///
+///   line 2   fork ask for q.c's intentions        -> kConsumerIntentionReq
+///   lines 3-4 fork ask each p in P_q its intention -> kProviderIntentionReq
+///   line 5   waituntil CI and PI computed or timeout
+///   lines 6-8 score and rank (the pluggable AllocationMethod)
+///   lines 9-10 allocate to the q.n best, inform everyone of the result
+///
+/// Participants that do not answer before the timeout are treated as
+/// indifferent (intention 0, Section 2's neutral value). Selected providers
+/// enqueue the work and send the response to the consumer when done.
+
+namespace sqlb::runtime {
+
+/// Protocol message kinds carried over msg::Network.
+enum class MediationMessageKind : std::uint32_t {
+  kSubmitQuery = 1,           // consumer -> mediator   (payload: Query)
+  kConsumerIntentionReq = 2,  // mediator -> consumer   (ConsumerIntentionReq)
+  kConsumerIntentionRep = 3,  // consumer -> mediator   (ConsumerIntentionRep)
+  kProviderIntentionReq = 4,  // mediator -> provider   (ProviderIntentionReq)
+  kProviderIntentionRep = 5,  // provider -> mediator   (ProviderIntentionRep)
+  kGrant = 6,                 // mediator -> provider   (Query)
+  kMediationResult = 7,       // mediator -> provider   (MediationResult)
+  kAllocationNotice = 8,      // mediator -> consumer   (AllocationNotice)
+  kQueryResponse = 9,         // provider -> consumer   (QueryResponse)
+};
+
+struct ConsumerIntentionReq {
+  Query query;
+  std::vector<ProviderId> candidates;
+};
+struct ConsumerIntentionRep {
+  QueryId query_id = kInvalidQueryId;
+  std::vector<double> intentions;  // aligned with the request's candidates
+  double satisfaction = 0.5;       // mediator-visible, for Eq. 6
+};
+struct ProviderIntentionReq {
+  Query query;
+};
+struct ProviderIntentionRep {
+  QueryId query_id = kInvalidQueryId;
+  ProviderId provider;
+  double intention = 0.0;
+  double satisfaction = 0.5;
+  double utilization = 0.0;
+  double capacity = 1.0;
+  double backlog_seconds = 0.0;
+  double bid_price = 0.0;
+  double estimated_delay = 0.0;
+};
+struct MediationResult {
+  QueryId query_id = kInvalidQueryId;
+  bool selected = false;
+  double shown_intention = 0.0;
+};
+struct AllocationNotice {
+  QueryId query_id = kInvalidQueryId;
+  std::vector<ProviderId> candidates;
+  std::vector<double> consumer_intentions;  // echo of the consumer's CI
+  std::vector<ProviderId> selected;
+};
+struct QueryResponse {
+  Query query;
+  ProviderId performer;
+};
+
+/// Consumer node: answers intention requests from its preferences (via the
+/// population matrix and the reputation registry) and tracks its
+/// characterization window.
+class AsyncConsumerNode final : public msg::Node {
+ public:
+  AsyncConsumerNode(ConsumerId id, const ConsumerAgentConfig& config,
+                    const Population* population,
+                    const ReputationRegistry* reputation);
+
+  void OnMessage(msg::Network& network, const msg::Message& message) override;
+
+  /// Issues a query through the mediator.
+  void Submit(msg::Network& network, NodeId mediator, const Query& query);
+
+  ConsumerAgent& agent() { return agent_; }
+  NodeId address() const { return address_; }
+  void set_address(NodeId address) { address_ = address; }
+
+  std::uint64_t responses_received() const { return responses_; }
+
+ private:
+  ConsumerAgent agent_;
+  const Population* population_;
+  const ReputationRegistry* reputation_;
+  NodeId address_;
+  std::uint64_t responses_ = 0;
+};
+
+/// Provider node: answers intention requests (Definition 8 at current load)
+/// and serves granted queries, replying to the consumer on completion.
+class AsyncProviderNode final : public msg::Node {
+ public:
+  AsyncProviderNode(const ProviderProfile& profile,
+                    const ProviderAgentConfig& config,
+                    const Population* population);
+
+  void OnMessage(msg::Network& network, const msg::Message& message) override;
+
+  ProviderAgent& agent() { return agent_; }
+  NodeId address() const { return address_; }
+  void set_address(NodeId address) { address_ = address; }
+  /// The mediator tells providers where to send responses.
+  void SetConsumerDirectory(
+      const std::unordered_map<std::uint32_t, NodeId>* consumers) {
+    consumer_addresses_ = consumers;
+  }
+
+  /// When set (tests), the node ignores intention requests, exercising the
+  /// mediator's timeout path.
+  void set_mute(bool mute) { mute_ = mute; }
+
+ private:
+  ProviderAgent agent_;
+  const Population* population_;
+  NodeId address_;
+  const std::unordered_map<std::uint32_t, NodeId>* consumer_addresses_ =
+      nullptr;
+  bool mute_ = false;
+};
+
+struct AsyncMediatorConfig {
+  /// Line 5's timeout: how long the mediator waits for intention replies
+  /// before scoring with whatever arrived (missing values = indifferent 0).
+  SimTime intention_timeout = 0.25;
+};
+
+/// The mediator node.
+class AsyncMediator final : public msg::Node {
+ public:
+  AsyncMediator(AsyncMediatorConfig config, AllocationMethod* method,
+                Matchmaker* matchmaker);
+
+  void OnMessage(msg::Network& network, const msg::Message& message) override;
+
+  NodeId address() const { return address_; }
+  void set_address(NodeId address) { address_ = address; }
+
+  /// Provider/consumer address books (mediator-side registry).
+  void RegisterProvider(ProviderId id, NodeId address);
+  void RegisterConsumer(ConsumerId id, NodeId address);
+  void UnregisterProvider(ProviderId id);
+
+  std::uint64_t mediations_started() const { return started_; }
+  std::uint64_t mediations_completed() const { return completed_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  const std::unordered_map<std::uint32_t, NodeId>& consumer_directory()
+      const {
+    return consumer_addresses_;
+  }
+
+ private:
+  struct PendingMediation {
+    Query query;
+    NodeId consumer_node;
+    std::vector<ProviderId> candidates;
+    std::vector<double> consumer_intentions;   // defaults: 0 (indifferent)
+    std::vector<ProviderIntentionRep> provider_replies;  // aligned
+    std::vector<bool> provider_answered;
+    bool consumer_answered = false;
+    double consumer_satisfaction = 0.5;
+    std::size_t outstanding = 0;  // replies still awaited
+    des::EventId timeout_event = 0;
+  };
+
+  void StartMediation(msg::Network& network, const msg::Message& message);
+  void OnConsumerReply(msg::Network& network, const msg::Message& message);
+  void OnProviderReply(msg::Network& network, const msg::Message& message);
+  void FinishMediation(msg::Network& network, std::uint64_t mediation_id,
+                       bool timed_out);
+
+  AsyncMediatorConfig config_;
+  AllocationMethod* method_;
+  Matchmaker* matchmaker_;
+  NodeId address_;
+  std::unordered_map<std::uint32_t, NodeId> provider_addresses_;
+  std::unordered_map<std::uint32_t, NodeId> consumer_addresses_;
+  std::unordered_map<std::uint64_t, PendingMediation> pending_;
+  std::uint64_t next_mediation_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_ASYNC_MEDIATOR_H_

@@ -1,0 +1,21 @@
+#include "runtime/consumer_agent.h"
+
+namespace sqlb::runtime {
+
+ConsumerAgent::ConsumerAgent(ConsumerId id, const ConsumerAgentConfig& config)
+    : id_(id), config_(config), window_(config.window) {}
+
+double ConsumerAgent::ComputeIntention(double preference,
+                                       double reputation) const {
+  return ConsumerIntention(preference, reputation, config_.intention);
+}
+
+void ConsumerAgent::OnAllocated(double adequation, double satisfaction) {
+  window_.Record(adequation, satisfaction);
+}
+
+void ConsumerAgent::OnResult(double response_time_seconds) {
+  response_times_.Add(response_time_seconds);
+}
+
+}  // namespace sqlb::runtime

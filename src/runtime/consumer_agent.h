@@ -1,0 +1,68 @@
+#ifndef SQLB_RUNTIME_CONSUMER_AGENT_H_
+#define SQLB_RUNTIME_CONSUMER_AGENT_H_
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/intention.h"
+#include "model/windows.h"
+
+/// \file
+/// The consumer side: Definition 7 intentions (preference vs reputation,
+/// Section 5.1) and the Section 3.1 characterization window over the k last
+/// issued queries.
+
+namespace sqlb::runtime {
+
+struct ConsumerAgentConfig {
+  /// Window capacity k and prior (paper: k = 200, prior 0.5). The
+  /// satisfaction prior weight is irrelevant for consumers (every issued
+  /// query contributes a full window entry).
+  WindowConfig window{200, 0.5, 0.0};
+  /// Definition 7 parameters. The paper's simulations use upsilon = 1 in
+  /// preference-only mode (Section 6.1).
+  ConsumerIntentionParams intention{
+      1.0, 1.0, ConsumerIntentionMode::kPreferenceOnly};
+};
+
+class ConsumerAgent {
+ public:
+  ConsumerAgent(ConsumerId id, const ConsumerAgentConfig& config);
+
+  ConsumerId id() const { return id_; }
+
+  /// ci_c(q, p) — Definition 7 for a provider with the given persistent
+  /// preference and reputation.
+  double ComputeIntention(double preference, double reputation) const;
+
+  /// Records one allocation outcome: the per-query adequation (Eq. 1) and
+  /// satisfaction (Eq. 2).
+  void OnAllocated(double adequation, double satisfaction);
+
+  /// Records the response time of a completed query.
+  void OnResult(double response_time_seconds);
+
+  const ConsumerWindow& window() const { return window_; }
+  double Satisfaction() const { return window_.Satisfaction(); }
+  double Adequation() const { return window_.Adequation(); }
+  double AllocationSatisfactionValue() const {
+    return window_.AllocationSatisfactionValue();
+  }
+
+  const RunningStats& response_times() const { return response_times_; }
+  std::uint64_t issued() const { return window_.recorded(); }
+
+  bool active() const { return active_; }
+  /// Marks the consumer as departed; it issues no further queries.
+  void Depart() { active_ = false; }
+
+ private:
+  ConsumerId id_;
+  ConsumerAgentConfig config_;
+  ConsumerWindow window_;
+  RunningStats response_times_;
+  bool active_ = true;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_CONSUMER_AGENT_H_

@@ -1,0 +1,70 @@
+#include "runtime/departures.h"
+
+namespace sqlb::runtime {
+
+const char* DepartureReasonName(DepartureReason reason) {
+  switch (reason) {
+    case DepartureReason::kDissatisfaction:
+      return "dissatisfaction";
+    case DepartureReason::kStarvation:
+      return "starvation";
+    case DepartureReason::kOverutilization:
+      return "overutilization";
+  }
+  return "?";
+}
+
+DepartureConfig DepartureConfig::AllEnabled() {
+  DepartureConfig config;
+  config.consumers_may_leave = true;
+  config.provider_dissatisfaction = true;
+  config.provider_starvation = true;
+  config.provider_overutilization = true;
+  return config;
+}
+
+DepartureConfig DepartureConfig::DissatisfactionAndStarvation() {
+  DepartureConfig config;
+  config.consumers_may_leave = true;
+  config.provider_dissatisfaction = true;
+  config.provider_starvation = true;
+  config.provider_overutilization = false;
+  return config;
+}
+
+void DepartureTally::Add(const DepartureEvent& event) {
+  if (!event.is_provider) {
+    ++consumers_total_;
+    return;
+  }
+  ++providers_total_;
+  const auto r = static_cast<std::size_t>(event.reason);
+  ++interest_[r][static_cast<std::size_t>(event.interest_class)];
+  ++adaptation_[r][static_cast<std::size_t>(event.adaptation_class)];
+  ++capacity_[r][static_cast<std::size_t>(event.capacity_class)];
+}
+
+std::uint64_t DepartureTally::ByReason(DepartureReason reason) const {
+  const auto r = static_cast<std::size_t>(reason);
+  return interest_[r][0] + interest_[r][1] + interest_[r][2];
+}
+
+std::uint64_t DepartureTally::ByReasonInterest(DepartureReason reason,
+                                               Level level) const {
+  return interest_[static_cast<std::size_t>(reason)]
+                  [static_cast<std::size_t>(level)];
+}
+
+std::uint64_t DepartureTally::ByReasonAdaptation(DepartureReason reason,
+                                                 Level level) const {
+  return adaptation_[static_cast<std::size_t>(reason)]
+                    [static_cast<std::size_t>(level)];
+}
+
+std::uint64_t DepartureTally::ByReasonCapacity(DepartureReason reason,
+                                               Level level) const {
+  return capacity_[static_cast<std::size_t>(reason)]
+                  [static_cast<std::size_t>(level)];
+}
+
+}  // namespace sqlb::runtime

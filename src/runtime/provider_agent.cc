@@ -1,0 +1,72 @@
+#include "runtime/provider_agent.h"
+
+#include "common/status.h"
+#include "methods/mariposa.h"
+
+namespace sqlb::runtime {
+
+ProviderAgent::ProviderAgent(const ProviderProfile& profile,
+                             const ProviderAgentConfig& config)
+    : profile_(profile),
+      config_(config),
+      window_(config.window),
+      allocated_units_(config.utilization_window) {
+  SQLB_CHECK(profile.capacity > 0.0, "provider capacity must be positive");
+}
+
+double ProviderAgent::ComputeIntention(double preference, SimTime now) {
+  return ProviderIntention(preference, Utilization(now),
+                           SatisfactionOnPreferences(), config_.intention);
+}
+
+double ProviderAgent::ComputeBidPrice(double preference) const {
+  return MariposaAskingPrice(preference, config_.bid_price_floor);
+}
+
+double ProviderAgent::EstimateDelay(double units) const {
+  return BacklogSeconds() + units / profile_.capacity;
+}
+
+double ProviderAgent::Utilization(SimTime now) {
+  return allocated_units_.SumAt(now) /
+         (profile_.capacity * allocated_units_.width());
+}
+
+double ProviderAgent::CommittedUtilization(SimTime now) {
+  return Utilization(now) +
+         backlog_units_ / (profile_.capacity * allocated_units_.width());
+}
+
+void ProviderAgent::OnProposed(double shown_intention, double preference,
+                               bool performed) {
+  window_.Record(shown_intention, preference, performed);
+}
+
+void ProviderAgent::Enqueue(des::Simulator& sim, const Query& query,
+                            CompletionFn on_completion) {
+  SQLB_CHECK(query.units > 0.0, "query treatment cost must be positive");
+  allocated_units_.Add(sim.Now(), query.units);
+  total_allocated_units_ += query.units;
+  backlog_units_ += query.units;
+  queue_.push_back(PendingQuery{query, std::move(on_completion)});
+  if (!in_service_) StartNextService(sim);
+}
+
+void ProviderAgent::StartNextService(des::Simulator& sim) {
+  SQLB_CHECK(!queue_.empty(), "no query to serve");
+  in_service_ = true;
+  const double service_seconds = queue_.front().query.units / profile_.capacity;
+  sim.ScheduleAfter(service_seconds, [this](des::Simulator& s) {
+    PendingQuery done = std::move(queue_.front());
+    queue_.pop_front();
+    backlog_units_ -= done.query.units;
+    if (backlog_units_ < 1e-9) backlog_units_ = 0.0;
+    in_service_ = false;
+    if (!queue_.empty()) StartNextService(s);
+    if (done.on_completion) {
+      done.on_completion(done.query, profile_.id, s.Now());
+    }
+  });
+}
+
+}  // namespace sqlb::runtime

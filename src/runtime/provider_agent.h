@@ -1,0 +1,161 @@
+#ifndef SQLB_RUNTIME_PROVIDER_AGENT_H_
+#define SQLB_RUNTIME_PROVIDER_AGENT_H_
+
+#include <deque>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/intention.h"
+#include "des/simulator.h"
+#include "model/query.h"
+#include "model/windows.h"
+#include "workload/population.h"
+
+/// \file
+/// The provider side of the system: a FIFO service station with finite
+/// capacity (Section 2: "providers have a finite capacity"), utilization
+/// tracking (DESIGN.md fidelity decision 1), the sliding characterization
+/// window of Section 3.2, and the Definition 8 intention function, whose
+/// self-balance uses the provider's *private preference-based* satisfaction
+/// (Section 5.2).
+
+namespace sqlb::runtime {
+
+struct ProviderAgentConfig {
+  /// Window capacity k and prior (paper: k = 500, prior 0.5), with the
+  /// strict Definition 5 satisfaction (0 when nothing in the window was
+  /// performed — see WindowConfig::satisfaction_prior_weight).
+  WindowConfig window{500, 0.5, 0.0};
+  /// Width of the utilization measurement window, in seconds.
+  SimTime utilization_window = 60.0;
+  /// Definition 8 parameters.
+  ProviderIntentionParams intention;
+  /// Floor of the Mariposa asking price.
+  double bid_price_floor = 0.05;
+};
+
+/// One provider's runtime state.
+class ProviderAgent {
+ public:
+  /// `on_completion(query, performer, completion_time)` fires when a
+  /// performed query finishes service.
+  using CompletionFn =
+      std::function<void(const Query&, ProviderId, SimTime)>;
+
+  ProviderAgent(const ProviderProfile& profile,
+                const ProviderAgentConfig& config);
+
+  const ProviderProfile& profile() const { return profile_; }
+  ProviderId id() const { return profile_.id; }
+  double capacity() const { return profile_.capacity; }
+
+  // --- Intention and bidding (what the mediator asks for) -----------------
+
+  /// pi_p(q) — Definition 8, evaluated at time `now` with the provider's
+  /// current utilization and private preference-based satisfaction.
+  double ComputeIntention(double preference, SimTime now);
+
+  /// Mariposa-style asking price for a query it has `preference` for.
+  double ComputeBidPrice(double preference) const;
+
+  /// The provider's delay estimate for a new query of `units` treatment
+  /// units: current backlog plus its own service time.
+  double EstimateDelay(double units) const;
+
+  // --- Load state ----------------------------------------------------------
+
+  /// Ut(p) at `now`: treatment units allocated within the sliding window,
+  /// divided by capacity * window. Exceeds 1 under overload.
+  double Utilization(SimTime now);
+
+  /// Total treatment units ever allocated to this provider. Departure
+  /// checks derive the *chronic* utilization (average allocation rate over
+  /// capacity since the previous check) from deltas of this counter; it
+  /// drives the starvation rule (a provider missing one 60-second window
+  /// has not "starved").
+  double total_allocated_units() const { return total_allocated_units_; }
+
+  /// Utilization including the carried queue: Utilization(now) +
+  /// backlog / (capacity * window). A provider absorbing work at exactly
+  /// its capacity but dragging a long queue reads > 1 here while the plain
+  /// windowed rate reads ~ 1; this is the overutilization-rule signal
+  /// (sustained overload is queue debt, not allocation rate).
+  double CommittedUtilization(SimTime now);
+
+  /// Seconds of work sitting in the queue (including the in-service query,
+  /// counted at full cost — a documented over-estimate of at most one
+  /// query).
+  double BacklogSeconds() const {
+    return backlog_units_ / profile_.capacity;
+  }
+  double backlog_units() const { return backlog_units_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  // --- Query lifecycle -----------------------------------------------------
+
+  /// Records a proposed query in the characterization window (every query
+  /// in P_q is proposed; `performed` marks the ones allocated here —
+  /// Section 5.4: non-selected providers are informed of the mediation
+  /// result).
+  void OnProposed(double shown_intention, double preference, bool performed);
+
+  /// Accepts an allocated query: joins the FIFO queue; service takes
+  /// units / capacity seconds once started. `on_completion` fires at
+  /// completion time.
+  void Enqueue(des::Simulator& sim, const Query& query,
+               CompletionFn on_completion);
+
+  // --- Characterization ----------------------------------------------------
+
+  const ProviderWindow& window() const { return window_; }
+
+  /// delta_s(p) on shown intentions — what the mediator can observe and
+  /// what Eq. 6 consumes.
+  double SatisfactionOnIntentions() const {
+    return window_.Satisfaction(ProviderWindow::Channel::kIntention);
+  }
+  /// delta_s(p) on private preferences — what Definition 8's self-balance
+  /// consumes (Section 5.2) and what Figure 4(b) reports.
+  double SatisfactionOnPreferences() const {
+    return window_.Satisfaction(ProviderWindow::Channel::kPreference);
+  }
+  double AdequationOnIntentions() const {
+    return window_.Adequation(ProviderWindow::Channel::kIntention);
+  }
+  double AdequationOnPreferences() const {
+    return window_.Adequation(ProviderWindow::Channel::kPreference);
+  }
+
+  // --- Departure -----------------------------------------------------------
+
+  bool active() const { return active_; }
+  /// Marks the provider as departed. Outstanding queued work still
+  /// completes (consumers get their answers) but nothing new arrives.
+  void Depart() { active_ = false; }
+
+  /// Total queries performed (allocated to this provider) over the run.
+  std::uint64_t performed_count() const { return window_.performed(); }
+
+ private:
+  void StartNextService(des::Simulator& sim);
+
+  struct PendingQuery {
+    Query query;
+    CompletionFn on_completion;
+  };
+
+  ProviderProfile profile_;
+  ProviderAgentConfig config_;
+  ProviderWindow window_;
+  WindowedSum allocated_units_;  // drives Utilization()
+  std::deque<PendingQuery> queue_;
+  bool in_service_ = false;
+  double backlog_units_ = 0.0;
+  double total_allocated_units_ = 0.0;
+  bool active_ = true;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_PROVIDER_AGENT_H_

@@ -1,0 +1,33 @@
+#include "runtime/reputation.h"
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace sqlb::runtime {
+
+ReputationRegistry::ReputationRegistry(std::size_t num_providers,
+                                       double initial, double smoothing)
+    : reputation_(num_providers, Clamp(initial, -1.0, 1.0)),
+      smoothing_(smoothing) {
+  SQLB_CHECK(smoothing > 0.0 && smoothing <= 1.0,
+             "reputation smoothing must lie in (0, 1]");
+}
+
+double ReputationRegistry::Get(ProviderId p) const {
+  SQLB_CHECK(p.index() < reputation_.size(), "unknown provider");
+  return reputation_[p.index()];
+}
+
+void ReputationRegistry::AddFeedback(ProviderId p, double feedback) {
+  SQLB_CHECK(p.index() < reputation_.size(), "unknown provider");
+  const double f = Clamp(feedback, -1.0, 1.0);
+  reputation_[p.index()] =
+      (1.0 - smoothing_) * reputation_[p.index()] + smoothing_ * f;
+}
+
+void ReputationRegistry::Set(ProviderId p, double reputation) {
+  SQLB_CHECK(p.index() < reputation_.size(), "unknown provider");
+  reputation_[p.index()] = Clamp(reputation, -1.0, 1.0);
+}
+
+}  // namespace sqlb::runtime

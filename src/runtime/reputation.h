@@ -1,0 +1,43 @@
+#ifndef SQLB_RUNTIME_REPUTATION_H_
+#define SQLB_RUNTIME_REPUTATION_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// A provider-reputation substrate for Definition 7's rep(p) term. The
+/// paper leaves the reputation mechanism open ("it is taken into account as
+/// much as participants consider it important", Section 3.3); this registry
+/// implements the common exponentially weighted moving average over
+/// consumer feedback, which is enough to exercise the upsilon tradeoff
+/// (bench/ablation_upsilon_reputation and the examples).
+
+namespace sqlb::runtime {
+
+class ReputationRegistry {
+ public:
+  /// All providers start at `initial` reputation (in [-1, 1]).
+  ReputationRegistry(std::size_t num_providers, double initial = 0.0,
+                     double smoothing = 0.1);
+
+  /// rep(p) in [-1, 1].
+  double Get(ProviderId p) const;
+
+  /// Folds one feedback value (in [-1, 1]) into p's reputation:
+  /// rep <- (1 - smoothing) * rep + smoothing * feedback.
+  void AddFeedback(ProviderId p, double feedback);
+
+  /// Overwrites p's reputation (tests, scripted scenarios).
+  void Set(ProviderId p, double reputation);
+
+  std::size_t size() const { return reputation_.size(); }
+
+ private:
+  std::vector<double> reputation_;
+  double smoothing_;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_REPUTATION_H_

@@ -1,0 +1,58 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqlb {
+namespace {
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-2.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(9.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, ClampIntentionMapsToNominalRange) {
+  EXPECT_EQ(ClampIntention(-2.5), -1.0);  // Def. 8 overshoot (Figure 2)
+  EXPECT_EQ(ClampIntention(0.3), 0.3);
+  EXPECT_EQ(ClampIntention(1.7), 1.0);
+}
+
+TEST(MathUtilTest, BoundedPowMatchesStdPow) {
+  for (double x : {0.0, 0.1, 0.5, 0.9, 1.0, 2.2}) {
+    for (double e : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      EXPECT_NEAR(BoundedPow(x, e), std::pow(x, e), 1e-12)
+          << "x=" << x << " e=" << e;
+    }
+  }
+}
+
+TEST(MathUtilTest, BoundedPowShortCircuits) {
+  EXPECT_EQ(BoundedPow(0.37, 0.0), 1.0);
+  EXPECT_EQ(BoundedPow(0.37, 1.0), 0.37);
+}
+
+TEST(MathUtilTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.0001));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.01, 0.1));
+}
+
+TEST(MathUtilTest, Lerp) {
+  EXPECT_DOUBLE_EQ(Lerp(0.3, 1.0, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(Lerp(0.3, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Lerp(0.3, 1.0, 0.5), 0.65);
+}
+
+TEST(MathUtilTest, IntentionToUnit) {
+  EXPECT_DOUBLE_EQ(IntentionToUnit(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(IntentionToUnit(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(IntentionToUnit(1.0), 1.0);
+  // Out-of-range intentions are clamped before mapping.
+  EXPECT_DOUBLE_EQ(IntentionToUnit(-2.5), 0.0);
+  EXPECT_DOUBLE_EQ(IntentionToUnit(3.0), 1.0);
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,87 @@
+#include "common/reporting.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace sqlb {
+namespace {
+
+TEST(FormatNumberTest, TrimsAndRounds) {
+  EXPECT_EQ(FormatNumber(0.5), "0.5");
+  EXPECT_EQ(FormatNumber(1.0), "1");
+  EXPECT_EQ(FormatNumber(12000.0), "12000");
+  EXPECT_EQ(FormatNumber(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"time", "value"});
+  csv.BeginRow();
+  csv.AddCell(std::string("0"));
+  csv.AddCell(0.5);
+  csv.BeginRow();
+  csv.AddCell(std::string("50"));
+  csv.AddCell(std::size_t{42});
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.ToString(), "time,value\n0,0.5\n50,42\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"name"});
+  csv.BeginRow();
+  csv.AddCell(std::string("a,b"));
+  csv.BeginRow();
+  csv.AddCell(std::string("say \"hi\""));
+  EXPECT_EQ(csv.ToString(), "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, WritesFileCreatingDirectories) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sqlb_csv_test").string();
+  std::filesystem::remove_all(dir);
+  CsvWriter csv({"x"});
+  csv.BeginRow();
+  csv.AddCell(1.0);
+  const std::string path = dir + "/nested/out.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n1\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"method", "rt"});
+  table.AddRow({"SQLB", "1.4"});
+  table.AddRow({"Mariposa-like", "3"});
+  const std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("SQLB"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Numeric cells are right-aligned: "1.4" is preceded by a space pad.
+  EXPECT_NE(out.find(" 1.4"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW({ const std::string out = table.ToString(); });
+}
+
+TEST(EnsureOutputPathTest, CreatesDirectory) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sqlb_out_test").string();
+  std::filesystem::remove_all(dir);
+  auto result = EnsureOutputPath(dir, "file.csv");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), dir + "/file.csv");
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sqlb

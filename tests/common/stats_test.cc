@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqlb {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MomentsMatchClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i < 50 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(WindowedSumTest, SumsWithinWindow) {
+  WindowedSum w(10.0);
+  w.Add(0.0, 5.0);
+  w.Add(4.0, 3.0);
+  EXPECT_DOUBLE_EQ(w.SumAt(5.0), 8.0);
+}
+
+TEST(WindowedSumTest, EvictsExpiredEvents) {
+  WindowedSum w(10.0);
+  w.Add(0.0, 5.0);
+  w.Add(4.0, 3.0);
+  // At t = 10, the event at t = 0 is exactly on the boundary and expires.
+  EXPECT_DOUBLE_EQ(w.SumAt(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(w.SumAt(14.1), 0.0);
+  EXPECT_EQ(w.pending_events(), 0u);
+}
+
+TEST(WindowedSumTest, RateIsSumOverWidth) {
+  WindowedSum w(60.0);
+  w.Add(0.0, 120.0);
+  w.Add(10.0, 120.0);
+  EXPECT_DOUBLE_EQ(w.RateAt(10.0), 4.0);
+}
+
+TEST(WindowedSumTest, SteadyStreamGivesSteadyRate) {
+  // Mirrors the utilization definition: allocating `u` units every second
+  // to a provider of capacity c gives Ut = u / c regardless of the window.
+  WindowedSum w(60.0);
+  for (int t = 0; t <= 600; ++t) {
+    w.Add(static_cast<double>(t), 80.0);
+  }
+  // 60 events of 80 units inside (540, 600].
+  EXPECT_NEAR(w.SumAt(600.0) / (100.0 * 60.0), 0.8, 0.01);
+}
+
+TEST(WindowedSumTest, ClearResets) {
+  WindowedSum w(5.0);
+  w.Add(1.0, 2.0);
+  w.Clear();
+  EXPECT_DOUBLE_EQ(w.SumAt(1.0), 0.0);
+  w.Add(0.5, 1.0);  // times may restart after Clear
+  EXPECT_DOUBLE_EQ(w.SumAt(0.5), 1.0);
+}
+
+TEST(WindowedSumDeathTest, RejectsTimeTravel) {
+  WindowedSum w(5.0);
+  w.Add(2.0, 1.0);
+  EXPECT_DEATH(w.Add(1.0, 1.0), "non-decreasing");
+}
+
+TEST(WindowedMeanTest, MeanOfRetainedValues) {
+  WindowedMean m(3);
+  EXPECT_EQ(m.Mean(-1.0), -1.0);
+  m.Add(1.0);
+  m.Add(2.0);
+  EXPECT_DOUBLE_EQ(m.Mean(), 1.5);
+  m.Add(3.0);
+  m.Add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.75), 7.5);
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,57 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace sqlb {
+namespace {
+
+TEST(TypedIdTest, DefaultIsInvalid) {
+  ProviderId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value, ProviderId::kInvalidValue);
+}
+
+TEST(TypedIdTest, ExplicitConstructionIsValid) {
+  ProviderId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(TypedIdTest, ComparisonOperators) {
+  EXPECT_EQ(ProviderId(3), ProviderId(3));
+  EXPECT_NE(ProviderId(3), ProviderId(4));
+  EXPECT_LT(ProviderId(3), ProviderId(4));
+}
+
+TEST(TypedIdTest, DistinctTagsDoNotConvert) {
+  // ConsumerId and ProviderId are different types even with equal values.
+  static_assert(!std::is_convertible_v<ConsumerId, ProviderId>);
+  static_assert(!std::is_convertible_v<ProviderId, ConsumerId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, ProviderId>);
+}
+
+TEST(TypedIdTest, HashableInUnorderedContainers) {
+  std::unordered_set<ProviderId> set;
+  set.insert(ProviderId(1));
+  set.insert(ProviderId(2));
+  set.insert(ProviderId(1));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(ProviderId(2)));
+  EXPECT_FALSE(set.count(ProviderId(3)));
+}
+
+TEST(SimTimeTest, InfinityConstant) {
+  EXPECT_GT(kSimTimeInfinity, 1e300);
+  SimTime t = 5.0;
+  EXPECT_LT(t, kSimTimeInfinity);
+}
+
+TEST(QueryIdTest, InvalidSentinel) {
+  EXPECT_EQ(kInvalidQueryId, std::numeric_limits<QueryId>::max());
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,101 @@
+// Cross-method contract tests: every AllocationMethod implementation must
+// honour the Section 2 allocation semantics — min(q.n, N) distinct
+// selections (strict economic brokers may select fewer, never more), with
+// scores aligned to the candidate vector.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "core/allocation.h"
+#include "experiments/experiments.h"
+
+namespace sqlb {
+namespace {
+
+using experiments::MakeMethod;
+using experiments::MethodKind;
+
+TEST(SelectionCountTest, MinOfNAndCandidates) {
+  Query q;
+  q.n = 3;
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates.resize(5);
+  EXPECT_EQ(SelectionCount(request), 3u);
+  request.candidates.resize(2);
+  EXPECT_EQ(SelectionCount(request), 2u);
+  q.n = 1;
+  EXPECT_EQ(SelectionCount(request), 1u);
+}
+
+TEST(SelectionCountDeathTest, RequiresQuery) {
+  AllocationRequest request;  // no query attached
+  EXPECT_DEATH(SelectionCount(request), "query");
+}
+
+class AllocationContractTest
+    : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(AllocationContractTest, SelectionsAreDistinctBoundedAndAligned) {
+  auto method = MakeMethod(GetParam(), /*seed=*/99);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Query q;
+    q.id = static_cast<QueryId>(trial);
+    q.consumer = ConsumerId(0);
+    q.n = 1 + static_cast<std::uint32_t>(rng.NextBounded(6));
+    q.units = 130.0;
+
+    AllocationRequest request;
+    request.query = &q;
+    request.consumer_satisfaction = rng.NextDouble();
+    const std::size_t n_candidates = 1 + rng.NextBounded(40);
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      CandidateProvider c;
+      c.id = ProviderId(static_cast<std::uint32_t>(i));
+      c.consumer_intention = rng.Uniform(-1.0, 1.0);
+      c.provider_intention = rng.Uniform(-2.0, 1.0);
+      c.provider_satisfaction = rng.NextDouble();
+      c.utilization = rng.Uniform(0.0, 2.0);
+      c.capacity = rng.Uniform(14.0, 100.0);
+      c.backlog_seconds = rng.Uniform(0.0, 60.0);
+      c.bid_price = rng.Uniform(0.05, 1.05);
+      c.estimated_delay = c.backlog_seconds + q.units / c.capacity;
+      request.candidates.push_back(c);
+    }
+
+    const AllocationDecision decision = method->Allocate(request);
+    ASSERT_LE(decision.selected.size(), SelectionCount(request));
+    ASSERT_EQ(decision.scores.size(), n_candidates);
+    std::set<std::size_t> unique(decision.selected.begin(),
+                                 decision.selected.end());
+    ASSERT_EQ(unique.size(), decision.selected.size())
+        << "duplicate selection";
+    for (std::size_t idx : decision.selected) {
+      ASSERT_LT(idx, n_candidates);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, AllocationContractTest,
+    ::testing::Values(MethodKind::kSqlb, MethodKind::kCapacityBased,
+                      MethodKind::kCapacityMaxAvailable,
+                      MethodKind::kMariposa, MethodKind::kRandom,
+                      MethodKind::kRoundRobin, MethodKind::kKnBest,
+                      MethodKind::kSqlbEconomic),
+    [](const ::testing::TestParamInfo<MethodKind>& info) {
+      std::string name = experiments::MethodName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace sqlb

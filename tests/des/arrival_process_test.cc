@@ -1,0 +1,104 @@
+#include "des/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqlb::des {
+namespace {
+
+TEST(WorkloadProfileTest, ConstantIsFlat) {
+  ConstantWorkload w(0.8);
+  EXPECT_EQ(w.FractionAt(0.0), 0.8);
+  EXPECT_EQ(w.FractionAt(1e6), 0.8);
+  EXPECT_EQ(w.MaxFraction(123.0), 0.8);
+}
+
+TEST(WorkloadProfileTest, RampInterpolatesLinearly) {
+  RampWorkload w(0.3, 1.0, 10000.0);
+  EXPECT_DOUBLE_EQ(w.FractionAt(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(w.FractionAt(5000.0), 0.65);
+  EXPECT_DOUBLE_EQ(w.FractionAt(10000.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.FractionAt(20000.0), 1.0);  // clamps past the end
+  EXPECT_DOUBLE_EQ(w.FractionAt(-5.0), 0.3);
+  EXPECT_DOUBLE_EQ(w.MaxFraction(10000.0), 1.0);
+}
+
+TEST(PoissonArrivalProcessTest, ConstantRateCountMatchesExpectation) {
+  Simulator sim;
+  Rng rng(42);
+  const double rate = 5.0;
+  const SimTime horizon = 2000.0;
+  std::uint64_t count = 0;
+  PoissonArrivalProcess process([rate](SimTime) { return rate; }, rate, rng);
+  process.Start(sim, 0.0, horizon, [&count](Simulator&) { ++count; });
+  sim.RunAll();
+  const double expected = rate * horizon;
+  // Poisson std is sqrt(lambda T) = 100; allow 4 sigma.
+  EXPECT_NEAR(static_cast<double>(count), expected, 4.0 * std::sqrt(expected));
+  EXPECT_EQ(process.arrivals(), count);
+}
+
+TEST(PoissonArrivalProcessTest, ThinnedRampMatchesIntegral) {
+  Simulator sim;
+  Rng rng(7);
+  // rate(t) = t / 100 on [0, 1000]: integral = 5000 arrivals expected.
+  PoissonArrivalProcess process([](SimTime t) { return t / 100.0; }, 10.0,
+                                rng);
+  std::uint64_t count = 0;
+  process.Start(sim, 0.0, 1000.0, [&count](Simulator&) { ++count; });
+  sim.RunAll();
+  EXPECT_NEAR(static_cast<double>(count), 5000.0, 4.0 * std::sqrt(5000.0));
+}
+
+TEST(PoissonArrivalProcessTest, ArrivalsStayInsideHorizon) {
+  Simulator sim;
+  Rng rng(3);
+  std::vector<SimTime> times;
+  PoissonArrivalProcess process([](SimTime) { return 50.0; }, 50.0, rng);
+  process.Start(sim, 10.0, 20.0,
+                [&times](Simulator& s) { times.push_back(s.Now()); });
+  sim.RunAll();
+  ASSERT_FALSE(times.empty());
+  for (SimTime t : times) {
+    EXPECT_GT(t, 10.0);
+    EXPECT_LT(t, 20.0);
+  }
+}
+
+TEST(PoissonArrivalProcessTest, StopHaltsGeneration) {
+  Simulator sim;
+  Rng rng(9);
+  std::uint64_t count = 0;
+  PoissonArrivalProcess process([](SimTime) { return 100.0; }, 100.0, rng);
+  process.Start(sim, 0.0, 1000.0, [&](Simulator&) {
+    if (++count == 5) process.Stop();
+  });
+  sim.RunAll();
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(PoissonArrivalProcessTest, DeterministicForFixedSeed) {
+  auto run = [] {
+    Simulator sim;
+    Rng rng(1234);
+    std::vector<SimTime> times;
+    PoissonArrivalProcess process([](SimTime) { return 2.0; }, 2.0, rng);
+    process.Start(sim, 0.0, 100.0,
+                  [&times](Simulator& s) { times.push_back(s.Now()); });
+    sim.RunAll();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PoissonArrivalProcessDeathTest, RateAboveMaxAborts) {
+  Simulator sim;
+  Rng rng(5);
+  PoissonArrivalProcess process([](SimTime) { return 20.0; }, 10.0, rng);
+  process.Start(sim, 0.0, 100.0, [](Simulator&) {});
+  EXPECT_DEATH(sim.RunAll(), "max_rate");
+}
+
+}  // namespace
+}  // namespace sqlb::des

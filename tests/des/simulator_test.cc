@@ -1,0 +1,151 @@
+#include "des/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqlb::des {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&order](Simulator&) { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&order](Simulator&) { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&order](Simulator&) { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1.0;
+  sim.ScheduleAt(4.5, [&seen](Simulator& s) { seen = s.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 4.5);
+  EXPECT_EQ(sim.Now(), 4.5);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime inner = -1.0;
+  sim.ScheduleAt(2.0, [&inner](Simulator& s) {
+    s.ScheduleAfter(3.0, [&inner](Simulator& s2) { inner = s2.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(inner, 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&fired](Simulator&) { ++fired; });
+  sim.ScheduleAt(10.0, [&fired](Simulator&) { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtBoundaryFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(5.0, [&fired](Simulator&) { fired = true; });
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id =
+      sim.ScheduleAt(1.0, [&fired](Simulator&) { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(1.0, [](Simulator&) {});
+  sim.RunAll();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&fired](Simulator&) { ++fired; });
+  sim.ScheduleAt(2.0, [&fired](Simulator&) { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void(Simulator&)> recurse = [&](Simulator& s) {
+    if (++depth < 100) s.ScheduleAfter(0.5, recurse);
+  };
+  sim.ScheduleAt(0.0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(sim.Now(), 49.5, 1e-9);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(5.0, [](Simulator&) {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.ScheduleAt(1.0, [](Simulator&) {}), "past");
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedInterval) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  PeriodicTask task;
+  task.Start(sim, 10.0, 10.0, 50.0,
+             [&fire_times](Simulator& s) { fire_times.push_back(s.Now()); });
+  sim.RunAll();
+  EXPECT_EQ(fire_times,
+            (std::vector<SimTime>{10.0, 20.0, 30.0, 40.0, 50.0}));
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, CancelStopsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task;
+  task.Start(sim, 1.0, 1.0, 100.0, [&](Simulator& s) {
+    if (++fired == 3) task.Cancel(s);
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace sqlb::des

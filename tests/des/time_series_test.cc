@@ -1,0 +1,64 @@
+#include "des/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlb::des {
+namespace {
+
+TEST(TimeSeriesTest, MeanOverRange) {
+  TimeSeries s;
+  s.Add(0.0, 1.0);
+  s.Add(10.0, 2.0);
+  s.Add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.MeanOver(0.0, 20.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.MeanOver(5.0, 20.0), 2.5);
+  EXPECT_DOUBLE_EQ(s.MeanOver(100.0, 200.0), 0.0);
+}
+
+TEST(TimeSeriesTest, ValueAtUsesStepInterpolation) {
+  TimeSeries s;
+  s.Add(10.0, 1.0);
+  s.Add(20.0, 2.0);
+  EXPECT_EQ(s.ValueAt(5.0, -1.0), -1.0);
+  EXPECT_EQ(s.ValueAt(10.0), 1.0);
+  EXPECT_EQ(s.ValueAt(15.0), 1.0);
+  EXPECT_EQ(s.ValueAt(25.0), 2.0);
+}
+
+TEST(TimeSeriesTest, MaxIgnoresNothing) {
+  TimeSeries s;
+  s.Add(0.0, 1.0);
+  s.Add(1.0, 5.0);
+  s.Add(2.0, 3.0);
+  EXPECT_EQ(s.Max(), 5.0);
+  EXPECT_EQ(TimeSeries{}.Max(), 0.0);
+}
+
+TEST(SeriesSetTest, GetCreatesNamedSeries) {
+  SeriesSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add("a", 0.0, 1.0);
+  set.Add("b", 0.0, 2.0);
+  set.Add("a", 10.0, 3.0);
+  EXPECT_EQ(set.Get("a").size(), 2u);
+  EXPECT_EQ(set.Get("b").size(), 1u);
+  EXPECT_EQ(set.Names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(set.Find("a"), nullptr);
+  EXPECT_EQ(set.Find("zzz"), nullptr);
+}
+
+TEST(SeriesSetTest, CsvUsesUnionOfTimesWithStepFill) {
+  SeriesSet set;
+  set.Add("x", 0.0, 1.0);
+  set.Add("x", 20.0, 2.0);
+  set.Add("y", 10.0, 5.0);
+  const std::string csv = set.ToCsv().ToString();
+  EXPECT_EQ(csv,
+            "time,x,y\n"
+            "0,1,\n"
+            "10,1,5\n"
+            "20,2,5\n");
+}
+
+}  // namespace
+}  // namespace sqlb::des

@@ -1,0 +1,155 @@
+#include "matchmaking/matchmaker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sqlb {
+namespace {
+
+TEST(TermDictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const auto a = dict.Intern("shipping");
+  const auto b = dict.Intern("wine");
+  EXPECT_EQ(dict.Intern("shipping"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(a), "shipping");
+  EXPECT_EQ(dict.Lookup("wine"), b);
+  EXPECT_EQ(dict.Lookup("missing"), TermDictionary::kNotFoundId);
+}
+
+TEST(CapabilityTest, CoversAndContains) {
+  Capability cap({3, 1, 2, 1});
+  EXPECT_TRUE(cap.Contains(1));
+  EXPECT_FALSE(cap.Contains(9));
+  EXPECT_TRUE(cap.Covers({1, 3}));
+  EXPECT_TRUE(cap.Covers({}));
+  EXPECT_FALSE(cap.Covers({1, 9}));
+  EXPECT_EQ(cap.terms(), (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(AcceptAllMatchmakerTest, ReturnsAllRegisteredSorted) {
+  AcceptAllMatchmaker mm;
+  mm.Register(ProviderId(5), Capability{});
+  mm.Register(ProviderId(1), Capability{});
+  mm.Register(ProviderId(3), Capability{});
+  Query q;
+  const auto match = mm.Match(q);
+  EXPECT_EQ(match,
+            (std::vector<ProviderId>{ProviderId(1), ProviderId(3),
+                                     ProviderId(5)}));
+}
+
+TEST(AcceptAllMatchmakerTest, UnregisterRemoves) {
+  AcceptAllMatchmaker mm;
+  mm.Register(ProviderId(1), Capability{});
+  mm.Register(ProviderId(2), Capability{});
+  mm.Unregister(ProviderId(1));
+  mm.Unregister(ProviderId(42));  // no-op
+  Query q;
+  EXPECT_EQ(mm.Match(q), (std::vector<ProviderId>{ProviderId(2)}));
+  EXPECT_EQ(mm.registered_count(), 1u);
+}
+
+TEST(AcceptAllMatchmakerTest, ReregistrationIsIdempotent) {
+  AcceptAllMatchmaker mm;
+  mm.Register(ProviderId(1), Capability{});
+  mm.Register(ProviderId(1), Capability{});
+  EXPECT_EQ(mm.registered_count(), 1u);
+}
+
+TEST(TermIndexMatchmakerTest, MatchesCoveringProvidersOnly) {
+  TermIndexMatchmaker mm;
+  mm.Register(ProviderId(1), Capability({1, 2}));      // shipping + wine
+  mm.Register(ProviderId(2), Capability({1}));         // shipping only
+  mm.Register(ProviderId(3), Capability({1, 2, 3}));   // everything
+
+  Query q;
+  q.required_terms = {1, 2};
+  const auto match = mm.Match(q);
+  EXPECT_EQ(match, (std::vector<ProviderId>{ProviderId(1), ProviderId(3)}));
+}
+
+TEST(TermIndexMatchmakerTest, UnknownTermMatchesNothing) {
+  TermIndexMatchmaker mm;
+  mm.Register(ProviderId(1), Capability({1}));
+  Query q;
+  q.required_terms = {99};
+  EXPECT_TRUE(mm.Match(q).empty());
+}
+
+TEST(TermIndexMatchmakerTest, EmptyRequirementsMatchEveryone) {
+  TermIndexMatchmaker mm;
+  mm.Register(ProviderId(2), Capability({1}));
+  mm.Register(ProviderId(1), Capability({7}));
+  Query q;
+  EXPECT_EQ(mm.Match(q),
+            (std::vector<ProviderId>{ProviderId(1), ProviderId(2)}));
+}
+
+TEST(TermIndexMatchmakerTest, ReRegistrationReplacesCapability) {
+  TermIndexMatchmaker mm;
+  mm.Register(ProviderId(1), Capability({1}));
+  mm.Register(ProviderId(1), Capability({2}));
+  Query q1;
+  q1.required_terms = {1};
+  EXPECT_TRUE(mm.Match(q1).empty());
+  Query q2;
+  q2.required_terms = {2};
+  EXPECT_EQ(mm.Match(q2), (std::vector<ProviderId>{ProviderId(1)}));
+}
+
+TEST(TermIndexMatchmakerTest, UnregisterPurgesPostings) {
+  TermIndexMatchmaker mm;
+  mm.Register(ProviderId(1), Capability({1, 2}));
+  mm.Unregister(ProviderId(1));
+  Query q;
+  q.required_terms = {1};
+  EXPECT_TRUE(mm.Match(q).empty());
+  EXPECT_EQ(mm.registered_count(), 0u);
+}
+
+// Property test: the inverted-index matchmaker is sound and complete
+// w.r.t. the brute-force definition (the Section 2 assumption).
+class MatchmakerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MatchmakerPropertyTest, SoundAndCompleteVsBruteForce) {
+  Rng rng(GetParam());
+  TermIndexMatchmaker mm;
+  const std::size_t providers = 2 + rng.NextBounded(40);
+  const std::uint32_t vocabulary = 8;
+  std::vector<Capability> caps;
+  for (std::size_t p = 0; p < providers; ++p) {
+    std::vector<std::uint32_t> terms;
+    for (std::uint32_t t = 0; t < vocabulary; ++t) {
+      if (rng.Bernoulli(0.4)) terms.push_back(t);
+    }
+    caps.emplace_back(terms);
+    mm.Register(ProviderId(static_cast<std::uint32_t>(p)), caps.back());
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Query q;
+    for (std::uint32_t t = 0; t < vocabulary; ++t) {
+      if (rng.Bernoulli(0.25)) q.required_terms.push_back(t);
+    }
+    const auto fast = mm.Match(q);
+    std::vector<ProviderId> brute;
+    for (std::size_t p = 0; p < providers; ++p) {
+      if (caps[p].Covers(q.required_terms)) {
+        brute.push_back(ProviderId(static_cast<std::uint32_t>(p)));
+      }
+    }
+    ASSERT_EQ(fast, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCatalogues, MatchmakerPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,101 @@
+#include "methods/capacity_based.h"
+
+#include <gtest/gtest.h>
+
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+Query MakeQuery(std::uint32_t n) {
+  Query q;
+  q.id = 1;
+  q.consumer = ConsumerId(0);
+  q.n = n;
+  q.units = 130.0;
+  return q;
+}
+
+CandidateProvider Candidate(std::uint32_t id, double capacity,
+                            double utilization) {
+  CandidateProvider c;
+  c.id = ProviderId(id);
+  c.capacity = capacity;
+  c.utilization = utilization;
+  // Hostile intentions everywhere: Capacity based must ignore them.
+  c.consumer_intention = -1.0;
+  c.provider_intention = -1.0;
+  return c;
+}
+
+TEST(CapacityBasedTest, DefaultPicksLeastUtilized) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 100.0, 0.9),
+      Candidate(1, 33.3, 0.1),
+      Candidate(2, 14.3, 0.0),
+  };
+  CapacityBasedMethod method;
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(2));
+}
+
+TEST(CapacityBasedTest, MaxAvailableVariantWeighsAbsoluteCapacity) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 100.0, 0.9),  // available 10
+      Candidate(1, 33.3, 0.1),   // available ~30
+      Candidate(2, 14.3, 0.0),   // available 14.3
+  };
+  CapacityBasedMethod method(CapacityRanking::kMaxAvailableCapacity);
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+}
+
+TEST(CapacityBasedTest, OverloadedProvidersRankLast) {
+  Query q = MakeQuery(2);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 100.0, 1.5),  // overloaded
+      Candidate(1, 14.3, 0.2),
+      Candidate(2, 33.3, 0.5),
+  };
+  CapacityBasedMethod method(CapacityRanking::kMaxAvailableCapacity);
+  const auto decision = method.Allocate(request);
+  ASSERT_EQ(decision.selected.size(), 2u);
+  for (std::size_t idx : decision.selected) {
+    EXPECT_NE(request.candidates[idx].id, ProviderId(0));
+  }
+}
+
+TEST(CapacityBasedTest, IntentionsDoNotMatter) {
+  // The defining property of the baseline (Section 6.2.1): flipping all
+  // intentions must not change the allocation.
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {Candidate(0, 50.0, 0.3), Candidate(1, 50.0, 0.1)};
+  CapacityBasedMethod method;
+  const auto before = method.Allocate(request);
+  for (auto& c : request.candidates) {
+    c.consumer_intention = 1.0;
+    c.provider_intention = 1.0;
+  }
+  const auto after = method.Allocate(request);
+  EXPECT_EQ(before.selected, after.selected);
+}
+
+TEST(CapacityBasedTest, NamesDistinguishVariants) {
+  EXPECT_EQ(CapacityBasedMethod().name(), "CapacityBased");
+  EXPECT_EQ(
+      CapacityBasedMethod(CapacityRanking::kMaxAvailableCapacity).name(),
+      "CapacityBased(max-available)");
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "methods/kn_best.h"
+#include "methods/sqlb_economic.h"
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+Query MakeQuery(std::uint32_t n) {
+  Query q;
+  q.id = 1;
+  q.consumer = ConsumerId(0);
+  q.n = n;
+  q.units = 130.0;
+  return q;
+}
+
+CandidateProvider Candidate(std::uint32_t id, double pi, double ci,
+                            double utilization, double bid_price = 0.5,
+                            double backlog = 0.0) {
+  CandidateProvider c;
+  c.id = ProviderId(id);
+  c.provider_intention = pi;
+  c.consumer_intention = ci;
+  c.utilization = utilization;
+  c.bid_price = bid_price;
+  c.backlog_seconds = backlog;
+  return c;
+}
+
+TEST(KnBestTest, ShortlistBySatisfactionThenLeastUtilized) {
+  // Three well-aligned providers and one poorly aligned; with a shortlist
+  // of 3 the winner is the least utilized among the aligned ones, even
+  // though a better-scored but busier provider exists.
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 0.9, 0.9, /*ut=*/0.8),
+      Candidate(1, 0.8, 0.8, /*ut=*/0.1),
+      Candidate(2, 0.7, 0.7, /*ut=*/0.5),
+      Candidate(3, -0.9, -0.9, /*ut=*/0.0),  // idle but unaligned
+  };
+  KnBestOptions options;
+  options.shortlist_fraction = 0.75;  // K = 3
+  KnBestMethod method(options);
+  const auto decision = method.Allocate(request);
+  ASSERT_EQ(decision.selected.size(), 1u);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+}
+
+TEST(KnBestTest, ShortlistNeverSmallerThanN) {
+  Query q = MakeQuery(3);
+  AllocationRequest request;
+  request.query = &q;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    request.candidates.push_back(Candidate(i, 0.5, 0.5, 0.1 * i));
+  }
+  KnBestOptions options;
+  options.shortlist_fraction = 0.01;  // would give K = 1 < n
+  KnBestMethod method(options);
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(decision.selected.size(), 3u);
+}
+
+TEST(KnBestTest, NameIsStable) { EXPECT_EQ(KnBestMethod().name(), "KnBest"); }
+
+TEST(SqlbEconomicTest, ZeroPriceWeightRecoversSqlbRanking) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 0.9, 0.9, 0.0, /*bid=*/1.0),
+      Candidate(1, 0.5, 0.5, 0.0, /*bid=*/0.01),
+  };
+  SqlbEconomicOptions options;
+  options.price_weight = 0.0;
+  SqlbEconomicMethod method(options);
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(0));
+}
+
+TEST(SqlbEconomicTest, PriceBreaksNearTies) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 0.8, 0.8, 0.0, /*bid=*/1.0),   // expensive
+      Candidate(1, 0.8, 0.8, 0.0, /*bid=*/0.05),  // same score, cheap
+  };
+  SqlbEconomicMethod method;
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+}
+
+TEST(SqlbEconomicTest, StrongIntentionCanOutbidCheapness) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 0.95, 0.95, 0.0, /*bid=*/1.0),    // aligned, expensive
+      Candidate(1, -0.5, -0.5, 0.0, /*bid=*/0.01),   // unaligned, cheap
+  };
+  SqlbEconomicMethod method;
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(0));
+}
+
+TEST(SqlbEconomicTest, LoadScalesEffectivePrice) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Candidate(0, 0.8, 0.8, 0.0, /*bid=*/0.2, /*backlog=*/20.0),
+      Candidate(1, 0.8, 0.8, 0.0, /*bid=*/0.3, /*backlog=*/0.0),
+  };
+  SqlbEconomicMethod method;
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+}
+
+TEST(SqlbEconomicTest, NameIsStable) {
+  EXPECT_EQ(SqlbEconomicMethod().name(), "SQLB-Economic");
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,145 @@
+#include "methods/mariposa.h"
+
+#include <gtest/gtest.h>
+
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+Query MakeQuery(std::uint32_t n) {
+  Query q;
+  q.id = 1;
+  q.consumer = ConsumerId(0);
+  q.n = n;
+  q.units = 130.0;
+  return q;
+}
+
+CandidateProvider Bidder(std::uint32_t id, double bid_price,
+                         double backlog_seconds, double delay) {
+  CandidateProvider c;
+  c.id = ProviderId(id);
+  c.bid_price = bid_price;
+  c.backlog_seconds = backlog_seconds;
+  c.estimated_delay = delay;
+  return c;
+}
+
+TEST(MariposaAskingPriceTest, DecreasesWithPreference) {
+  EXPECT_LT(MariposaAskingPrice(1.0), MariposaAskingPrice(0.0));
+  EXPECT_LT(MariposaAskingPrice(0.0), MariposaAskingPrice(-1.0));
+  EXPECT_DOUBLE_EQ(MariposaAskingPrice(1.0, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(MariposaAskingPrice(-1.0, 0.05), 1.05);
+}
+
+TEST(MariposaMethodTest, CheapestAcceptableBidWins) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Bidder(0, 0.50, 0.0, 2.0),
+      Bidder(1, 0.10, 0.0, 2.0),  // cheapest
+      Bidder(2, 0.30, 0.0, 2.0),
+  };
+  MariposaMethod method;
+  const auto decision = method.Allocate(request);
+  ASSERT_EQ(decision.selected.size(), 1u);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+}
+
+TEST(MariposaMethodTest, LoadScalingImplementsBidTimesLoad) {
+  // An eager but backlogged provider loses to a less eager idle one: the
+  // paper's "crude form of load balancing".
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Bidder(0, 0.10, /*backlog=*/9.0, 2.0),  // effective 0.10 * 10 = 1.0
+      Bidder(1, 0.40, /*backlog=*/0.0, 2.0),  // effective 0.40
+  };
+  MariposaOptions options;
+  options.load_factor = 1.0;
+  MariposaMethod method(options);
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+  EXPECT_DOUBLE_EQ(method.EffectivePrice(request.candidates[0]), 1.0);
+}
+
+TEST(MariposaMethodTest, DefaultFeedbackIsCrude) {
+  // With the default (deliberately weak) feedback, an eager provider keeps
+  // winning until its backlog reaches tens of seconds.
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Bidder(0, 0.10, /*backlog=*/9.0, 2.0),   // effective 0.19
+      Bidder(1, 0.40, /*backlog=*/0.0, 2.0),   // effective 0.40
+      Bidder(2, 0.10, /*backlog=*/40.0, 2.0),  // effective 0.50
+  };
+  MariposaMethod method;
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(0));
+}
+
+TEST(MariposaMethodTest, BidCurveRejectsSlowExpensiveBids) {
+  MariposaMethod method;  // max_price 2, max_delay 60
+  EXPECT_TRUE(method.UnderBidCurve(0.5, 10.0));
+  EXPECT_FALSE(method.UnderBidCurve(0.5, 60.0));   // at max delay
+  EXPECT_FALSE(method.UnderBidCurve(1.9, 30.0));   // above the line
+  EXPECT_TRUE(method.UnderBidCurve(0.99, 30.0));   // just under the line
+}
+
+TEST(MariposaMethodTest, FallsBackToCheapestWhenNothingAcceptable) {
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Bidder(0, 3.0, 0.0, 100.0),  // delay beyond the curve
+      Bidder(1, 2.5, 0.0, 100.0),
+  };
+  MariposaMethod method;
+  const auto decision = method.Allocate(request);
+  ASSERT_EQ(decision.selected.size(), 1u);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+  EXPECT_EQ(method.unacceptable_queries(), 1u);
+}
+
+TEST(MariposaMethodTest, StrictBrokerLeavesQueryUntreated) {
+  MariposaOptions options;
+  options.allocate_when_no_acceptable_bid = false;
+  MariposaMethod method(options);
+
+  Query q = MakeQuery(1);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {Bidder(0, 5.0, 0.0, 100.0)};
+  const auto decision = method.Allocate(request);
+  EXPECT_TRUE(decision.selected.empty());
+  EXPECT_EQ(method.unacceptable_queries(), 1u);
+}
+
+TEST(MariposaMethodTest, SelectsNCheapest) {
+  Query q = MakeQuery(2);
+  AllocationRequest request;
+  request.query = &q;
+  request.candidates = {
+      Bidder(0, 0.50, 0.0, 2.0),
+      Bidder(1, 0.10, 0.0, 2.0),
+      Bidder(2, 0.30, 0.0, 2.0),
+  };
+  MariposaMethod method;
+  const auto decision = method.Allocate(request);
+  ASSERT_EQ(decision.selected.size(), 2u);
+  EXPECT_EQ(request.candidates[decision.selected[0]].id, ProviderId(1));
+  EXPECT_EQ(request.candidates[decision.selected[1]].id, ProviderId(2));
+}
+
+TEST(MariposaMethodDeathTest, ValidatesOptions) {
+  MariposaOptions bad;
+  bad.max_delay = 0.0;
+  EXPECT_DEATH(MariposaMethod{bad}, "max_delay");
+}
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,98 @@
+#include "methods/simple_methods.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/query.h"
+
+namespace sqlb {
+namespace {
+
+Query MakeQuery(std::uint32_t n) {
+  Query q;
+  q.id = 1;
+  q.consumer = ConsumerId(0);
+  q.n = n;
+  q.units = 130.0;
+  return q;
+}
+
+AllocationRequest MakeRequest(const Query* q, std::size_t candidates) {
+  AllocationRequest request;
+  request.query = q;
+  for (std::size_t i = 0; i < candidates; ++i) {
+    CandidateProvider c;
+    c.id = ProviderId(static_cast<std::uint32_t>(i));
+    request.candidates.push_back(c);
+  }
+  return request;
+}
+
+TEST(RandomMethodTest, SelectionsAreDistinctAndInRange) {
+  RandomMethod method(7);
+  Query q = MakeQuery(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto request = MakeRequest(&q, 10);
+    const auto decision = method.Allocate(request);
+    ASSERT_EQ(decision.selected.size(), 3u);
+    std::set<std::size_t> unique(decision.selected.begin(),
+                                 decision.selected.end());
+    ASSERT_EQ(unique.size(), 3u);
+    for (std::size_t idx : decision.selected) ASSERT_LT(idx, 10u);
+  }
+}
+
+TEST(RandomMethodTest, CoversAllCandidatesEventually) {
+  RandomMethod method(11);
+  Query q = MakeQuery(1);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto request = MakeRequest(&q, 8);
+    seen.insert(method.Allocate(request).selected[0]);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomMethodTest, DeterministicForSeed) {
+  Query q = MakeQuery(2);
+  RandomMethod a(99), b(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto request = MakeRequest(&q, 12);
+    EXPECT_EQ(a.Allocate(request).selected, b.Allocate(request).selected);
+  }
+}
+
+TEST(RoundRobinMethodTest, CyclesThroughCandidates) {
+  RoundRobinMethod method;
+  Query q = MakeQuery(1);
+  auto request = MakeRequest(&q, 3);
+  EXPECT_EQ(method.Allocate(request).selected[0], 0u);
+  EXPECT_EQ(method.Allocate(request).selected[0], 1u);
+  EXPECT_EQ(method.Allocate(request).selected[0], 2u);
+  EXPECT_EQ(method.Allocate(request).selected[0], 0u);
+}
+
+TEST(RoundRobinMethodTest, MultiSelectionPicksConsecutiveDistinct) {
+  RoundRobinMethod method;
+  Query q = MakeQuery(3);
+  auto request = MakeRequest(&q, 5);
+  const auto decision = method.Allocate(request);
+  EXPECT_EQ(decision.selected, (std::vector<std::size_t>{0, 1, 2}));
+  const auto next = method.Allocate(request);
+  EXPECT_EQ(next.selected, (std::vector<std::size_t>{3, 4, 0}));
+}
+
+TEST(RoundRobinMethodTest, EvenSpreadOverManyQueries) {
+  RoundRobinMethod method;
+  Query q = MakeQuery(1);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    auto request = MakeRequest(&q, 4);
+    ++counts[method.Allocate(request).selected[0]];
+  }
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+}  // namespace
+}  // namespace sqlb

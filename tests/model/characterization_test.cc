@@ -1,0 +1,111 @@
+#include "model/characterization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sqlb {
+namespace {
+
+TEST(QueryAdequationTest, AverageMappedToUnitInterval) {
+  // Eq. 1: delta_a(c, q) = (mean(CI) + 1) / 2.
+  EXPECT_DOUBLE_EQ(QueryAdequation({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(QueryAdequation({-1.0, -1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(QueryAdequation({0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(QueryAdequation({1.0, -1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(QueryAdequation({0.5, 0.1, -0.3}), (0.1 + 1.0) / 2.0);
+}
+
+TEST(QueryAdequationTest, ClampsOvershootingIntentions) {
+  // Def. 8 with epsilon = 1 can emit intentions below -1 (Figure 2); the
+  // satisfaction scale clamps them.
+  EXPECT_DOUBLE_EQ(QueryAdequation({-2.5}), 0.0);
+}
+
+TEST(QueryAdequationTest, MotivatingExampleEWine) {
+  // Table 1 with binary intentions: eWine intends to deal with p2, p4, p5
+  // (+1) but not p1, p3 (-1): adequation = ((1/5)(1) + 1) / 2 = 0.6.
+  EXPECT_DOUBLE_EQ(QueryAdequation({-1.0, 1.0, -1.0, 1.0, 1.0}), 0.6);
+}
+
+TEST(QuerySatisfactionTest, DividesByDesiredN) {
+  // Eq. 2 divides by q.n, not by |selected|: getting one of two desired
+  // results with intention 1 yields 0.75, not 1.
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({1.0}, 2), 0.75);
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({1.0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({1.0, 1.0}, 2), 1.0);
+}
+
+TEST(QuerySatisfactionTest, EmptySelectionIsNeutralHalf) {
+  // No provider selected: sum 0 -> (0 + 1)/2 = 0.5.
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({}, 1), 0.5);
+}
+
+TEST(QuerySatisfactionTest, NegativeIntentionsHurt) {
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({-1.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(QuerySatisfaction({-0.5}, 1), 0.25);
+}
+
+TEST(QuerySatisfactionTest, AllocationToUnwantedProvidersScoresLow) {
+  // The paper's scenario: allocating eWine's query to p1 (intention -1)
+  // instead of p2 (+1).
+  EXPECT_LT(QuerySatisfaction({-1.0}, 1), QuerySatisfaction({1.0}, 1));
+}
+
+TEST(AllocationSatisfactionTest, RatioSemantics) {
+  EXPECT_DOUBLE_EQ(AllocationSatisfaction(0.9, 0.6), 1.5);   // works well
+  EXPECT_DOUBLE_EQ(AllocationSatisfaction(0.3, 0.6), 0.5);   // punished
+  EXPECT_DOUBLE_EQ(AllocationSatisfaction(0.6, 0.6), 1.0);   // neutral
+}
+
+TEST(AllocationSatisfactionTest, ZeroOverZeroIsNeutral) {
+  EXPECT_DOUBLE_EQ(AllocationSatisfaction(0.0, 0.0), 1.0);
+}
+
+TEST(AllocationSatisfactionTest, PositiveOverZeroIsLargeButFinite) {
+  const double v = AllocationSatisfaction(0.5, 0.0);
+  EXPECT_GT(v, 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(QueryAdequationDeathTest, RejectsEmptyProviderSet) {
+  EXPECT_DEATH(QueryAdequation({}), "non-empty");
+}
+
+TEST(QuerySatisfactionDeathTest, RejectsZeroN) {
+  EXPECT_DEATH(QuerySatisfaction({1.0}, 0), "q.n");
+}
+
+// Property sweep: Eq. 1 and Eq. 2 always land in [0, 1].
+class CharacterizationRangeTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CharacterizationRangeTest, OutputsStayInUnitInterval) {
+  Rng rng(GetParam());
+  const std::size_t n_providers =
+      1 + static_cast<std::size_t>(rng.NextBounded(40));
+  std::vector<double> intentions;
+  for (std::size_t i = 0; i < n_providers; ++i) {
+    intentions.push_back(rng.Uniform(-3.0, 1.5));  // includes overshoots
+  }
+  const double adq = QueryAdequation(intentions);
+  EXPECT_GE(adq, 0.0);
+  EXPECT_LE(adq, 1.0);
+
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.NextBounded(5));
+  std::vector<double> selected(
+      intentions.begin(),
+      intentions.begin() +
+          static_cast<std::ptrdiff_t>(std::min(n, intentions.size())));
+  const double sat = QuerySatisfaction(selected, n);
+  EXPECT_GE(sat, 0.0);
+  EXPECT_LE(sat, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, CharacterizationRangeTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,106 @@
+#include "model/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sqlb {
+namespace {
+
+TEST(MeanTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(Mean({0.2, 1.0, 0.6}), 0.6);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({0.7}), 0.7);
+}
+
+TEST(JainFairnessTest, PaperSensitivityExample) {
+  // Section 4's two-mediator example: the paper reports f = 0.77 for m and
+  // 0.97 for m' (exact values 0.7715 and 0.9797; the paper rounds).
+  EXPECT_NEAR(JainFairness({0.2, 1.0, 0.6}), 0.7715, 0.001);
+  EXPECT_NEAR(JainFairness({1.0, 0.7, 0.9}), 0.9797, 0.001);
+}
+
+TEST(JainFairnessTest, EqualValuesAreMaximallyFair) {
+  EXPECT_DOUBLE_EQ(JainFairness({0.5, 0.5, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairness({2.0, 2.0}), 1.0);
+}
+
+TEST(JainFairnessTest, SingleNonZeroIsMinimallyFair) {
+  // One participant holding everything: f = 1 / |S|.
+  EXPECT_DOUBLE_EQ(JainFairness({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainFairnessTest, DegenerateSetsAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(JainFairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairnessTest, ScaleInvariance) {
+  const std::vector<double> v{0.1, 0.4, 0.9, 0.3};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(x * 7.3);
+  EXPECT_NEAR(JainFairness(v), JainFairness(scaled), 1e-12);
+}
+
+TEST(MinMaxRatioTest, Basics) {
+  EXPECT_DOUBLE_EQ(MinMaxRatio({0.5, 0.5}, 0.1), 1.0);
+  EXPECT_NEAR(MinMaxRatio({0.0, 1.0}, 0.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(MinMaxRatio({}, 0.1), 1.0);
+}
+
+TEST(MinMaxRatioTest, DetectsPunishedEntity) {
+  // A punished participant (near-zero g among high values) drives sigma
+  // towards c0 / (max + c0).
+  const double sigma = MinMaxRatio({0.9, 0.85, 0.92, 0.01}, 0.1);
+  EXPECT_LT(sigma, 0.12);
+}
+
+TEST(MinMaxRatioDeathTest, RequiresPositiveC0) {
+  EXPECT_DEATH(MinMaxRatio({1.0}, 0.0), "c0");
+}
+
+TEST(SummarizeTest, AllThreeMetricsAtOnce) {
+  const MetricSummary s = Summarize({0.2, 1.0, 0.6}, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean, 0.6);
+  EXPECT_NEAR(s.fairness, 0.77, 0.005);
+  EXPECT_NEAR(s.min_max, 0.3 / 1.1, 1e-12);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(SummarizeByTest, AccessorDriven) {
+  const std::vector<double> values{0.3, 0.9, 0.6};
+  const MetricSummary s = SummarizeBy(
+      values.size(), [&values](std::size_t i) { return values[i]; });
+  EXPECT_DOUBLE_EQ(s.mean, 0.6);
+  EXPECT_EQ(s.count, 3u);
+}
+
+// Property sweep: fairness bounds 1/|S| <= f <= 1 for non-negative inputs.
+class FairnessBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairnessBoundsTest, WithinTheoreticalBounds) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.NextBounded(50));
+  std::vector<double> values;
+  bool any_positive = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(rng.Uniform(0.0, 5.0));
+    any_positive = any_positive || values.back() > 0.0;
+  }
+  const double f = JainFairness(values);
+  EXPECT_LE(f, 1.0 + 1e-12);
+  if (any_positive) {
+    EXPECT_GE(f, 1.0 / static_cast<double>(n) - 1e-12);
+  }
+  const double sigma = MinMaxRatio(values);
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_LE(sigma, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, FairnessBoundsTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace sqlb

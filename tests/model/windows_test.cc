@@ -1,0 +1,210 @@
+#include "model/windows.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sqlb {
+namespace {
+
+WindowConfig SmallWindow(std::size_t k) {
+  WindowConfig config;
+  config.capacity = k;
+  config.prior = 0.5;
+  config.satisfaction_prior_weight = 1.0;
+  return config;
+}
+
+TEST(ConsumerWindowTest, StartsAtPrior) {
+  ConsumerWindow w(SmallWindow(10));
+  EXPECT_DOUBLE_EQ(w.Adequation(), 0.5);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(), 0.5);
+  EXPECT_DOUBLE_EQ(w.AllocationSatisfactionValue(), 1.0);
+  EXPECT_EQ(w.recorded(), 0u);
+}
+
+TEST(ConsumerWindowTest, PriorWashesOutAsWindowFills) {
+  ConsumerWindow w(SmallWindow(4));
+  w.Record(1.0, 1.0);
+  // (1 + 3 * 0.5) / 4 = 0.625: one observation pulls the blend up a bit.
+  EXPECT_DOUBLE_EQ(w.Satisfaction(), 0.625);
+  w.Record(1.0, 1.0);
+  w.Record(1.0, 1.0);
+  w.Record(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(), 1.0);  // full window, no prior left
+}
+
+TEST(ConsumerWindowTest, EvictionDropsOldEvidence) {
+  ConsumerWindow w(SmallWindow(2));
+  w.Record(0.0, 0.0);
+  w.Record(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(), 0.0);
+  w.Record(1.0, 1.0);
+  w.Record(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(), 1.0);
+  EXPECT_DOUBLE_EQ(w.Adequation(), 1.0);
+  EXPECT_EQ(w.recorded(), 4u);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(ConsumerWindowTest, RawValuesMatchDefinitions) {
+  ConsumerWindow w(SmallWindow(10));
+  EXPECT_DOUBLE_EQ(w.RawAdequation(), 0.0);  // empty, as Defs. 1-2 imply
+  w.Record(0.8, 0.4);
+  w.Record(0.6, 0.2);
+  EXPECT_DOUBLE_EQ(w.RawAdequation(), 0.7);
+  EXPECT_DOUBLE_EQ(w.RawSatisfaction(), 0.3);
+}
+
+TEST(ConsumerWindowTest, AllocationSatisfactionAboveOneWhenServedWell) {
+  ConsumerWindow w(SmallWindow(4));
+  for (int i = 0; i < 4; ++i) w.Record(0.6, 0.9);
+  EXPECT_NEAR(w.AllocationSatisfactionValue(), 1.5, 1e-12);
+}
+
+TEST(ConsumerWindowDeathTest, RejectsOutOfRangeValues) {
+  ConsumerWindow w(SmallWindow(4));
+  EXPECT_DEATH(w.Record(1.5, 0.5), "adequation");
+  EXPECT_DEATH(w.Record(0.5, -0.1), "satisfaction");
+}
+
+TEST(ProviderWindowTest, StartsAtPrior) {
+  ProviderWindow w(SmallWindow(10));
+  EXPECT_DOUBLE_EQ(w.Adequation(ProviderWindow::Channel::kIntention), 0.5);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 0.5);
+  EXPECT_DOUBLE_EQ(
+      w.AllocationSatisfactionValue(ProviderWindow::Channel::kIntention),
+      1.0);
+}
+
+TEST(ProviderWindowTest, AdequationAveragesAllProposals) {
+  ProviderWindow w(SmallWindow(2));
+  w.Record(1.0, 0.5, false);
+  w.Record(0.0, -0.5, false);
+  // Intention channel: mean((1+1)/2, (0+1)/2) = 0.75.
+  EXPECT_DOUBLE_EQ(w.Adequation(ProviderWindow::Channel::kIntention), 0.75);
+  // Preference channel: mean(0.75, 0.25) = 0.5.
+  EXPECT_DOUBLE_EQ(w.Adequation(ProviderWindow::Channel::kPreference), 0.5);
+}
+
+TEST(ProviderWindowTest, SatisfactionOnlyCountsPerformedQueries) {
+  ProviderWindow w(SmallWindow(4));
+  w.Record(1.0, 1.0, false);   // proposed, not performed
+  w.Record(-1.0, -1.0, true);  // performed an unwanted query
+  // Performed subset = {intention -1}: raw Def. 5 value is 0.
+  EXPECT_DOUBLE_EQ(w.RawSatisfaction(ProviderWindow::Channel::kIntention),
+                   0.0);
+  // Blended with the 0.5 prior (pseudo-count 1): (0 + 0.5) / 2 = 0.25.
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention),
+                   0.25);
+}
+
+TEST(ProviderWindowTest, RawSatisfactionZeroWhenNothingPerformed) {
+  ProviderWindow w(SmallWindow(4));
+  w.Record(0.8, 0.8, false);
+  EXPECT_DOUBLE_EQ(w.RawSatisfaction(ProviderWindow::Channel::kIntention),
+                   0.0);  // Definition 5's "0 otherwise"
+  // The blended value stays at the prior instead.
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 0.5);
+}
+
+TEST(ProviderWindowTest, EvictionUpdatesPerformedSubset) {
+  ProviderWindow w(SmallWindow(2));
+  w.Record(1.0, 1.0, true);
+  w.Record(0.5, 0.5, false);
+  EXPECT_EQ(w.performed_in_window(), 1u);
+  w.Record(-1.0, -1.0, true);  // evicts the performed (1.0) entry
+  EXPECT_EQ(w.performed_in_window(), 1u);
+  EXPECT_DOUBLE_EQ(w.RawSatisfaction(ProviderWindow::Channel::kIntention),
+                   0.0);
+  EXPECT_EQ(w.performed(), 2u);  // lifetime counter unaffected by eviction
+  EXPECT_EQ(w.proposed(), 3u);
+}
+
+TEST(ProviderWindowTest, ClampsOvershootingIntentions) {
+  ProviderWindow w(SmallWindow(2));
+  w.Record(-2.5, 0.0, true);  // Def. 8 overshoot
+  EXPECT_DOUBLE_EQ(w.RawAdequation(ProviderWindow::Channel::kIntention),
+                   0.0);
+}
+
+TEST(ProviderWindowTest, SatisfactionIsStickyWhenSubsetEmpties) {
+  // Strict Def. 5 (prior weight 0): the satisfaction holds its last known
+  // value while the performed subset is empty, instead of snapping to the
+  // literal 0 (DESIGN.md fidelity decision; WindowConfig doc).
+  WindowConfig config;
+  config.capacity = 2;
+  config.satisfaction_prior_weight = 0.0;
+  ProviderWindow w(config);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention),
+                   0.5);  // initial prior
+  w.Record(0.8, 0.8, true);  // performed: unit value 0.9
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 0.9);
+  // Two non-performed proposals evict the performed entry.
+  w.Record(0.0, 0.0, false);
+  w.Record(0.0, 0.0, false);
+  EXPECT_EQ(w.performed_in_window(), 0u);
+  EXPECT_DOUBLE_EQ(w.RawSatisfaction(ProviderWindow::Channel::kIntention),
+                   0.0);  // literal Definition 5
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention),
+                   0.9);  // sticky
+  // New evidence replaces the held value.
+  w.Record(-1.0, -1.0, true);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 0.0);
+}
+
+TEST(ProviderWindowTest, StickinessIsPerChannel) {
+  WindowConfig config;
+  config.capacity = 1;
+  config.satisfaction_prior_weight = 0.0;
+  ProviderWindow w(config);
+  w.Record(1.0, -1.0, true);  // intention unit 1, preference unit 0
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 1.0);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kPreference),
+                   0.0);
+  w.Record(0.0, 0.0, false);  // evicts; both channels hold their values
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kIntention), 1.0);
+  EXPECT_DOUBLE_EQ(w.Satisfaction(ProviderWindow::Channel::kPreference),
+                   0.0);
+}
+
+TEST(ProviderWindowTest, TwoChannelsAreIndependent) {
+  ProviderWindow w(SmallWindow(3));
+  // Shown intention positive while private preference negative (a loaded
+  // but satisfied provider accepting unwanted work).
+  w.Record(0.8, -0.6, true);
+  EXPECT_GT(w.Satisfaction(ProviderWindow::Channel::kIntention),
+            w.Satisfaction(ProviderWindow::Channel::kPreference));
+}
+
+// Property sweep: all window outputs stay in range under random streams.
+class WindowRangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowRangeTest, BoundedOutputs) {
+  Rng rng(GetParam());
+  ProviderWindow pw(SmallWindow(1 + rng.NextBounded(20)));
+  ConsumerWindow cw(SmallWindow(1 + rng.NextBounded(20)));
+  for (int i = 0; i < 500; ++i) {
+    pw.Record(rng.Uniform(-3.0, 1.5), rng.Uniform(-1.0, 1.0),
+              rng.Bernoulli(0.3));
+    cw.Record(rng.NextDouble(), rng.NextDouble());
+    for (auto channel : {ProviderWindow::Channel::kIntention,
+                         ProviderWindow::Channel::kPreference}) {
+      ASSERT_GE(pw.Adequation(channel), 0.0);
+      ASSERT_LE(pw.Adequation(channel), 1.0);
+      ASSERT_GE(pw.Satisfaction(channel), 0.0);
+      ASSERT_LE(pw.Satisfaction(channel), 1.0);
+      ASSERT_GE(pw.AllocationSatisfactionValue(channel), 0.0);
+    }
+    ASSERT_GE(cw.Satisfaction(), 0.0);
+    ASSERT_LE(cw.Satisfaction(), 1.0);
+    ASSERT_GE(cw.Adequation(), 0.0);
+    ASSERT_LE(cw.Adequation(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, WindowRangeTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace sqlb

@@ -1,0 +1,147 @@
+#include "msg/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sqlb::msg {
+namespace {
+
+/// Records everything it receives.
+class RecordingNode final : public Node {
+ public:
+  void OnMessage(Network&, const Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<Message> received;
+};
+
+/// Echoes every message back to its sender with kind + 1.
+class EchoNode final : public Node {
+ public:
+  void OnMessage(Network& network, const Message& message) override {
+    Message reply;
+    reply.from = message.to;
+    reply.to = message.from;
+    reply.kind = message.kind + 1;
+    reply.correlation = message.correlation;
+    network.Send(std::move(reply));
+  }
+};
+
+TEST(NetworkTest, RegisterAssignsDistinctAddresses) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.0, 0.0}, Rng(1));
+  RecordingNode a, b;
+  const NodeId ida = network.Register(&a);
+  const NodeId idb = network.Register(&b);
+  EXPECT_NE(ida, idb);
+  EXPECT_EQ(network.node_count(), 2u);
+}
+
+TEST(NetworkTest, DeliversToDestination) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.0, 0.0}, Rng(1));
+  RecordingNode a, b;
+  const NodeId ida = network.Register(&a);
+  const NodeId idb = network.Register(&b);
+
+  Message m;
+  m.from = ida;
+  m.to = idb;
+  m.kind = 42;
+  m.payload = std::string("hello");
+  network.Send(std::move(m));
+  sim.RunAll();
+
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].kind, 42u);
+  EXPECT_EQ(std::any_cast<std::string>(b.received[0].payload), "hello");
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(network.delivered_messages(), 1u);
+}
+
+TEST(NetworkTest, LatencyDelaysDelivery) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.25, 0.0}, Rng(1));
+  RecordingNode a;
+  const NodeId id = network.Register(&a);
+
+  Message m;
+  m.from = id;
+  m.to = id;
+  network.Send(std::move(m));
+  sim.RunUntil(0.2);
+  EXPECT_TRUE(a.received.empty());
+  sim.RunAll();
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.25);
+}
+
+TEST(NetworkTest, JitterStaysWithinBounds) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.1, 0.05}, Rng(7));
+  RecordingNode a;
+  const NodeId id = network.Register(&a);
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.from = id;
+    m.to = id;
+    network.Send(std::move(m));
+  }
+  sim.RunAll();
+  EXPECT_EQ(a.received.size(), 200u);
+  EXPECT_LE(sim.Now(), 0.15 + 1e-9);
+}
+
+TEST(NetworkTest, MessagesToDepartedNodesAreDropped) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.1, 0.0}, Rng(1));
+  RecordingNode a, b;
+  const NodeId ida = network.Register(&a);
+  const NodeId idb = network.Register(&b);
+
+  Message m;
+  m.from = ida;
+  m.to = idb;
+  network.Send(std::move(m));
+  network.Unregister(idb);  // departs while the message is in flight
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.dropped_messages(), 1u);
+  EXPECT_EQ(network.delivered_messages(), 0u);
+}
+
+TEST(NetworkTest, RequestReplyRoundTrip) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.01, 0.0}, Rng(1));
+  RecordingNode caller;
+  EchoNode echo;
+  const NodeId caller_id = network.Register(&caller);
+  const NodeId echo_id = network.Register(&echo);
+
+  Message m;
+  m.from = caller_id;
+  m.to = echo_id;
+  m.kind = 10;
+  m.correlation = 99;
+  network.Send(std::move(m));
+  sim.RunAll();
+
+  ASSERT_EQ(caller.received.size(), 1u);
+  EXPECT_EQ(caller.received[0].kind, 11u);
+  EXPECT_EQ(caller.received[0].correlation, 99u);
+  EXPECT_NEAR(sim.Now(), 0.02, 1e-9);  // two hops
+}
+
+TEST(NetworkDeathTest, SendNeedsDestination) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.0, 0.0}, Rng(1));
+  Message m;  // no destination
+  EXPECT_DEATH(network.Send(std::move(m)), "destination");
+}
+
+}  // namespace
+}  // namespace sqlb::msg

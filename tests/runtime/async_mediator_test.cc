@@ -1,0 +1,176 @@
+#include "runtime/async_mediator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sqlb_method.h"
+
+namespace sqlb::runtime {
+namespace {
+
+/// A fully wired miniature distributed system: one mediator, `consumers`
+/// consumer nodes, `providers` provider nodes, all over one simulated
+/// network.
+class AsyncHarness {
+ public:
+  AsyncHarness(std::size_t consumers, std::size_t providers,
+               SimTime latency = 0.005)
+      : population_(MakeConfig(consumers, providers), /*seed=*/17),
+        reputation_(providers),
+        network_(sim_, msg::LatencyModel{latency, 0.0}, Rng(5)),
+        mediator_(AsyncMediatorConfig{}, &method_, &matchmaker_) {
+    mediator_.set_address(network_.Register(&mediator_));
+    for (std::size_t c = 0; c < consumers; ++c) {
+      auto node = std::make_unique<AsyncConsumerNode>(
+          ConsumerId(static_cast<std::uint32_t>(c)), ConsumerAgentConfig{},
+          &population_, &reputation_);
+      node->set_address(network_.Register(node.get()));
+      mediator_.RegisterConsumer(ConsumerId(static_cast<std::uint32_t>(c)),
+                                 node->address());
+      consumers_.push_back(std::move(node));
+    }
+    for (const ProviderProfile& profile : population_.providers()) {
+      auto node = std::make_unique<AsyncProviderNode>(
+          profile, ProviderAgentConfig{}, &population_);
+      node->set_address(network_.Register(node.get()));
+      node->SetConsumerDirectory(&mediator_.consumer_directory());
+      mediator_.RegisterProvider(profile.id, node->address());
+      matchmaker_.Register(profile.id, Capability{});
+      providers_.push_back(std::move(node));
+    }
+  }
+
+  Query MakeQuery(QueryId id, std::uint32_t consumer) {
+    Query q;
+    q.id = id;
+    q.consumer = ConsumerId(consumer);
+    q.n = 1;
+    q.units = 130.0;
+    q.issue_time = sim_.Now();
+    return q;
+  }
+
+  static PopulationConfig MakeConfig(std::size_t consumers,
+                                     std::size_t providers) {
+    PopulationConfig config;
+    config.num_consumers = consumers;
+    config.num_providers = providers;
+    return config;
+  }
+
+  des::Simulator sim_;
+  Population population_;
+  ReputationRegistry reputation_;
+  msg::Network network_;
+  SqlbMethod method_;
+  AcceptAllMatchmaker matchmaker_;
+  AsyncMediator mediator_;
+  std::vector<std::unique_ptr<AsyncConsumerNode>> consumers_;
+  std::vector<std::unique_ptr<AsyncProviderNode>> providers_;
+};
+
+TEST(AsyncMediatorTest, FullMediationRoundDeliversResponse) {
+  AsyncHarness h(2, 5);
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.mediations_started(), 1u);
+  EXPECT_EQ(h.mediator_.mediations_completed(), 1u);
+  EXPECT_EQ(h.mediator_.timeouts(), 0u);
+  EXPECT_EQ(h.consumers_[0]->responses_received(), 1u);
+  EXPECT_EQ(h.consumers_[0]->agent().issued(), 1u);
+}
+
+TEST(AsyncMediatorTest, EveryProviderLearnsTheMediationResult) {
+  // Section 5.4: the mediator informs P_q \ selected as well.
+  AsyncHarness h(1, 6);
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  std::size_t performed = 0;
+  for (const auto& provider : h.providers_) {
+    EXPECT_EQ(provider->agent().window().proposed(), 1u);
+    performed += provider->agent().window().performed();
+  }
+  EXPECT_EQ(performed, 1u);  // exactly q.n = 1 provider performed it
+}
+
+TEST(AsyncMediatorTest, ManyQueriesAllComplete) {
+  AsyncHarness h(3, 10);
+  for (QueryId id = 0; id < 50; ++id) {
+    const auto consumer = static_cast<std::uint32_t>(id % 3);
+    h.sim_.ScheduleAt(
+        static_cast<SimTime>(id) * 0.5,
+        [&h, id, consumer](des::Simulator&) {
+          h.consumers_[consumer]->Submit(h.network_, h.mediator_.address(),
+                                         h.MakeQuery(id, consumer));
+        });
+  }
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.mediations_completed(), 50u);
+  std::uint64_t responses = 0;
+  for (const auto& c : h.consumers_) responses += c->responses_received();
+  EXPECT_EQ(responses, 50u);
+}
+
+TEST(AsyncMediatorTest, MutedProvidersTriggerTimeoutButMediationProceeds) {
+  AsyncHarness h(1, 4);
+  for (auto& provider : h.providers_) provider->set_mute(true);
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.timeouts(), 1u);
+  EXPECT_EQ(h.mediator_.mediations_completed(), 1u);
+  // Missing intentions default to indifference (0), the allocation still
+  // happens and the consumer still gets a response.
+  EXPECT_EQ(h.consumers_[0]->responses_received(), 1u);
+}
+
+TEST(AsyncMediatorTest, PartialResponsesUseWhatArrived) {
+  AsyncHarness h(1, 4);
+  h.providers_[0]->set_mute(true);  // one silent provider
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.timeouts(), 1u);
+  EXPECT_EQ(h.mediator_.mediations_completed(), 1u);
+  EXPECT_EQ(h.consumers_[0]->responses_received(), 1u);
+}
+
+TEST(AsyncMediatorTest, UnregisteredProviderIsSkipped) {
+  AsyncHarness h(1, 3);
+  h.mediator_.UnregisterProvider(ProviderId(0));
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.mediations_completed(), 1u);
+  EXPECT_EQ(h.providers_[0]->agent().window().proposed(), 0u);
+}
+
+TEST(AsyncMediatorTest, NetworkCountsTraffic) {
+  AsyncHarness h(1, 5);
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  // 1 submit + 1 consumer req + 5 provider reqs + 1 consumer rep +
+  // 5 provider reps + 5 mediation results + 1 grant + 1 notice +
+  // 1 response = 21.
+  EXPECT_EQ(h.network_.sent_messages(), 21u);
+  EXPECT_EQ(h.network_.delivered_messages(), 21u);
+  EXPECT_EQ(h.network_.dropped_messages(), 0u);
+}
+
+TEST(AsyncMediatorTest, LatencyDelaysButDoesNotBreakMediation) {
+  AsyncHarness h(1, 5, /*latency=*/0.05);
+  h.consumers_[0]->Submit(h.network_, h.mediator_.address(),
+                          h.MakeQuery(1, 0));
+  h.sim_.RunAll();
+  EXPECT_EQ(h.mediator_.timeouts(), 0u);  // 0.05 < 0.25 timeout
+  EXPECT_EQ(h.consumers_[0]->responses_received(), 1u);
+  // The response cannot arrive before 4 hops of latency + 1.3 s service.
+  EXPECT_GE(h.sim_.Now(), 1.3 + 4 * 0.05);
+}
+
+}  // namespace
+}  // namespace sqlb::runtime

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "runtime/consumer_agent.h"
+#include "runtime/reputation.h"
+
+namespace sqlb::runtime {
+namespace {
+
+TEST(ConsumerAgentTest, PreferenceOnlyIntention) {
+  ConsumerAgentConfig config;  // paper default: preference-only
+  ConsumerAgent agent(ConsumerId(1), config);
+  EXPECT_DOUBLE_EQ(agent.ComputeIntention(0.34, -1.0), 0.34);
+  EXPECT_DOUBLE_EQ(agent.ComputeIntention(-0.54, 1.0), -0.54);
+}
+
+TEST(ConsumerAgentTest, FormulaModeUsesReputation) {
+  ConsumerAgentConfig config;
+  config.intention.mode = ConsumerIntentionMode::kFormula;
+  config.intention.upsilon = 0.5;
+  ConsumerAgent agent(ConsumerId(1), config);
+  const double good_rep = agent.ComputeIntention(0.5, 0.9);
+  const double bad_rep = agent.ComputeIntention(0.5, 0.1);
+  EXPECT_GT(good_rep, bad_rep);
+}
+
+TEST(ConsumerAgentTest, WindowAccumulates) {
+  ConsumerAgentConfig config;
+  config.window.capacity = 4;
+  ConsumerAgent agent(ConsumerId(1), config);
+  EXPECT_DOUBLE_EQ(agent.Satisfaction(), 0.5);
+  for (int i = 0; i < 4; ++i) agent.OnAllocated(0.6, 0.9);
+  EXPECT_DOUBLE_EQ(agent.Satisfaction(), 0.9);
+  EXPECT_DOUBLE_EQ(agent.Adequation(), 0.6);
+  EXPECT_NEAR(agent.AllocationSatisfactionValue(), 1.5, 1e-12);
+  EXPECT_EQ(agent.issued(), 4u);
+}
+
+TEST(ConsumerAgentTest, ResponseTimesTracked) {
+  ConsumerAgent agent(ConsumerId(1), ConsumerAgentConfig{});
+  agent.OnResult(1.5);
+  agent.OnResult(2.5);
+  EXPECT_EQ(agent.response_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(agent.response_times().mean(), 2.0);
+}
+
+TEST(ConsumerAgentTest, DepartFlag) {
+  ConsumerAgent agent(ConsumerId(1), ConsumerAgentConfig{});
+  EXPECT_TRUE(agent.active());
+  agent.Depart();
+  EXPECT_FALSE(agent.active());
+}
+
+TEST(ReputationRegistryTest, InitialValueEverywhere) {
+  ReputationRegistry registry(4, 0.2);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(registry.Get(ProviderId(p)), 0.2);
+  }
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(ReputationRegistryTest, FeedbackMovesEwma) {
+  ReputationRegistry registry(2, 0.0, /*smoothing=*/0.5);
+  registry.AddFeedback(ProviderId(0), 1.0);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(0)), 0.5);
+  registry.AddFeedback(ProviderId(0), 1.0);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(0)), 0.75);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(1)), 0.0);  // untouched
+}
+
+TEST(ReputationRegistryTest, FeedbackIsClamped) {
+  ReputationRegistry registry(1, 0.0, 1.0);
+  registry.AddFeedback(ProviderId(0), 42.0);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(0)), 1.0);
+  registry.AddFeedback(ProviderId(0), -42.0);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(0)), -1.0);
+}
+
+TEST(ReputationRegistryTest, SetOverrides) {
+  ReputationRegistry registry(1);
+  registry.Set(ProviderId(0), 0.7);
+  EXPECT_DOUBLE_EQ(registry.Get(ProviderId(0)), 0.7);
+}
+
+TEST(ReputationRegistryDeathTest, UnknownProviderAborts) {
+  ReputationRegistry registry(1);
+  EXPECT_DEATH(registry.Get(ProviderId(5)), "unknown");
+}
+
+}  // namespace
+}  // namespace sqlb::runtime

@@ -1,0 +1,121 @@
+#include "runtime/departures.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlb::runtime {
+namespace {
+
+TEST(DepartureReasonTest, Names) {
+  EXPECT_STREQ(DepartureReasonName(DepartureReason::kDissatisfaction),
+               "dissatisfaction");
+  EXPECT_STREQ(DepartureReasonName(DepartureReason::kStarvation),
+               "starvation");
+  EXPECT_STREQ(DepartureReasonName(DepartureReason::kOverutilization),
+               "overutilization");
+}
+
+TEST(DepartureConfigTest, DefaultIsCaptive) {
+  DepartureConfig config;
+  EXPECT_FALSE(config.consumers_may_leave);
+  EXPECT_FALSE(config.provider_dissatisfaction);
+  EXPECT_FALSE(config.provider_starvation);
+  EXPECT_FALSE(config.provider_overutilization);
+}
+
+TEST(DepartureConfigTest, AllEnabledTurnsEverythingOn) {
+  const DepartureConfig config = DepartureConfig::AllEnabled();
+  EXPECT_TRUE(config.consumers_may_leave);
+  EXPECT_TRUE(config.provider_dissatisfaction);
+  EXPECT_TRUE(config.provider_starvation);
+  EXPECT_TRUE(config.provider_overutilization);
+}
+
+TEST(DepartureConfigTest, Figure5aRegime) {
+  const DepartureConfig config =
+      DepartureConfig::DissatisfactionAndStarvation();
+  EXPECT_TRUE(config.provider_dissatisfaction);
+  EXPECT_TRUE(config.provider_starvation);
+  EXPECT_FALSE(config.provider_overutilization);
+}
+
+TEST(DepartureConfigTest, PaperThresholds) {
+  DepartureConfig config;
+  EXPECT_DOUBLE_EQ(config.provider_dissat_margin, 0.15);
+  EXPECT_DOUBLE_EQ(config.starvation_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(config.overutilization_fraction, 2.2);
+}
+
+DepartureEvent ProviderEvent(DepartureReason reason, Level interest,
+                             Level adaptation, Level capacity) {
+  DepartureEvent event;
+  event.is_provider = true;
+  event.reason = reason;
+  event.interest_class = interest;
+  event.adaptation_class = adaptation;
+  event.capacity_class = capacity;
+  return event;
+}
+
+TEST(DepartureTallyTest, CountsByReasonAndDimension) {
+  DepartureTally tally;
+  tally.Add(ProviderEvent(DepartureReason::kDissatisfaction, Level::kHigh,
+                          Level::kMedium, Level::kLow));
+  tally.Add(ProviderEvent(DepartureReason::kDissatisfaction, Level::kHigh,
+                          Level::kHigh, Level::kLow));
+  tally.Add(ProviderEvent(DepartureReason::kOverutilization, Level::kLow,
+                          Level::kMedium, Level::kHigh));
+
+  EXPECT_EQ(tally.providers_total(), 3u);
+  EXPECT_EQ(tally.ByReason(DepartureReason::kDissatisfaction), 2u);
+  EXPECT_EQ(tally.ByReason(DepartureReason::kStarvation), 0u);
+  EXPECT_EQ(tally.ByReason(DepartureReason::kOverutilization), 1u);
+
+  EXPECT_EQ(tally.ByReasonInterest(DepartureReason::kDissatisfaction,
+                                   Level::kHigh),
+            2u);
+  EXPECT_EQ(tally.ByReasonAdaptation(DepartureReason::kDissatisfaction,
+                                     Level::kMedium),
+            1u);
+  EXPECT_EQ(tally.ByReasonCapacity(DepartureReason::kDissatisfaction,
+                                   Level::kLow),
+            2u);
+  EXPECT_EQ(tally.ByReasonCapacity(DepartureReason::kOverutilization,
+                                   Level::kHigh),
+            1u);
+}
+
+TEST(DepartureTallyTest, ConsumersCountedSeparately) {
+  DepartureTally tally;
+  DepartureEvent consumer;
+  consumer.is_provider = false;
+  tally.Add(consumer);
+  tally.Add(consumer);
+  EXPECT_EQ(tally.consumers_total(), 2u);
+  EXPECT_EQ(tally.providers_total(), 0u);
+  EXPECT_EQ(tally.ByReason(DepartureReason::kDissatisfaction), 0u);
+}
+
+TEST(DepartureTallyTest, DimensionMarginalsAgree) {
+  DepartureTally tally;
+  for (int i = 0; i < 10; ++i) {
+    tally.Add(ProviderEvent(DepartureReason::kStarvation,
+                            static_cast<Level>(i % 3),
+                            static_cast<Level>((i + 1) % 3),
+                            static_cast<Level>((i + 2) % 3)));
+  }
+  // Every dimension's per-level counts sum to the same per-reason total.
+  for (auto reason : {DepartureReason::kStarvation}) {
+    std::uint64_t interest = 0, adaptation = 0, capacity = 0;
+    for (int l = 0; l < 3; ++l) {
+      interest += tally.ByReasonInterest(reason, static_cast<Level>(l));
+      adaptation += tally.ByReasonAdaptation(reason, static_cast<Level>(l));
+      capacity += tally.ByReasonCapacity(reason, static_cast<Level>(l));
+    }
+    EXPECT_EQ(interest, tally.ByReason(reason));
+    EXPECT_EQ(adaptation, tally.ByReason(reason));
+    EXPECT_EQ(capacity, tally.ByReason(reason));
+  }
+}
+
+}  // namespace
+}  // namespace sqlb::runtime

@@ -1,0 +1,205 @@
+#include "runtime/mediation_system.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sqlb_method.h"
+#include "methods/capacity_based.h"
+#include "methods/mariposa.h"
+
+namespace sqlb::runtime {
+namespace {
+
+/// A scaled-down Table 2 setup that runs in milliseconds.
+SystemConfig SmallConfig(double workload, std::uint64_t seed = 42) {
+  SystemConfig config;
+  config.population.num_consumers = 20;
+  config.population.num_providers = 40;
+  config.consumer.window.capacity = 50;
+  config.provider.window.capacity = 100;
+  config.workload = WorkloadSpec::Constant(workload);
+  config.duration = 300.0;
+  config.sample_interval = 25.0;
+  config.stats_warmup = 50.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorkloadSpecTest, ConstantAndRamp) {
+  const auto constant = WorkloadSpec::Constant(0.8);
+  EXPECT_DOUBLE_EQ(constant.FractionAt(123.0, 1000.0), 0.8);
+  EXPECT_DOUBLE_EQ(constant.MaxFraction(), 0.8);
+
+  const auto ramp = WorkloadSpec::Ramp(0.3, 1.0);
+  EXPECT_DOUBLE_EQ(ramp.FractionAt(0.0, 1000.0), 0.3);
+  EXPECT_DOUBLE_EQ(ramp.FractionAt(500.0, 1000.0), 0.65);
+  EXPECT_DOUBLE_EQ(ramp.FractionAt(2000.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(ramp.MaxFraction(), 1.0);
+}
+
+TEST(MediationSystemTest, EveryIssuedQueryCompletesWhenCaptive) {
+  SqlbMethod method;
+  RunResult result = RunScenario(SmallConfig(0.5), &method);
+  EXPECT_GT(result.queries_issued, 100u);
+  EXPECT_EQ(result.queries_infeasible, 0u);
+  // The run drains outstanding service, so conservation is exact.
+  EXPECT_EQ(result.queries_completed, result.queries_issued);
+  EXPECT_EQ(result.method_name, "SQLB");
+}
+
+TEST(MediationSystemTest, DeterministicForFixedSeed) {
+  SqlbMethod m1, m2;
+  RunResult a = RunScenario(SmallConfig(0.6, 7), &m1);
+  RunResult b = RunScenario(SmallConfig(0.6, 7), &m2);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+}
+
+TEST(MediationSystemTest, DifferentSeedsProduceDifferentTraffic) {
+  SqlbMethod m1, m2;
+  RunResult a = RunScenario(SmallConfig(0.6, 1), &m1);
+  RunResult b = RunScenario(SmallConfig(0.6, 2), &m2);
+  EXPECT_NE(a.queries_issued, b.queries_issued);
+}
+
+TEST(MediationSystemTest, ResponseTimesAreAtLeastServiceTime) {
+  CapacityBasedMethod method;
+  RunResult result = RunScenario(SmallConfig(0.4), &method);
+  // The fastest possible response is a 130-unit query on a high-capacity
+  // provider: 1.3 seconds.
+  EXPECT_GE(result.response_time_all.min(), 1.3 - 1e-9);
+}
+
+TEST(MediationSystemTest, ArrivalCountTracksWorkload) {
+  // lambda = fraction * total_capacity / mean_units; with the small
+  // population total capacity = 4 * 100/7 + 24 * 100/3 + 12 * 100.
+  SqlbMethod method;
+  const double workload = 0.5;
+  RunResult result = RunScenario(SmallConfig(workload, 3), &method);
+  const double capacity = 4 * (100.0 / 7.0) + 24 * (100.0 / 3.0) + 1200.0;
+  const double expected = workload * capacity / 140.0 * 300.0;
+  EXPECT_NEAR(static_cast<double>(result.queries_issued), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(MediationSystemTest, SqlbSatisfiesConsumersBaselinesAreNeutral) {
+  // The Figure 4(e) shape: mu(delta_as, C) > 1 under SQLB, ~ 1 under the
+  // baselines. Averaged over seeds: with only 40 providers a single draw
+  // can correlate capacity and interest classes by chance.
+  double sqlb_allocsat = 0.0;
+  double capacity_allocsat = 0.0;
+  const std::uint64_t seeds[] = {42, 43, 44};
+  for (std::uint64_t seed : seeds) {
+    SqlbMethod sqlb;
+    RunResult s = RunScenario(SmallConfig(0.5, seed), &sqlb);
+    sqlb_allocsat += s.series.Find(MediationSystem::kSeriesConsAllocSatMean)
+                         ->MeanOver(100.0, 300.0);
+    CapacityBasedMethod capacity;
+    RunResult c = RunScenario(SmallConfig(0.5, seed), &capacity);
+    capacity_allocsat +=
+        c.series.Find(MediationSystem::kSeriesConsAllocSatMean)
+            ->MeanOver(100.0, 300.0);
+  }
+  sqlb_allocsat /= 3.0;
+  capacity_allocsat /= 3.0;
+  EXPECT_GT(sqlb_allocsat, 1.1);
+  EXPECT_NEAR(capacity_allocsat, 1.0, 0.12);
+  EXPECT_GT(sqlb_allocsat, capacity_allocsat + 0.1);
+}
+
+TEST(MediationSystemTest, CapacityBasedTracksWorkloadUtilization) {
+  // DESIGN.md fidelity decision 1: under proportional balancing the mean
+  // utilization approaches the workload fraction.
+  CapacityBasedMethod method;
+  RunResult result = RunScenario(SmallConfig(0.6), &method);
+  const double ut_mean = result.series.Find(MediationSystem::kSeriesUtMean)
+                             ->MeanOver(100.0, 300.0);
+  EXPECT_NEAR(ut_mean, 0.6, 0.12);
+}
+
+TEST(MediationSystemTest, SeriesAreSampledAndBounded) {
+  SqlbMethod method;
+  RunResult result = RunScenario(SmallConfig(0.5), &method);
+  for (const char* key :
+       {MediationSystem::kSeriesProvSatIntMean,
+        MediationSystem::kSeriesProvSatPrefMean,
+        MediationSystem::kSeriesConsSatMean,
+        MediationSystem::kSeriesProvSatIntFair,
+        MediationSystem::kSeriesConsSatFair}) {
+    const auto* series = result.series.Find(key);
+    ASSERT_NE(series, nullptr) << key;
+    EXPECT_GE(series->size(), 10u) << key;
+    for (const auto& [t, v] : series->samples) {
+      ASSERT_GE(v, 0.0) << key;
+      ASSERT_LE(v, 1.0) << key;
+    }
+  }
+}
+
+TEST(MediationSystemTest, CaptiveRunsHaveNoDepartures) {
+  SqlbMethod method;
+  RunResult result = RunScenario(SmallConfig(1.0), &method);
+  EXPECT_TRUE(result.departures.empty());
+  EXPECT_EQ(result.remaining_providers, result.initial_providers);
+  EXPECT_EQ(result.remaining_consumers, result.initial_consumers);
+}
+
+TEST(MediationSystemTest, OverloadTriggersOverutilizationDepartures) {
+  // Mariposa at overload concentrates load; with departures enabled some
+  // providers must leave by overutilization (the Figure 5(b)/Table 3
+  // mechanism).
+  SystemConfig config = SmallConfig(0.9);
+  config.duration = 600.0;
+  config.departures = DepartureConfig::AllEnabled();
+  config.departures.grace_period = 150.0;
+  config.departures.check_interval = 50.0;
+  MariposaMethod method;
+  RunResult result = RunScenario(config, &method);
+  EXPECT_GT(result.tally.providers_total(), 0u);
+  EXPECT_GT(
+      result.tally.ByReason(DepartureReason::kOverutilization) +
+          result.tally.ByReason(DepartureReason::kDissatisfaction) +
+          result.tally.ByReason(DepartureReason::kStarvation),
+      0u);
+}
+
+TEST(MediationSystemTest, DepartedProvidersReceiveNothingMore) {
+  SystemConfig config = SmallConfig(0.9, 11);
+  config.duration = 600.0;
+  config.departures = DepartureConfig::AllEnabled();
+  config.departures.grace_period = 150.0;
+  config.departures.check_interval = 50.0;
+  MariposaMethod method;
+  MediationSystem system(config, &method);
+  RunResult result = system.Run();
+  for (const DepartureEvent& event : result.departures) {
+    if (!event.is_provider) continue;
+    const auto& agent =
+        system.provider_agent(ProviderId(event.participant_index));
+    EXPECT_FALSE(agent.active());
+  }
+  EXPECT_EQ(result.remaining_providers + result.tally.providers_total(),
+            result.initial_providers);
+}
+
+TEST(MediationSystemTest, MultiProviderQueriesRespectQn) {
+  SystemConfig config = SmallConfig(0.3);
+  config.query_n = 3;
+  SqlbMethod method;
+  RunResult result = RunScenario(config, &method);
+  // Every query still completes exactly once (response at the last of the
+  // three completions), so conservation holds.
+  EXPECT_EQ(result.queries_completed, result.queries_issued);
+}
+
+TEST(MediationSystemDeathTest, RunTwiceAborts) {
+  SqlbMethod method;
+  MediationSystem system(SmallConfig(0.3), &method);
+  (void)system.Run();
+  EXPECT_DEATH((void)system.Run(), "once");
+}
+
+}  // namespace
+}  // namespace sqlb::runtime

@@ -1,0 +1,190 @@
+#include "runtime/provider_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqlb::runtime {
+namespace {
+
+ProviderProfile HighCapacityProfile(std::uint32_t id = 0) {
+  ProviderProfile profile;
+  profile.id = ProviderId(id);
+  profile.capacity_class = Level::kHigh;
+  profile.capacity = 100.0;  // 130-unit query in 1.3 s
+  return profile;
+}
+
+ProviderAgentConfig SmallConfig() {
+  ProviderAgentConfig config;
+  config.window.capacity = 10;
+  config.utilization_window = 10.0;
+  return config;
+}
+
+Query MakeQuery(QueryId id, double units) {
+  Query q;
+  q.id = id;
+  q.consumer = ConsumerId(0);
+  q.n = 1;
+  q.units = units;
+  q.issue_time = 0.0;
+  return q;
+}
+
+TEST(ProviderAgentTest, ServiceTimeIsUnitsOverCapacity) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  std::vector<SimTime> completions;
+  agent.Enqueue(sim, MakeQuery(1, 130.0),
+                [&completions](const Query&, ProviderId, SimTime t) {
+                  completions.push_back(t);
+                });
+  sim.RunAll();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0], 1.3, 1e-9);
+}
+
+TEST(ProviderAgentTest, FifoQueueing) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  std::vector<QueryId> order;
+  std::vector<SimTime> times;
+  for (QueryId id = 1; id <= 3; ++id) {
+    agent.Enqueue(sim, MakeQuery(id, 100.0),
+                  [&](const Query& q, ProviderId, SimTime t) {
+                    order.push_back(q.id);
+                    times.push_back(t);
+                  });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<QueryId>{1, 2, 3}));
+  EXPECT_NEAR(times[0], 1.0, 1e-9);
+  EXPECT_NEAR(times[1], 2.0, 1e-9);
+  EXPECT_NEAR(times[2], 3.0, 1e-9);
+}
+
+TEST(ProviderAgentTest, BacklogTracksQueuedWork) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  EXPECT_DOUBLE_EQ(agent.BacklogSeconds(), 0.0);
+  agent.Enqueue(sim, MakeQuery(1, 100.0), nullptr);
+  agent.Enqueue(sim, MakeQuery(2, 200.0), nullptr);
+  EXPECT_DOUBLE_EQ(agent.BacklogSeconds(), 3.0);
+  EXPECT_EQ(agent.queue_length(), 2u);
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(agent.BacklogSeconds(), 0.0);
+  EXPECT_EQ(agent.queue_length(), 0u);
+}
+
+TEST(ProviderAgentTest, UtilizationIsWindowedAllocationRate) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());  // window 10 s
+  // 800 units allocated within the window over capacity 100 * 10 = 0.8.
+  sim.ScheduleAt(1.0, [&agent](des::Simulator& s) {
+    agent.Enqueue(s, MakeQuery(1, 400.0), nullptr);
+  });
+  sim.ScheduleAt(2.0, [&agent](des::Simulator& s) {
+    agent.Enqueue(s, MakeQuery(2, 400.0), nullptr);
+  });
+  sim.RunUntil(2.0);
+  EXPECT_NEAR(agent.Utilization(2.0), 0.8, 1e-9);
+  // Once the window slides past the allocations, utilization decays to 0.
+  sim.RunUntil(13.0);
+  EXPECT_NEAR(agent.Utilization(13.0), 0.0, 1e-9);
+}
+
+TEST(ProviderAgentTest, UtilizationCanExceedOne) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  for (QueryId id = 0; id < 30; ++id) {
+    agent.Enqueue(sim, MakeQuery(id, 100.0), nullptr);
+  }
+  EXPECT_NEAR(agent.Utilization(0.0), 3.0, 1e-9);  // 3000 / (100 * 10)
+}
+
+TEST(ProviderAgentTest, CommittedUtilizationAddsQueueDebt) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());  // window 10 s
+  // 3000 units at capacity 100: windowed Ut = 3.0 and the backlog (30 s of
+  // work) adds another 3.0 of commitment.
+  for (QueryId id = 0; id < 30; ++id) {
+    agent.Enqueue(sim, MakeQuery(id, 100.0), nullptr);
+  }
+  EXPECT_NEAR(agent.Utilization(0.0), 3.0, 1e-9);
+  EXPECT_NEAR(agent.CommittedUtilization(0.0), 6.0, 1e-9);
+  // After everything drains, both readings decay with the window.
+  sim.RunAll();
+  EXPECT_NEAR(agent.CommittedUtilization(100.0), 0.0, 1e-9);
+}
+
+TEST(ProviderAgentTest, TotalAllocatedUnitsIsMonotone) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  EXPECT_DOUBLE_EQ(agent.total_allocated_units(), 0.0);
+  agent.Enqueue(sim, MakeQuery(1, 130.0), nullptr);
+  agent.Enqueue(sim, MakeQuery(2, 150.0), nullptr);
+  EXPECT_DOUBLE_EQ(agent.total_allocated_units(), 280.0);
+  sim.RunAll();
+  // Completion does not reduce the lifetime counter.
+  EXPECT_DOUBLE_EQ(agent.total_allocated_units(), 280.0);
+}
+
+TEST(ProviderAgentTest, EstimateDelayIncludesBacklog) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  agent.Enqueue(sim, MakeQuery(1, 200.0), nullptr);
+  EXPECT_NEAR(agent.EstimateDelay(130.0), 2.0 + 1.3, 1e-9);
+}
+
+TEST(ProviderAgentTest, IntentionUsesPreferenceBasedSatisfaction) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  // Fill the window with performed queries the provider privately hates:
+  // preference-based satisfaction collapses, so Def. 8's self-balance
+  // swings to preference-only behaviour.
+  for (int i = 0; i < 10; ++i) agent.OnProposed(0.9, -0.95, true);
+  EXPECT_LT(agent.SatisfactionOnPreferences(), 0.1);
+  EXPECT_GT(agent.SatisfactionOnIntentions(), 0.9);
+  const double intention = agent.ComputeIntention(0.7, sim.Now());
+  // With satisfaction ~ 0, intention ~ preference^1 * (1-Ut)^0 = 0.7.
+  EXPECT_NEAR(intention, 0.7, 0.05);
+}
+
+TEST(ProviderAgentTest, BidPriceDecreasesWithPreference) {
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  EXPECT_LT(agent.ComputeBidPrice(0.9), agent.ComputeBidPrice(-0.9));
+}
+
+TEST(ProviderAgentTest, DepartStopsNothingInFlight) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  int completions = 0;
+  agent.Enqueue(sim, MakeQuery(1, 100.0),
+                [&completions](const Query&, ProviderId, SimTime) {
+                  ++completions;
+                });
+  agent.Depart();
+  EXPECT_FALSE(agent.active());
+  sim.RunAll();
+  EXPECT_EQ(completions, 1);  // outstanding work still completes
+}
+
+TEST(ProviderAgentTest, CompletionReportsPerformerId) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(7), SmallConfig());
+  ProviderId seen;
+  agent.Enqueue(sim, MakeQuery(1, 100.0),
+                [&seen](const Query&, ProviderId p, SimTime) { seen = p; });
+  sim.RunAll();
+  EXPECT_EQ(seen, ProviderId(7));
+}
+
+TEST(ProviderAgentDeathTest, RejectsZeroCostQueries) {
+  des::Simulator sim;
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  EXPECT_DEATH(agent.Enqueue(sim, MakeQuery(1, 0.0), nullptr), "positive");
+}
+
+}  // namespace
+}  // namespace sqlb::runtime
