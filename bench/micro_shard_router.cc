@@ -1,0 +1,90 @@
+// Microbenchmarks: the shard-routing hot path. The router sits in front of
+// every mediation, so routing decisions/sec upper-bounds the sharded tier's
+// intake rate the same way ns/query of the allocation methods bounds each
+// shard's throughput (micro_allocation.cc).
+
+#include <benchmark/benchmark.h>
+
+#include "model/query.h"
+#include "shard/shard_router.h"
+#include "workload/population.h"
+
+namespace sqlb::shard {
+namespace {
+
+RouterConfig MakeConfig(std::size_t shards, RoutingPolicy policy) {
+  RouterConfig config;
+  config.num_shards = shards;
+  config.policy = policy;
+  return config;
+}
+
+/// Routing decisions/sec for each policy at a given shard count. The
+/// least-loaded variant runs on a warm, fresh load table (the steady-state
+/// gossip regime).
+void BenchmarkPolicy(benchmark::State& state, RoutingPolicy policy) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  ShardRouter router(MakeConfig(shards, policy));
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    router.ReportLoad(s, 0.1 * static_cast<double>(s % 7), 50, 1.0);
+  }
+
+  Query query;
+  QueryId id = 0;
+  for (auto _ : state) {
+    query.id = id;
+    query.consumer = ConsumerId(static_cast<std::uint32_t>(id % 997));
+    benchmark::DoNotOptimize(router.Route(query, 2.0));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RouteHash(benchmark::State& state) {
+  BenchmarkPolicy(state, RoutingPolicy::kHash);
+}
+void BM_RouteLeastLoaded(benchmark::State& state) {
+  BenchmarkPolicy(state, RoutingPolicy::kLeastLoaded);
+}
+void BM_RouteLocality(benchmark::State& state) {
+  BenchmarkPolicy(state, RoutingPolicy::kLocality);
+}
+
+BENCHMARK(BM_RouteHash)->Arg(2)->Arg(8)->Arg(64);
+BENCHMARK(BM_RouteLeastLoaded)->Arg(2)->Arg(8)->Arg(64);
+BENCHMARK(BM_RouteLocality)->Arg(2)->Arg(8)->Arg(64);
+
+/// Cost of carving the provider population into shards (paid once per
+/// run/topology change, but it scales with fleet re-sizing frequency).
+void BM_PartitionProviders(benchmark::State& state) {
+  ShardRouter router(
+      MakeConfig(static_cast<std::size_t>(state.range(0)),
+                 RoutingPolicy::kHash));
+  std::vector<ProviderProfile> providers(4096);
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    providers[i].id = ProviderId(static_cast<std::uint32_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.PartitionProviders(providers));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(providers.size()));
+}
+BENCHMARK(BM_PartitionProviders)->Arg(8)->Arg(64);
+
+/// Load-report ingestion (the gossip sink's work).
+void BM_ReportLoad(benchmark::State& state) {
+  ShardRouter router(MakeConfig(64, RoutingPolicy::kLeastLoaded));
+  std::uint32_t shard = 0;
+  SimTime t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    router.ReportLoad(shard, 0.5, 40, t);
+    shard = (shard + 1) % 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReportLoad);
+
+}  // namespace
+}  // namespace sqlb::shard

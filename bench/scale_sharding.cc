@@ -1,0 +1,193 @@
+// Scaling the mediation tier: 1 vs 2 vs 4 vs 8 shards under a saturating
+// arrival rate.
+//
+// The discrete-event kernel is single-threaded, so the win measured here is
+// algorithmic, not parallel: each shard mediates over ~N/M candidates, so
+// the per-query Algorithm-1 cost (intention gathering + scoring, O(N) and
+// worse) shrinks with M and wall-clock allocation throughput rises. The
+// parallel-shard execution follow-up in ROADMAP.md stacks on top of this.
+//
+// What to look for:
+//   - M = 1 (sharded) reproduces the mono-mediator exactly: same completed
+//     count, same mean response time, same consumer satisfaction — the
+//     sharding seam costs nothing when unused.
+//   - Allocation throughput (queries/s of wall clock) grows with M; the
+//     acceptance bar is >= 2x at M = 8 vs the mono-mediator.
+//   - Simulated quality (response time, satisfaction) stays in the same
+//     regime: partitioning shrinks each query's candidate set, which costs
+//     a little adequation but keeps allocations sound.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sqlb_method.h"
+#include "runtime/mediation_system.h"
+#include "shard/sharded_mediation_system.h"
+
+namespace sqlb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScalePoint {
+  std::string label;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  double mean_rt = 0.0;
+  double cons_sat = 0.0;
+  double route_imbalance = 1.0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t gossip = 0;
+};
+
+runtime::SystemConfig BaseConfig() {
+  runtime::SystemConfig config = experiments::PaperConfig(/*seed=*/42);
+  // Saturating steady load. Series stay on for the satisfaction parity
+  // column; the probe cost is identical for every row, so the speedup
+  // comparison is unaffected.
+  config.workload = runtime::WorkloadSpec::Constant(0.95);
+  config.duration = 3000.0;
+  config.stats_warmup = 500.0;
+  if (FastBenchMode()) {
+    config.population.num_consumers /= 4;
+    config.population.num_providers /= 4;
+    config.duration = 800.0;
+    config.stats_warmup = 200.0;
+  }
+  return config;
+}
+
+ScalePoint RunMono(const runtime::SystemConfig& config) {
+  SqlbMethod method;
+  runtime::MediationSystem system(config, &method);
+  const auto start = Clock::now();
+  const runtime::RunResult result = system.Run();
+  const auto end = Clock::now();
+
+  ScalePoint point;
+  point.label = "mono";
+  point.shards = 1;
+  point.wall_seconds = std::chrono::duration<double>(end - start).count();
+  point.issued = result.queries_issued;
+  point.completed = result.queries_completed;
+  point.mean_rt = result.response_time.mean();
+  point.cons_sat =
+      result.series
+          .Find(runtime::MediationSystem::kSeriesConsAllocSatMean)
+          ->samples.back()
+          .second;
+  return point;
+}
+
+ScalePoint RunSharded(const runtime::SystemConfig& base, std::size_t shards) {
+  shard::ShardedSystemConfig config;
+  config.base = base;
+  config.router.num_shards = shards;
+  config.router.policy = shard::RoutingPolicy::kLeastLoaded;
+  config.rerouting_enabled = true;
+
+  shard::ShardedMediationSystem system(
+      config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
+  const auto start = Clock::now();
+  const shard::ShardedRunResult result = system.Run();
+  const auto end = Clock::now();
+
+  ScalePoint point;
+  point.label = std::to_string(shards) + "-shard";
+  point.shards = shards;
+  point.wall_seconds = std::chrono::duration<double>(end - start).count();
+  point.issued = result.run.queries_issued;
+  point.completed = result.run.queries_completed;
+  point.mean_rt = result.run.response_time.mean();
+  point.cons_sat =
+      result.run.series
+          .Find(runtime::MediationSystem::kSeriesConsAllocSatMean)
+          ->samples.back()
+          .second;
+  point.route_imbalance = result.RouteImbalance();
+  point.reroutes = result.reroutes;
+  point.gossip = result.gossip_delivered;
+  return point;
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  using namespace sqlb;
+  bench::PrintHeader("scale_sharding",
+                     "mediation-tier scaling: shard count vs throughput");
+
+  const runtime::SystemConfig base = BaseConfig();
+  std::vector<ScalePoint> points;
+  points.push_back(RunMono(base));
+  for (std::size_t shards : {1, 2, 4, 8}) {
+    points.push_back(RunSharded(base, shards));
+  }
+
+  const double mono_throughput =
+      static_cast<double>(points.front().completed) /
+      points.front().wall_seconds;
+
+  TablePrinter table({"config", "wall(s)", "completed", "alloc/s(wall)",
+                      "speedup", "mean rt(s)", "cons sat", "imbalance",
+                      "reroutes", "gossip"});
+  CsvWriter csv({"config", "shards", "wall_seconds", "completed",
+                 "alloc_per_second", "speedup", "mean_response_time",
+                 "consumer_allocsat", "route_imbalance", "reroutes",
+                 "gossip_delivered"});
+  for (const ScalePoint& p : points) {
+    const double throughput =
+        static_cast<double>(p.completed) / p.wall_seconds;
+    const double speedup = throughput / mono_throughput;
+    table.AddRow({p.label, FormatNumber(p.wall_seconds, 3),
+                  FormatNumber(static_cast<double>(p.completed)),
+                  FormatNumber(throughput, 4), FormatNumber(speedup, 3),
+                  FormatNumber(p.mean_rt, 4), FormatNumber(p.cons_sat, 4),
+                  FormatNumber(p.route_imbalance, 3),
+                  FormatNumber(static_cast<double>(p.reroutes)),
+                  FormatNumber(static_cast<double>(p.gossip))});
+    csv.BeginRow();
+    csv.AddCell(p.label);
+    csv.AddCell(p.shards);
+    csv.AddCell(p.wall_seconds);
+    csv.AddCell(static_cast<std::size_t>(p.completed));
+    csv.AddCell(throughput);
+    csv.AddCell(speedup);
+    csv.AddCell(p.mean_rt);
+    csv.AddCell(p.cons_sat);
+    csv.AddCell(p.route_imbalance);
+    csv.AddCell(static_cast<std::size_t>(p.reroutes));
+    csv.AddCell(static_cast<std::size_t>(p.gossip));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Parity spot check: the M = 1 sharded run must BE the mono run.
+  const ScalePoint& mono = points[0];
+  const ScalePoint& one = points[1];
+  const bool parity = mono.issued == one.issued &&
+                      mono.completed == one.completed &&
+                      mono.mean_rt == one.mean_rt &&
+                      mono.cons_sat == one.cons_sat;
+  std::printf("M=1 parity with mono-mediator: %s\n",
+              parity ? "EXACT" : "BROKEN (investigate!)");
+
+  const ScalePoint& eight = points.back();
+  const double speedup8 =
+      (static_cast<double>(eight.completed) / eight.wall_seconds) /
+      mono_throughput;
+  std::printf("8-shard allocation speedup over mono: %.2fx %s\n\n", speedup8,
+              speedup8 >= 2.0 ? "(>= 2x target met)" : "(below 2x target)");
+
+  auto path = EnsureOutputPath(ResultsDirectory(), "scale_sharding.csv");
+  if (path.ok() && csv.WriteFile(path.value()).ok()) {
+    std::printf("wrote %s\n", path.value().c_str());
+  }
+  return parity && speedup8 >= 2.0 ? 0 : 1;
+}

@@ -32,6 +32,13 @@ double MinMaxRatio(const std::vector<double>& values, double c0) {
   return (*lo + c0) / (*hi + c0);
 }
 
+double LoadImbalance(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  const double mean = Mean(values);
+  if (mean == 0.0) return 1.0;
+  return *std::max_element(values.begin(), values.end()) / mean;
+}
+
 MetricSummary Summarize(const std::vector<double>& values, double c0) {
   MetricSummary out;
   out.count = values.size();

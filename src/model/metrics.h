@@ -32,6 +32,12 @@ double JainFairness(const std::vector<double>& values);
 /// participants.
 double MinMaxRatio(const std::vector<double>& values, double c0 = 0.1);
 
+/// Load-imbalance factor: max g / mu(g, S), the complement of Eq. 4 the
+/// sharded tier reports per mediator (1 = perfectly even, |S| = everything
+/// concentrated on one element). Returns 1 for an empty set or when the
+/// mean is zero.
+double LoadImbalance(const std::vector<double>& values);
+
 /// Bundle of the three metrics over one value set.
 struct MetricSummary {
   double mean = 0.0;

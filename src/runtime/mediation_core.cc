@@ -1,0 +1,349 @@
+#include "runtime/mediation_core.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "model/characterization.h"
+
+namespace sqlb::runtime {
+
+MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
+                             std::vector<std::uint32_t> member_providers)
+    : shared_(shared),
+      method_(method),
+      active_providers_(std::move(member_providers)),
+      initial_members_(active_providers_.size()) {
+  SQLB_CHECK(method_ != nullptr, "mediation core needs a method");
+  SQLB_CHECK(shared_.config != nullptr && shared_.population != nullptr &&
+                 shared_.providers != nullptr && shared_.consumers != nullptr &&
+                 shared_.reputation != nullptr && shared_.result != nullptr &&
+                 shared_.response_window != nullptr,
+             "mediation core shared state is incomplete");
+  for (std::uint32_t index : active_providers_) {
+    SQLB_CHECK(index < shared_.providers->size(),
+               "member provider index out of range");
+    matchmaker_.Register((*shared_.providers)[index].id(), Capability{});
+  }
+}
+
+MediationCore::Outcome MediationCore::Allocate(
+    des::Simulator& sim, const Query& query,
+    double saturation_backlog_seconds) {
+  std::vector<ProviderAgent>& providers = *shared_.providers;
+  const std::vector<ProviderId> pq = matchmaker_.Match(query);
+  if (pq.empty()) {
+    return Outcome::kNoCandidates;
+  }
+
+  // Saturation pre-check (sharded deployments only): when every candidate
+  // drags more queued work than the bound, bounce the query back to the
+  // router *before* any intention gathering so re-routing is side-effect
+  // free. A mono-mediator has nowhere else to send the query and passes 0.
+  if (saturation_backlog_seconds > 0.0) {
+    double min_backlog = kSimTimeInfinity;
+    for (ProviderId pid : pq) {
+      min_backlog =
+          std::min(min_backlog, providers[pid.index()].BacklogSeconds());
+    }
+    if (min_backlog > saturation_backlog_seconds) {
+      return Outcome::kSaturated;
+    }
+  }
+
+  ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+  const SimTime now = sim.Now();
+
+  // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
+  // intentions (synchronously here; runtime/async_mediator.h exercises the
+  // fork/waituntil/timeout version over the message substrate).
+  scratch_request_.candidates.clear();
+  scratch_consumer_pref_.clear();
+  scratch_provider_pref_.clear();
+  scratch_ci_.clear();
+  scratch_request_.query = &query;
+  scratch_request_.consumer_satisfaction = consumer.Satisfaction();
+
+  for (ProviderId pid : pq) {
+    ProviderAgent& agent = providers[pid.index()];
+    const double consumer_pref =
+        shared_.population->ConsumerPreference(query.consumer, pid);
+    const double provider_pref =
+        shared_.population->ProviderPreference(pid, query.id);
+    CandidateProvider candidate;
+    candidate.id = pid;
+    candidate.consumer_intention = consumer.ComputeIntention(
+        consumer_pref, shared_.reputation->Get(pid));
+    candidate.provider_intention = agent.ComputeIntention(provider_pref, now);
+    candidate.provider_satisfaction = agent.SatisfactionOnIntentions();
+    candidate.utilization = agent.Utilization(now);
+    candidate.capacity = agent.capacity();
+    candidate.backlog_seconds = agent.BacklogSeconds();
+    candidate.bid_price = agent.ComputeBidPrice(provider_pref);
+    candidate.estimated_delay = agent.EstimateDelay(query.units);
+    scratch_request_.candidates.push_back(candidate);
+    scratch_consumer_pref_.push_back(consumer_pref);
+    scratch_provider_pref_.push_back(provider_pref);
+    scratch_ci_.push_back(candidate.consumer_intention);
+  }
+
+  // Lines 6-10: the method scores, ranks and selects.
+  const AllocationDecision decision = method_->Allocate(scratch_request_);
+  // A strict economic broker may select fewer (even zero) providers, but
+  // never more than Algorithm 1's min(q.n, N).
+  SQLB_CHECK(decision.selected.size() <= SelectionCount(scratch_request_),
+             "allocation produced more selections than min(q.n, N)");
+
+  // Inform every provider of the mediation result (Section 5.4): selected
+  // providers record a performed query; the rest record a proposal only.
+  std::vector<bool> selected_mask(scratch_request_.candidates.size(), false);
+  for (std::size_t idx : decision.selected) {
+    SQLB_CHECK(idx < selected_mask.size(), "selection index out of range");
+    SQLB_CHECK(!selected_mask[idx], "provider selected twice for one query");
+    selected_mask[idx] = true;
+  }
+  for (std::size_t i = 0; i < scratch_request_.candidates.size(); ++i) {
+    ProviderAgent& agent =
+        providers[scratch_request_.candidates[i].id.index()];
+    agent.OnProposed(scratch_request_.candidates[i].provider_intention,
+                     scratch_provider_pref_[i], selected_mask[i]);
+  }
+
+  // Consumer characterization: Eq. 1 over P_q, Eq. 2 over the selection.
+  const double adequation = QueryAdequation(scratch_ci_);
+  scratch_selected_ci_.clear();
+  for (std::size_t idx : decision.selected) {
+    scratch_selected_ci_.push_back(scratch_ci_[idx]);
+  }
+  const double satisfaction =
+      QuerySatisfaction(scratch_selected_ci_, query.n);
+  consumer.OnAllocated(adequation, satisfaction);
+
+  if (decision.selected.empty()) {
+    // Strict economic broker may leave a query untreated.
+    return Outcome::kUnallocated;
+  }
+
+  // Dispatch to the selected providers; the consumer's response arrives
+  // when the last of them completes.
+  pending_.emplace(query.id,
+                   PendingResponse{query.issue_time,
+                                   static_cast<std::uint32_t>(
+                                       decision.selected.size())});
+  ++allocated_queries_;
+  for (std::size_t idx : decision.selected) {
+    ProviderAgent& agent =
+        providers[scratch_request_.candidates[idx].id.index()];
+    agent.Enqueue(sim, query,
+                  [this](const Query& q, ProviderId performer, SimTime t) {
+                    OnQueryCompleted(q, performer, t);
+                  });
+  }
+  return Outcome::kAllocated;
+}
+
+void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
+                                     SimTime completion_time) {
+  RunResult& result = *shared_.result;
+  if (shared_.config->reputation_feedback) {
+    // Satisfaction-of-delivery signal: a response within twice the
+    // performer's own service time is good, long queueing is bad (used by
+    // the upsilon ablation and examples; the paper's upsilon = 1 setup
+    // ignores reputation entirely).
+    const double service =
+        query.units / (*shared_.providers)[performer.index()].capacity();
+    const double this_response = completion_time - query.issue_time;
+    const double feedback =
+        Clamp(1.0 - (this_response - service) / std::max(service, 1e-9),
+              -1.0, 1.0);
+    shared_.reputation->AddFeedback(performer, feedback);
+  }
+
+  auto it = pending_.find(query.id);
+  SQLB_CHECK(it != pending_.end(), "completion for unknown query");
+  if (--it->second.outstanding > 0) return;
+
+  const double response_time = completion_time - it->second.issue_time;
+  pending_.erase(it);
+  ++result.queries_completed;
+  result.response_time_all.Add(response_time);
+  if (query.issue_time >= shared_.config->stats_warmup) {
+    result.response_time.Add(response_time);
+  }
+  shared_.response_window->Add(response_time);
+
+  ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+  consumer.OnResult(response_time);
+}
+
+double MediationCore::MeanCommittedUtilization(SimTime now) const {
+  if (active_providers_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t index : active_providers_) {
+    sum += (*shared_.providers)[index].CommittedUtilization(now);
+  }
+  return sum / static_cast<double>(active_providers_.size());
+}
+
+double MediationCore::MeanBacklogSeconds() const {
+  if (active_providers_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t index : active_providers_) {
+    sum += (*shared_.providers)[index].BacklogSeconds();
+  }
+  return sum / static_cast<double>(active_providers_.size());
+}
+
+void MediationCore::RunProviderDepartureChecks(SimTime now,
+                                               double optimal_ut) {
+  std::vector<ProviderAgent>& providers = *shared_.providers;
+  const DepartureConfig& dep = shared_.config->departures;
+
+  // The paper's order — dissatisfaction, starvation, overutilization; first
+  // matching cause wins. Both utilization rules are judged on the chronic
+  // utilization — the average allocation rate over capacity since the
+  // previous check — rather than the instantaneous 60-second window: a
+  // provider missing one measurement window has not starved, and a provider
+  // riding a short burst is not overutilized; a provider receiving 2.2x its
+  // capacity for a whole assessment period is.
+  if (units_at_last_check_.empty()) {
+    units_at_last_check_.assign(providers.size(), 0.0);
+  }
+  const SimTime chronic_span = now - last_check_time_;
+  if (dep.provider_dissatisfaction || dep.provider_starvation ||
+      dep.provider_overutilization) {
+    for (std::size_t i = 0; i < active_providers_.size();) {
+      ProviderAgent& p = providers[active_providers_[i]];
+      const double sat = p.SatisfactionOnPreferences();
+      const double adq = p.AdequationOnPreferences();
+      const double acute_ut = p.Utilization(now);
+      const double chronic_ut =
+          chronic_span > 0.0
+              ? (p.total_allocated_units() -
+                 units_at_last_check_[active_providers_[i]]) /
+                    (p.capacity() * chronic_span)
+              : acute_ut;
+      DepartureReason reason{};
+      bool leaves = false;
+      if (dep.provider_dissatisfaction &&
+          sat < adq - dep.provider_dissat_margin) {
+        reason = DepartureReason::kDissatisfaction;
+        leaves = true;
+      } else if (dep.provider_starvation &&
+                 chronic_ut < dep.starvation_fraction * optimal_ut) {
+        reason = DepartureReason::kStarvation;
+        leaves = true;
+      } else if (dep.provider_overutilization &&
+                 (chronic_ut >
+                      dep.overutilization_fraction * optimal_ut ||
+                  p.BacklogSeconds() >
+                      dep.overutilization_backlog_patience)) {
+        reason = DepartureReason::kOverutilization;
+        leaves = true;
+      }
+      if (leaves) {
+        DepartProvider(i, reason, now);  // swap-removes: do not advance i
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::uint32_t index : active_providers_) {
+    units_at_last_check_[index] = providers[index].total_allocated_units();
+  }
+  last_check_time_ = now;
+}
+
+void MediationCore::DepartProvider(std::size_t index, DepartureReason reason,
+                                   SimTime now) {
+  const std::uint32_t provider_index = active_providers_[index];
+  ProviderAgent& agent = (*shared_.providers)[provider_index];
+  agent.Depart();
+  matchmaker_.Unregister(agent.id());
+
+  DepartureEvent event;
+  event.time = now;
+  event.is_provider = true;
+  event.reason = reason;
+  event.participant_index = provider_index;
+  event.capacity_class = agent.profile().capacity_class;
+  event.interest_class = agent.profile().interest_class;
+  event.adaptation_class = agent.profile().adaptation_class;
+  shared_.result->departures.push_back(event);
+  shared_.result->tally.Add(event);
+
+  active_providers_[index] = active_providers_.back();
+  active_providers_.pop_back();
+}
+
+double ScaledArrivalRate(const SystemConfig& config,
+                         const Population& population,
+                         std::size_t active_consumers,
+                         std::size_t initial_consumers, SimTime t) {
+  const double fraction = config.workload.FractionAt(t, config.duration);
+  const double nominal = fraction * population.total_capacity() /
+                         population.mean_query_units();
+  const double consumer_share = static_cast<double>(active_consumers) /
+                                static_cast<double>(initial_consumers);
+  return nominal * consumer_share;
+}
+
+Query DrawArrivalQuery(const SystemConfig& config,
+                       const Population& population,
+                       const std::vector<std::uint32_t>& active_consumers,
+                       Rng& consumer_pick_rng, Rng& query_class_rng,
+                       QueryId id, SimTime now) {
+  SQLB_CHECK(!active_consumers.empty(), "no consumer left to draw from");
+  const std::uint32_t consumer_index =
+      active_consumers[static_cast<std::size_t>(
+          consumer_pick_rng.NextBounded(active_consumers.size()))];
+
+  Query query;
+  query.id = id;
+  query.consumer = ConsumerId(consumer_index);
+  query.n = config.query_n;
+  query.class_index = static_cast<std::uint32_t>(
+      query_class_rng.NextBounded(population.num_query_classes()));
+  query.units = population.QueryUnits(query.class_index);
+  query.issue_time = now;
+  return query;
+}
+
+void RunConsumerDepartureChecks(const DepartureConfig& departures,
+                                std::vector<ConsumerAgent>& consumers,
+                                std::vector<std::uint32_t>& active_consumers,
+                                std::vector<std::uint32_t>& violations,
+                                SimTime now, RunResult* result) {
+  if (!departures.consumers_may_leave) return;
+  if (violations.empty()) {
+    violations.assign(consumers.size(), 0);
+  }
+  for (std::size_t i = 0; i < active_consumers.size();) {
+    const std::uint32_t index = active_consumers[i];
+    ConsumerAgent& c = consumers[index];
+    if (c.Satisfaction() < c.Adequation() - departures.consumer_dissat_margin) {
+      ++violations[index];
+    } else {
+      violations[index] = 0;
+    }
+    if (violations[index] >=
+        std::max<std::uint32_t>(1, departures.consumer_hysteresis_checks)) {
+      c.Depart();
+
+      DepartureEvent event;
+      event.time = now;
+      event.is_provider = false;
+      event.reason = DepartureReason::kDissatisfaction;
+      event.participant_index = index;
+      result->departures.push_back(event);
+      result->tally.Add(event);
+
+      active_consumers[i] = active_consumers.back();
+      active_consumers.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace sqlb::runtime

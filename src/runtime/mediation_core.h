@@ -1,0 +1,180 @@
+#ifndef SQLB_RUNTIME_MEDIATION_CORE_H_
+#define SQLB_RUNTIME_MEDIATION_CORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/allocation.h"
+#include "des/simulator.h"
+#include "matchmaking/matchmaker.h"
+#include "model/query.h"
+#include "runtime/consumer_agent.h"
+#include "runtime/provider_agent.h"
+#include "runtime/reputation.h"
+#include "runtime/scenario.h"
+#include "workload/population.h"
+
+/// \file
+/// The shard-agnostic heart of the mediation tier: one Algorithm-1 pipeline
+/// (matchmaking -> intention gathering -> scoring/selection by the pluggable
+/// AllocationMethod -> result dispatch -> completion accounting) plus the
+/// Section 6.3.2 provider departure rules, all scoped to a *subset* of the
+/// provider population.
+///
+/// `runtime::MediationSystem` runs exactly one core over every provider (the
+/// paper's mono-mediator, Section 6.1); `shard::ShardedMediationSystem` runs
+/// M cores over a consistent-hash partition of the providers. Both share
+/// this code path, which is what makes the M = 1 parity guarantee hold
+/// bit-for-bit rather than approximately.
+
+namespace sqlb::runtime {
+
+/// One per-shard Algorithm-1 pipeline over a member subset of the provider
+/// population. Participant vectors are owned by the enclosing system and
+/// indexed globally; the core only ever touches its member providers (and
+/// the consumers that issue queries to it).
+class MediationCore {
+ public:
+  /// Shared, system-owned state every core reads or sinks into. All
+  /// pointers must outlive the core.
+  struct Shared {
+    const SystemConfig* config = nullptr;
+    const Population* population = nullptr;
+    std::vector<ProviderAgent>* providers = nullptr;
+    std::vector<ConsumerAgent>* consumers = nullptr;
+    ReputationRegistry* reputation = nullptr;
+    /// Counter/departure/response-time sink (global across shards).
+    RunResult* result = nullptr;
+    /// Sliding response-time window behind the rt.window series.
+    WindowedMean* response_window = nullptr;
+  };
+
+  /// What one mediation attempt did, so the caller (mono system or shard
+  /// router) decides between counting an infeasible query and re-routing.
+  enum class Outcome {
+    /// Dispatched to >= 1 provider; the response callback will fire.
+    kAllocated,
+    /// Matchmaking returned an empty P_q (every member provider departed).
+    kNoCandidates,
+    /// Saturation pre-check tripped (see Allocate); nothing was mutated.
+    kSaturated,
+    /// The method selected no provider (strict economic broker); providers
+    /// and the consumer recorded the failed round.
+    kUnallocated,
+  };
+
+  /// `member_providers` lists the global indices this core mediates over.
+  /// The method is not owned and must outlive the core.
+  MediationCore(const Shared& shared, AllocationMethod* method,
+                std::vector<std::uint32_t> member_providers);
+
+  /// Runs Algorithm 1 for `query` over this core's active providers.
+  ///
+  /// When `saturation_backlog_seconds` > 0 and every candidate's queued
+  /// work exceeds that many seconds, returns kSaturated *before* gathering
+  /// intentions — no window, characterization or queue state changes, so a
+  /// router may retry the query on another shard as if it never arrived
+  /// here. Pass 0 (the mono-mediator setting) to disable the pre-check.
+  Outcome Allocate(des::Simulator& sim, const Query& query,
+                   double saturation_backlog_seconds = 0.0);
+
+  /// The paper's provider-side departure rules (dissatisfaction,
+  /// starvation, overutilization — first match wins) over this core's
+  /// active members. `optimal_ut` is the nominal workload fraction at the
+  /// check time.
+  void RunProviderDepartureChecks(SimTime now, double optimal_ut);
+
+  // --- Load and membership introspection ----------------------------------
+
+  const std::vector<std::uint32_t>& active_providers() const {
+    return active_providers_;
+  }
+  std::size_t active_provider_count() const {
+    return active_providers_.size();
+  }
+  std::size_t initial_provider_count() const { return initial_members_; }
+
+  /// Mean committed utilization over active members at `now` (the gossip
+  /// load-report payload; > 1 under sustained overload).
+  double MeanCommittedUtilization(SimTime now) const;
+  /// Mean seconds of queued work over active members.
+  double MeanBacklogSeconds() const;
+
+  AllocationMethod* method() const { return method_; }
+  std::uint64_t allocated_queries() const { return allocated_queries_; }
+  std::uint64_t pending_responses() const { return pending_.size(); }
+
+ private:
+  struct PendingResponse {
+    SimTime issue_time;
+    std::uint32_t outstanding;
+  };
+
+  void OnQueryCompleted(const Query& query, ProviderId performer,
+                        SimTime completion_time);
+  void DepartProvider(std::size_t index, DepartureReason reason, SimTime now);
+
+  Shared shared_;
+  AllocationMethod* method_;
+  AcceptAllMatchmaker matchmaker_;
+
+  /// Global indices of still-active member providers (swap-removed on
+  /// departure, mirroring the mono-mediator's active list).
+  std::vector<std::uint32_t> active_providers_;
+  std::size_t initial_members_ = 0;
+
+  std::unordered_map<QueryId, PendingResponse> pending_;
+  std::uint64_t allocated_queries_ = 0;
+
+  // Chronic-utilization bookkeeping for the starvation rule: allocated
+  // units and timestamp at each member's previous departure check, indexed
+  // globally.
+  std::vector<double> units_at_last_check_;
+  SimTime last_check_time_ = 0.0;
+
+  // Scratch buffers reused across allocations (the hot path).
+  AllocationRequest scratch_request_;
+  std::vector<double> scratch_consumer_pref_;
+  std::vector<double> scratch_provider_pref_;
+  std::vector<double> scratch_ci_;
+  std::vector<double> scratch_selected_ci_;
+};
+
+// ---------------------------------------------------------------------------
+// System-level pieces shared verbatim by the mono-mediator and the sharded
+// tier. They live here — next to the pipeline — so the M = 1 parity
+// guarantee rests on shared code, not on two copies staying identical.
+// ---------------------------------------------------------------------------
+
+/// Nominal Poisson arrival rate at `t`, scaled by the surviving-consumer
+/// share (Section 6.3.2's remark: fewer consumers issue fewer queries).
+double ScaledArrivalRate(const SystemConfig& config,
+                         const Population& population,
+                         std::size_t active_consumers,
+                         std::size_t initial_consumers, SimTime t);
+
+/// Draws one arriving query: uniform pick over the active consumers, then
+/// a uniform query class. The draw order is part of the parity contract.
+/// Call only while `active_consumers` is non-empty.
+Query DrawArrivalQuery(const SystemConfig& config,
+                       const Population& population,
+                       const std::vector<std::uint32_t>& active_consumers,
+                       Rng& consumer_pick_rng, Rng& query_class_rng,
+                       QueryId id, SimTime now);
+
+/// The Section 6.3.2 consumer-side departure rule (dissatisfaction below
+/// adequation, with hysteresis): swap-removes departing consumers from
+/// `active_consumers`, keeps the per-consumer violation counters in
+/// `violations` (lazily sized), and records each departure into `result`.
+void RunConsumerDepartureChecks(const DepartureConfig& departures,
+                                std::vector<ConsumerAgent>& consumers,
+                                std::vector<std::uint32_t>& active_consumers,
+                                std::vector<std::uint32_t>& violations,
+                                SimTime now, RunResult* result);
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_MEDIATION_CORE_H_

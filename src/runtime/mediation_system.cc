@@ -8,56 +8,6 @@
 
 namespace sqlb::runtime {
 
-double WorkloadSpec::FractionAt(SimTime t, SimTime duration) const {
-  switch (kind) {
-    case Kind::kConstant:
-      return fraction;
-    case Kind::kRamp: {
-      if (t <= 0.0) return ramp_start;
-      if (t >= duration) return ramp_end;
-      return Lerp(ramp_start, ramp_end, t / duration);
-    }
-  }
-  return fraction;
-}
-
-double WorkloadSpec::MaxFraction() const {
-  switch (kind) {
-    case Kind::kConstant:
-      return fraction;
-    case Kind::kRamp:
-      return std::max(ramp_start, ramp_end);
-  }
-  return fraction;
-}
-
-WorkloadSpec WorkloadSpec::Constant(double fraction) {
-  WorkloadSpec spec;
-  spec.kind = Kind::kConstant;
-  spec.fraction = fraction;
-  return spec;
-}
-
-WorkloadSpec WorkloadSpec::Ramp(double start, double end) {
-  WorkloadSpec spec;
-  spec.kind = Kind::kRamp;
-  spec.ramp_start = start;
-  spec.ramp_end = end;
-  return spec;
-}
-
-double RunResult::ProviderDeparturePercent() const {
-  if (initial_providers == 0) return 0.0;
-  return 100.0 * static_cast<double>(tally.providers_total()) /
-         static_cast<double>(initial_providers);
-}
-
-double RunResult::ConsumerDeparturePercent() const {
-  if (initial_consumers == 0) return 0.0;
-  return 100.0 * static_cast<double>(tally.consumers_total()) /
-         static_cast<double>(initial_consumers);
-}
-
 MediationSystem::MediationSystem(const SystemConfig& config,
                                  AllocationMethod* method)
     : config_(config),
@@ -73,10 +23,11 @@ MediationSystem::MediationSystem(const SystemConfig& config,
   SQLB_CHECK(config.query_n >= 1, "q.n must be >= 1");
 
   providers_.reserve(population_.num_providers());
+  std::vector<std::uint32_t> members;
+  members.reserve(population_.num_providers());
   for (const ProviderProfile& profile : population_.providers()) {
     providers_.emplace_back(profile, config_.provider);
-    matchmaker_.Register(profile.id, Capability{});
-    active_providers_.push_back(profile.id.index());
+    members.push_back(profile.id.index());
   }
   consumers_.reserve(population_.num_consumers());
   for (std::size_t c = 0; c < population_.num_consumers(); ++c) {
@@ -89,6 +40,16 @@ MediationSystem::MediationSystem(const SystemConfig& config,
   result_.duration = config_.duration;
   result_.initial_providers = providers_.size();
   result_.initial_consumers = consumers_.size();
+
+  MediationCore::Shared shared;
+  shared.config = &config_;
+  shared.population = &population_;
+  shared.providers = &providers_;
+  shared.consumers = &consumers_;
+  shared.reputation = &reputation_;
+  shared.result = &result_;
+  shared.response_window = &response_window_;
+  core_.emplace(shared, method_, std::move(members));
 }
 
 const ProviderAgent& MediationSystem::provider_agent(ProviderId id) const {
@@ -102,15 +63,8 @@ const ConsumerAgent& MediationSystem::consumer_agent(ConsumerId id) const {
 }
 
 double MediationSystem::ArrivalRateAt(SimTime t) const {
-  // Nominal rate scaled by the surviving consumer share: fewer consumers
-  // issue fewer queries (Section 6.3.2's remark on consumer departures).
-  const double fraction = config_.workload.FractionAt(t, config_.duration);
-  const double nominal = fraction * population_.total_capacity() /
-                         population_.mean_query_units();
-  const double consumer_share =
-      static_cast<double>(active_consumers_.size()) /
-      static_cast<double>(result_.initial_consumers);
-  return nominal * consumer_share;
+  return ScaledArrivalRate(config_, population_, active_consumers_.size(),
+                           result_.initial_consumers, t);
 }
 
 RunResult MediationSystem::Run() {
@@ -153,170 +107,35 @@ RunResult MediationSystem::Run() {
   // Drain in-flight service so every allocated query completes.
   sim_.RunAll();
 
-  result_.remaining_providers = active_providers_.size();
+  result_.remaining_providers = core_->active_provider_count();
   result_.remaining_consumers = active_consumers_.size();
   return std::move(result_);
 }
 
 void MediationSystem::OnArrival(des::Simulator& sim) {
   if (active_consumers_.empty()) return;
-  const std::uint32_t consumer_index =
-      active_consumers_[static_cast<std::size_t>(
-          consumer_pick_rng_.NextBounded(active_consumers_.size()))];
-
-  Query query;
-  query.id = next_query_id_++;
-  query.consumer = ConsumerId(consumer_index);
-  query.n = config_.query_n;
-  query.class_index = static_cast<std::uint32_t>(
-      query_class_rng_.NextBounded(population_.num_query_classes()));
-  query.units = population_.QueryUnits(query.class_index);
-  query.issue_time = sim.Now();
+  const Query query =
+      DrawArrivalQuery(config_, population_, active_consumers_,
+                       consumer_pick_rng_, query_class_rng_,
+                       next_query_id_++, sim.Now());
 
   ++result_.queries_issued;
-  AllocateOne(sim, query);
-}
-
-void MediationSystem::AllocateOne(des::Simulator& sim, const Query& query) {
-  const std::vector<ProviderId> pq = matchmaker_.Match(query);
-  if (pq.empty()) {
+  const MediationCore::Outcome outcome = core_->Allocate(sim, query);
+  if (outcome != MediationCore::Outcome::kAllocated) {
     ++result_.queries_infeasible;
-    return;
   }
-
-  ConsumerAgent& consumer = consumers_[query.consumer.index()];
-  const SimTime now = sim.Now();
-
-  // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
-  // intentions (synchronously here; runtime/async_mediator.h exercises the
-  // fork/waituntil/timeout version over the message substrate).
-  scratch_request_.candidates.clear();
-  scratch_consumer_pref_.clear();
-  scratch_provider_pref_.clear();
-  scratch_ci_.clear();
-  scratch_request_.query = &query;
-  scratch_request_.consumer_satisfaction = consumer.Satisfaction();
-
-  for (ProviderId pid : pq) {
-    ProviderAgent& agent = providers_[pid.index()];
-    const double consumer_pref =
-        population_.ConsumerPreference(query.consumer, pid);
-    const double provider_pref =
-        population_.ProviderPreference(pid, query.id);
-    CandidateProvider candidate;
-    candidate.id = pid;
-    candidate.consumer_intention =
-        consumer.ComputeIntention(consumer_pref, reputation_.Get(pid));
-    candidate.provider_intention =
-        agent.ComputeIntention(provider_pref, now);
-    candidate.provider_satisfaction = agent.SatisfactionOnIntentions();
-    candidate.utilization = agent.Utilization(now);
-    candidate.capacity = agent.capacity();
-    candidate.backlog_seconds = agent.BacklogSeconds();
-    candidate.bid_price = agent.ComputeBidPrice(provider_pref);
-    candidate.estimated_delay = agent.EstimateDelay(query.units);
-    scratch_request_.candidates.push_back(candidate);
-    scratch_consumer_pref_.push_back(consumer_pref);
-    scratch_provider_pref_.push_back(provider_pref);
-    scratch_ci_.push_back(candidate.consumer_intention);
-  }
-
-  // Lines 6-10: the method scores, ranks and selects.
-  const AllocationDecision decision = method_->Allocate(scratch_request_);
-  // A strict economic broker may select fewer (even zero) providers, but
-  // never more than Algorithm 1's min(q.n, N).
-  SQLB_CHECK(decision.selected.size() <= SelectionCount(scratch_request_),
-             "allocation produced more selections than min(q.n, N)");
-
-  // Inform every provider of the mediation result (Section 5.4): selected
-  // providers record a performed query; the rest record a proposal only.
-  std::vector<bool> selected_mask(scratch_request_.candidates.size(), false);
-  for (std::size_t idx : decision.selected) {
-    SQLB_CHECK(idx < selected_mask.size(), "selection index out of range");
-    SQLB_CHECK(!selected_mask[idx], "provider selected twice for one query");
-    selected_mask[idx] = true;
-  }
-  for (std::size_t i = 0; i < scratch_request_.candidates.size(); ++i) {
-    ProviderAgent& agent =
-        providers_[scratch_request_.candidates[i].id.index()];
-    agent.OnProposed(scratch_request_.candidates[i].provider_intention,
-                     scratch_provider_pref_[i], selected_mask[i]);
-  }
-
-  // Consumer characterization: Eq. 1 over P_q, Eq. 2 over the selection.
-  const double adequation = QueryAdequation(scratch_ci_);
-  scratch_selected_ci_.clear();
-  for (std::size_t idx : decision.selected) {
-    scratch_selected_ci_.push_back(scratch_ci_[idx]);
-  }
-  const double satisfaction =
-      QuerySatisfaction(scratch_selected_ci_, query.n);
-  consumer.OnAllocated(adequation, satisfaction);
-
-  if (decision.selected.empty()) {
-    // Strict economic broker may leave a query untreated.
-    ++result_.queries_infeasible;
-    return;
-  }
-
-  // Dispatch to the selected providers; the consumer's response arrives
-  // when the last of them completes.
-  pending_.emplace(query.id,
-                   PendingResponse{query.issue_time,
-                                   static_cast<std::uint32_t>(
-                                       decision.selected.size())});
-  for (std::size_t idx : decision.selected) {
-    ProviderAgent& agent =
-        providers_[scratch_request_.candidates[idx].id.index()];
-    agent.Enqueue(sim, query,
-                  [this](const Query& q, ProviderId performer, SimTime t) {
-                    OnQueryCompleted(q, performer, t);
-                  });
-  }
-}
-
-void MediationSystem::OnQueryCompleted(const Query& query,
-                                       ProviderId performer,
-                                       SimTime completion_time) {
-  if (config_.reputation_feedback) {
-    // Satisfaction-of-delivery signal: a response within twice the
-    // performer's own service time is good, long queueing is bad (used by
-    // the upsilon ablation and examples; the paper's upsilon = 1 setup
-    // ignores reputation entirely).
-    const double service =
-        query.units / providers_[performer.index()].capacity();
-    const double this_response = completion_time - query.issue_time;
-    const double feedback =
-        Clamp(1.0 - (this_response - service) / std::max(service, 1e-9),
-              -1.0, 1.0);
-    reputation_.AddFeedback(performer, feedback);
-  }
-
-  auto it = pending_.find(query.id);
-  SQLB_CHECK(it != pending_.end(), "completion for unknown query");
-  if (--it->second.outstanding > 0) return;
-
-  const double response_time = completion_time - it->second.issue_time;
-  pending_.erase(it);
-  ++result_.queries_completed;
-  result_.response_time_all.Add(response_time);
-  if (query.issue_time >= config_.stats_warmup) {
-    result_.response_time.Add(response_time);
-  }
-  response_window_.Add(response_time);
-
-  ConsumerAgent& consumer = consumers_[query.consumer.index()];
-  consumer.OnResult(response_time);
 }
 
 void MediationSystem::SampleMetrics(des::Simulator& sim) {
   const SimTime now = sim.Now();
   des::SeriesSet& s = result_.series;
+  const std::vector<std::uint32_t>& active_providers =
+      core_->active_providers();
 
   std::vector<double> sat_int, sat_pref, adq_int, adq_pref;
   std::vector<double> allocsat_int, allocsat_pref, ut;
-  sat_int.reserve(active_providers_.size());
-  for (std::uint32_t index : active_providers_) {
+  sat_int.reserve(active_providers.size());
+  for (std::uint32_t index : active_providers) {
     ProviderAgent& p = providers_[index];
     sat_int.push_back(p.SatisfactionOnIntentions());
     sat_pref.push_back(p.SatisfactionOnPreferences());
@@ -354,7 +173,7 @@ void MediationSystem::SampleMetrics(des::Simulator& sim) {
 
   s.Add(kSeriesResponseTime, now, response_window_.Mean());
   s.Add(kSeriesActiveProviders, now,
-        static_cast<double>(active_providers_.size()));
+        static_cast<double>(active_providers.size()));
   s.Add(kSeriesActiveConsumers, now,
         static_cast<double>(active_consumers_.size()));
   s.Add(kSeriesWorkloadFraction, now,
@@ -363,122 +182,13 @@ void MediationSystem::SampleMetrics(des::Simulator& sim) {
 
 void MediationSystem::RunDepartureChecks(des::Simulator& sim) {
   const SimTime now = sim.Now();
-  const DepartureConfig& dep = config_.departures;
   const double optimal_ut =
       config_.workload.FractionAt(now, config_.duration);
 
-  // Providers: the paper's order — dissatisfaction, starvation,
-  // overutilization; first matching cause wins. Both utilization rules
-  // are judged on the chronic utilization — the average allocation rate
-  // over capacity since the previous check — rather than the instantaneous
-  // 60-second window: a provider missing one measurement window has not
-  // starved, and a provider riding a short burst is not overutilized; a
-  // provider receiving 2.2x its capacity for a whole assessment period is.
-  if (units_at_last_check_.empty()) {
-    units_at_last_check_.assign(providers_.size(), 0.0);
-  }
-  const SimTime chronic_span = now - last_check_time_;
-  if (dep.provider_dissatisfaction || dep.provider_starvation ||
-      dep.provider_overutilization) {
-    for (std::size_t i = 0; i < active_providers_.size();) {
-      ProviderAgent& p = providers_[active_providers_[i]];
-      const double sat = p.SatisfactionOnPreferences();
-      const double adq = p.AdequationOnPreferences();
-      const double acute_ut = p.Utilization(now);
-      const double chronic_ut =
-          chronic_span > 0.0
-              ? (p.total_allocated_units() -
-                 units_at_last_check_[active_providers_[i]]) /
-                    (p.capacity() * chronic_span)
-              : acute_ut;
-      DepartureReason reason{};
-      bool leaves = false;
-      if (dep.provider_dissatisfaction &&
-          sat < adq - dep.provider_dissat_margin) {
-        reason = DepartureReason::kDissatisfaction;
-        leaves = true;
-      } else if (dep.provider_starvation &&
-                 chronic_ut < dep.starvation_fraction * optimal_ut) {
-        reason = DepartureReason::kStarvation;
-        leaves = true;
-      } else if (dep.provider_overutilization &&
-                 (chronic_ut >
-                      dep.overutilization_fraction * optimal_ut ||
-                  p.BacklogSeconds() >
-                      dep.overutilization_backlog_patience)) {
-        reason = DepartureReason::kOverutilization;
-        leaves = true;
-      }
-      if (leaves) {
-        DepartProvider(i, reason, now);  // swap-removes: do not advance i
-      } else {
-        ++i;
-      }
-    }
-  }
-  for (std::uint32_t index : active_providers_) {
-    units_at_last_check_[index] = providers_[index].total_allocated_units();
-  }
-  last_check_time_ = now;
-
-  if (dep.consumers_may_leave) {
-    if (consumer_violations_.empty()) {
-      consumer_violations_.assign(consumers_.size(), 0);
-    }
-    for (std::size_t i = 0; i < active_consumers_.size();) {
-      const std::uint32_t index = active_consumers_[i];
-      ConsumerAgent& c = consumers_[index];
-      if (c.Satisfaction() < c.Adequation() - dep.consumer_dissat_margin) {
-        ++consumer_violations_[index];
-      } else {
-        consumer_violations_[index] = 0;
-      }
-      if (consumer_violations_[index] >=
-          std::max<std::uint32_t>(1, dep.consumer_hysteresis_checks)) {
-        DepartConsumer(i, now);
-      } else {
-        ++i;
-      }
-    }
-  }
-}
-
-void MediationSystem::DepartProvider(std::size_t index,
-                                     DepartureReason reason, SimTime now) {
-  const std::uint32_t provider_index = active_providers_[index];
-  ProviderAgent& agent = providers_[provider_index];
-  agent.Depart();
-  matchmaker_.Unregister(agent.id());
-
-  DepartureEvent event;
-  event.time = now;
-  event.is_provider = true;
-  event.reason = reason;
-  event.participant_index = provider_index;
-  event.capacity_class = agent.profile().capacity_class;
-  event.interest_class = agent.profile().interest_class;
-  event.adaptation_class = agent.profile().adaptation_class;
-  result_.departures.push_back(event);
-  result_.tally.Add(event);
-
-  active_providers_[index] = active_providers_.back();
-  active_providers_.pop_back();
-}
-
-void MediationSystem::DepartConsumer(std::size_t index, SimTime now) {
-  const std::uint32_t consumer_index = active_consumers_[index];
-  consumers_[consumer_index].Depart();
-
-  DepartureEvent event;
-  event.time = now;
-  event.is_provider = false;
-  event.reason = DepartureReason::kDissatisfaction;
-  event.participant_index = consumer_index;
-  result_.departures.push_back(event);
-  result_.tally.Add(event);
-
-  active_consumers_[index] = active_consumers_.back();
-  active_consumers_.pop_back();
+  core_->RunProviderDepartureChecks(now, optimal_ut);
+  RunConsumerDepartureChecks(config_.departures, consumers_,
+                             active_consumers_, consumer_violations_, now,
+                             &result_);
 }
 
 RunResult RunScenario(const SystemConfig& config, AllocationMethod* method) {

@@ -2,8 +2,8 @@
 #define SQLB_RUNTIME_MEDIATION_SYSTEM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,12 +12,13 @@
 #include "des/arrival_process.h"
 #include "des/simulator.h"
 #include "des/time_series.h"
-#include "matchmaking/matchmaker.h"
 #include "model/metrics.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/departures.h"
+#include "runtime/mediation_core.h"
 #include "runtime/provider_agent.h"
 #include "runtime/reputation.h"
+#include "runtime/scenario.h"
 #include "workload/population.h"
 
 /// \file
@@ -27,85 +28,13 @@
 /// selection by the pluggable AllocationMethod -> result dispatch), FIFO
 /// service at providers, the Section 3 characterization bookkeeping, metric
 /// probes, and the Section 6.3.2 departure rules.
+///
+/// The pipeline itself lives in runtime/mediation_core.h (shared with the
+/// sharded tier, src/shard/); this class owns the population, the arrival
+/// process, the metric probes and the consumer-side departure rule, and
+/// runs exactly one core over the whole provider population.
 
 namespace sqlb::runtime {
-
-/// Workload intensity over a run, as a fraction of total system capacity.
-struct WorkloadSpec {
-  enum class Kind { kConstant, kRamp };
-  Kind kind = Kind::kConstant;
-  /// Constant: the fixed fraction.
-  double fraction = 0.8;
-  /// Ramp: linear from ramp_start (t = 0) to ramp_end (t = duration). The
-  /// paper's quality experiments use 0.3 -> 1.0 (Section 6.3.1).
-  double ramp_start = 0.3;
-  double ramp_end = 1.0;
-
-  double FractionAt(SimTime t, SimTime duration) const;
-  double MaxFraction() const;
-
-  static WorkloadSpec Constant(double fraction);
-  static WorkloadSpec Ramp(double start, double end);
-};
-
-/// Everything a run needs (Table 2 defaults).
-struct SystemConfig {
-  PopulationConfig population;
-  WorkloadSpec workload = WorkloadSpec::Ramp(0.3, 1.0);
-  /// Simulated run length in seconds (paper: 10,000).
-  SimTime duration = 10000.0;
-  /// Metric-probe sampling period.
-  SimTime sample_interval = 50.0;
-  /// Completions of queries issued before this time are excluded from the
-  /// headline response-time statistic (steady-state measurement).
-  SimTime stats_warmup = 500.0;
-  /// q.n for every generated query (paper: 1).
-  std::uint32_t query_n = 1;
-
-  ConsumerAgentConfig consumer;
-  ProviderAgentConfig provider;
-  DepartureConfig departures;  // all disabled = captive participants
-
-  /// When true, consumers push completion feedback into the reputation
-  /// registry (ignored by the paper's upsilon = 1 setup; used by the
-  /// upsilon ablation and examples).
-  bool reputation_feedback = false;
-
-  std::uint64_t seed = 42;
-  /// Collect time series (disable for micro-benchmarks).
-  bool record_series = true;
-};
-
-/// Everything a run produces.
-struct RunResult {
-  std::string method_name;
-  SimTime duration = 0.0;
-
-  // Counters.
-  std::uint64_t queries_issued = 0;
-  std::uint64_t queries_completed = 0;
-  std::uint64_t queries_infeasible = 0;  // no active provider remained
-
-  // Response time over completions of post-warmup queries, and over all.
-  RunningStats response_time;
-  RunningStats response_time_all;
-
-  // Departures.
-  std::vector<DepartureEvent> departures;
-  DepartureTally tally;
-  std::size_t initial_providers = 0;
-  std::size_t initial_consumers = 0;
-  std::size_t remaining_providers = 0;
-  std::size_t remaining_consumers = 0;
-
-  // Time series keyed as documented on MediationSystem::kSeries* constants.
-  des::SeriesSet series;
-
-  /// Percentage (0-100) of providers that departed.
-  double ProviderDeparturePercent() const;
-  /// Percentage (0-100) of consumers that departed.
-  double ConsumerDeparturePercent() const;
-};
 
 /// One simulated system + one allocation method = one run.
 class MediationSystem {
@@ -144,22 +73,12 @@ class MediationSystem {
   const ProviderAgent& provider_agent(ProviderId id) const;
   const ConsumerAgent& consumer_agent(ConsumerId id) const;
   ReputationRegistry& reputation() { return reputation_; }
+  const MediationCore& core() const { return *core_; }
 
  private:
-  struct PendingResponse {
-    SimTime issue_time;
-    std::uint32_t outstanding;
-  };
-
   void OnArrival(des::Simulator& sim);
-  void AllocateOne(des::Simulator& sim, const Query& query);
-  void OnQueryCompleted(const Query& query, ProviderId performer,
-                        SimTime completion_time);
   void SampleMetrics(des::Simulator& sim);
   void RunDepartureChecks(des::Simulator& sim);
-  void DepartProvider(std::size_t index, DepartureReason reason,
-                      SimTime now);
-  void DepartConsumer(std::size_t index, SimTime now);
   double ArrivalRateAt(SimTime t) const;
 
   SystemConfig config_;
@@ -172,33 +91,24 @@ class MediationSystem {
 
   std::vector<ProviderAgent> providers_;
   std::vector<ConsumerAgent> consumers_;
-  /// Indices of still-active participants (swap-removed on departure).
-  std::vector<std::uint32_t> active_providers_;
+  /// Indices of still-active consumers (swap-removed on departure); the
+  /// active provider list lives in the core.
   std::vector<std::uint32_t> active_consumers_;
 
-  AcceptAllMatchmaker matchmaker_;
   ReputationRegistry reputation_;
 
   QueryId next_query_id_ = 0;
-  std::unordered_map<QueryId, PendingResponse> pending_;
   WindowedMean response_window_;
 
-  // Chronic-utilization bookkeeping for the starvation rule: allocated
-  // units and timestamp at each provider's previous departure check.
-  std::vector<double> units_at_last_check_;
-  SimTime last_check_time_ = 0.0;
   // Consecutive failed assessments per consumer (hysteresis).
   std::vector<std::uint32_t> consumer_violations_;
 
   RunResult result_;
   bool ran_ = false;
 
-  // Scratch buffers reused across allocations (the hot path).
-  AllocationRequest scratch_request_;
-  std::vector<double> scratch_consumer_pref_;
-  std::vector<double> scratch_provider_pref_;
-  std::vector<double> scratch_ci_;
-  std::vector<double> scratch_selected_ci_;
+  /// The Algorithm-1 pipeline over the whole provider population
+  /// (constructed after the participant vectors are filled).
+  std::optional<MediationCore> core_;
 };
 
 /// Builds a system around `method`, runs it, returns the result.

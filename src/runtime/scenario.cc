@@ -1,0 +1,59 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace sqlb::runtime {
+
+double WorkloadSpec::FractionAt(SimTime t, SimTime duration) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return fraction;
+    case Kind::kRamp: {
+      if (t <= 0.0) return ramp_start;
+      if (t >= duration) return ramp_end;
+      return Lerp(ramp_start, ramp_end, t / duration);
+    }
+  }
+  return fraction;
+}
+
+double WorkloadSpec::MaxFraction() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return fraction;
+    case Kind::kRamp:
+      return std::max(ramp_start, ramp_end);
+  }
+  return fraction;
+}
+
+WorkloadSpec WorkloadSpec::Constant(double fraction) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kConstant;
+  spec.fraction = fraction;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::Ramp(double start, double end) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kRamp;
+  spec.ramp_start = start;
+  spec.ramp_end = end;
+  return spec;
+}
+
+double RunResult::ProviderDeparturePercent() const {
+  if (initial_providers == 0) return 0.0;
+  return 100.0 * static_cast<double>(tally.providers_total()) /
+         static_cast<double>(initial_providers);
+}
+
+double RunResult::ConsumerDeparturePercent() const {
+  if (initial_consumers == 0) return 0.0;
+  return 100.0 * static_cast<double>(tally.consumers_total()) /
+         static_cast<double>(initial_consumers);
+}
+
+}  // namespace sqlb::runtime

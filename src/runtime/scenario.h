@@ -1,0 +1,104 @@
+#ifndef SQLB_RUNTIME_SCENARIO_H_
+#define SQLB_RUNTIME_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "des/time_series.h"
+#include "runtime/consumer_agent.h"
+#include "runtime/departures.h"
+#include "runtime/provider_agent.h"
+#include "workload/population.h"
+
+/// \file
+/// What a run needs and what a run produces, independent of who runs it:
+/// the mono-mediator `runtime::MediationSystem` and the sharded
+/// `shard::ShardedMediationSystem` both consume a SystemConfig and emit a
+/// RunResult, which is what lets every experiment, bench and test compare
+/// the two tiers on identical terms.
+
+namespace sqlb::runtime {
+
+/// Workload intensity over a run, as a fraction of total system capacity.
+struct WorkloadSpec {
+  enum class Kind { kConstant, kRamp };
+  Kind kind = Kind::kConstant;
+  /// Constant: the fixed fraction.
+  double fraction = 0.8;
+  /// Ramp: linear from ramp_start (t = 0) to ramp_end (t = duration). The
+  /// paper's quality experiments use 0.3 -> 1.0 (Section 6.3.1).
+  double ramp_start = 0.3;
+  double ramp_end = 1.0;
+
+  double FractionAt(SimTime t, SimTime duration) const;
+  double MaxFraction() const;
+
+  static WorkloadSpec Constant(double fraction);
+  static WorkloadSpec Ramp(double start, double end);
+};
+
+/// Everything a run needs (Table 2 defaults).
+struct SystemConfig {
+  PopulationConfig population;
+  WorkloadSpec workload = WorkloadSpec::Ramp(0.3, 1.0);
+  /// Simulated run length in seconds (paper: 10,000).
+  SimTime duration = 10000.0;
+  /// Metric-probe sampling period.
+  SimTime sample_interval = 50.0;
+  /// Completions of queries issued before this time are excluded from the
+  /// headline response-time statistic (steady-state measurement).
+  SimTime stats_warmup = 500.0;
+  /// q.n for every generated query (paper: 1).
+  std::uint32_t query_n = 1;
+
+  ConsumerAgentConfig consumer;
+  ProviderAgentConfig provider;
+  DepartureConfig departures;  // all disabled = captive participants
+
+  /// When true, consumers push completion feedback into the reputation
+  /// registry (ignored by the paper's upsilon = 1 setup; used by the
+  /// upsilon ablation and examples).
+  bool reputation_feedback = false;
+
+  std::uint64_t seed = 42;
+  /// Collect time series (disable for micro-benchmarks).
+  bool record_series = true;
+};
+
+/// Everything a run produces.
+struct RunResult {
+  std::string method_name;
+  SimTime duration = 0.0;
+
+  // Counters.
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_infeasible = 0;  // no active provider remained
+
+  // Response time over completions of post-warmup queries, and over all.
+  RunningStats response_time;
+  RunningStats response_time_all;
+
+  // Departures.
+  std::vector<DepartureEvent> departures;
+  DepartureTally tally;
+  std::size_t initial_providers = 0;
+  std::size_t initial_consumers = 0;
+  std::size_t remaining_providers = 0;
+  std::size_t remaining_consumers = 0;
+
+  // Time series keyed as documented on MediationSystem::kSeries* constants.
+  des::SeriesSet series;
+
+  /// Percentage (0-100) of providers that departed.
+  double ProviderDeparturePercent() const;
+  /// Percentage (0-100) of consumers that departed.
+  double ConsumerDeparturePercent() const;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_SCENARIO_H_

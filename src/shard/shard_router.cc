@@ -1,0 +1,157 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sqlb::shard {
+namespace {
+
+// Key-space salts so ring points, provider keys, query keys and consumer
+// keys hash into unrelated streams of the same CounterRng.
+constexpr std::uint64_t kRingSalt = 0x72696e67ULL;      // "ring"
+constexpr std::uint64_t kProviderSalt = 0x70726f76ULL;  // "prov"
+constexpr std::uint64_t kQuerySalt = 0x71757279ULL;     // "qury"
+constexpr std::uint64_t kConsumerSalt = 0x636f6e73ULL;  // "cons"
+
+}  // namespace
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kHash:
+      return "hash";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RoutingPolicy::kLocality:
+      return "locality";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(const RouterConfig& config)
+    : config_(config), hash_(config.seed ^ 0x5da4d00dULL) {
+  SQLB_CHECK(config_.num_shards >= 1, "router needs at least one shard");
+  SQLB_CHECK(config_.virtual_nodes >= 1,
+             "router needs at least one virtual node per shard");
+
+  ring_.reserve(config_.num_shards * config_.virtual_nodes);
+  for (std::uint32_t shard = 0; shard < config_.num_shards; ++shard) {
+    for (std::uint64_t vnode = 0; vnode < config_.virtual_nodes; ++vnode) {
+      ring_.emplace_back(hash_.Uint64(kRingSalt ^ (vnode << 8), shard),
+                         shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  loads_.resize(config_.num_shards);
+}
+
+std::uint32_t ShardRouter::RingLookup(std::uint64_t hash) const {
+  // First ring point clockwise of `hash`, wrapping at the top.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](std::uint64_t h, const std::pair<std::uint64_t, std::uint32_t>& p) {
+        return h < p.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::uint32_t ShardRouter::ShardOfProvider(ProviderId id) const {
+  return RingLookup(hash_.Uint64(kProviderSalt, id.index()));
+}
+
+std::vector<std::vector<std::uint32_t>> ShardRouter::PartitionProviders(
+    const std::vector<ProviderProfile>& providers) const {
+  std::vector<std::vector<std::uint32_t>> partition(config_.num_shards);
+  for (const ProviderProfile& profile : providers) {
+    partition[ShardOfProvider(profile.id)].push_back(profile.id.index());
+  }
+  return partition;
+}
+
+std::uint32_t ShardRouter::FreshLeastLoaded(
+    SimTime now, const std::vector<bool>& exclude) const {
+  std::uint32_t best = static_cast<std::uint32_t>(config_.num_shards);
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    if (s < exclude.size() && exclude[s]) continue;
+    if (!HasFreshReport(s, now)) continue;
+    // An idle shard with no providers left is not a routing target.
+    if (loads_[s].active_providers == 0) continue;
+    if (best == config_.num_shards ||
+        loads_[s].utilization < loads_[best].utilization) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::uint32_t ShardRouter::Route(const Query& query, SimTime now) {
+  switch (config_.policy) {
+    case RoutingPolicy::kHash:
+      break;
+    case RoutingPolicy::kLocality:
+      return RingLookup(hash_.Uint64(kConsumerSalt, query.consumer.index()));
+    case RoutingPolicy::kLeastLoaded: {
+      const std::uint32_t best = FreshLeastLoaded(now, {});
+      if (best < config_.num_shards) return best;
+      // Every report expired (gossip disabled, partitioned, or not yet
+      // warmed up): degrade to the stateless spread rather than hammering
+      // shard 0.
+      ++stale_fallbacks_;
+      break;
+    }
+  }
+  return RingLookup(hash_.Uint64(kQuerySalt, query.id));
+}
+
+std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now,
+                                     const std::vector<bool>& tried) const {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  if (config_.num_shards == 1) return shard;
+  const std::uint32_t best = FreshLeastLoaded(now, tried);
+  if (best < config_.num_shards) return best;
+  // No load view (or every fresh shard already tried): walk the index ring
+  // to the next untried shard, so a re-route visits each shard at most
+  // once instead of bouncing between two bad ones.
+  const std::uint32_t m = static_cast<std::uint32_t>(config_.num_shards);
+  for (std::uint32_t step = 1; step < m; ++step) {
+    const std::uint32_t candidate = (shard + step) % m;
+    if (candidate < tried.size() && tried[candidate]) continue;
+    return candidate;
+  }
+  return shard;
+}
+
+std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now) const {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  std::vector<bool> tried(config_.num_shards, false);
+  tried[shard] = true;
+  return NextShard(shard, now, tried);
+}
+
+void ShardRouter::ReportLoad(std::uint32_t shard, double utilization,
+                             std::size_t active_providers,
+                             SimTime measured_at) {
+  SQLB_CHECK(shard < config_.num_shards, "load report for unknown shard");
+  ++reports_;
+  // Delayed deliveries may arrive out of order; keep the newest view.
+  if (measured_at >= loads_[shard].measured_at) {
+    loads_[shard].utilization = utilization;
+    loads_[shard].active_providers = active_providers;
+    loads_[shard].measured_at = measured_at;
+  }
+}
+
+double ShardRouter::LoadOf(std::uint32_t shard) const {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  return loads_[shard].utilization;
+}
+
+bool ShardRouter::HasFreshReport(std::uint32_t shard, SimTime now) const {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  if (loads_[shard].measured_at == -kSimTimeInfinity) return false;
+  if (config_.report_staleness <= 0.0) return true;
+  return now - loads_[shard].measured_at <= config_.report_staleness;
+}
+
+}  // namespace sqlb::shard

@@ -1,0 +1,127 @@
+#ifndef SQLB_SHARD_SHARD_ROUTER_H_
+#define SQLB_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/query.h"
+#include "workload/population.h"
+
+/// \file
+/// Query-to-shard routing for the sharded mediation tier (src/shard/).
+///
+/// Providers are partitioned onto M shards with a consistent-hash ring
+/// (virtual nodes per shard), so growing or shrinking the mediator fleet
+/// moves only ~1/M of the provider population instead of reshuffling all of
+/// it. Arriving queries are routed by one of three policies:
+///
+///   - kHash:        ring lookup of the query id — stateless uniform spread;
+///   - kLeastLoaded: lowest gossip-reported utilization — load-aware, on a
+///                   stale-but-bounded view (reports older than the
+///                   staleness bound are ignored; when every report has
+///                   expired the router falls back to hash routing, the
+///                   timeout path a silent gossip partition exercises);
+///   - kLocality:    ring lookup of the consumer id — session affinity, so
+///                   a consumer's queries keep hitting the same shard and
+///                   its preference/characterization state stays hot there.
+
+namespace sqlb::shard {
+
+enum class RoutingPolicy : std::uint8_t {
+  kHash = 0,
+  kLeastLoaded = 1,
+  kLocality = 2,
+};
+
+/// "hash", "least-loaded", "locality".
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+struct RouterConfig {
+  std::size_t num_shards = 1;
+  RoutingPolicy policy = RoutingPolicy::kHash;
+  /// Ring points per shard. More virtual nodes even out the provider
+  /// partition at the cost of a larger (still tiny) ring.
+  std::size_t virtual_nodes = 64;
+  /// Seeds the ring and key hashing; routing is a pure function of
+  /// (seed, key), independent of call order.
+  std::uint64_t seed = 42;
+  /// A load report measured more than this many seconds ago no longer
+  /// informs least-loaded routing. <= 0 means reports never expire.
+  SimTime report_staleness = 30.0;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const RouterConfig& config);
+
+  std::size_t num_shards() const { return config_.num_shards; }
+  RoutingPolicy policy() const { return config_.policy; }
+
+  /// Consistent-hash home shard of a provider.
+  std::uint32_t ShardOfProvider(ProviderId id) const;
+
+  /// Splits the provider population into per-shard member lists (global
+  /// provider indices, ascending within each shard).
+  std::vector<std::vector<std::uint32_t>> PartitionProviders(
+      const std::vector<ProviderProfile>& providers) const;
+
+  /// Routes an arriving query under the configured policy. `now` bounds the
+  /// staleness of the load view least-loaded routing may use.
+  std::uint32_t Route(const Query& query, SimTime now);
+
+  /// Rebalance target when `shard` bounced a query (empty candidate set or
+  /// saturation): the least-loaded untried shard with a fresh load view,
+  /// the next untried shard in index order otherwise. `tried` (indexed by
+  /// shard, `tried[shard]` included) keeps one query's re-route walk from
+  /// ping-ponging between two unusable shards. Returns `shard` itself only
+  /// when every shard has been tried.
+  std::uint32_t NextShard(std::uint32_t shard, SimTime now,
+                          const std::vector<bool>& tried) const;
+  /// Convenience for a first bounce: only `shard` counts as tried.
+  std::uint32_t NextShard(std::uint32_t shard, SimTime now) const;
+
+  /// Ingests one (possibly delayed) load report for `shard`. A shard
+  /// reporting zero active providers is skipped by load-aware routing — it
+  /// cannot serve, however idle it looks.
+  void ReportLoad(std::uint32_t shard, double utilization,
+                  std::size_t active_providers, SimTime measured_at);
+
+  /// Last reported utilization (0 before any report).
+  double LoadOf(std::uint32_t shard) const;
+  /// True when `shard`'s last report is within the staleness bound.
+  bool HasFreshReport(std::uint32_t shard, SimTime now) const;
+
+  std::uint64_t reports_received() const { return reports_; }
+  /// Least-loaded routing decisions that fell back to hashing because every
+  /// load report had expired.
+  std::uint64_t stale_fallbacks() const { return stale_fallbacks_; }
+
+ private:
+  std::uint32_t RingLookup(std::uint64_t hash) const;
+  /// Least-loaded provider-bearing shard with a fresh report, skipping
+  /// shards marked in `exclude` (may be empty = exclude none). Returns
+  /// num_shards() when no such shard exists.
+  std::uint32_t FreshLeastLoaded(SimTime now,
+                                 const std::vector<bool>& exclude) const;
+
+  struct LoadEntry {
+    double utilization = 0.0;
+    std::size_t active_providers = 0;
+    SimTime measured_at = -kSimTimeInfinity;
+  };
+
+  RouterConfig config_;
+  CounterRng hash_;
+  /// (point hash, shard) sorted by hash — the consistent-hash ring.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::vector<LoadEntry> loads_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t stale_fallbacks_ = 0;
+};
+
+}  // namespace sqlb::shard
+
+#endif  // SQLB_SHARD_SHARD_ROUTER_H_

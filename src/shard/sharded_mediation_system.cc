@@ -1,0 +1,365 @@
+#include "shard/sharded_mediation_system.h"
+
+#include <algorithm>
+#include <any>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "model/metrics.h"
+#include "runtime/mediation_system.h"
+
+namespace sqlb::shard {
+namespace {
+
+/// Protocol message kind for shard -> router load gossip.
+constexpr std::uint32_t kLoadReportKind = 1;
+
+/// Gossip payload: one shard's self-measured load at `measured_at`. By the
+/// time the network delivers it, the measurement is already stale — which
+/// is the point: routing decisions run on the same bounded-staleness view a
+/// real mediator fleet would have.
+struct LoadReport {
+  std::uint32_t shard = 0;
+  double utilization = 0.0;
+  std::size_t active_providers = 0;
+  SimTime measured_at = 0.0;
+};
+
+}  // namespace
+
+/// Router-side network node: folds delivered load reports into the router's
+/// load table. Also lends its OnMessage-less shard sender addresses their
+/// identity (the per-shard mediation loops are not message-driven nodes;
+/// only their reports travel the network).
+class ShardedMediationSystem::GossipSink final : public msg::Node {
+ public:
+  explicit GossipSink(ShardRouter* router) : router_(router) {}
+
+  void OnMessage(msg::Network& network, const msg::Message& message) override {
+    (void)network;
+    if (message.kind != kLoadReportKind) return;
+    const auto& report = std::any_cast<const LoadReport&>(message.payload);
+    router_->ReportLoad(report.shard, report.utilization,
+                        report.active_providers, report.measured_at);
+  }
+
+ private:
+  ShardRouter* router_;
+};
+
+double ShardedRunResult::RouteImbalance() const {
+  std::vector<double> routed;
+  routed.reserve(shards.size());
+  for (const ShardStats& s : shards) {
+    routed.push_back(static_cast<double>(s.routed));
+  }
+  return LoadImbalance(routed);
+}
+
+ShardedMediationSystem::ShardedMediationSystem(
+    const ShardedSystemConfig& config, MethodFactory factory)
+    : config_(config),
+      population_(config.base.population, config.base.seed),
+      // The shared streams fork in the same order as the mono-mediator's
+      // (11, 12 here, 13 for arrivals in Run), which is what makes an M = 1
+      // run replay the mono system query for query. Everything shard-tier
+      // (ring hashing, network latency) draws from independent generators.
+      rng_(config.base.seed ^ 0x5e5703a7ULL),
+      query_class_rng_(rng_.Fork(11)),
+      consumer_pick_rng_(rng_.Fork(12)),
+      reputation_(config.base.population.num_providers, 0.0, 0.1),
+      router_(config.router),
+      network_(sim_, config.gossip_latency,
+               Rng(config.base.seed ^ 0x60551bULL)),
+      response_window_(500) {
+  SQLB_CHECK(factory != nullptr, "sharded system needs a method factory");
+  SQLB_CHECK(config.base.duration > 0.0, "run duration must be positive");
+  SQLB_CHECK(config.base.query_n >= 1, "q.n must be >= 1");
+  SQLB_CHECK(config.router.num_shards >= 1, "need at least one shard");
+
+  providers_.reserve(population_.num_providers());
+  for (const ProviderProfile& profile : population_.providers()) {
+    providers_.emplace_back(profile, config_.base.provider);
+  }
+  consumers_.reserve(population_.num_consumers());
+  for (std::size_t c = 0; c < population_.num_consumers(); ++c) {
+    consumers_.emplace_back(ConsumerId(static_cast<std::uint32_t>(c)),
+                            config_.base.consumer);
+    active_consumers_.push_back(static_cast<std::uint32_t>(c));
+  }
+
+  // Partition the provider population and raise one pipeline per shard.
+  const std::vector<std::vector<std::uint32_t>> partition =
+      router_.PartitionProviders(population_.providers());
+  runtime::MediationCore::Shared shared;
+  shared.config = &config_.base;
+  shared.population = &population_;
+  shared.providers = &providers_;
+  shared.consumers = &consumers_;
+  shared.reputation = &reputation_;
+  shared.result = &result_.run;
+  shared.response_window = &response_window_;
+
+  const std::size_t num_shards = config_.router.num_shards;
+  methods_.reserve(num_shards);
+  cores_.reserve(num_shards);
+  result_.shards.resize(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    methods_.push_back(factory(s));
+    SQLB_CHECK(methods_.back() != nullptr, "method factory returned null");
+    cores_.push_back(std::make_unique<runtime::MediationCore>(
+        shared, methods_.back().get(), partition[s]));
+    result_.shards[s].initial_providers = partition[s].size();
+  }
+
+  // Gossip endpoints: one sender address per shard, one router-side sink.
+  gossip_sink_ = std::make_unique<GossipSink>(&router_);
+  shard_addresses_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shard_addresses_.push_back(network_.Register(gossip_sink_.get()));
+  }
+  sink_address_ = network_.Register(gossip_sink_.get());
+
+  result_.run.method_name = methods_.front()->name();
+  result_.run.duration = config_.base.duration;
+  result_.run.initial_providers = providers_.size();
+  result_.run.initial_consumers = consumers_.size();
+}
+
+ShardedMediationSystem::~ShardedMediationSystem() = default;
+
+double ShardedMediationSystem::ArrivalRateAt(SimTime t) const {
+  return runtime::ScaledArrivalRate(config_.base, population_,
+                                    active_consumers_.size(),
+                                    result_.run.initial_consumers, t);
+}
+
+ShardedRunResult ShardedMediationSystem::Run() {
+  SQLB_CHECK(!ran_, "ShardedMediationSystem::Run may only be called once");
+  ran_ = true;
+  const runtime::SystemConfig& base = config_.base;
+
+  // Arrival process over the whole run (fork 13, as in the mono system).
+  const double max_rate = base.workload.MaxFraction() *
+                          population_.total_capacity() /
+                          population_.mean_query_units();
+  des::PoissonArrivalProcess arrivals(
+      [this](SimTime t) { return ArrivalRateAt(t); }, max_rate,
+      rng_.Fork(13));
+  arrivals.Start(sim_, 0.0, base.duration,
+                 [this](des::Simulator& sim) { OnArrival(sim); });
+
+  // Metric probes.
+  des::PeriodicTask probe;
+  if (base.record_series) {
+    probe.Start(sim_, base.sample_interval, base.sample_interval,
+                base.duration,
+                [this](des::Simulator& sim) { SampleMetrics(sim); });
+  }
+
+  // Cross-shard load gossip.
+  des::PeriodicTask gossip;
+  if (config_.gossip_enabled) {
+    gossip.Start(sim_, config_.gossip_interval, config_.gossip_interval,
+                 base.duration,
+                 [this](des::Simulator& sim) { SendLoadReports(sim); });
+  }
+
+  // Departure checks.
+  des::PeriodicTask departure_task;
+  const runtime::DepartureConfig& dep = base.departures;
+  const bool departures_enabled =
+      dep.consumers_may_leave || dep.provider_dissatisfaction ||
+      dep.provider_starvation || dep.provider_overutilization;
+  if (departures_enabled) {
+    departure_task.Start(sim_, dep.grace_period, dep.check_interval,
+                         base.duration,
+                         [this](des::Simulator& sim) {
+                           RunDepartureChecks(sim);
+                         });
+  }
+
+  sim_.RunUntil(base.duration);
+  // Drain in-flight service (and gossip) so every allocated query completes.
+  sim_.RunAll();
+
+  std::size_t remaining = 0;
+  for (std::size_t s = 0; s < cores_.size(); ++s) {
+    result_.shards[s].remaining_providers = cores_[s]->active_provider_count();
+    result_.shards[s].allocated = cores_[s]->allocated_queries();
+    remaining += cores_[s]->active_provider_count();
+  }
+  result_.run.remaining_providers = remaining;
+  result_.run.remaining_consumers = active_consumers_.size();
+  result_.gossip_sent = network_.sent_messages();
+  result_.gossip_delivered = network_.delivered_messages();
+  result_.stale_fallbacks = router_.stale_fallbacks();
+  return std::move(result_);
+}
+
+void ShardedMediationSystem::OnArrival(des::Simulator& sim) {
+  if (active_consumers_.empty()) return;
+  const Query query = runtime::DrawArrivalQuery(
+      config_.base, population_, active_consumers_, consumer_pick_rng_,
+      query_class_rng_, next_query_id_++, sim.Now());
+
+  ++result_.run.queries_issued;
+
+  const SimTime now = sim.Now();
+  std::uint32_t shard = router_.Route(query, now);
+  ++result_.shards[shard].routed;
+
+  std::size_t attempts = 1;
+  if (config_.rerouting_enabled && cores_.size() > 1) {
+    attempts = std::min<std::size_t>(
+        std::max<std::size_t>(config_.max_route_attempts, 1), cores_.size());
+  }
+
+  // Shards this query has bounced off, so the re-route walk visits each
+  // shard at most once (sized lazily: most queries never bounce).
+  std::vector<bool> tried;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    const bool final_attempt = attempt + 1 == attempts;
+    // The last shard tried must mediate even past the saturation bound: a
+    // system that is saturated everywhere still has to serve its queries.
+    const double saturation_bound =
+        final_attempt ? 0.0 : config_.saturation_backlog_seconds;
+    const runtime::MediationCore::Outcome outcome =
+        cores_[shard]->Allocate(sim, query, saturation_bound);
+    switch (outcome) {
+      case runtime::MediationCore::Outcome::kAllocated:
+        if (attempt > 0) ++result_.reroute_rescues;
+        return;
+      case runtime::MediationCore::Outcome::kUnallocated:
+        // The method saw the full candidate set and refused (strict
+        // economic broker). That mediation round happened — providers and
+        // the consumer recorded it — so replaying the query on another
+        // shard would double-count; the mono system treats it the same.
+        ++result_.run.queries_infeasible;
+        return;
+      case runtime::MediationCore::Outcome::kNoCandidates:
+      case runtime::MediationCore::Outcome::kSaturated:
+        break;  // bounce to the next shard, if any attempt remains
+    }
+    if (!final_attempt) {
+      if (tried.empty()) tried.assign(cores_.size(), false);
+      tried[shard] = true;
+      shard = router_.NextShard(shard, now, tried);
+      ++result_.reroutes;
+    }
+  }
+  ++result_.run.queries_infeasible;
+}
+
+void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
+  const SimTime now = sim.Now();
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    LoadReport report;
+    report.shard = s;
+    report.utilization = cores_[s]->MeanCommittedUtilization(now);
+    report.active_providers = cores_[s]->active_provider_count();
+    report.measured_at = now;
+
+    msg::Message message;
+    message.from = shard_addresses_[s];
+    message.to = sink_address_;
+    message.kind = kLoadReportKind;
+    message.correlation = s;
+    message.payload = report;
+    network_.Send(std::move(message));
+  }
+}
+
+void ShardedMediationSystem::SampleMetrics(des::Simulator& sim) {
+  using runtime::MediationSystem;
+  const SimTime now = sim.Now();
+  des::SeriesSet& s = result_.run.series;
+
+  // Aggregate the provider metrics across shards in shard order, so an
+  // M = 1 run samples in exactly the mono-mediator's iteration order.
+  std::vector<double> sat_int, sat_pref, adq_int, adq_pref;
+  std::vector<double> allocsat_int, allocsat_pref, ut;
+  sat_int.reserve(providers_.size());
+  for (std::size_t shard = 0; shard < cores_.size(); ++shard) {
+    for (std::uint32_t index : cores_[shard]->active_providers()) {
+      runtime::ProviderAgent& p = providers_[index];
+      sat_int.push_back(p.SatisfactionOnIntentions());
+      sat_pref.push_back(p.SatisfactionOnPreferences());
+      adq_int.push_back(p.AdequationOnIntentions());
+      adq_pref.push_back(p.AdequationOnPreferences());
+      allocsat_int.push_back(p.window().AllocationSatisfactionValue(
+          ProviderWindow::Channel::kIntention));
+      allocsat_pref.push_back(p.window().AllocationSatisfactionValue(
+          ProviderWindow::Channel::kPreference));
+      ut.push_back(p.Utilization(now));
+    }
+  }
+  s.Add(MediationSystem::kSeriesProvSatIntMean, now, Mean(sat_int));
+  s.Add(MediationSystem::kSeriesProvSatPrefMean, now, Mean(sat_pref));
+  s.Add(MediationSystem::kSeriesProvAdqIntMean, now, Mean(adq_int));
+  s.Add(MediationSystem::kSeriesProvAdqPrefMean, now, Mean(adq_pref));
+  s.Add(MediationSystem::kSeriesProvAllocSatIntMean, now, Mean(allocsat_int));
+  s.Add(MediationSystem::kSeriesProvAllocSatPrefMean, now,
+        Mean(allocsat_pref));
+  s.Add(MediationSystem::kSeriesProvSatIntFair, now, JainFairness(sat_int));
+  s.Add(MediationSystem::kSeriesProvSatPrefFair, now, JainFairness(sat_pref));
+  s.Add(MediationSystem::kSeriesUtMean, now, Mean(ut));
+  s.Add(MediationSystem::kSeriesUtFair, now, JainFairness(ut));
+
+  std::vector<double> csat, cadq, callocsat;
+  csat.reserve(active_consumers_.size());
+  for (std::uint32_t index : active_consumers_) {
+    runtime::ConsumerAgent& c = consumers_[index];
+    csat.push_back(c.Satisfaction());
+    cadq.push_back(c.Adequation());
+    callocsat.push_back(c.AllocationSatisfactionValue());
+  }
+  s.Add(MediationSystem::kSeriesConsSatMean, now, Mean(csat));
+  s.Add(MediationSystem::kSeriesConsAdqMean, now, Mean(cadq));
+  s.Add(MediationSystem::kSeriesConsAllocSatMean, now, Mean(callocsat));
+  s.Add(MediationSystem::kSeriesConsSatFair, now, JainFairness(csat));
+
+  s.Add(MediationSystem::kSeriesResponseTime, now, response_window_.Mean());
+  std::size_t active_providers = 0;
+  for (const auto& core : cores_) active_providers += core->active_provider_count();
+  s.Add(MediationSystem::kSeriesActiveProviders, now,
+        static_cast<double>(active_providers));
+  s.Add(MediationSystem::kSeriesActiveConsumers, now,
+        static_cast<double>(active_consumers_.size()));
+  s.Add(MediationSystem::kSeriesWorkloadFraction, now,
+        config_.base.workload.FractionAt(now, config_.base.duration));
+
+  // The shard-tier view: per-shard load and membership.
+  for (std::size_t shard = 0; shard < cores_.size(); ++shard) {
+    s.Add(kSeriesShardUtPrefix + std::to_string(shard), now,
+          cores_[shard]->MeanCommittedUtilization(now));
+    s.Add(kSeriesShardActivePrefix + std::to_string(shard), now,
+          static_cast<double>(cores_[shard]->active_provider_count()));
+  }
+}
+
+void ShardedMediationSystem::RunDepartureChecks(des::Simulator& sim) {
+  const SimTime now = sim.Now();
+  const runtime::DepartureConfig& dep = config_.base.departures;
+  const double optimal_ut =
+      config_.base.workload.FractionAt(now, config_.base.duration);
+
+  // Section 6.3.2 provider rules, shard by shard: each mediator assesses
+  // only its own members; consumers are system-global.
+  for (const auto& core : cores_) {
+    core->RunProviderDepartureChecks(now, optimal_ut);
+  }
+  runtime::RunConsumerDepartureChecks(dep, consumers_, active_consumers_,
+                                      consumer_violations_, now,
+                                      &result_.run);
+}
+
+ShardedRunResult RunShardedScenario(
+    const ShardedSystemConfig& config,
+    ShardedMediationSystem::MethodFactory factory) {
+  ShardedMediationSystem system(config, std::move(factory));
+  return system.Run();
+}
+
+}  // namespace sqlb::shard

@@ -1,0 +1,176 @@
+#ifndef SQLB_SHARD_SHARDED_MEDIATION_SYSTEM_H_
+#define SQLB_SHARD_SHARDED_MEDIATION_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/allocation.h"
+#include "des/arrival_process.h"
+#include "des/simulator.h"
+#include "msg/network.h"
+#include "runtime/consumer_agent.h"
+#include "runtime/mediation_core.h"
+#include "runtime/provider_agent.h"
+#include "runtime/reputation.h"
+#include "runtime/scenario.h"
+#include "shard/shard_router.h"
+#include "workload/population.h"
+
+/// \file
+/// The sharded mediation tier: M mediators, each running the Algorithm-1
+/// pipeline (runtime/mediation_core.h) over a consistent-hash partition of
+/// the provider population, on one shared discrete-event kernel.
+///
+/// Cross-shard load visibility travels as periodic load-report gossip over
+/// the simulated network (msg/network.h), so the routing policies observe a
+/// stale-but-bounded view of per-shard utilization — exactly the signal the
+/// market-style deployments of PAPERS.md (Mariposa's load-scaled bidding,
+/// consumer-centric brokered pools) need at scale. Queries bounced by a
+/// shard (no active candidate after matchmaking, or every candidate past
+/// the saturation bound) are re-routed to the next shard instead of being
+/// dropped.
+///
+/// With M = 1 the tier reduces to the mono-mediator `MediationSystem` —
+/// same RNG streams, same pipeline code — and reproduces its RunResult
+/// bit-for-bit, which tests/shard/sharded_mediation_test.cc pins.
+
+namespace sqlb::shard {
+
+struct ShardedSystemConfig {
+  /// The scenario itself: population, workload, durations, agent configs,
+  /// departure rules — identical in meaning to the mono-mediator run.
+  runtime::SystemConfig base;
+  /// Shard count, routing policy, ring geometry, staleness bound.
+  RouterConfig router;
+
+  /// Periodic per-shard load reports to the router, over the simulated
+  /// network (delivery latency makes the router's view stale).
+  bool gossip_enabled = true;
+  SimTime gossip_interval = 5.0;
+  msg::LatencyModel gossip_latency{0.005, 0.005};
+
+  /// Re-route a bounced query to another shard (M > 1 only). A query is
+  /// bounced when its shard has no active candidate, or — when
+  /// `saturation_backlog_seconds` > 0 — every candidate drags more queued
+  /// work than that bound. The final attempt always mediates, saturated or
+  /// not: a fully loaded system must still serve.
+  bool rerouting_enabled = true;
+  double saturation_backlog_seconds = 0.0;
+  /// Total shards tried per query (clamped to M).
+  std::size_t max_route_attempts = 2;
+};
+
+/// Per-shard accounting of one run.
+struct ShardStats {
+  std::size_t initial_providers = 0;
+  std::size_t remaining_providers = 0;
+  /// Queries whose first-choice route was this shard.
+  std::uint64_t routed = 0;
+  /// Queries this shard actually dispatched to providers.
+  std::uint64_t allocated = 0;
+};
+
+/// Everything a sharded run produces: the mono-compatible RunResult
+/// (counters, response times, departures, aggregated series) plus the
+/// shard-tier view.
+struct ShardedRunResult {
+  runtime::RunResult run;
+  std::vector<ShardStats> shards;
+
+  /// Mediation attempts made on a non-first-choice shard.
+  std::uint64_t reroutes = 0;
+  /// Queries that a re-route saved from infeasibility.
+  std::uint64_t reroute_rescues = 0;
+  /// Load reports delivered to the router over the network.
+  std::uint64_t gossip_delivered = 0;
+  std::uint64_t gossip_sent = 0;
+  /// Routing decisions that found every load report expired.
+  std::uint64_t stale_fallbacks = 0;
+
+  /// max/mean ratio of first-choice routes per shard (1 = perfectly even).
+  double RouteImbalance() const;
+};
+
+/// M mediators + router + gossip + one allocation method per shard = one
+/// run. Mirrors `runtime::MediationSystem`'s lifecycle: construct, Run()
+/// once, read the result.
+class ShardedMediationSystem {
+ public:
+  /// Fresh method instance per shard (methods are stateful; shards must not
+  /// share a cursor or window). Called once per shard at construction.
+  using MethodFactory =
+      std::function<std::unique_ptr<AllocationMethod>(std::uint32_t shard)>;
+
+  ShardedMediationSystem(const ShardedSystemConfig& config,
+                         MethodFactory factory);
+  ~ShardedMediationSystem();
+
+  /// Executes the full scenario and returns the result. Call once.
+  ShardedRunResult Run();
+
+  // --- Extra series keys (per-shard load, on top of the mono keys) --------
+  /// Per-shard mean committed utilization; the shard index is appended
+  /// ("shard.ut.0", "shard.ut.1", ...).
+  static constexpr const char* kSeriesShardUtPrefix = "shard.ut.";
+  /// Active providers per shard ("shard.active.0", ...).
+  static constexpr const char* kSeriesShardActivePrefix = "shard.active.";
+
+  // Introspection for tests.
+  std::size_t num_shards() const { return cores_.size(); }
+  const ShardRouter& router() const { return router_; }
+  const runtime::MediationCore& core(std::size_t shard) const {
+    return *cores_[shard];
+  }
+  const Population& population() const { return population_; }
+  const msg::Network& network() const { return network_; }
+
+ private:
+  class GossipSink;  // router-side msg::Node ingesting load reports
+
+  void OnArrival(des::Simulator& sim);
+  void SampleMetrics(des::Simulator& sim);
+  void RunDepartureChecks(des::Simulator& sim);
+  void SendLoadReports(des::Simulator& sim);
+  double ArrivalRateAt(SimTime t) const;
+
+  ShardedSystemConfig config_;
+  Population population_;
+  des::Simulator sim_;
+  Rng rng_;
+  Rng query_class_rng_;
+  Rng consumer_pick_rng_;
+
+  std::vector<runtime::ProviderAgent> providers_;
+  std::vector<runtime::ConsumerAgent> consumers_;
+  std::vector<std::uint32_t> active_consumers_;
+  runtime::ReputationRegistry reputation_;
+
+  ShardRouter router_;
+  std::vector<std::unique_ptr<AllocationMethod>> methods_;
+  std::vector<std::unique_ptr<runtime::MediationCore>> cores_;
+
+  msg::Network network_;
+  std::unique_ptr<GossipSink> gossip_sink_;
+  /// Network addresses: one sender per shard plus the router-side sink.
+  std::vector<NodeId> shard_addresses_;
+  NodeId sink_address_;
+
+  QueryId next_query_id_ = 0;
+  WindowedMean response_window_;
+  std::vector<std::uint32_t> consumer_violations_;
+
+  ShardedRunResult result_;
+  bool ran_ = false;
+};
+
+/// Builds a sharded system, runs it, returns the result.
+ShardedRunResult RunShardedScenario(const ShardedSystemConfig& config,
+                                    ShardedMediationSystem::MethodFactory factory);
+
+}  // namespace sqlb::shard
+
+#endif  // SQLB_SHARD_SHARDED_MEDIATION_SYSTEM_H_

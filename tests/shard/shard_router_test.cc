@@ -1,0 +1,206 @@
+#include "shard/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/population.h"
+
+namespace sqlb::shard {
+namespace {
+
+std::vector<ProviderProfile> MakeProviders(std::size_t count) {
+  std::vector<ProviderProfile> providers(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    providers[i].id = ProviderId(static_cast<std::uint32_t>(i));
+  }
+  return providers;
+}
+
+RouterConfig Config(std::size_t shards, RoutingPolicy policy,
+                    std::uint64_t seed = 42) {
+  RouterConfig config;
+  config.num_shards = shards;
+  config.policy = policy;
+  config.seed = seed;
+  return config;
+}
+
+Query MakeQuery(QueryId id, std::uint32_t consumer) {
+  Query query;
+  query.id = id;
+  query.consumer = ConsumerId(consumer);
+  return query;
+}
+
+TEST(ShardRouterTest, PartitionCoversEveryProviderOnce) {
+  ShardRouter router(Config(8, RoutingPolicy::kHash));
+  const auto providers = MakeProviders(400);
+  const auto partition = router.PartitionProviders(providers);
+  ASSERT_EQ(partition.size(), 8u);
+
+  std::vector<int> seen(providers.size(), 0);
+  for (std::uint32_t shard = 0; shard < partition.size(); ++shard) {
+    for (std::uint32_t index : partition[shard]) {
+      ASSERT_LT(index, seen.size());
+      ++seen[index];
+      EXPECT_EQ(router.ShardOfProvider(ProviderId(index)), shard);
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ShardRouterTest, PartitionIsRoughlyBalanced) {
+  ShardRouter router(Config(8, RoutingPolicy::kHash));
+  const auto partition = router.PartitionProviders(MakeProviders(400));
+  for (const auto& members : partition) {
+    // 400/8 = 50 expected; virtual nodes keep every shard well away from
+    // empty and from hogging the population.
+    EXPECT_GT(members.size(), 10u);
+    EXPECT_LT(members.size(), 150u);
+  }
+}
+
+TEST(ShardRouterTest, ConsistentHashAssignmentIsStable) {
+  // Growing the fleet from 4 to 5 shards must not reshuffle the world:
+  // providers either stay put or move to (only) the new shard.
+  ShardRouter four(Config(4, RoutingPolicy::kHash));
+  ShardRouter five(Config(5, RoutingPolicy::kHash));
+
+  std::size_t moved = 0;
+  const std::size_t total = 400;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint32_t before = four.ShardOfProvider(ProviderId(i));
+    const std::uint32_t after = five.ShardOfProvider(ProviderId(i));
+    if (before != after) {
+      ++moved;
+      // A provider that moves may only move to the shard that joined.
+      EXPECT_EQ(after, 4u);
+    }
+  }
+  // Expected movement is ~1/5 of the population; naive modulo hashing
+  // would move ~4/5.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, total / 2);
+}
+
+TEST(ShardRouterTest, RoutingIsDeterministic) {
+  ShardRouter a(Config(8, RoutingPolicy::kHash));
+  ShardRouter b(Config(8, RoutingPolicy::kHash));
+  for (QueryId id = 0; id < 200; ++id) {
+    Query query = MakeQuery(id, static_cast<std::uint32_t>(id % 7));
+    EXPECT_EQ(a.Route(query, 0.0), b.Route(query, 0.0));
+  }
+}
+
+TEST(ShardRouterTest, HashPolicySpreadsQueries) {
+  ShardRouter router(Config(8, RoutingPolicy::kHash));
+  std::vector<std::size_t> hits(8, 0);
+  for (QueryId id = 0; id < 4000; ++id) {
+    ++hits[router.Route(MakeQuery(id, 0), 0.0)];
+  }
+  for (std::size_t count : hits) {
+    EXPECT_GT(count, 100u);  // 500 expected per shard
+  }
+}
+
+TEST(ShardRouterTest, LocalityPolicyPinsConsumersToOneShard) {
+  ShardRouter router(Config(8, RoutingPolicy::kLocality));
+  for (std::uint32_t consumer = 0; consumer < 50; ++consumer) {
+    const std::uint32_t home =
+        router.Route(MakeQuery(0, consumer), 0.0);
+    for (QueryId id = 1; id < 20; ++id) {
+      EXPECT_EQ(router.Route(MakeQuery(id, consumer), 0.0), home)
+          << "consumer " << consumer << " changed shard";
+    }
+  }
+}
+
+TEST(ShardRouterTest, LeastLoadedFollowsFreshReports) {
+  ShardRouter router(Config(4, RoutingPolicy::kLeastLoaded));
+  router.ReportLoad(0, 0.9, 10, 10.0);
+  router.ReportLoad(1, 0.2, 10, 10.0);
+  router.ReportLoad(2, 0.5, 10, 10.0);
+  router.ReportLoad(3, 0.7, 10, 10.0);
+  EXPECT_EQ(router.Route(MakeQuery(1, 0), 11.0), 1u);
+
+  // Shard 1 heats up; the next decision follows the newer report.
+  router.ReportLoad(1, 1.4, 10, 12.0);
+  EXPECT_EQ(router.Route(MakeQuery(2, 0), 13.0), 2u);
+  EXPECT_EQ(router.stale_fallbacks(), 0u);
+}
+
+TEST(ShardRouterTest, LeastLoadedIgnoresOutOfOrderStaleDelivery) {
+  ShardRouter router(Config(2, RoutingPolicy::kLeastLoaded));
+  router.ReportLoad(0, 1.0, 10, 20.0);
+  router.ReportLoad(1, 0.5, 10, 20.0);
+  // A delayed, older measurement for shard 1 arrives after the newer one;
+  // the router must keep the newest view.
+  router.ReportLoad(1, 0.0, 10, 5.0);
+  EXPECT_DOUBLE_EQ(router.LoadOf(1), 0.5);
+}
+
+TEST(ShardRouterTest, LeastLoadedFallsBackToHashWhenReportsExpire) {
+  RouterConfig config = Config(4, RoutingPolicy::kLeastLoaded);
+  config.report_staleness = 30.0;
+  ShardRouter router(config);
+
+  // No reports at all: every decision takes the timeout path.
+  EXPECT_EQ(router.stale_fallbacks(), 0u);
+  router.Route(MakeQuery(1, 0), 100.0);
+  EXPECT_EQ(router.stale_fallbacks(), 1u);
+
+  // A fresh report revives load-aware routing...
+  router.ReportLoad(2, 0.1, 10, 100.0);
+  EXPECT_EQ(router.Route(MakeQuery(2, 0), 101.0), 2u);
+  EXPECT_EQ(router.stale_fallbacks(), 1u);
+
+  // ...until it ages past the staleness bound.
+  router.Route(MakeQuery(3, 0), 200.0);
+  EXPECT_EQ(router.stale_fallbacks(), 2u);
+  EXPECT_FALSE(router.HasFreshReport(2, 200.0));
+}
+
+TEST(ShardRouterTest, LoadAwareRoutingSkipsProviderlessShards) {
+  ShardRouter router(Config(3, RoutingPolicy::kLeastLoaded));
+  // Shard 0 looks idle but has no providers left: it cannot serve.
+  router.ReportLoad(0, 0.0, 0, 10.0);
+  router.ReportLoad(1, 0.8, 10, 10.0);
+  router.ReportLoad(2, 0.6, 10, 10.0);
+  EXPECT_EQ(router.Route(MakeQuery(1, 0), 11.0), 2u);
+  EXPECT_EQ(router.NextShard(2, 11.0), 1u);
+}
+
+TEST(ShardRouterTest, NextShardAvoidsTheBouncingShard) {
+  ShardRouter router(Config(4, RoutingPolicy::kLeastLoaded));
+  router.ReportLoad(0, 0.1, 10, 10.0);
+  router.ReportLoad(1, 0.2, 10, 10.0);
+  router.ReportLoad(2, 0.3, 10, 10.0);
+  router.ReportLoad(3, 0.4, 10, 10.0);
+  // Shard 0 is least loaded, but it is the one that bounced the query:
+  // the rebalance target must be the least-loaded *other* shard.
+  EXPECT_EQ(router.NextShard(0, 11.0), 1u);
+  EXPECT_EQ(router.NextShard(1, 11.0), 0u);
+}
+
+TEST(ShardRouterTest, NextShardWithoutLoadViewWalksTheRing) {
+  ShardRouter router(Config(3, RoutingPolicy::kHash));
+  EXPECT_EQ(router.NextShard(0, 0.0), 1u);
+  EXPECT_EQ(router.NextShard(2, 0.0), 0u);
+
+  ShardRouter single(Config(1, RoutingPolicy::kHash));
+  EXPECT_EQ(single.NextShard(0, 0.0), 0u);
+}
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
+  ShardRouter router(Config(1, RoutingPolicy::kLeastLoaded));
+  for (QueryId id = 0; id < 50; ++id) {
+    EXPECT_EQ(router.Route(MakeQuery(id, static_cast<std::uint32_t>(id)),
+                           0.0),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace sqlb::shard
