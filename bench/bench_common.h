@@ -1,7 +1,9 @@
 #ifndef SQLB_BENCH_BENCH_COMMON_H_
 #define SQLB_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -12,10 +14,115 @@
 
 /// \file
 /// Shared plumbing for the figure/table reproduction binaries: consistent
-/// headers, sampled-series console tables, and CSV drops under the results
-/// directory (SQLB_RESULTS, default "results/").
+/// headers, sampled-series console tables, CSV drops, and machine-readable
+/// JSON bench reports (BENCH_<name>.json) under the results directory
+/// (SQLB_RESULTS, default "results/"). The JSON drops are the repo's perf
+/// trajectory: CI and humans diff them across commits.
 
 namespace sqlb::bench {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emission (no external deps): enough for flat bench reports —
+// objects, arrays, numbers, strings, booleans.
+// ---------------------------------------------------------------------------
+
+inline std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Accumulates "key": value pairs and renders one JSON object. Nested
+/// objects/arrays go in pre-rendered via AddRaw.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, "\"" + JsonEscape(value) + "\"");
+  }
+  JsonObject& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonObject& Add(const std::string& key, double value) {
+    return AddRaw(key, JsonNumber(value));
+  }
+  JsonObject& Add(const std::string& key, std::uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  JsonObject& AddRaw(const std::string& key, const std::string& rendered) {
+    fields_.push_back("\"" + JsonEscape(key) + "\": " + rendered);
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + fields_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// Accumulates pre-rendered elements into a JSON array.
+class JsonArray {
+ public:
+  JsonArray& AddRaw(const std::string& rendered) {
+    elements_.push_back(rendered);
+    return *this;
+  }
+  JsonArray& Add(const JsonObject& object) { return AddRaw(object.ToString()); }
+
+  std::string ToString() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + elements_[i];
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<std::string> elements_;
+};
+
+/// Writes `report` as BENCH_<name>.json under the results directory and
+/// announces the path on stdout. Returns false (after a stderr note) when
+/// the results directory cannot be created or written.
+inline bool WriteBenchJson(const std::string& name, const JsonObject& report) {
+  auto path = EnsureOutputPath(ResultsDirectory(), "BENCH_" + name + ".json");
+  if (!path.ok()) {
+    std::fprintf(stderr, "cannot create results dir: %s\n",
+                 path.status().ToString().c_str());
+    return false;
+  }
+  std::ofstream out(path.value());
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.value().c_str());
+    return false;
+  }
+  out << report.ToString() << "\n";
+  std::printf("wrote %s\n", path.value().c_str());
+  return true;
+}
 
 /// Prints the standard bench banner.
 inline void PrintHeader(const std::string& id, const std::string& title) {

@@ -85,3 +85,6 @@ BENCHMARK(BM_SqlbAllocateMulti)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 }  // namespace sqlb
+
+#include "micro_main.h"
+SQLB_MICRO_BENCH_MAIN("micro_allocation")

@@ -73,3 +73,6 @@ BENCHMARK(BM_WindowedSum);
 
 }  // namespace
 }  // namespace sqlb::des
+
+#include "micro_main.h"
+SQLB_MICRO_BENCH_MAIN("micro_des")

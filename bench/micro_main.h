@@ -1,0 +1,55 @@
+#ifndef SQLB_BENCH_MICRO_MAIN_H_
+#define SQLB_BENCH_MICRO_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env_config.h"
+#include "common/reporting.h"
+
+/// \file
+/// Shared main() for the Google-Benchmark micro benches: console output as
+/// usual, plus a machine-readable BENCH_<id>.json (Google Benchmark's JSON
+/// schema) under the results directory, so the micro benches leave the same
+/// perf trajectory as the scenario benches. Each micro_*.cc ends with
+/// SQLB_MICRO_BENCH_MAIN("<id>") instead of linking benchmark_main.
+
+namespace sqlb::bench {
+
+inline int RunMicroBenchmarks(const std::string& id, int argc, char** argv) {
+  // Route the library's own file reporter at BENCH_<id>.json by injecting
+  // the output flags ahead of the user's arguments (later flags win, so an
+  // explicit --benchmark_out on the command line still overrides).
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  auto path = EnsureOutputPath(ResultsDirectory(), "BENCH_" + id + ".json");
+  if (path.ok()) {
+    out_flag = "--benchmark_out=" + path.value();
+    args.insert(args.begin() + 1, const_cast<char*>(format_flag.c_str()));
+    args.insert(args.begin() + 1, const_cast<char*>(out_flag.c_str()));
+  } else {
+    std::fprintf(stderr, "results dir unavailable: JSON report skipped\n");
+  }
+
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (path.ok()) std::printf("wrote %s\n", path.value().c_str());
+  return 0;
+}
+
+}  // namespace sqlb::bench
+
+#define SQLB_MICRO_BENCH_MAIN(id)                            \
+  int main(int argc, char** argv) {                          \
+    return sqlb::bench::RunMicroBenchmarks(id, argc, argv);  \
+  }
+
+#endif  // SQLB_BENCH_MICRO_MAIN_H_

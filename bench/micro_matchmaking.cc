@@ -62,3 +62,6 @@ BENCHMARK(BM_RegisterUnregister);
 
 }  // namespace
 }  // namespace sqlb
+
+#include "micro_main.h"
+SQLB_MICRO_BENCH_MAIN("micro_matchmaking")

@@ -75,3 +75,6 @@ BENCHMARK(BM_MetricsSummarize)->Arg(400)->Arg(4000);
 
 }  // namespace
 }  // namespace sqlb
+
+#include "micro_main.h"
+SQLB_MICRO_BENCH_MAIN("micro_model")

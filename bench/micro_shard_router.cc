@@ -88,3 +88,6 @@ BENCHMARK(BM_ReportLoad);
 
 }  // namespace
 }  // namespace sqlb::shard
+
+#include "micro_main.h"
+SQLB_MICRO_BENCH_MAIN("micro_shard_router")

@@ -11,4 +11,12 @@ std::size_t SelectionCount(const AllocationRequest& request) {
   return std::min<std::size_t>(request.query->n, request.candidates.size());
 }
 
+void AllocationMethod::AllocateBatch(const AllocationRequest* requests,
+                                     std::size_t count,
+                                     AllocationDecision* decisions) {
+  for (std::size_t i = 0; i < count; ++i) {
+    decisions[i] = Allocate(requests[i]);
+  }
+}
+
 }  // namespace sqlb

@@ -74,6 +74,17 @@ class AllocationMethod {
   /// Picks min(q.n, candidates.size()) providers. `request.candidates` is
   /// never empty (the system only admits feasible queries, Section 2).
   virtual AllocationDecision Allocate(const AllocationRequest& request) = 0;
+
+  /// Scores one burst of requests in a single pass: the batched-intake hot
+  /// path (MediationCore::AllocateBatch) hands every same-burst request at
+  /// once so a method can hoist per-burst work (shared candidate set,
+  /// provider-side rank components) out of the per-query loop. The default
+  /// simply delegates to Allocate per request, so overriding is an
+  /// optimization, never a semantic requirement; `decisions` has room for
+  /// `count` results. A burst of one must decide exactly like Allocate —
+  /// that bit-for-bit contract is pinned in tests/shard/.
+  virtual void AllocateBatch(const AllocationRequest* requests,
+                             std::size_t count, AllocationDecision* decisions);
 };
 
 /// Number of providers Algorithm 1 must select for `request`.

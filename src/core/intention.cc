@@ -55,4 +55,37 @@ double ProviderIntention(double preference, double utilization,
            BoundedPow(ut + eps, sat));
 }
 
+ProviderIntentionEvaluator::ProviderIntentionEvaluator(
+    double utilization, double preference_satisfaction,
+    const ProviderIntentionParams& params)
+    : mode_(params.mode),
+      epsilon_(params.epsilon),
+      clamped_sat_(Clamp(preference_satisfaction, 0.0, 1.0)),
+      one_minus_sat_(1.0 - clamped_sat_),
+      utilization_(std::max(0.0, utilization)) {
+  SQLB_CHECK(params.epsilon > 0.0, "Definition 8 requires epsilon > 0");
+  if (utilization_ < 1.0) {
+    positive_state_factor_ = BoundedPow(1.0 - utilization_, clamped_sat_);
+  }
+  negative_state_factor_ = BoundedPow(utilization_ + epsilon_, clamped_sat_);
+  utilization_only_value_ = 1.0 - 2.0 * std::min(utilization_, 1.0);
+}
+
+double ProviderIntentionEvaluator::Eval(double preference) const {
+  const double prf = Clamp(preference, -1.0, 1.0);
+  switch (mode_) {
+    case ProviderIntentionMode::kPreferenceOnly:
+      return prf;
+    case ProviderIntentionMode::kUtilizationOnly:
+      return utilization_only_value_;
+    case ProviderIntentionMode::kSelfBalancing:
+      break;
+  }
+  if (prf > 0.0 && utilization_ < 1.0) {
+    return BoundedPow(prf, one_minus_sat_) * positive_state_factor_;
+  }
+  return -(BoundedPow(1.0 - prf + epsilon_, one_minus_sat_) *
+           negative_state_factor_);
+}
+
 }  // namespace sqlb

@@ -76,6 +76,33 @@ double ProviderIntention(double preference, double utilization,
                          double preference_satisfaction,
                          const ProviderIntentionParams& params);
 
+/// Definition 8 with the provider-state factors hoisted: utilization and
+/// satisfaction are fixed at construction and only the per-query preference
+/// varies. Both branch factors that depend on state alone — (1 - ut)^sat
+/// and (ut + eps)^sat — are precomputed, so Eval() costs one pow instead of
+/// two. Built once per burst per candidate by the batched intake
+/// (MediationCore::AllocateBatch); Eval(prf) returns bit-for-bit the value
+/// of ProviderIntention(prf, ut, sat, params) — pow is deterministic, and
+/// the factor multiplication order is preserved.
+class ProviderIntentionEvaluator {
+ public:
+  ProviderIntentionEvaluator(double utilization,
+                             double preference_satisfaction,
+                             const ProviderIntentionParams& params);
+
+  double Eval(double preference) const;
+
+ private:
+  ProviderIntentionMode mode_;
+  double epsilon_;
+  double clamped_sat_;          // Clamp(sat, 0, 1)
+  double one_minus_sat_;        // exponent of the preference factor
+  double utilization_;          // max(0, ut)
+  double positive_state_factor_ = 1.0;  // (1 - ut)^sat, valid when ut < 1
+  double negative_state_factor_ = 1.0;  // (ut + eps)^sat
+  double utilization_only_value_ = 0.0;
+};
+
 }  // namespace sqlb
 
 #endif  // SQLB_CORE_INTENTION_H_

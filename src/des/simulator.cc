@@ -3,15 +3,16 @@
 #include <utility>
 
 #include "common/status.h"
+#include "des/worker_pool.h"
 
 namespace sqlb::des {
 
-EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+EventId Simulator::ScheduleAt(SimTime t, Callback cb, bool barrier) {
   SQLB_CHECK(t >= now_, "cannot schedule an event in the past");
   SQLB_CHECK(static_cast<bool>(cb), "cannot schedule an empty callback");
   const EventId id = next_id_++;
   heap_.push(Entry{t, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Stored{std::move(cb), barrier});
   return id;
 }
 
@@ -26,7 +27,7 @@ bool Simulator::PopLive(Entry* out, Callback* cb) {
       continue;
     }
     *out = top;
-    *cb = std::move(it->second);
+    *cb = std::move(it->second.cb);
     heap_.pop();
     callbacks_.erase(it);
     return true;
@@ -59,19 +60,62 @@ void Simulator::RunUntil(SimTime end) {
   now_ = end;
 }
 
+void Simulator::RunUntilParallel(SimTime end, LaneGroup& lanes) {
+  SQLB_CHECK(end >= now_, "RunUntilParallel target is in the past");
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > end) break;
+    // Epoch boundary: drain the lanes up to the barrier's time and merge
+    // their effects before the barrier event observes shared state. The
+    // coordinator's own event order is untouched, so this loop replays the
+    // serial RunUntil schedule exactly.
+    if (it->second.barrier) lanes.SyncTo(top.time);
+    Step();
+  }
+  now_ = end;
+  lanes.SyncTo(end);
+}
+
 void Simulator::RunAll() {
   while (Step()) {
   }
 }
 
+LaneGroup::LaneGroup(std::vector<Simulator*> lanes, WorkerPool* pool,
+                     MergeFn on_sync)
+    : lanes_(std::move(lanes)), pool_(pool), on_sync_(std::move(on_sync)) {
+  SQLB_CHECK(pool_ != nullptr, "LaneGroup needs a worker pool");
+  for (Simulator* lane : lanes_) {
+    SQLB_CHECK(lane != nullptr, "LaneGroup lane is null");
+  }
+}
+
+void LaneGroup::SyncTo(SimTime t) {
+  pool_->ParallelFor(lanes_.size(),
+                     [this, t](std::size_t i) { lanes_[i]->RunUntil(t); });
+  if (on_sync_) on_sync_(t);
+}
+
+void LaneGroup::DrainAll() {
+  pool_->ParallelFor(lanes_.size(),
+                     [this](std::size_t i) { lanes_[i]->RunAll(); });
+  if (on_sync_) on_sync_(kSimTimeInfinity);
+}
+
 void PeriodicTask::Start(Simulator& sim, SimTime start, SimTime interval,
-                         SimTime stop, Callback fn) {
+                         SimTime stop, Callback fn, bool barrier) {
   SQLB_CHECK(!running_, "PeriodicTask already running");
   SQLB_CHECK(interval > 0.0, "PeriodicTask interval must be positive");
   fn_ = std::move(fn);
   interval_ = interval;
   stop_ = stop;
   running_ = true;
+  barrier_ = barrier;
   Arm(sim, start);
 }
 
@@ -80,10 +124,13 @@ void PeriodicTask::Arm(Simulator& sim, SimTime t) {
     running_ = false;
     return;
   }
-  pending_ = sim.ScheduleAt(t, [this](Simulator& s) {
-    fn_(s);
-    if (running_) Arm(s, s.Now() + interval_);
-  });
+  pending_ = sim.ScheduleAt(
+      t,
+      [this](Simulator& s) {
+        fn_(s);
+        if (running_) Arm(s, s.Now() + interval_);
+      },
+      barrier_);
 }
 
 void PeriodicTask::Cancel(Simulator& sim) {

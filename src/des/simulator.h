@@ -5,6 +5,7 @@
 #include <functional>
 #include <queue>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -16,8 +17,24 @@
 /// substrate. Events are closures ordered by (time, sequence number), so
 /// simultaneous events fire in scheduling order and runs are deterministic
 /// for a fixed seed.
+///
+/// Two execution modes share one queue implementation:
+///
+///  - RunUntil / RunAll: the classic single-threaded loop.
+///  - RunUntilParallel: epoch-stepped execution for state-disjoint "lanes"
+///    (per-shard event queues). The coordinator queue runs single-threaded
+///    as usual, but events scheduled with `barrier = true` act as epoch
+///    boundaries: before such an event fires, every lane simulator is
+///    drained up to the barrier time on a worker pool (see LaneGroup), and
+///    the caller's merge hook folds the lanes' accumulated effects back
+///    into shared state in a deterministic (time, lane, seq) order. Between
+///    barriers the lanes never touch shared state, which is what makes a
+///    parallel run reproduce the serial one.
 
 namespace sqlb::des {
+
+class LaneGroup;
+class WorkerPool;
 
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
@@ -25,6 +42,9 @@ using EventId = std::uint64_t;
 /// The event queue + clock. Single-threaded by design: mediation is an
 /// inherently serialized decision point in the paper's architecture, and a
 /// deterministic kernel makes every experiment reproducible bit-for-bit.
+/// (RunUntilParallel keeps that contract: only whole lane *queues* run
+/// concurrently; each individual Simulator is still stepped by one thread
+/// at a time.)
 class Simulator {
  public:
   using Callback = std::function<void(Simulator&)>;
@@ -37,8 +57,10 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `cb` to run at absolute time `t` (>= Now()). Returns an id
-  /// usable with Cancel().
-  EventId ScheduleAt(SimTime t, Callback cb);
+  /// usable with Cancel(). `barrier` marks the event as an epoch boundary
+  /// for RunUntilParallel (ignored — semantically inert — by the serial run
+  /// loops, so serial callers can schedule barrier events unconditionally).
+  EventId ScheduleAt(SimTime t, Callback cb, bool barrier = false);
 
   /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
   EventId ScheduleAfter(SimTime delay, Callback cb) {
@@ -54,6 +76,16 @@ class Simulator {
   /// then advances the clock to `end` even if the queue drained early, so
   /// periodic probes observe a consistent final time.
   void RunUntil(SimTime end);
+
+  /// Epoch-stepped variant of RunUntil for a coordinator queue with
+  /// state-disjoint lane queues attached: identical event ordering on this
+  /// queue, but immediately before an event scheduled with `barrier = true`
+  /// fires — and once more at `end` — every lane in `lanes` is drained up
+  /// to that time (in parallel on the group's worker pool) and the group's
+  /// merge hook runs. Events on this queue must not mutate state a lane
+  /// reads mid-epoch; barrier events may read and mutate everything, since
+  /// the lanes are quiescent and merged when they fire.
+  void RunUntilParallel(SimTime end, LaneGroup& lanes);
 
   /// Runs until the queue is empty.
   void RunAll();
@@ -77,14 +109,53 @@ class Simulator {
     }
   };
 
+  struct Stored {
+    Callback cb;
+    bool barrier = false;
+  };
+
   /// Pops heap entries until a live one is found. Returns false when none.
   bool PopLive(Entry* out, Callback* cb);
 
   SimTime now_ = 0.0;
   EventId next_id_ = 0;
   std::priority_queue<Entry> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Stored> callbacks_;
   std::uint64_t executed_ = 0;
+};
+
+/// The lane set of one epoch-stepped run: per-shard Simulators whose events
+/// never touch each other's state, a worker pool that drains them, and a
+/// merge hook that folds their per-lane effect accumulators into the shared
+/// sinks once the lanes are quiescent.
+///
+/// The merge hook runs on the coordinating thread with every lane stopped at
+/// the sync time; implementations must apply accumulated effects in
+/// (time, lane, seq) order so that the merged result is independent of the
+/// worker count — that ordering contract is what the parallel-equals-serial
+/// pin in tests/shard/ rests on.
+class LaneGroup {
+ public:
+  using MergeFn = std::function<void(SimTime)>;
+
+  /// Lanes and pool are borrowed and must outlive the group. `on_sync` may
+  /// be null when the lanes have no shared sinks to merge.
+  LaneGroup(std::vector<Simulator*> lanes, WorkerPool* pool, MergeFn on_sync);
+
+  /// Drains every lane up to and including `t` (lane events at exactly `t`
+  /// fire), then runs the merge hook. Lanes advance their clocks to `t`.
+  void SyncTo(SimTime t);
+
+  /// Runs every lane to queue exhaustion (the end-of-run drain of in-flight
+  /// service), then merges. Lane clocks end at their last event.
+  void DrainAll();
+
+  std::size_t size() const { return lanes_.size(); }
+
+ private:
+  std::vector<Simulator*> lanes_;
+  WorkerPool* pool_;
+  MergeFn on_sync_;
 };
 
 /// Periodically invokes fn(sim) every `interval` seconds, starting at
@@ -96,9 +167,11 @@ class PeriodicTask {
 
   PeriodicTask() = default;
 
-  /// Begins the schedule. Must not already be running.
+  /// Begins the schedule. Must not already be running. `barrier` marks
+  /// every invocation as an epoch boundary for RunUntilParallel (inert
+  /// under the serial run loops).
   void Start(Simulator& sim, SimTime start, SimTime interval, SimTime stop,
-             Callback fn);
+             Callback fn, bool barrier = false);
 
   /// Stops future invocations.
   void Cancel(Simulator& sim);
@@ -113,6 +186,7 @@ class PeriodicTask {
   SimTime stop_ = 0.0;
   EventId pending_ = 0;
   bool running_ = false;
+  bool barrier_ = false;
 };
 
 }  // namespace sqlb::des

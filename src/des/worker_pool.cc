@@ -1,0 +1,75 @@
+#include "des/worker_pool.h"
+
+namespace sqlb::des {
+
+WorkerPool::WorkerPool(std::size_t concurrency) {
+  const std::size_t spawned = concurrency > 1 ? concurrency - 1 : 0;
+  workers_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is one of the pool's threads: grab indices like everyone.
+  std::size_t i;
+  while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
+    fn(i);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    std::size_t i;
+    while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace sqlb::des

@@ -1,0 +1,63 @@
+#ifndef SQLB_DES_WORKER_POOL_H_
+#define SQLB_DES_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Fixed worker-thread pool behind the epoch-stepped parallel execution mode
+/// (Simulator::RunUntilParallel). One pool is raised per run and reused for
+/// every epoch, so the per-barrier cost is a condition-variable round trip,
+/// not thread creation.
+
+namespace sqlb::des {
+
+/// A fixed set of worker threads executing index-based parallel-for jobs.
+///
+/// `concurrency` is the total number of threads that work on a job,
+/// including the calling thread: a pool of concurrency C spawns C - 1
+/// workers, and ParallelFor(n, fn) runs fn(0) ... fn(n-1) across all C.
+/// With concurrency <= 1 no thread is spawned and jobs run inline, which
+/// keeps the parallel code path exercisable (and deterministic to test)
+/// on a single-core host.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t concurrency);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Threads participating in each job (callers + workers), >= 1.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for i in [0, count), potentially concurrently, and returns
+  /// once every call finished. Indices are handed out atomically, so an
+  /// uneven per-index cost still balances. Must not be called reentrantly
+  /// from inside a job.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // caller waits for workers to finish
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::atomic<std::size_t> next_index_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sqlb::des
+
+#endif  // SQLB_DES_WORKER_POOL_H_

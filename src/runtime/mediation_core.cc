@@ -25,6 +25,22 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
                "member provider index out of range");
     matchmaker_.Register((*shared_.providers)[index].id(), Capability{});
   }
+
+  // Pre-size the hot-path scratch to the member count: every candidate set
+  // is a subset of the members, so no allocation loop ever regrows these.
+  const std::size_t members = active_providers_.size();
+  scratch_request_.candidates.reserve(members);
+  scratch_provider_pref_.reserve(members);
+  scratch_ci_.reserve(members);
+  scratch_selected_ci_.reserve(std::min<std::size_t>(
+      members, shared_.config->query_n));
+  scratch_selected_mask_.reserve(members);
+  scratch_snapshot_.reserve(members);
+  // In-flight responses track queries dispatched but not yet completed;
+  // under the paper's near-capacity workloads that is a few queued queries
+  // per member provider. Reserving a small multiple up front keeps the
+  // pending map from rehashing during the measured region.
+  pending_.reserve(members * 4 + 64);
 }
 
 MediationCore::Outcome MediationCore::Allocate(
@@ -58,9 +74,7 @@ MediationCore::Outcome MediationCore::Allocate(
   // intentions (synchronously here; runtime/async_mediator.h exercises the
   // fork/waituntil/timeout version over the message substrate).
   scratch_request_.candidates.clear();
-  scratch_consumer_pref_.clear();
   scratch_provider_pref_.clear();
-  scratch_ci_.clear();
   scratch_request_.query = &query;
   scratch_request_.consumer_satisfaction = consumer.Satisfaction();
 
@@ -82,34 +96,50 @@ MediationCore::Outcome MediationCore::Allocate(
     candidate.bid_price = agent.ComputeBidPrice(provider_pref);
     candidate.estimated_delay = agent.EstimateDelay(query.units);
     scratch_request_.candidates.push_back(candidate);
-    scratch_consumer_pref_.push_back(consumer_pref);
     scratch_provider_pref_.push_back(provider_pref);
-    scratch_ci_.push_back(candidate.consumer_intention);
   }
 
-  // Lines 6-10: the method scores, ranks and selects.
+  // Lines 6-10: the method scores, ranks and selects; then the shared
+  // post-decision half notifies providers, characterizes the consumer and
+  // dispatches.
   const AllocationDecision decision = method_->Allocate(scratch_request_);
+  return ApplyDecision(sim, query, scratch_request_, scratch_provider_pref_,
+                       decision);
+}
+
+MediationCore::Outcome MediationCore::ApplyDecision(
+    des::Simulator& sim, const Query& query, const AllocationRequest& request,
+    const std::vector<double>& provider_prefs,
+    const AllocationDecision& decision) {
+  std::vector<ProviderAgent>& providers = *shared_.providers;
+  ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+
   // A strict economic broker may select fewer (even zero) providers, but
   // never more than Algorithm 1's min(q.n, N).
-  SQLB_CHECK(decision.selected.size() <= SelectionCount(scratch_request_),
+  SQLB_CHECK(decision.selected.size() <= SelectionCount(request),
              "allocation produced more selections than min(q.n, N)");
 
   // Inform every provider of the mediation result (Section 5.4): selected
   // providers record a performed query; the rest record a proposal only.
-  std::vector<bool> selected_mask(scratch_request_.candidates.size(), false);
+  scratch_selected_mask_.assign(request.candidates.size(), 0);
   for (std::size_t idx : decision.selected) {
-    SQLB_CHECK(idx < selected_mask.size(), "selection index out of range");
-    SQLB_CHECK(!selected_mask[idx], "provider selected twice for one query");
-    selected_mask[idx] = true;
+    SQLB_CHECK(idx < scratch_selected_mask_.size(),
+               "selection index out of range");
+    SQLB_CHECK(!scratch_selected_mask_[idx],
+               "provider selected twice for one query");
+    scratch_selected_mask_[idx] = 1;
   }
-  for (std::size_t i = 0; i < scratch_request_.candidates.size(); ++i) {
-    ProviderAgent& agent =
-        providers[scratch_request_.candidates[i].id.index()];
-    agent.OnProposed(scratch_request_.candidates[i].provider_intention,
-                     scratch_provider_pref_[i], selected_mask[i]);
+  for (std::size_t i = 0; i < request.candidates.size(); ++i) {
+    ProviderAgent& agent = providers[request.candidates[i].id.index()];
+    agent.OnProposed(request.candidates[i].provider_intention,
+                     provider_prefs[i], scratch_selected_mask_[i] != 0);
   }
 
   // Consumer characterization: Eq. 1 over P_q, Eq. 2 over the selection.
+  scratch_ci_.clear();
+  for (const CandidateProvider& candidate : request.candidates) {
+    scratch_ci_.push_back(candidate.consumer_intention);
+  }
   const double adequation = QueryAdequation(scratch_ci_);
   scratch_selected_ci_.clear();
   for (std::size_t idx : decision.selected) {
@@ -132,8 +162,7 @@ MediationCore::Outcome MediationCore::Allocate(
                                        decision.selected.size())});
   ++allocated_queries_;
   for (std::size_t idx : decision.selected) {
-    ProviderAgent& agent =
-        providers[scratch_request_.candidates[idx].id.index()];
+    ProviderAgent& agent = providers[request.candidates[idx].id.index()];
     agent.Enqueue(sim, query,
                   [this](const Query& q, ProviderId performer, SimTime t) {
                     OnQueryCompleted(q, performer, t);
@@ -142,9 +171,114 @@ MediationCore::Outcome MediationCore::Allocate(
   return Outcome::kAllocated;
 }
 
+void MediationCore::AllocateBatch(des::Simulator& sim,
+                                  const std::vector<Query>& queries,
+                                  double saturation_backlog_seconds,
+                                  std::vector<Outcome>* outcomes) {
+  outcomes->assign(queries.size(), Outcome::kNoCandidates);
+  if (queries.empty()) return;
+
+  std::vector<ProviderAgent>& providers = *shared_.providers;
+  // One matchmaking pass per burst. The setup's matchmakers are
+  // query-independent over a shard's active members (AcceptAll), so the
+  // burst shares one P_q; with a term-index matchmaker a burst would need
+  // per-class sub-bursts — the intake only coalesces same-shard arrivals.
+  const std::vector<ProviderId> pq = matchmaker_.Match(queries.front());
+  if (pq.empty()) return;  // every outcome stays kNoCandidates
+
+  const SimTime now = sim.Now();
+
+  // One characterization snapshot per burst: every query in the burst
+  // observes the same provider-side state (utilization, window
+  // satisfactions, backlog) as of `now` — intention gathering amortized
+  // over the burst.
+  const ProviderIntentionParams& intention_params =
+      shared_.config->provider.intention;
+  scratch_snapshot_.clear();
+  scratch_evaluators_.clear();
+  scratch_evaluators_.reserve(pq.size());
+  double min_backlog = kSimTimeInfinity;
+  for (ProviderId pid : pq) {
+    ProviderAgent& agent = providers[pid.index()];
+    CandidateSnapshot snap;
+    snap.id = pid;
+    snap.utilization = agent.Utilization(now);
+    snap.satisfaction_intentions = agent.SatisfactionOnIntentions();
+    snap.satisfaction_preferences = agent.SatisfactionOnPreferences();
+    snap.backlog_seconds = agent.BacklogSeconds();
+    snap.capacity = agent.capacity();
+    scratch_snapshot_.push_back(snap);
+    scratch_evaluators_.emplace_back(snap.utilization,
+                                     snap.satisfaction_preferences,
+                                     intention_params);
+    min_backlog = std::min(min_backlog, snap.backlog_seconds);
+  }
+
+  // Saturation pre-check, burst-wide and side-effect free (the router may
+  // replay the whole burst elsewhere as if it never arrived here).
+  if (saturation_backlog_seconds > 0.0 &&
+      min_backlog > saturation_backlog_seconds) {
+    outcomes->assign(queries.size(), Outcome::kSaturated);
+    return;
+  }
+
+  // Build every request of the burst against the shared snapshot.
+  if (batch_requests_.size() < queries.size()) {
+    batch_requests_.resize(queries.size());
+    batch_provider_prefs_.resize(queries.size());
+    batch_decisions_.resize(queries.size());
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Query& query = queries[q];
+    ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+    AllocationRequest& request = batch_requests_[q];
+    std::vector<double>& prefs = batch_provider_prefs_[q];
+    request.query = &query;
+    request.consumer_satisfaction = consumer.Satisfaction();
+    request.candidates.clear();
+    request.candidates.reserve(scratch_snapshot_.size());
+    prefs.clear();
+    prefs.reserve(scratch_snapshot_.size());
+
+    for (std::size_t c = 0; c < scratch_snapshot_.size(); ++c) {
+      const CandidateSnapshot& snap = scratch_snapshot_[c];
+      const double consumer_pref =
+          shared_.population->ConsumerPreference(query.consumer, snap.id);
+      const double provider_pref =
+          shared_.population->ProviderPreference(snap.id, query.id);
+      CandidateProvider candidate;
+      candidate.id = snap.id;
+      candidate.consumer_intention = consumer.ComputeIntention(
+          consumer_pref, shared_.reputation->Get(snap.id));
+      candidate.provider_intention = scratch_evaluators_[c].Eval(provider_pref);
+      candidate.provider_satisfaction = snap.satisfaction_intentions;
+      candidate.utilization = snap.utilization;
+      candidate.capacity = snap.capacity;
+      candidate.backlog_seconds = snap.backlog_seconds;
+      candidate.bid_price =
+          providers[snap.id.index()].ComputeBidPrice(provider_pref);
+      candidate.estimated_delay =
+          snap.backlog_seconds + query.units / snap.capacity;
+      request.candidates.push_back(candidate);
+      prefs.push_back(provider_pref);
+    }
+  }
+
+  // One scoring pass over the burst.
+  method_->AllocateBatch(batch_requests_.data(), queries.size(),
+                         batch_decisions_.data());
+
+  // Apply per query, in burst order (dispatch, windows, characterization —
+  // identical to the tail of Allocate()).
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    (*outcomes)[q] =
+        ApplyDecision(sim, queries[q], batch_requests_[q],
+                      batch_provider_prefs_[q], batch_decisions_[q]);
+  }
+}
+
 void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
                                      SimTime completion_time) {
-  RunResult& result = *shared_.result;
   if (shared_.config->reputation_feedback) {
     // Satisfaction-of-delivery signal: a response within twice the
     // performer's own service time is good, long queueing is bad (used by
@@ -165,12 +299,20 @@ void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
 
   const double response_time = completion_time - it->second.issue_time;
   pending_.erase(it);
-  ++result.queries_completed;
-  result.response_time_all.Add(response_time);
-  if (query.issue_time >= shared_.config->stats_warmup) {
-    result.response_time.Add(response_time);
+  const bool post_warmup = query.issue_time >= shared_.config->stats_warmup;
+  if (shared_.effects != nullptr) {
+    // Epoch-parallel lane: cross-shard sinks are merged at the barrier.
+    shared_.effects->RecordCompletion(completion_time, response_time,
+                                      post_warmup);
+  } else {
+    RunResult& result = *shared_.result;
+    ++result.queries_completed;
+    result.response_time_all.Add(response_time);
+    if (post_warmup) {
+      result.response_time.Add(response_time);
+    }
+    shared_.response_window->Add(response_time);
   }
-  shared_.response_window->Add(response_time);
 
   ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
   consumer.OnResult(response_time);
@@ -286,6 +428,12 @@ double ScaledArrivalRate(const SystemConfig& config,
   const double consumer_share = static_cast<double>(active_consumers) /
                                 static_cast<double>(initial_consumers);
   return nominal * consumer_share;
+}
+
+double NominalMaxArrivalRate(const SystemConfig& config,
+                             const Population& population) {
+  return config.workload.MaxFraction() * population.total_capacity() /
+         population.mean_query_units();
 }
 
 Query DrawArrivalQuery(const SystemConfig& config,

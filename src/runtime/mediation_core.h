@@ -50,6 +50,17 @@ class MediationCore {
     RunResult* result = nullptr;
     /// Sliding response-time window behind the rt.window series.
     WindowedMean* response_window = nullptr;
+    /// When non-null, the cross-shard sinks above (`result` counters and
+    /// stats, `response_window`) are not written directly: completion and
+    /// infeasibility effects are appended to this per-shard log instead,
+    /// and the owning system merges every shard's log at epoch barriers in
+    /// (time, shard, seq) order (MergeEffectLogs). This is what lets one
+    /// core run on a worker thread while its siblings run on others.
+    /// Consumer/provider agent state is still written directly — under the
+    /// parallel mode's consumer-affine routing contract those writes are
+    /// shard-private. Requires `config->reputation_feedback == false`
+    /// (completion-time reputation writes would couple shards mid-epoch).
+    EffectLog* effects = nullptr;
   };
 
   /// What one mediation attempt did, so the caller (mono system or shard
@@ -80,6 +91,27 @@ class MediationCore {
   /// here. Pass 0 (the mono-mediator setting) to disable the pre-check.
   Outcome Allocate(des::Simulator& sim, const Query& query,
                    double saturation_backlog_seconds = 0.0);
+
+  /// Runs Algorithm 1 once for a whole arrival burst: one matchmaking pass,
+  /// one saturation pre-check, one provider characterization snapshot
+  /// (utilization, window satisfactions, backlog), and one scoring pass
+  /// over the burst (AllocationMethod::AllocateBatch), instead of repeating
+  /// all of it per query. Per-query state (consumer intentions, provider
+  /// preferences, windows, dispatch) is still handled query by query, in
+  /// burst order.
+  ///
+  /// Semantics: every query in the burst observes the provider state as of
+  /// `sim.Now()` at the call — queries within one burst do not see each
+  /// other's allocations, which is precisely the amortization (intention
+  /// gathering happens once per burst, Section 4's "gather intentions" step
+  /// amortized over the burst). A burst of one is bit-for-bit identical to
+  /// Allocate(); the saturation pre-check bounces the burst as a whole and
+  /// is side-effect free, exactly like the single-query check.
+  ///
+  /// `outcomes` is resized to `queries.size()` with one Outcome per query.
+  void AllocateBatch(des::Simulator& sim, const std::vector<Query>& queries,
+                     double saturation_backlog_seconds,
+                     std::vector<Outcome>* outcomes);
 
   /// The paper's provider-side departure rules (dissatisfaction,
   /// starvation, overutilization — first match wins) over this core's
@@ -113,9 +145,27 @@ class MediationCore {
     std::uint32_t outstanding;
   };
 
+  /// Burst-shared provider snapshot: the per-candidate state AllocateBatch
+  /// reads once per burst instead of once per query.
+  struct CandidateSnapshot {
+    ProviderId id;
+    double utilization = 0.0;
+    double satisfaction_intentions = 0.5;
+    double satisfaction_preferences = 0.5;
+    double backlog_seconds = 0.0;
+    double capacity = 1.0;
+  };
+
   void OnQueryCompleted(const Query& query, ProviderId performer,
                         SimTime completion_time);
   void DepartProvider(std::size_t index, DepartureReason reason, SimTime now);
+  /// The post-decision half of Algorithm 1 (provider notification, consumer
+  /// characterization, dispatch), shared by Allocate and AllocateBatch.
+  /// `provider_prefs` is aligned with `request.candidates`.
+  Outcome ApplyDecision(des::Simulator& sim, const Query& query,
+                        const AllocationRequest& request,
+                        const std::vector<double>& provider_prefs,
+                        const AllocationDecision& decision);
 
   Shared shared_;
   AllocationMethod* method_;
@@ -135,12 +185,27 @@ class MediationCore {
   std::vector<double> units_at_last_check_;
   SimTime last_check_time_ = 0.0;
 
-  // Scratch buffers reused across allocations (the hot path).
+  // Scratch buffers reused across allocations (the hot path). All of them
+  // are pre-sized to the member-provider count at construction so the
+  // first allocations do not pay growth reallocations.
   AllocationRequest scratch_request_;
-  std::vector<double> scratch_consumer_pref_;
   std::vector<double> scratch_provider_pref_;
+  /// Owned by ApplyDecision (rebuilt per decision from the request).
   std::vector<double> scratch_ci_;
   std::vector<double> scratch_selected_ci_;
+  std::vector<char> scratch_selected_mask_;
+
+  // Burst scratch for AllocateBatch: the shared provider snapshot plus one
+  // request/decision/preference-row arena slot per burst query (slots are
+  // reused across bursts; only burst sizes beyond the high-water mark
+  // allocate).
+  std::vector<CandidateSnapshot> scratch_snapshot_;
+  /// Definition-8 evaluators with the provider-state pow factors hoisted,
+  /// aligned with scratch_snapshot_ (one per candidate per burst).
+  std::vector<ProviderIntentionEvaluator> scratch_evaluators_;
+  std::vector<AllocationRequest> batch_requests_;
+  std::vector<std::vector<double>> batch_provider_prefs_;
+  std::vector<AllocationDecision> batch_decisions_;
 };
 
 // ---------------------------------------------------------------------------
@@ -155,6 +220,13 @@ double ScaledArrivalRate(const SystemConfig& config,
                          const Population& population,
                          std::size_t active_consumers,
                          std::size_t initial_consumers, SimTime t);
+
+/// The scenario's peak nominal arrival rate (queries/second): the
+/// workload's maximum capacity fraction over the mean query cost. Bounds
+/// ScaledArrivalRate over the whole run — the thinning envelope of the
+/// Poisson arrival process, and the basis for batch-window sizing.
+double NominalMaxArrivalRate(const SystemConfig& config,
+                             const Population& population);
 
 /// Draws one arriving query: uniform pick over the active consumers, then
 /// a uniform query class. The draw order is part of the parity contract.

@@ -72,9 +72,7 @@ RunResult MediationSystem::Run() {
   ran_ = true;
 
   // Arrival process over the whole run.
-  const double max_rate = config_.workload.MaxFraction() *
-                          population_.total_capacity() /
-                          population_.mean_query_units();
+  const double max_rate = NominalMaxArrivalRate(config_, population_);
   des::PoissonArrivalProcess arrivals(
       [this](SimTime t) { return ArrivalRateAt(t); }, max_rate,
       rng_.Fork(13));

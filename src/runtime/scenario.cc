@@ -56,4 +56,40 @@ double RunResult::ConsumerDeparturePercent() const {
          static_cast<double>(initial_consumers);
 }
 
+void MergeEffectLogs(std::vector<EffectLog>& logs, RunResult* result,
+                     WindowedMean* response_window) {
+  // K-way merge over the per-shard cursors: smallest time wins, ties go to
+  // the lowest shard index; within a shard the append order stands. K is
+  // the shard count (small), so a linear scan per pop beats a heap here.
+  std::vector<std::size_t> cursor(logs.size(), 0);
+  for (;;) {
+    std::size_t best = logs.size();
+    SimTime best_time = kSimTimeInfinity;
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      if (cursor[s] >= logs[s].entries().size()) continue;
+      const SimTime t = logs[s].entries()[cursor[s]].time;
+      if (t < best_time) {
+        best_time = t;
+        best = s;
+      }
+    }
+    if (best == logs.size()) break;
+    const EffectLog::Entry& entry = logs[best].entries()[cursor[best]++];
+    switch (entry.kind) {
+      case EffectLog::Kind::kCompletion:
+        ++result->queries_completed;
+        result->response_time_all.Add(entry.response_time);
+        if (entry.post_warmup) result->response_time.Add(entry.response_time);
+        if (response_window != nullptr) {
+          response_window->Add(entry.response_time);
+        }
+        break;
+      case EffectLog::Kind::kInfeasible:
+        ++result->queries_infeasible;
+        break;
+    }
+  }
+  for (EffectLog& log : logs) log.Clear();
+}
+
 }  // namespace sqlb::runtime

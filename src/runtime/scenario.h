@@ -99,6 +99,58 @@ struct RunResult {
   double ConsumerDeparturePercent() const;
 };
 
+/// Per-shard accumulator for the RunResult sinks a mediation pipeline
+/// touches from inside an epoch-parallel lane (completion counters,
+/// response-time statistics, the sliding response window, infeasibility
+/// counts). Lanes append locally — no locks, no shared cache lines — and
+/// MergeEffectLogs folds every lane's entries into the real sinks at epoch
+/// barriers, ordered by (time, shard, seq), so the merged statistics are
+/// bit-identical to a serial run that applied them inline (distinct
+/// event times across shards assumed; ties are measure-zero under the
+/// continuous arrival/service distributions).
+///
+/// Entries within one log are naturally time-ordered because a lane
+/// executes its events in time order.
+class EffectLog {
+ public:
+  enum class Kind : std::uint8_t {
+    /// A query's last selected provider finished: completion counter,
+    /// response-time stats, response window.
+    kCompletion,
+    /// A query ended unallocated (no candidates / method refused):
+    /// infeasibility counter.
+    kInfeasible,
+  };
+
+  struct Entry {
+    SimTime time = 0.0;
+    double response_time = 0.0;  // kCompletion only
+    Kind kind = Kind::kCompletion;
+    bool post_warmup = false;  // kCompletion: counts toward the headline stat
+  };
+
+  void RecordCompletion(SimTime time, double response_time, bool post_warmup) {
+    entries_.push_back(Entry{time, response_time, Kind::kCompletion,
+                             post_warmup});
+  }
+  void RecordInfeasible(SimTime time) {
+    entries_.push_back(Entry{time, 0.0, Kind::kInfeasible, false});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// K-way merges the per-shard effect logs by (time, shard, seq) and applies
+/// each entry to the shared sinks, then clears the logs. Runs on the
+/// coordinating thread at epoch barriers, with every lane quiescent.
+void MergeEffectLogs(std::vector<EffectLog>& logs, RunResult* result,
+                     WindowedMean* response_window);
+
 }  // namespace sqlb::runtime
 
 #endif  // SQLB_RUNTIME_SCENARIO_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "des/worker_pool.h"
 #include "model/metrics.h"
 #include "runtime/mediation_system.h"
 
@@ -102,12 +103,29 @@ ShardedMediationSystem::ShardedMediationSystem(
   shared.response_window = &response_window_;
 
   const std::size_t num_shards = config_.router.num_shards;
+  parallel_ = config_.worker_threads > 0;
+  if (parallel_) {
+    lane_sims_.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      lane_sims_.push_back(std::make_unique<des::Simulator>());
+    }
+    effect_logs_.resize(num_shards);
+  }
+  batch_buffers_.resize(num_shards);
+  flush_due_.assign(num_shards, -kSimTimeInfinity);
+  flush_scratch_.resize(num_shards);
+  outcome_scratch_.resize(num_shards);
+
   methods_.reserve(num_shards);
   cores_.reserve(num_shards);
   result_.shards.resize(num_shards);
   for (std::uint32_t s = 0; s < num_shards; ++s) {
     methods_.push_back(factory(s));
     SQLB_CHECK(methods_.back() != nullptr, "method factory returned null");
+    // In parallel mode each core sinks its cross-shard effects into its
+    // own log, merged at epoch barriers; in serial mode it writes the
+    // shared sinks directly (bit-identical to PR 1).
+    shared.effects = parallel_ ? &effect_logs_[s] : nullptr;
     cores_.push_back(std::make_unique<runtime::MediationCore>(
         shared, methods_.back().get(), partition[s]));
     result_.shards[s].initial_providers = partition[s].size();
@@ -140,22 +158,38 @@ ShardedRunResult ShardedMediationSystem::Run() {
   ran_ = true;
   const runtime::SystemConfig& base = config_.base;
 
+  // Epoch-parallel preconditions: between barriers, a lane may only touch
+  // state no other lane (and no coordinator event) reads. See the
+  // worker_threads comment in ShardedSystemConfig.
+  if (parallel_) {
+    SQLB_CHECK(!base.reputation_feedback,
+               "parallel shard execution requires reputation_feedback off");
+    SQLB_CHECK(cores_.size() == 1 ||
+                   config_.router.policy == RoutingPolicy::kLocality,
+               "parallel shard execution requires consumer-affine "
+               "(kLocality) routing");
+    SQLB_CHECK(cores_.size() == 1 || !config_.rerouting_enabled,
+               "parallel shard execution requires rerouting disabled");
+  }
+
   // Arrival process over the whole run (fork 13, as in the mono system).
-  const double max_rate = base.workload.MaxFraction() *
-                          population_.total_capacity() /
-                          population_.mean_query_units();
+  const double max_rate = runtime::NominalMaxArrivalRate(base, population_);
   des::PoissonArrivalProcess arrivals(
       [this](SimTime t) { return ArrivalRateAt(t); }, max_rate,
       rng_.Fork(13));
   arrivals.Start(sim_, 0.0, base.duration,
                  [this](des::Simulator& sim) { OnArrival(sim); });
 
-  // Metric probes.
+  // Metric probes, load gossip and departure checks all read (and, for
+  // departures, mutate) shard state, so under parallel execution each of
+  // their firings is an epoch barrier: the lanes drain up to the event's
+  // time and merge before the callback runs.
   des::PeriodicTask probe;
   if (base.record_series) {
     probe.Start(sim_, base.sample_interval, base.sample_interval,
                 base.duration,
-                [this](des::Simulator& sim) { SampleMetrics(sim); });
+                [this](des::Simulator& sim) { SampleMetrics(sim); },
+                /*barrier=*/parallel_);
   }
 
   // Cross-shard load gossip.
@@ -163,7 +197,8 @@ ShardedRunResult ShardedMediationSystem::Run() {
   if (config_.gossip_enabled) {
     gossip.Start(sim_, config_.gossip_interval, config_.gossip_interval,
                  base.duration,
-                 [this](des::Simulator& sim) { SendLoadReports(sim); });
+                 [this](des::Simulator& sim) { SendLoadReports(sim); },
+                 /*barrier=*/parallel_);
   }
 
   // Departure checks.
@@ -177,12 +212,30 @@ ShardedRunResult ShardedMediationSystem::Run() {
                          base.duration,
                          [this](des::Simulator& sim) {
                            RunDepartureChecks(sim);
-                         });
+                         },
+                         /*barrier=*/parallel_);
   }
 
-  sim_.RunUntil(base.duration);
-  // Drain in-flight service (and gossip) so every allocated query completes.
-  sim_.RunAll();
+  if (parallel_) {
+    des::WorkerPool pool(config_.worker_threads);
+    std::vector<des::Simulator*> lanes;
+    lanes.reserve(lane_sims_.size());
+    for (const auto& lane : lane_sims_) lanes.push_back(lane.get());
+    des::LaneGroup group(std::move(lanes), &pool,
+                         [this](SimTime) { MergeEffects(); });
+    sim_.RunUntilParallel(base.duration, group);
+    // Drain in-flight service past the horizon: lane completions first
+    // (deterministic merge), then the coordinator's remaining gossip
+    // deliveries — the two sets are disjoint, so the order between them
+    // cannot matter.
+    group.DrainAll();
+    sim_.RunAll();
+  } else {
+    sim_.RunUntil(base.duration);
+    // Drain in-flight service (and gossip) so every allocated query
+    // completes.
+    sim_.RunAll();
+  }
 
   std::size_t remaining = 0;
   for (std::size_t s = 0; s < cores_.size(); ++s) {
@@ -207,9 +260,21 @@ void ShardedMediationSystem::OnArrival(des::Simulator& sim) {
   ++result_.run.queries_issued;
 
   const SimTime now = sim.Now();
-  std::uint32_t shard = router_.Route(query, now);
+  const std::uint32_t shard = router_.Route(query, now);
   ++result_.shards[shard].routed;
 
+  if (!parallel_ && config_.batch_window <= 0.0) {
+    // Classic path: mediate inline, inside the arrival event.
+    RouteWalk(sim, query, shard, 0);
+    return;
+  }
+  EnqueueForMediation(query, shard, now);
+}
+
+void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
+                                       std::uint32_t shard,
+                                       std::size_t attempt) {
+  const SimTime now = sim.Now();
   std::size_t attempts = 1;
   if (config_.rerouting_enabled && cores_.size() > 1) {
     attempts = std::min<std::size_t>(
@@ -219,7 +284,18 @@ void ShardedMediationSystem::OnArrival(des::Simulator& sim) {
   // Shards this query has bounced off, so the re-route walk visits each
   // shard at most once (sized lazily: most queries never bounce).
   std::vector<bool> tried;
-  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+  if (attempt > 0) {
+    // Resuming after a bounced batch attempt on `shard` (attempt 0).
+    if (attempt >= attempts) {
+      ++result_.run.queries_infeasible;
+      return;
+    }
+    tried.assign(cores_.size(), false);
+    tried[shard] = true;
+    shard = router_.NextShard(shard, now, tried);
+    ++result_.reroutes;
+  }
+  for (; attempt < attempts; ++attempt) {
     const bool final_attempt = attempt + 1 == attempts;
     // The last shard tried must mediate even past the saturation bound: a
     // system that is saturated everywhere still has to serve its queries.
@@ -250,6 +326,107 @@ void ShardedMediationSystem::OnArrival(des::Simulator& sim) {
     }
   }
   ++result_.run.queries_infeasible;
+}
+
+void ShardedMediationSystem::EnqueueForMediation(const Query& query,
+                                                 std::uint32_t shard,
+                                                 SimTime now) {
+  // Lane intake: the shard's own queue under parallel execution, the
+  // shared kernel otherwise (serial batching).
+  des::Simulator& lane = parallel_ ? *lane_sims_[shard] : sim_;
+  if (config_.batch_window > 0.0) {
+    std::vector<Query>& buffer = batch_buffers_[shard];
+    buffer.push_back(query);
+    // Arm a flush when no pending flush covers this arrival: either the
+    // buffer was empty, or the pending flush's due time is at or before
+    // `now` (under parallel execution the coordinator runs ahead of the
+    // lanes, so a flush can be due but not yet executed — it will only
+    // consume the arrivals that preceded it).
+    if (buffer.size() == 1 || now >= flush_due_[shard]) {
+      flush_due_[shard] = now + config_.batch_window;
+      lane.ScheduleAt(flush_due_[shard],
+                      [this, shard](des::Simulator& lane_sim) {
+                        FlushBatch(lane_sim, shard);
+                      });
+    }
+    return;
+  }
+  // Parallel, unbatched: one single-query mediation event on the lane, at
+  // the arrival time (the lane has not advanced past it — lanes only run
+  // up to the coordinator's clock).
+  lane.ScheduleAt(now, [this, shard, query](des::Simulator& lane_sim) {
+    const runtime::MediationCore::Outcome outcome =
+        cores_[shard]->Allocate(lane_sim, query, 0.0);
+    if (outcome != runtime::MediationCore::Outcome::kAllocated) {
+      CountInfeasible(lane_sim, shard);
+    }
+  });
+}
+
+void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
+                                        std::uint32_t shard) {
+  // Consume only the arrivals this flush covers (issue_time <= flush time);
+  // later arrivals already armed their own flush. Arrivals append in time
+  // order, so that is a prefix of the buffer.
+  std::vector<Query>& buffer = batch_buffers_[shard];
+  std::vector<Query>& burst = flush_scratch_[shard];
+  burst.clear();
+  const SimTime flush_time = sim.Now();
+  std::size_t covered = 0;
+  while (covered < buffer.size() &&
+         buffer[covered].issue_time <= flush_time) {
+    ++covered;
+  }
+  if (covered == 0) return;
+  burst.assign(buffer.begin(), buffer.begin() + covered);
+  buffer.erase(buffer.begin(), buffer.begin() + covered);
+
+  std::size_t attempts = 1;
+  if (!parallel_ && config_.rerouting_enabled && cores_.size() > 1) {
+    attempts = std::min<std::size_t>(
+        std::max<std::size_t>(config_.max_route_attempts, 1), cores_.size());
+  }
+  // Mirrors the walk's final-attempt rule: without a second attempt the
+  // burst must mediate even past the saturation bound.
+  const double saturation_bound =
+      attempts > 1 ? config_.saturation_backlog_seconds : 0.0;
+
+  std::vector<runtime::MediationCore::Outcome>& outcomes =
+      outcome_scratch_[shard];
+  cores_[shard]->AllocateBatch(sim, burst, saturation_bound, &outcomes);
+
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    switch (outcomes[i]) {
+      case runtime::MediationCore::Outcome::kAllocated:
+        break;
+      case runtime::MediationCore::Outcome::kUnallocated:
+        CountInfeasible(sim, shard);
+        break;
+      case runtime::MediationCore::Outcome::kNoCandidates:
+      case runtime::MediationCore::Outcome::kSaturated:
+        if (attempts > 1) {
+          // Serial rerouting: resume the walk past the bounced batch
+          // attempt, query by query.
+          RouteWalk(sim, burst[i], shard, 1);
+        } else {
+          CountInfeasible(sim, shard);
+        }
+        break;
+    }
+  }
+}
+
+void ShardedMediationSystem::CountInfeasible(des::Simulator& sim,
+                                             std::uint32_t shard) {
+  if (parallel_) {
+    effect_logs_[shard].RecordInfeasible(sim.Now());
+  } else {
+    ++result_.run.queries_infeasible;
+  }
+}
+
+void ShardedMediationSystem::MergeEffects() {
+  runtime::MergeEffectLogs(effect_logs_, &result_.run, &response_window_);
 }
 
 void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {

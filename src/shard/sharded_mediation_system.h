@@ -62,6 +62,35 @@ struct ShardedSystemConfig {
   double saturation_backlog_seconds = 0.0;
   /// Total shards tried per query (clamped to M).
   std::size_t max_route_attempts = 2;
+
+  // --- Wall-clock execution ------------------------------------------------
+
+  /// 0 = classic single-threaded run (every pipeline on the shared kernel,
+  /// bit-identical to PR 1). >= 1 = epoch-stepped parallel execution: each
+  /// shard's mediation + service events drain on their own lane queue, the
+  /// lanes run on a fixed pool of this many threads between barriers
+  /// (gossip/probe/departure events), and the cross-shard sinks are merged
+  /// deterministically at each barrier — so the result is bit-identical to
+  /// the serial run for a fixed seed, independent of the thread count.
+  ///
+  /// Parallel execution requires the shards to be state-disjoint between
+  /// barriers, which constrains the config (checked at Run()):
+  ///  - routing must be consumer-affine (RoutingPolicy::kLocality) unless
+  ///    M == 1, so each consumer's window state lives on one lane;
+  ///  - rerouting must be disabled unless M == 1 (a mid-epoch bounce would
+  ///    couple two lanes);
+  ///  - base.reputation_feedback must be off (completion-time reputation
+  ///    writes are read by every shard's intention computation).
+  std::size_t worker_threads = 0;
+
+  /// Seconds each shard coalesces arrivals before mediating them as one
+  /// MediationCore::AllocateBatch burst (one matchmaking pass, one provider
+  /// characterization snapshot, one scoring pass per burst). 0 disables
+  /// coalescing: every arrival mediates inline, exactly as before. Queries
+  /// keep their true issue times, so the coalescing delay shows up in
+  /// response time — the classic batching latency/throughput trade.
+  /// Works in both serial and parallel execution.
+  double batch_window = 0.0;
 };
 
 /// Per-shard accounting of one run.
@@ -132,6 +161,21 @@ class ShardedMediationSystem {
   class GossipSink;  // router-side msg::Node ingesting load reports
 
   void OnArrival(des::Simulator& sim);
+  /// Serial mediation walk: tries `shard` and, on a bounce, up to
+  /// max_route_attempts - 1 alternatives. `attempt` > 0 resumes the walk
+  /// after a bounced batch attempt (the batch was attempt 0).
+  void RouteWalk(des::Simulator& sim, const Query& query, std::uint32_t shard,
+                 std::size_t attempt);
+  /// Hands a routed query to its shard's intake: appends to the shard's
+  /// coalescing buffer (batch_window > 0) or schedules an immediate
+  /// single-query mediation on the shard's lane (parallel, unbatched).
+  void EnqueueForMediation(const Query& query, std::uint32_t shard,
+                           SimTime now);
+  /// Mediates a shard's coalesced burst (lane context in parallel mode).
+  void FlushBatch(des::Simulator& sim, std::uint32_t shard);
+  void CountInfeasible(des::Simulator& sim, std::uint32_t shard);
+  /// Folds every lane's effect log into the shared sinks (epoch barrier).
+  void MergeEffects();
   void SampleMetrics(des::Simulator& sim);
   void RunDepartureChecks(des::Simulator& sim);
   void SendLoadReports(des::Simulator& sim);
@@ -162,6 +206,21 @@ class ShardedMediationSystem {
   QueryId next_query_id_ = 0;
   WindowedMean response_window_;
   std::vector<std::uint32_t> consumer_violations_;
+
+  // Epoch-parallel execution state (worker_threads > 0): one lane event
+  // queue and one effect log per shard. Batch buffers exist in both modes
+  // (batch_window > 0); the per-shard flush scratch keeps lane threads from
+  // sharing a burst vector.
+  bool parallel_ = false;
+  std::vector<std::unique_ptr<des::Simulator>> lane_sims_;
+  std::vector<runtime::EffectLog> effect_logs_;
+  std::vector<std::vector<Query>> batch_buffers_;
+  /// When the next armed flush fires, per shard (-inf = none armed). An
+  /// arrival at or past this time is not covered by the pending flush —
+  /// the coordinator may run ahead of the lanes — and arms the next one.
+  std::vector<SimTime> flush_due_;
+  std::vector<std::vector<Query>> flush_scratch_;
+  std::vector<std::vector<runtime::MediationCore::Outcome>> outcome_scratch_;
 
   ShardedRunResult result_;
   bool ran_ = false;

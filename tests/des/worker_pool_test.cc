@@ -1,0 +1,101 @@
+#include "des/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace sqlb::des {
+namespace {
+
+TEST(WorkerPoolTest, SingleThreadPoolRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<int> hits(16, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPoolTest, EveryIndexRunsExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPoolTest, PoolIsReusableAcrossJobs) {
+  WorkerPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (63 * 64 / 2));
+}
+
+TEST(WorkerPoolTest, EmptyAndTinyJobsAreSafe) {
+  WorkerPool pool(2);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL(); });
+  int calls = 0;
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LaneGroupTest, SyncDrainsEveryLaneToTheBarrier) {
+  Simulator a, b;
+  std::vector<double> fired;
+  a.ScheduleAt(1.0, [&](Simulator&) { fired.push_back(1.0); });
+  a.ScheduleAt(5.0, [&](Simulator&) { fired.push_back(5.0); });
+  b.ScheduleAt(2.0, [&](Simulator&) { fired.push_back(2.0); });
+  b.ScheduleAt(9.0, [&](Simulator&) { fired.push_back(9.0); });
+
+  WorkerPool pool(1);  // deterministic interleaving for the test
+  std::vector<SimTime> merges;
+  LaneGroup group({&a, &b}, &pool, [&](SimTime t) { merges.push_back(t); });
+
+  group.SyncTo(4.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(a.Now(), 4.0);
+  EXPECT_EQ(b.Now(), 4.0);
+
+  group.DrainAll();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 5.0, 9.0}));
+  ASSERT_EQ(merges.size(), 2u);
+  EXPECT_EQ(merges[0], 4.0);
+}
+
+TEST(RunUntilParallelTest, BarriersSyncLanesBeforeFiring) {
+  Simulator coordinator, lane;
+  std::vector<std::string> order;
+  lane.ScheduleAt(3.0, [&](Simulator&) { order.push_back("lane@3"); });
+  lane.ScheduleAt(7.0, [&](Simulator&) { order.push_back("lane@7"); });
+  coordinator.ScheduleAt(
+      5.0, [&](Simulator&) { order.push_back("barrier@5"); },
+      /*barrier=*/true);
+  coordinator.ScheduleAt(6.0,
+                         [&](Simulator&) { order.push_back("plain@6"); });
+
+  WorkerPool pool(1);
+  LaneGroup group({&lane}, &pool, nullptr);
+  coordinator.RunUntilParallel(10.0, group);
+
+  // The barrier at 5 sees the lane drained to 5 (lane@3 fired); the plain
+  // event at 6 does not sync, so lane@7 only fires at the closing sync.
+  EXPECT_EQ(order, (std::vector<std::string>{"lane@3", "barrier@5", "plain@6",
+                                             "lane@7"}));
+  EXPECT_EQ(coordinator.Now(), 10.0);
+  EXPECT_EQ(lane.Now(), 10.0);
+}
+
+}  // namespace
+}  // namespace sqlb::des
