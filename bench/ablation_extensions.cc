@@ -44,9 +44,7 @@ void Main() {
   CsvWriter csv({"method", "mean_rt", "consumer_allocsat",
                  "provider_allocsat", "ut_fairness"});
   for (experiments::MethodKind kind : methods) {
-    auto method = experiments::MakeMethod(kind, config.seed);
-    runtime::RunResult result =
-        runtime::RunScenario(config, method.get());
+    runtime::RunResult result = experiments::RunMethod(kind, config);
     const double cons =
         result.series.Find(MediationSystem::kSeriesConsAllocSatMean)
             ->MeanOver(config.stats_warmup, config.duration);

@@ -40,9 +40,7 @@ int main() {
   TablePrinter table({"method", "mean RT(s)", "cons. allocsat",
                       "prov. allocsat", "ut fairness"});
   for (experiments::MethodKind kind : methods) {
-    auto method = experiments::MakeMethod(kind, config.seed);
-    runtime::RunResult result =
-        runtime::RunScenario(config, method.get());
+    runtime::RunResult result = experiments::RunMethod(kind, config);
 
     const double cons_allocsat =
         result.series.Find(MediationSystem::kSeriesConsAllocSatMean)

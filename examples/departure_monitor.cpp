@@ -28,9 +28,7 @@ Diagnosis CaptiveDiagnosis(const sqlb::runtime::SystemConfig& base,
                            sqlb::experiments::MethodKind kind) {
   using sqlb::runtime::MediationSystem;
   sqlb::runtime::SystemConfig config = base;  // captive: no departures
-  auto method = sqlb::experiments::MakeMethod(kind, config.seed);
-  sqlb::runtime::RunResult result =
-      sqlb::runtime::RunScenario(config, method.get());
+  sqlb::runtime::RunResult result = sqlb::experiments::RunMethod(kind, config);
   Diagnosis d;
   d.provider_allocsat =
       result.series.Find(MediationSystem::kSeriesProvAllocSatPrefMean)
@@ -86,9 +84,7 @@ int main() {
   config.departures.grace_period = 300.0;
   config.departures.check_interval = 300.0;
   for (int m = 0; m < 2; ++m) {
-    auto method = experiments::MakeMethod(methods[m], config.seed);
-    runtime::RunResult result =
-        runtime::RunScenario(config, method.get());
+    runtime::RunResult result = experiments::RunMethod(methods[m], config);
     std::printf("  %-14s provider exits %5.1f%% (dissat %llu, starv %llu, "
                 "overuse %llu);  consumer exits %5.1f%%\n",
                 experiments::MethodName(methods[m]).c_str(),

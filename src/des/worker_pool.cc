@@ -1,12 +1,45 @@
 #include "des/worker_pool.h"
 
-namespace sqlb::des {
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
-WorkerPool::WorkerPool(std::size_t concurrency) {
+namespace sqlb::des {
+namespace {
+
+/// Pins `thread` to `core` (Linux). Returns false when unsupported or the
+/// kernel refused (cpuset restrictions, core offline) — callers degrade to
+/// unpinned workers, never fail the run.
+bool PinThreadToCore(std::thread& thread, std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t cpuset;
+  CPU_ZERO(&cpuset);
+  CPU_SET(core % CPU_SETSIZE, &cpuset);
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(cpuset),
+                                &cpuset) == 0;
+#else
+  (void)thread;
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t concurrency,
+                       const WorkerPoolOptions& options) {
   const std::size_t spawned = concurrency > 1 ? concurrency - 1 : 0;
   workers_.reserve(spawned);
+  const unsigned hardware = std::thread::hardware_concurrency();
   for (std::size_t i = 0; i < spawned; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    // Round-robin over cores 1..hw-1, leaving core 0 to the (unpinned)
+    // calling thread; on a single-core host there is nothing to spread.
+    if (options.pin_threads && hardware > 1) {
+      const std::size_t core = 1 + (i % (hardware - 1));
+      if (PinThreadToCore(workers_.back(), core)) ++pinned_workers_;
+    }
   }
 }
 

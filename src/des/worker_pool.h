@@ -18,6 +18,17 @@
 
 namespace sqlb::des {
 
+struct WorkerPoolOptions {
+  /// Pin each spawned worker to one CPU core (round-robin over the host's
+  /// cores, skipping core 0 for the calling thread). Opt-in and
+  /// Linux-only — silently inert on other platforms and on hosts with a
+  /// single core. First step of the NUMA roadmap item: a pinned lane
+  /// worker stops migrating, so its shard's working set stays in one
+  /// core's cache. The calling thread is never pinned (it belongs to the
+  /// application).
+  bool pin_threads = false;
+};
+
 /// A fixed set of worker threads executing index-based parallel-for jobs.
 ///
 /// `concurrency` is the total number of threads that work on a job,
@@ -28,7 +39,8 @@ namespace sqlb::des {
 /// on a single-core host.
 class WorkerPool {
  public:
-  explicit WorkerPool(std::size_t concurrency);
+  explicit WorkerPool(std::size_t concurrency,
+                      const WorkerPoolOptions& options = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -36,6 +48,10 @@ class WorkerPool {
 
   /// Threads participating in each job (callers + workers), >= 1.
   std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Workers successfully pinned to a core (0 when pinning is off, not
+  /// supported on this platform, or every pthread_setaffinity_np failed).
+  std::size_t pinned_workers() const { return pinned_workers_; }
 
   /// Runs fn(i) for i in [0, count), potentially concurrently, and returns
   /// once every call finished. Indices are handed out atomically, so an
@@ -56,6 +72,7 @@ class WorkerPool {
   bool shutdown_ = false;
   std::atomic<std::size_t> next_index_{0};
   std::vector<std::thread> workers_;
+  std::size_t pinned_workers_ = 0;
 };
 
 }  // namespace sqlb::des

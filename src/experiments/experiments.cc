@@ -58,6 +58,13 @@ std::unique_ptr<AllocationMethod> MakeMethod(MethodKind kind,
   return nullptr;
 }
 
+runtime::RunResult RunMethod(MethodKind kind,
+                             const runtime::SystemConfig& config) {
+  const std::unique_ptr<AllocationMethod> method =
+      MakeMethod(kind, config.seed);
+  return runtime::RunScenario(config, method.get());
+}
+
 std::vector<MethodKind> PaperTrio() {
   return {MethodKind::kSqlb, MethodKind::kMariposa,
           MethodKind::kCapacityBased};
@@ -84,10 +91,7 @@ std::vector<QualityRampResult> RunQualityRamp(
   std::vector<QualityRampResult> results;
   results.reserve(methods.size());
   for (MethodKind kind : methods) {
-    runtime::SystemConfig config = base;
-    auto method = MakeMethod(kind, config.seed);
-    results.push_back(
-        QualityRampResult{kind, runtime::RunScenario(config, method.get())});
+    results.push_back(QualityRampResult{kind, RunMethod(kind, base)});
   }
   return results;
 }
@@ -113,9 +117,7 @@ std::vector<SweepResult> RunWorkloadSweep(
         config.departures = options.departures;
         config.seed = options.seed + 7919 * rep;
 
-        auto method = MakeMethod(kind, config.seed);
-        runtime::RunResult run =
-            runtime::RunScenario(config, method.get());
+        runtime::RunResult run = RunMethod(kind, config);
 
         point.mean_response_time += run.response_time.mean();
         point.provider_departure_percent += run.ProviderDeparturePercent();
@@ -165,8 +167,7 @@ std::vector<DepartureBreakdown> RunDepartureBreakdown(
       config.departures.check_interval = options.check_interval;
       config.seed = options.seed + 104729 * rep;
 
-      auto method = MakeMethod(kind, config.seed);
-      runtime::RunResult run = runtime::RunScenario(config, method.get());
+      runtime::RunResult run = RunMethod(kind, config);
 
       const double scale =
           100.0 / static_cast<double>(run.initial_providers);

@@ -40,6 +40,14 @@ std::string MethodName(MethodKind kind);
 std::unique_ptr<AllocationMethod> MakeMethod(MethodKind kind,
                                              std::uint64_t seed);
 
+/// The one run-setup every harness loop and example driver shares: builds a
+/// fresh method for `kind` (seeded from the config) and drives one full
+/// scenario through the ScenarioEngine entry point
+/// (runtime::RunScenario). Replaces the copy-pasted
+/// make-method-then-run boilerplate that used to live in each caller.
+runtime::RunResult RunMethod(MethodKind kind,
+                             const runtime::SystemConfig& config);
+
 /// The three methods the paper evaluates, in its plotting order.
 std::vector<MethodKind> PaperTrio();
 

@@ -70,6 +70,11 @@ MediationCore::Outcome MediationCore::Allocate(
   ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
   const SimTime now = sim.Now();
 
+  // Relaxed-parity lanes: everything from the intention gathering below
+  // through ApplyDecision's consumer characterization reads and writes this
+  // consumer's window, so the whole mediation holds its sequence lock.
+  const des::SeqLockTable::Guard consumer_guard = LockConsumer(query.consumer);
+
   // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
   // intentions (synchronously here; runtime/async_mediator.h exercises the
   // fork/waituntil/timeout version over the message substrate).
@@ -231,6 +236,8 @@ void MediationCore::AllocateBatch(des::Simulator& sim,
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const Query& query = queries[q];
     ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+    const des::SeqLockTable::Guard consumer_guard =
+        LockConsumer(query.consumer);
     AllocationRequest& request = batch_requests_[q];
     std::vector<double>& prefs = batch_provider_prefs_[q];
     request.query = &query;
@@ -269,8 +276,11 @@ void MediationCore::AllocateBatch(des::Simulator& sim,
                          batch_decisions_.data());
 
   // Apply per query, in burst order (dispatch, windows, characterization —
-  // identical to the tail of Allocate()).
+  // identical to the tail of Allocate()). ApplyDecision writes the query's
+  // consumer window, so each application holds that consumer's lock.
   for (std::size_t q = 0; q < queries.size(); ++q) {
+    const des::SeqLockTable::Guard consumer_guard =
+        LockConsumer(queries[q].consumer);
     (*outcomes)[q] =
         ApplyDecision(sim, queries[q], batch_requests_[q],
                       batch_provider_prefs_[q], batch_decisions_[q]);
@@ -315,6 +325,7 @@ void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
   }
 
   ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+  const des::SeqLockTable::Guard consumer_guard = LockConsumer(query.consumer);
   consumer.OnResult(response_time);
 }
 

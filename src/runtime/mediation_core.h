@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/allocation.h"
+#include "des/seqlock.h"
 #include "des/simulator.h"
 #include "matchmaking/matchmaker.h"
 #include "model/query.h"
@@ -61,6 +62,14 @@ class MediationCore {
     /// shard-private. Requires `config->reputation_feedback == false`
     /// (completion-time reputation writes would couple shards mid-epoch).
     EffectLog* effects = nullptr;
+    /// When non-null (relaxed-parity parallel execution), every lane-side
+    /// consumer-agent access — intention gathering, allocation
+    /// characterization, completion results — runs inside the consumer's
+    /// sequence lock, so load-aware routing may mediate one consumer on
+    /// several shards concurrently. Null under serial execution and under
+    /// strict parity's consumer-affine routing, where the accesses are
+    /// single-threaded by construction.
+    des::SeqLockTable* consumer_locks = nullptr;
   };
 
   /// What one mediation attempt did, so the caller (mono system or shard
@@ -159,6 +168,13 @@ class MediationCore {
   void OnQueryCompleted(const Query& query, ProviderId performer,
                         SimTime completion_time);
   void DepartProvider(std::size_t index, DepartureReason reason, SimTime now);
+  /// Enters the consumer's critical section when a lock table is wired
+  /// (relaxed-parity lanes); a no-op guard otherwise.
+  des::SeqLockTable::Guard LockConsumer(ConsumerId id) {
+    return shared_.consumer_locks != nullptr
+               ? shared_.consumer_locks->Acquire(id.index())
+               : des::SeqLockTable::Guard();
+  }
   /// The post-decision half of Algorithm 1 (provider notification, consumer
   /// characterization, dispatch), shared by Allocate and AllocateBatch.
   /// `provider_prefs` is aligned with `request.candidates`.

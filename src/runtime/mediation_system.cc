@@ -1,192 +1,58 @@
 #include "runtime/mediation_system.h"
 
-#include <algorithm>
-
-#include "common/math_util.h"
 #include "common/status.h"
-#include "model/characterization.h"
 
 namespace sqlb::runtime {
 
 MediationSystem::MediationSystem(const SystemConfig& config,
                                  AllocationMethod* method)
-    : config_(config),
-      method_(method),
-      population_(config.population, config.seed),
-      rng_(config.seed ^ 0x5e5703a7ULL),
-      query_class_rng_(rng_.Fork(11)),
-      consumer_pick_rng_(rng_.Fork(12)),
-      reputation_(config.population.num_providers, 0.0, 0.1),
-      response_window_(500) {
+    : engine_(config), method_(method) {
   SQLB_CHECK(method_ != nullptr, "mediation system needs a method");
-  SQLB_CHECK(config.duration > 0.0, "run duration must be positive");
-  SQLB_CHECK(config.query_n >= 1, "q.n must be >= 1");
 
-  providers_.reserve(population_.num_providers());
   std::vector<std::uint32_t> members;
-  members.reserve(population_.num_providers());
-  for (const ProviderProfile& profile : population_.providers()) {
-    providers_.emplace_back(profile, config_.provider);
-    members.push_back(profile.id.index());
+  members.reserve(engine_.providers().size());
+  for (const ProviderAgent& provider : engine_.providers()) {
+    members.push_back(provider.id().index());
   }
-  consumers_.reserve(population_.num_consumers());
-  for (std::size_t c = 0; c < population_.num_consumers(); ++c) {
-    consumers_.emplace_back(ConsumerId(static_cast<std::uint32_t>(c)),
-                            config_.consumer);
-    active_consumers_.push_back(static_cast<std::uint32_t>(c));
-  }
-
-  result_.method_name = method_->name();
-  result_.duration = config_.duration;
-  result_.initial_providers = providers_.size();
-  result_.initial_consumers = consumers_.size();
-
-  MediationCore::Shared shared;
-  shared.config = &config_;
-  shared.population = &population_;
-  shared.providers = &providers_;
-  shared.consumers = &consumers_;
-  shared.reputation = &reputation_;
-  shared.result = &result_;
-  shared.response_window = &response_window_;
-  core_.emplace(shared, method_, std::move(members));
+  engine_.SetMethodName(method_->name());
+  core_.emplace(engine_.CoreSharedState(), method_, std::move(members));
 }
 
 const ProviderAgent& MediationSystem::provider_agent(ProviderId id) const {
-  SQLB_CHECK(id.index() < providers_.size(), "unknown provider");
-  return providers_[id.index()];
+  SQLB_CHECK(id.index() < engine_.providers().size(), "unknown provider");
+  return engine_.providers()[id.index()];
 }
 
 const ConsumerAgent& MediationSystem::consumer_agent(ConsumerId id) const {
-  SQLB_CHECK(id.index() < consumers_.size(), "unknown consumer");
-  return consumers_[id.index()];
+  SQLB_CHECK(id.index() < engine_.consumers().size(), "unknown consumer");
+  return engine_.consumers()[id.index()];
 }
 
-double MediationSystem::ArrivalRateAt(SimTime t) const {
-  return ScaledArrivalRate(config_, population_, active_consumers_.size(),
-                           result_.initial_consumers, t);
-}
+RunResult MediationSystem::Run() { return engine_.Run(*this); }
 
-RunResult MediationSystem::Run() {
-  SQLB_CHECK(!ran_, "MediationSystem::Run may only be called once");
-  ran_ = true;
-
-  // Arrival process over the whole run.
-  const double max_rate = NominalMaxArrivalRate(config_, population_);
-  des::PoissonArrivalProcess arrivals(
-      [this](SimTime t) { return ArrivalRateAt(t); }, max_rate,
-      rng_.Fork(13));
-  arrivals.Start(sim_, 0.0, config_.duration,
-                 [this](des::Simulator& sim) { OnArrival(sim); });
-
-  // Metric probes.
-  des::PeriodicTask probe;
-  if (config_.record_series) {
-    probe.Start(sim_, config_.sample_interval, config_.sample_interval,
-                config_.duration,
-                [this](des::Simulator& sim) { SampleMetrics(sim); });
-  }
-
-  // Departure checks.
-  des::PeriodicTask departure_task;
-  const DepartureConfig& dep = config_.departures;
-  const bool departures_enabled =
-      dep.consumers_may_leave || dep.provider_dissatisfaction ||
-      dep.provider_starvation || dep.provider_overutilization;
-  if (departures_enabled) {
-    departure_task.Start(sim_, dep.grace_period, dep.check_interval,
-                         config_.duration,
-                         [this](des::Simulator& sim) {
-                           RunDepartureChecks(sim);
-                         });
-  }
-
-  sim_.RunUntil(config_.duration);
-  // Drain in-flight service so every allocated query completes.
-  sim_.RunAll();
-
-  result_.remaining_providers = core_->active_provider_count();
-  result_.remaining_consumers = active_consumers_.size();
-  return std::move(result_);
-}
-
-void MediationSystem::OnArrival(des::Simulator& sim) {
-  if (active_consumers_.empty()) return;
-  const Query query =
-      DrawArrivalQuery(config_, population_, active_consumers_,
-                       consumer_pick_rng_, query_class_rng_,
-                       next_query_id_++, sim.Now());
-
-  ++result_.queries_issued;
+void MediationSystem::OnQueryArrival(des::Simulator& sim,
+                                     const Query& query) {
   const MediationCore::Outcome outcome = core_->Allocate(sim, query);
   if (outcome != MediationCore::Outcome::kAllocated) {
-    ++result_.queries_infeasible;
+    ++engine_.result().queries_infeasible;
   }
 }
 
-void MediationSystem::SampleMetrics(des::Simulator& sim) {
-  const SimTime now = sim.Now();
-  des::SeriesSet& s = result_.series;
-  const std::vector<std::uint32_t>& active_providers =
-      core_->active_providers();
-
-  std::vector<double> sat_int, sat_pref, adq_int, adq_pref;
-  std::vector<double> allocsat_int, allocsat_pref, ut;
-  sat_int.reserve(active_providers.size());
-  for (std::uint32_t index : active_providers) {
-    ProviderAgent& p = providers_[index];
-    sat_int.push_back(p.SatisfactionOnIntentions());
-    sat_pref.push_back(p.SatisfactionOnPreferences());
-    adq_int.push_back(p.AdequationOnIntentions());
-    adq_pref.push_back(p.AdequationOnPreferences());
-    allocsat_int.push_back(p.window().AllocationSatisfactionValue(
-        ProviderWindow::Channel::kIntention));
-    allocsat_pref.push_back(p.window().AllocationSatisfactionValue(
-        ProviderWindow::Channel::kPreference));
-    ut.push_back(p.Utilization(now));
-  }
-  s.Add(kSeriesProvSatIntMean, now, Mean(sat_int));
-  s.Add(kSeriesProvSatPrefMean, now, Mean(sat_pref));
-  s.Add(kSeriesProvAdqIntMean, now, Mean(adq_int));
-  s.Add(kSeriesProvAdqPrefMean, now, Mean(adq_pref));
-  s.Add(kSeriesProvAllocSatIntMean, now, Mean(allocsat_int));
-  s.Add(kSeriesProvAllocSatPrefMean, now, Mean(allocsat_pref));
-  s.Add(kSeriesProvSatIntFair, now, JainFairness(sat_int));
-  s.Add(kSeriesProvSatPrefFair, now, JainFairness(sat_pref));
-  s.Add(kSeriesUtMean, now, Mean(ut));
-  s.Add(kSeriesUtFair, now, JainFairness(ut));
-
-  std::vector<double> csat, cadq, callocsat;
-  csat.reserve(active_consumers_.size());
-  for (std::uint32_t index : active_consumers_) {
-    ConsumerAgent& c = consumers_[index];
-    csat.push_back(c.Satisfaction());
-    cadq.push_back(c.Adequation());
-    callocsat.push_back(c.AllocationSatisfactionValue());
-  }
-  s.Add(kSeriesConsSatMean, now, Mean(csat));
-  s.Add(kSeriesConsAdqMean, now, Mean(cadq));
-  s.Add(kSeriesConsAllocSatMean, now, Mean(callocsat));
-  s.Add(kSeriesConsSatFair, now, JainFairness(csat));
-
-  s.Add(kSeriesResponseTime, now, response_window_.Mean());
-  s.Add(kSeriesActiveProviders, now,
-        static_cast<double>(active_providers.size()));
-  s.Add(kSeriesActiveConsumers, now,
-        static_cast<double>(active_consumers_.size()));
-  s.Add(kSeriesWorkloadFraction, now,
-        config_.workload.FractionAt(now, config_.duration));
-}
-
-void MediationSystem::RunDepartureChecks(des::Simulator& sim) {
-  const SimTime now = sim.Now();
-  const double optimal_ut =
-      config_.workload.FractionAt(now, config_.duration);
-
+void MediationSystem::RunProviderDepartureChecks(SimTime now,
+                                                 double optimal_ut) {
   core_->RunProviderDepartureChecks(now, optimal_ut);
-  RunConsumerDepartureChecks(config_.departures, consumers_,
-                             active_consumers_, consumer_violations_, now,
-                             &result_);
+}
+
+void MediationSystem::VisitActiveProviders(
+    const std::function<void(ProviderAgent&)>& fn) {
+  std::vector<ProviderAgent>& providers = engine_.providers();
+  for (std::uint32_t index : core_->active_providers()) {
+    fn(providers[index]);
+  }
+}
+
+std::size_t MediationSystem::ActiveProviderCount() const {
+  return core_->active_provider_count();
 }
 
 RunResult RunScenario(const SystemConfig& config, AllocationMethod* method) {

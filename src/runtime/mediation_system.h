@@ -1,43 +1,32 @@
 #ifndef SQLB_RUNTIME_MEDIATION_SYSTEM_H_
 #define SQLB_RUNTIME_MEDIATION_SYSTEM_H_
 
-#include <memory>
+#include <functional>
 #include <optional>
-#include <string>
 #include <vector>
 
-#include "common/rng.h"
-#include "common/stats.h"
 #include "core/allocation.h"
-#include "des/arrival_process.h"
-#include "des/simulator.h"
-#include "des/time_series.h"
-#include "model/metrics.h"
-#include "runtime/consumer_agent.h"
-#include "runtime/departures.h"
 #include "runtime/mediation_core.h"
-#include "runtime/provider_agent.h"
-#include "runtime/reputation.h"
 #include "runtime/scenario.h"
-#include "workload/population.h"
+#include "runtime/scenario_engine.h"
 
 /// \file
-/// The mono-mediator distributed information system of Section 6.1, run on
-/// the discrete-event kernel: Poisson query arrivals, the Algorithm 1
-/// mediation pipeline (matchmaking -> intention gathering -> scoring/
-/// selection by the pluggable AllocationMethod -> result dispatch), FIFO
-/// service at providers, the Section 3 characterization bookkeeping, metric
-/// probes, and the Section 6.3.2 departure rules.
+/// The mono-mediator distributed information system of Section 6.1: the
+/// thinnest possible configuration of the shared scenario driver
+/// (runtime/scenario_engine.h) — one Algorithm-1 pipeline
+/// (runtime/mediation_core.h) over the whole provider population, every
+/// arriving query mediated inline on the shared kernel.
 ///
-/// The pipeline itself lives in runtime/mediation_core.h (shared with the
-/// sharded tier, src/shard/); this class owns the population, the arrival
-/// process, the metric probes and the consumer-side departure rule, and
-/// runs exactly one core over the whole provider population.
+/// Population setup, Poisson arrivals, metric probes and the Section 6.3.2
+/// departure schedule all live in the ScenarioEngine; this class only
+/// supplies the mediation step and the one core, which is what the sharded
+/// tier (src/shard/) generalizes to M cores plus routing/batching/parity
+/// policies.
 
 namespace sqlb::runtime {
 
 /// One simulated system + one allocation method = one run.
-class MediationSystem {
+class MediationSystem : private ScenarioEngine::Driver {
  public:
   /// The system does not own `method`; it must outlive Run(). A fresh
   /// method instance per run keeps runs independent.
@@ -47,67 +36,64 @@ class MediationSystem {
   RunResult Run();
 
   // --- Series keys (Figure 4's subplots map onto these) -------------------
-  static constexpr const char* kSeriesProvSatIntMean = "prov.sat.int.mean";
-  static constexpr const char* kSeriesProvSatPrefMean = "prov.sat.pref.mean";
-  static constexpr const char* kSeriesProvAdqIntMean = "prov.adq.int.mean";
-  static constexpr const char* kSeriesProvAdqPrefMean = "prov.adq.pref.mean";
+  // Aliases of the engine's keys: every experiment/bench/test reads them
+  // through this class, and the sharded tier emits the same names.
+  static constexpr const char* kSeriesProvSatIntMean =
+      ScenarioEngine::kSeriesProvSatIntMean;
+  static constexpr const char* kSeriesProvSatPrefMean =
+      ScenarioEngine::kSeriesProvSatPrefMean;
+  static constexpr const char* kSeriesProvAdqIntMean =
+      ScenarioEngine::kSeriesProvAdqIntMean;
+  static constexpr const char* kSeriesProvAdqPrefMean =
+      ScenarioEngine::kSeriesProvAdqPrefMean;
   static constexpr const char* kSeriesProvAllocSatIntMean =
-      "prov.allocsat.int.mean";
+      ScenarioEngine::kSeriesProvAllocSatIntMean;
   static constexpr const char* kSeriesProvAllocSatPrefMean =
-      "prov.allocsat.pref.mean";
-  static constexpr const char* kSeriesProvSatIntFair = "prov.sat.int.fair";
-  static constexpr const char* kSeriesProvSatPrefFair = "prov.sat.pref.fair";
-  static constexpr const char* kSeriesUtMean = "prov.ut.mean";
-  static constexpr const char* kSeriesUtFair = "prov.ut.fair";
-  static constexpr const char* kSeriesConsSatMean = "cons.sat.mean";
-  static constexpr const char* kSeriesConsAdqMean = "cons.adq.mean";
-  static constexpr const char* kSeriesConsAllocSatMean = "cons.allocsat.mean";
-  static constexpr const char* kSeriesConsSatFair = "cons.sat.fair";
-  static constexpr const char* kSeriesResponseTime = "rt.window";
-  static constexpr const char* kSeriesActiveProviders = "active.providers";
-  static constexpr const char* kSeriesActiveConsumers = "active.consumers";
-  static constexpr const char* kSeriesWorkloadFraction = "workload.fraction";
+      ScenarioEngine::kSeriesProvAllocSatPrefMean;
+  static constexpr const char* kSeriesProvSatIntFair =
+      ScenarioEngine::kSeriesProvSatIntFair;
+  static constexpr const char* kSeriesProvSatPrefFair =
+      ScenarioEngine::kSeriesProvSatPrefFair;
+  static constexpr const char* kSeriesUtMean = ScenarioEngine::kSeriesUtMean;
+  static constexpr const char* kSeriesUtFair = ScenarioEngine::kSeriesUtFair;
+  static constexpr const char* kSeriesConsSatMean =
+      ScenarioEngine::kSeriesConsSatMean;
+  static constexpr const char* kSeriesConsAdqMean =
+      ScenarioEngine::kSeriesConsAdqMean;
+  static constexpr const char* kSeriesConsAllocSatMean =
+      ScenarioEngine::kSeriesConsAllocSatMean;
+  static constexpr const char* kSeriesConsSatFair =
+      ScenarioEngine::kSeriesConsSatFair;
+  static constexpr const char* kSeriesResponseTime =
+      ScenarioEngine::kSeriesResponseTime;
+  static constexpr const char* kSeriesActiveProviders =
+      ScenarioEngine::kSeriesActiveProviders;
+  static constexpr const char* kSeriesActiveConsumers =
+      ScenarioEngine::kSeriesActiveConsumers;
+  static constexpr const char* kSeriesWorkloadFraction =
+      ScenarioEngine::kSeriesWorkloadFraction;
 
   // Introspection for tests.
-  const Population& population() const { return population_; }
+  const Population& population() const { return engine_.population(); }
   const ProviderAgent& provider_agent(ProviderId id) const;
   const ConsumerAgent& consumer_agent(ConsumerId id) const;
-  ReputationRegistry& reputation() { return reputation_; }
+  ReputationRegistry& reputation() { return engine_.reputation(); }
   const MediationCore& core() const { return *core_; }
 
  private:
-  void OnArrival(des::Simulator& sim);
-  void SampleMetrics(des::Simulator& sim);
-  void RunDepartureChecks(des::Simulator& sim);
-  double ArrivalRateAt(SimTime t) const;
+  // ScenarioEngine::Driver — the mono-mediator policy: mediate inline on
+  // the one core.
+  void OnQueryArrival(des::Simulator& sim, const Query& query) override;
+  void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
+  void VisitActiveProviders(
+      const std::function<void(ProviderAgent&)>& fn) override;
+  std::size_t ActiveProviderCount() const override;
 
-  SystemConfig config_;
+  ScenarioEngine engine_;
   AllocationMethod* method_;
-  Population population_;
-  des::Simulator sim_;
-  Rng rng_;
-  Rng query_class_rng_;
-  Rng consumer_pick_rng_;
-
-  std::vector<ProviderAgent> providers_;
-  std::vector<ConsumerAgent> consumers_;
-  /// Indices of still-active consumers (swap-removed on departure); the
-  /// active provider list lives in the core.
-  std::vector<std::uint32_t> active_consumers_;
-
-  ReputationRegistry reputation_;
-
-  QueryId next_query_id_ = 0;
-  WindowedMean response_window_;
-
-  // Consecutive failed assessments per consumer (hysteresis).
-  std::vector<std::uint32_t> consumer_violations_;
-
-  RunResult result_;
-  bool ran_ = false;
 
   /// The Algorithm-1 pipeline over the whole provider population
-  /// (constructed after the participant vectors are filled).
+  /// (constructed after the engine filled the participant vectors).
   std::optional<MediationCore> core_;
 };
 

@@ -1,0 +1,179 @@
+#ifndef SQLB_RUNTIME_SCENARIO_ENGINE_H_
+#define SQLB_RUNTIME_SCENARIO_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "des/simulator.h"
+#include "des/time_series.h"
+#include "model/query.h"
+#include "runtime/consumer_agent.h"
+#include "runtime/mediation_core.h"
+#include "runtime/provider_agent.h"
+#include "runtime/scenario.h"
+#include "workload/population.h"
+
+/// \file
+/// The one scenario driver every tier shares. A Section-6 run is always the
+/// same loop — populate the participant agents, pump Poisson query arrivals,
+/// sample the metric probes, apply the Section 6.3.2 departure rules, drain
+/// in-flight service — and only the middle of it differs between the
+/// mono-mediator (`runtime::MediationSystem`: allocate on the one core) and
+/// the sharded tier (`shard::ShardedMediationSystem`: route, maybe batch,
+/// maybe re-route, maybe run shard lanes on worker threads).
+///
+/// ScenarioEngine owns the invariant part: the population, the agent
+/// vectors, every shared RNG stream (and its fork order, which is the
+/// bit-identity contract between the tiers), the arrival pump, the metric
+/// probes, the consumer-side departure rule and the RunResult sinks. The
+/// variable part is a ScenarioEngine::Driver — mediation, routing, batching
+/// and the execution substrate (serial kernel vs epoch-parallel lanes) are
+/// policies of the driver, not copies of the loop. Deleting the second
+/// driver loop is what keeps the two tiers comparable: a policy change
+/// cannot silently fork the scenario semantics anymore.
+
+namespace sqlb::runtime {
+
+/// Owns one scenario's shared state and runs its event loop over a Driver.
+class ScenarioEngine {
+ public:
+  /// The tier-specific half of a run. The engine draws each arriving query
+  /// (and counts it issued) before handing it over; everything else the
+  /// driver does — mediate, route, batch — happens through these hooks.
+  class Driver {
+   public:
+    virtual ~Driver() = default;
+
+    /// Mediates one drawn arrival. Called inside the arrival event, after
+    /// the engine counted the query as issued.
+    virtual void OnQueryArrival(des::Simulator& sim, const Query& query) = 0;
+
+    /// The Section 6.3.2 provider-side rules over every mediation core the
+    /// driver runs. `optimal_ut` is the nominal workload fraction at `now`.
+    virtual void RunProviderDepartureChecks(SimTime now,
+                                            double optimal_ut) = 0;
+
+    /// Visits every still-active provider agent in the tier's metric
+    /// sampling order (the mono core's active list; shard order, then each
+    /// shard's active list, for the sharded tier — identical at M = 1).
+    virtual void VisitActiveProviders(
+        const std::function<void(ProviderAgent&)>& fn) = 0;
+    virtual std::size_t ActiveProviderCount() const = 0;
+
+    /// Appends tier-specific series samples after the shared keys (the
+    /// sharded tier adds its shard.* load series here).
+    virtual void ExtendMetricsSample(SimTime now, des::SeriesSet& series) {
+      (void)now;
+      (void)series;
+    }
+
+    /// Starts tier-specific periodic tasks (load-report gossip). Called
+    /// between the metric probe and the departure task, so the coordinator
+    /// event schedule of the pre-engine systems is reproduced exactly.
+    virtual void StartAuxiliaryTasks(des::Simulator& sim) { (void)sim; }
+
+    /// True when the engine's periodic tasks (probe, departures) must be
+    /// epoch barriers for RunUntilParallel (inert under serial execution).
+    virtual bool TasksAreBarriers() const { return false; }
+
+    /// The run loop itself: the default drains the shared kernel serially
+    /// (RunUntil to the horizon, then RunAll for in-flight service); the
+    /// epoch-parallel driver overrides this with the lane-group loop.
+    virtual void Execute(des::Simulator& sim, SimTime duration);
+  };
+
+  explicit ScenarioEngine(const SystemConfig& config);
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Executes the full scenario over `driver` and returns the result.
+  /// Call once.
+  RunResult Run(Driver& driver);
+
+  // --- Series keys (Figure 4's subplots map onto these) -------------------
+  static constexpr const char* kSeriesProvSatIntMean = "prov.sat.int.mean";
+  static constexpr const char* kSeriesProvSatPrefMean = "prov.sat.pref.mean";
+  static constexpr const char* kSeriesProvAdqIntMean = "prov.adq.int.mean";
+  static constexpr const char* kSeriesProvAdqPrefMean = "prov.adq.pref.mean";
+  static constexpr const char* kSeriesProvAllocSatIntMean =
+      "prov.allocsat.int.mean";
+  static constexpr const char* kSeriesProvAllocSatPrefMean =
+      "prov.allocsat.pref.mean";
+  static constexpr const char* kSeriesProvSatIntFair = "prov.sat.int.fair";
+  static constexpr const char* kSeriesProvSatPrefFair = "prov.sat.pref.fair";
+  static constexpr const char* kSeriesUtMean = "prov.ut.mean";
+  static constexpr const char* kSeriesUtFair = "prov.ut.fair";
+  static constexpr const char* kSeriesConsSatMean = "cons.sat.mean";
+  static constexpr const char* kSeriesConsAdqMean = "cons.adq.mean";
+  static constexpr const char* kSeriesConsAllocSatMean = "cons.allocsat.mean";
+  static constexpr const char* kSeriesConsSatFair = "cons.sat.fair";
+  static constexpr const char* kSeriesResponseTime = "rt.window";
+  static constexpr const char* kSeriesActiveProviders = "active.providers";
+  static constexpr const char* kSeriesActiveConsumers = "active.consumers";
+  static constexpr const char* kSeriesWorkloadFraction = "workload.fraction";
+
+  // --- Shared state the drivers build their cores over --------------------
+
+  const SystemConfig& config() const { return config_; }
+  const Population& population() const { return population_; }
+  des::Simulator& sim() { return sim_; }
+  std::vector<ProviderAgent>& providers() { return providers_; }
+  const std::vector<ProviderAgent>& providers() const { return providers_; }
+  std::vector<ConsumerAgent>& consumers() { return consumers_; }
+  const std::vector<ConsumerAgent>& consumers() const { return consumers_; }
+  const std::vector<std::uint32_t>& active_consumers() const {
+    return active_consumers_;
+  }
+  ReputationRegistry& reputation() { return reputation_; }
+  RunResult& result() { return result_; }
+  WindowedMean& response_window() { return response_window_; }
+
+  /// The shared-state block a MediationCore needs, pointing into this
+  /// engine. Drivers set the per-core fields (`effects`, `consumer_locks`)
+  /// on top before constructing each core.
+  MediationCore::Shared CoreSharedState();
+
+  /// RunResult::method_name (the engine cannot know it: methods are built
+  /// by the driver, per core). Call before Run().
+  void SetMethodName(std::string name) { result_.method_name = std::move(name); }
+
+ private:
+  void OnArrival(des::Simulator& sim, Driver& driver);
+  void SampleMetrics(des::Simulator& sim, Driver& driver);
+  void RunDepartureChecks(des::Simulator& sim, Driver& driver);
+  double ArrivalRateAt(SimTime t) const;
+
+  SystemConfig config_;
+  Population population_;
+  des::Simulator sim_;
+  // The shared stream and its forks, in the fork order every tier
+  // reproduces (11: query classes, 12: consumer picks, 13: arrivals at
+  // Run) — the root of the M = 1 / mono bit-identity guarantee.
+  Rng rng_;
+  Rng query_class_rng_;
+  Rng consumer_pick_rng_;
+
+  std::vector<ProviderAgent> providers_;
+  std::vector<ConsumerAgent> consumers_;
+  /// Indices of still-active consumers (swap-removed on departure); active
+  /// provider lists live in the drivers' cores.
+  std::vector<std::uint32_t> active_consumers_;
+
+  ReputationRegistry reputation_;
+
+  QueryId next_query_id_ = 0;
+  WindowedMean response_window_;
+
+  // Consecutive failed assessments per consumer (hysteresis).
+  std::vector<std::uint32_t> consumer_violations_;
+
+  RunResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_SCENARIO_ENGINE_H_

@@ -8,7 +8,6 @@
 #include "common/status.h"
 #include "des/worker_pool.h"
 #include "model/metrics.h"
-#include "runtime/mediation_system.h"
 
 namespace sqlb::shard {
 namespace {
@@ -61,46 +60,20 @@ double ShardedRunResult::RouteImbalance() const {
 ShardedMediationSystem::ShardedMediationSystem(
     const ShardedSystemConfig& config, MethodFactory factory)
     : config_(config),
-      population_(config.base.population, config.base.seed),
-      // The shared streams fork in the same order as the mono-mediator's
-      // (11, 12 here, 13 for arrivals in Run), which is what makes an M = 1
-      // run replay the mono system query for query. Everything shard-tier
-      // (ring hashing, network latency) draws from independent generators.
-      rng_(config.base.seed ^ 0x5e5703a7ULL),
-      query_class_rng_(rng_.Fork(11)),
-      consumer_pick_rng_(rng_.Fork(12)),
-      reputation_(config.base.population.num_providers, 0.0, 0.1),
+      // The engine owns the shared streams and forks them in the
+      // mono-mediator's order, which is what makes an M = 1 run replay the
+      // mono system query for query. Everything shard-tier (ring hashing,
+      // network latency) draws from independent generators.
+      engine_(config.base),
       router_(config.router),
-      network_(sim_, config.gossip_latency,
-               Rng(config.base.seed ^ 0x60551bULL)),
-      response_window_(500) {
+      network_(engine_.sim(), config.gossip_latency,
+               Rng(config.base.seed ^ 0x60551bULL)) {
   SQLB_CHECK(factory != nullptr, "sharded system needs a method factory");
-  SQLB_CHECK(config.base.duration > 0.0, "run duration must be positive");
-  SQLB_CHECK(config.base.query_n >= 1, "q.n must be >= 1");
   SQLB_CHECK(config.router.num_shards >= 1, "need at least one shard");
-
-  providers_.reserve(population_.num_providers());
-  for (const ProviderProfile& profile : population_.providers()) {
-    providers_.emplace_back(profile, config_.base.provider);
-  }
-  consumers_.reserve(population_.num_consumers());
-  for (std::size_t c = 0; c < population_.num_consumers(); ++c) {
-    consumers_.emplace_back(ConsumerId(static_cast<std::uint32_t>(c)),
-                            config_.base.consumer);
-    active_consumers_.push_back(static_cast<std::uint32_t>(c));
-  }
 
   // Partition the provider population and raise one pipeline per shard.
   const std::vector<std::vector<std::uint32_t>> partition =
-      router_.PartitionProviders(population_.providers());
-  runtime::MediationCore::Shared shared;
-  shared.config = &config_.base;
-  shared.population = &population_;
-  shared.providers = &providers_;
-  shared.consumers = &consumers_;
-  shared.reputation = &reputation_;
-  shared.result = &result_.run;
-  shared.response_window = &response_window_;
+      router_.PartitionProviders(engine_.population().providers());
 
   const std::size_t num_shards = config_.router.num_shards;
   parallel_ = config_.worker_threads > 0;
@@ -110,12 +83,17 @@ ShardedMediationSystem::ShardedMediationSystem(
       lane_sims_.push_back(std::make_unique<des::Simulator>());
     }
     effect_logs_.resize(num_shards);
+    if (ParallelRunNeedsConsumerLocks(config_.parity, RunShape())) {
+      consumer_locks_ =
+          std::make_unique<des::SeqLockTable>(engine_.consumers().size());
+    }
   }
   batch_buffers_.resize(num_shards);
   flush_due_.assign(num_shards, -kSimTimeInfinity);
   flush_scratch_.resize(num_shards);
   outcome_scratch_.resize(num_shards);
 
+  runtime::MediationCore::Shared shared = engine_.CoreSharedState();
   methods_.reserve(num_shards);
   cores_.reserve(num_shards);
   result_.shards.resize(num_shards);
@@ -124,8 +102,10 @@ ShardedMediationSystem::ShardedMediationSystem(
     SQLB_CHECK(methods_.back() != nullptr, "method factory returned null");
     // In parallel mode each core sinks its cross-shard effects into its
     // own log, merged at epoch barriers; in serial mode it writes the
-    // shared sinks directly (bit-identical to PR 1).
+    // shared sinks directly (bit-identical to PR 1). Relaxed parity adds
+    // the per-consumer sequence locks on every lane-side consumer access.
     shared.effects = parallel_ ? &effect_logs_[s] : nullptr;
+    shared.consumer_locks = consumer_locks_.get();
     cores_.push_back(std::make_unique<runtime::MediationCore>(
         shared, methods_.back().get(), partition[s]));
     result_.shards[s].initial_providers = partition[s].size();
@@ -139,126 +119,73 @@ ShardedMediationSystem::ShardedMediationSystem(
   }
   sink_address_ = network_.Register(gossip_sink_.get());
 
-  result_.run.method_name = methods_.front()->name();
-  result_.run.duration = config_.base.duration;
-  result_.run.initial_providers = providers_.size();
-  result_.run.initial_consumers = consumers_.size();
+  engine_.SetMethodName(methods_.front()->name());
 }
 
 ShardedMediationSystem::~ShardedMediationSystem() = default;
 
-double ShardedMediationSystem::ArrivalRateAt(SimTime t) const {
-  return runtime::ScaledArrivalRate(config_.base, population_,
-                                    active_consumers_.size(),
-                                    result_.run.initial_consumers, t);
+ParallelRunShape ShardedMediationSystem::RunShape() const {
+  ParallelRunShape shape;
+  shape.num_shards = config_.router.num_shards;
+  shape.routing = config_.router.policy;
+  shape.rerouting_enabled = config_.rerouting_enabled;
+  shape.reputation_feedback = config_.base.reputation_feedback;
+  return shape;
 }
 
 ShardedRunResult ShardedMediationSystem::Run() {
   SQLB_CHECK(!ran_, "ShardedMediationSystem::Run may only be called once");
   ran_ = true;
-  const runtime::SystemConfig& base = config_.base;
 
-  // Epoch-parallel preconditions: between barriers, a lane may only touch
-  // state no other lane (and no coordinator event) reads. See the
-  // worker_threads comment in ShardedSystemConfig.
+  // The parity policy decides which configurations a parallel run admits —
+  // strict demands state-disjoint lanes, relaxed swaps that for the
+  // per-consumer sequence locks (shard/parity.h).
   if (parallel_) {
-    SQLB_CHECK(!base.reputation_feedback,
-               "parallel shard execution requires reputation_feedback off");
-    SQLB_CHECK(cores_.size() == 1 ||
-                   config_.router.policy == RoutingPolicy::kLocality,
-               "parallel shard execution requires consumer-affine "
-               "(kLocality) routing");
-    SQLB_CHECK(cores_.size() == 1 || !config_.rerouting_enabled,
-               "parallel shard execution requires rerouting disabled");
+    ValidateParallelRun(config_.parity, RunShape());
   }
 
-  // Arrival process over the whole run (fork 13, as in the mono system).
-  const double max_rate = runtime::NominalMaxArrivalRate(base, population_);
-  des::PoissonArrivalProcess arrivals(
-      [this](SimTime t) { return ArrivalRateAt(t); }, max_rate,
-      rng_.Fork(13));
-  arrivals.Start(sim_, 0.0, base.duration,
-                 [this](des::Simulator& sim) { OnArrival(sim); });
+  result_.run = engine_.Run(*this);
 
-  // Metric probes, load gossip and departure checks all read (and, for
-  // departures, mutate) shard state, so under parallel execution each of
-  // their firings is an epoch barrier: the lanes drain up to the event's
-  // time and merge before the callback runs.
-  des::PeriodicTask probe;
-  if (base.record_series) {
-    probe.Start(sim_, base.sample_interval, base.sample_interval,
-                base.duration,
-                [this](des::Simulator& sim) { SampleMetrics(sim); },
-                /*barrier=*/parallel_);
-  }
-
-  // Cross-shard load gossip.
-  des::PeriodicTask gossip;
-  if (config_.gossip_enabled) {
-    gossip.Start(sim_, config_.gossip_interval, config_.gossip_interval,
-                 base.duration,
-                 [this](des::Simulator& sim) { SendLoadReports(sim); },
-                 /*barrier=*/parallel_);
-  }
-
-  // Departure checks.
-  des::PeriodicTask departure_task;
-  const runtime::DepartureConfig& dep = base.departures;
-  const bool departures_enabled =
-      dep.consumers_may_leave || dep.provider_dissatisfaction ||
-      dep.provider_starvation || dep.provider_overutilization;
-  if (departures_enabled) {
-    departure_task.Start(sim_, dep.grace_period, dep.check_interval,
-                         base.duration,
-                         [this](des::Simulator& sim) {
-                           RunDepartureChecks(sim);
-                         },
-                         /*barrier=*/parallel_);
-  }
-
-  if (parallel_) {
-    des::WorkerPool pool(config_.worker_threads);
-    std::vector<des::Simulator*> lanes;
-    lanes.reserve(lane_sims_.size());
-    for (const auto& lane : lane_sims_) lanes.push_back(lane.get());
-    des::LaneGroup group(std::move(lanes), &pool,
-                         [this](SimTime) { MergeEffects(); });
-    sim_.RunUntilParallel(base.duration, group);
-    // Drain in-flight service past the horizon: lane completions first
-    // (deterministic merge), then the coordinator's remaining gossip
-    // deliveries — the two sets are disjoint, so the order between them
-    // cannot matter.
-    group.DrainAll();
-    sim_.RunAll();
-  } else {
-    sim_.RunUntil(base.duration);
-    // Drain in-flight service (and gossip) so every allocated query
-    // completes.
-    sim_.RunAll();
-  }
-
-  std::size_t remaining = 0;
+  // (run.remaining_providers is already the cross-shard sum: the engine
+  // filled it through ActiveProviderCount().)
   for (std::size_t s = 0; s < cores_.size(); ++s) {
     result_.shards[s].remaining_providers = cores_[s]->active_provider_count();
     result_.shards[s].allocated = cores_[s]->allocated_queries();
-    remaining += cores_[s]->active_provider_count();
   }
-  result_.run.remaining_providers = remaining;
-  result_.run.remaining_consumers = active_consumers_.size();
   result_.gossip_sent = network_.sent_messages();
   result_.gossip_delivered = network_.delivered_messages();
   result_.stale_fallbacks = router_.stale_fallbacks();
+  if (consumer_locks_ != nullptr) {
+    result_.consumer_lock_contention = consumer_locks_->contended_acquires();
+  }
   return std::move(result_);
 }
 
-void ShardedMediationSystem::OnArrival(des::Simulator& sim) {
-  if (active_consumers_.empty()) return;
-  const Query query = runtime::DrawArrivalQuery(
-      config_.base, population_, active_consumers_, consumer_pick_rng_,
-      query_class_rng_, next_query_id_++, sim.Now());
+void ShardedMediationSystem::Execute(des::Simulator& sim, SimTime duration) {
+  if (!parallel_) {
+    // Classic single-threaded run: the engine's default loop.
+    Driver::Execute(sim, duration);
+    return;
+  }
+  des::WorkerPoolOptions pool_options;
+  pool_options.pin_threads = config_.pin_worker_threads;
+  des::WorkerPool pool(config_.worker_threads, pool_options);
+  std::vector<des::Simulator*> lanes;
+  lanes.reserve(lane_sims_.size());
+  for (const auto& lane : lane_sims_) lanes.push_back(lane.get());
+  des::LaneGroup group(std::move(lanes), &pool,
+                       [this](SimTime) { MergeEffects(); });
+  sim.RunUntilParallel(duration, group);
+  // Drain in-flight service past the horizon: lane completions first
+  // (deterministic merge), then the coordinator's remaining gossip
+  // deliveries — the two sets are disjoint, so the order between them
+  // cannot matter.
+  group.DrainAll();
+  sim.RunAll();
+}
 
-  ++result_.run.queries_issued;
-
+void ShardedMediationSystem::OnQueryArrival(des::Simulator& sim,
+                                            const Query& query) {
   const SimTime now = sim.Now();
   const std::uint32_t shard = router_.Route(query, now);
   ++result_.shards[shard].routed;
@@ -287,7 +214,7 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
   if (attempt > 0) {
     // Resuming after a bounced batch attempt on `shard` (attempt 0).
     if (attempt >= attempts) {
-      ++result_.run.queries_infeasible;
+      ++engine_.result().queries_infeasible;
       return;
     }
     tried.assign(cores_.size(), false);
@@ -312,7 +239,7 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
         // economic broker). That mediation round happened — providers and
         // the consumer recorded it — so replaying the query on another
         // shard would double-count; the mono system treats it the same.
-        ++result_.run.queries_infeasible;
+        ++engine_.result().queries_infeasible;
         return;
       case runtime::MediationCore::Outcome::kNoCandidates:
       case runtime::MediationCore::Outcome::kSaturated:
@@ -325,7 +252,7 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
       ++result_.reroutes;
     }
   }
-  ++result_.run.queries_infeasible;
+  ++engine_.result().queries_infeasible;
 }
 
 void ShardedMediationSystem::EnqueueForMediation(const Query& query,
@@ -333,7 +260,7 @@ void ShardedMediationSystem::EnqueueForMediation(const Query& query,
                                                  SimTime now) {
   // Lane intake: the shard's own queue under parallel execution, the
   // shared kernel otherwise (serial batching).
-  des::Simulator& lane = parallel_ ? *lane_sims_[shard] : sim_;
+  des::Simulator& lane = parallel_ ? *lane_sims_[shard] : engine_.sim();
   if (config_.batch_window > 0.0) {
     std::vector<Query>& buffer = batch_buffers_[shard];
     buffer.push_back(query);
@@ -421,12 +348,23 @@ void ShardedMediationSystem::CountInfeasible(des::Simulator& sim,
   if (parallel_) {
     effect_logs_[shard].RecordInfeasible(sim.Now());
   } else {
-    ++result_.run.queries_infeasible;
+    ++engine_.result().queries_infeasible;
   }
 }
 
 void ShardedMediationSystem::MergeEffects() {
-  runtime::MergeEffectLogs(effect_logs_, &result_.run, &response_window_);
+  runtime::MergeEffectLogs(effect_logs_, &engine_.result(),
+                           &engine_.response_window());
+}
+
+void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
+  // Cross-shard load gossip (a barrier under parallel execution: reports
+  // read core state, so the lanes drain and merge first).
+  if (!config_.gossip_enabled) return;
+  gossip_task_.Start(sim, config_.gossip_interval, config_.gossip_interval,
+                     config_.base.duration,
+                     [this](des::Simulator& s) { SendLoadReports(s); },
+                     /*barrier=*/parallel_);
 }
 
 void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
@@ -448,88 +386,44 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   }
 }
 
-void ShardedMediationSystem::SampleMetrics(des::Simulator& sim) {
-  using runtime::MediationSystem;
-  const SimTime now = sim.Now();
-  des::SeriesSet& s = result_.run.series;
-
-  // Aggregate the provider metrics across shards in shard order, so an
-  // M = 1 run samples in exactly the mono-mediator's iteration order.
-  std::vector<double> sat_int, sat_pref, adq_int, adq_pref;
-  std::vector<double> allocsat_int, allocsat_pref, ut;
-  sat_int.reserve(providers_.size());
-  for (std::size_t shard = 0; shard < cores_.size(); ++shard) {
-    for (std::uint32_t index : cores_[shard]->active_providers()) {
-      runtime::ProviderAgent& p = providers_[index];
-      sat_int.push_back(p.SatisfactionOnIntentions());
-      sat_pref.push_back(p.SatisfactionOnPreferences());
-      adq_int.push_back(p.AdequationOnIntentions());
-      adq_pref.push_back(p.AdequationOnPreferences());
-      allocsat_int.push_back(p.window().AllocationSatisfactionValue(
-          ProviderWindow::Channel::kIntention));
-      allocsat_pref.push_back(p.window().AllocationSatisfactionValue(
-          ProviderWindow::Channel::kPreference));
-      ut.push_back(p.Utilization(now));
+void ShardedMediationSystem::VisitActiveProviders(
+    const std::function<void(runtime::ProviderAgent&)>& fn) {
+  // Shard order, then each shard's active list: at M = 1 this is exactly
+  // the mono-mediator's iteration order, which the parity pins rely on.
+  std::vector<runtime::ProviderAgent>& providers = engine_.providers();
+  for (const auto& core : cores_) {
+    for (std::uint32_t index : core->active_providers()) {
+      fn(providers[index]);
     }
-  }
-  s.Add(MediationSystem::kSeriesProvSatIntMean, now, Mean(sat_int));
-  s.Add(MediationSystem::kSeriesProvSatPrefMean, now, Mean(sat_pref));
-  s.Add(MediationSystem::kSeriesProvAdqIntMean, now, Mean(adq_int));
-  s.Add(MediationSystem::kSeriesProvAdqPrefMean, now, Mean(adq_pref));
-  s.Add(MediationSystem::kSeriesProvAllocSatIntMean, now, Mean(allocsat_int));
-  s.Add(MediationSystem::kSeriesProvAllocSatPrefMean, now,
-        Mean(allocsat_pref));
-  s.Add(MediationSystem::kSeriesProvSatIntFair, now, JainFairness(sat_int));
-  s.Add(MediationSystem::kSeriesProvSatPrefFair, now, JainFairness(sat_pref));
-  s.Add(MediationSystem::kSeriesUtMean, now, Mean(ut));
-  s.Add(MediationSystem::kSeriesUtFair, now, JainFairness(ut));
-
-  std::vector<double> csat, cadq, callocsat;
-  csat.reserve(active_consumers_.size());
-  for (std::uint32_t index : active_consumers_) {
-    runtime::ConsumerAgent& c = consumers_[index];
-    csat.push_back(c.Satisfaction());
-    cadq.push_back(c.Adequation());
-    callocsat.push_back(c.AllocationSatisfactionValue());
-  }
-  s.Add(MediationSystem::kSeriesConsSatMean, now, Mean(csat));
-  s.Add(MediationSystem::kSeriesConsAdqMean, now, Mean(cadq));
-  s.Add(MediationSystem::kSeriesConsAllocSatMean, now, Mean(callocsat));
-  s.Add(MediationSystem::kSeriesConsSatFair, now, JainFairness(csat));
-
-  s.Add(MediationSystem::kSeriesResponseTime, now, response_window_.Mean());
-  std::size_t active_providers = 0;
-  for (const auto& core : cores_) active_providers += core->active_provider_count();
-  s.Add(MediationSystem::kSeriesActiveProviders, now,
-        static_cast<double>(active_providers));
-  s.Add(MediationSystem::kSeriesActiveConsumers, now,
-        static_cast<double>(active_consumers_.size()));
-  s.Add(MediationSystem::kSeriesWorkloadFraction, now,
-        config_.base.workload.FractionAt(now, config_.base.duration));
-
-  // The shard-tier view: per-shard load and membership.
-  for (std::size_t shard = 0; shard < cores_.size(); ++shard) {
-    s.Add(kSeriesShardUtPrefix + std::to_string(shard), now,
-          cores_[shard]->MeanCommittedUtilization(now));
-    s.Add(kSeriesShardActivePrefix + std::to_string(shard), now,
-          static_cast<double>(cores_[shard]->active_provider_count()));
   }
 }
 
-void ShardedMediationSystem::RunDepartureChecks(des::Simulator& sim) {
-  const SimTime now = sim.Now();
-  const runtime::DepartureConfig& dep = config_.base.departures;
-  const double optimal_ut =
-      config_.base.workload.FractionAt(now, config_.base.duration);
+std::size_t ShardedMediationSystem::ActiveProviderCount() const {
+  std::size_t active = 0;
+  for (const auto& core : cores_) active += core->active_provider_count();
+  return active;
+}
 
+void ShardedMediationSystem::ExtendMetricsSample(SimTime now,
+                                                 des::SeriesSet& series) {
+  // The shard-tier view: per-shard load and membership, appended after the
+  // engine's mono-compatible keys.
+  for (std::size_t shard = 0; shard < cores_.size(); ++shard) {
+    series.Add(kSeriesShardUtPrefix + std::to_string(shard), now,
+               cores_[shard]->MeanCommittedUtilization(now));
+    series.Add(kSeriesShardActivePrefix + std::to_string(shard), now,
+               static_cast<double>(cores_[shard]->active_provider_count()));
+  }
+}
+
+void ShardedMediationSystem::RunProviderDepartureChecks(SimTime now,
+                                                        double optimal_ut) {
   // Section 6.3.2 provider rules, shard by shard: each mediator assesses
-  // only its own members; consumers are system-global.
+  // only its own members; consumers are system-global (the engine runs
+  // their rule right after this hook).
   for (const auto& core : cores_) {
     core->RunProviderDepartureChecks(now, optimal_ut);
   }
-  runtime::RunConsumerDepartureChecks(dep, consumers_, active_consumers_,
-                                      consumer_violations_, now,
-                                      &result_.run);
 }
 
 ShardedRunResult RunShardedScenario(

@@ -6,24 +6,24 @@
 #include <memory>
 #include <vector>
 
-#include "common/rng.h"
-#include "common/stats.h"
 #include "core/allocation.h"
-#include "des/arrival_process.h"
+#include "des/seqlock.h"
 #include "des/simulator.h"
 #include "msg/network.h"
-#include "runtime/consumer_agent.h"
 #include "runtime/mediation_core.h"
-#include "runtime/provider_agent.h"
-#include "runtime/reputation.h"
 #include "runtime/scenario.h"
+#include "runtime/scenario_engine.h"
+#include "shard/parity.h"
 #include "shard/shard_router.h"
-#include "workload/population.h"
 
 /// \file
 /// The sharded mediation tier: M mediators, each running the Algorithm-1
 /// pipeline (runtime/mediation_core.h) over a consistent-hash partition of
-/// the provider population, on one shared discrete-event kernel.
+/// the provider population, as one configuration of the shared scenario
+/// driver (runtime/scenario_engine.h). The engine owns the population, the
+/// arrival pump, the metric probes and the departure schedule; this class
+/// supplies the policies — routing, batching, the execution substrate
+/// (serial kernel vs epoch-parallel lanes) and the parity mode.
 ///
 /// Cross-shard load visibility travels as periodic load-report gossip over
 /// the simulated network (msg/network.h), so the routing policies observe a
@@ -35,7 +35,7 @@
 /// dropped.
 ///
 /// With M = 1 the tier reduces to the mono-mediator `MediationSystem` —
-/// same RNG streams, same pipeline code — and reproduces its RunResult
+/// same engine, same pipeline code — and reproduces its RunResult
 /// bit-for-bit, which tests/shard/sharded_mediation_test.cc pins.
 
 namespace sqlb::shard {
@@ -70,18 +70,23 @@ struct ShardedSystemConfig {
   /// shard's mediation + service events drain on their own lane queue, the
   /// lanes run on a fixed pool of this many threads between barriers
   /// (gossip/probe/departure events), and the cross-shard sinks are merged
-  /// deterministically at each barrier — so the result is bit-identical to
-  /// the serial run for a fixed seed, independent of the thread count.
-  ///
-  /// Parallel execution requires the shards to be state-disjoint between
-  /// barriers, which constrains the config (checked at Run()):
-  ///  - routing must be consumer-affine (RoutingPolicy::kLocality) unless
-  ///    M == 1, so each consumer's window state lives on one lane;
-  ///  - rerouting must be disabled unless M == 1 (a mid-epoch bounce would
-  ///    couple two lanes);
-  ///  - base.reputation_feedback must be off (completion-time reputation
-  ///    writes are read by every shard's intention computation).
+  /// deterministically at each barrier. Which configurations a parallel
+  /// run admits — and how far it may diverge from its serial twin — is the
+  /// parity policy below (shard/parity.h), validated at Run().
   std::size_t worker_threads = 0;
+
+  /// What a parallel run promises relative to serial (shard/parity.h):
+  /// kStrict (default) is bit-identity and requires consumer-affine
+  /// routing; kRelaxed admits load-aware routing (least-loaded, hash) by
+  /// serializing lane-side consumer access through per-consumer sequence
+  /// locks, with bounded aggregate divergence. Ignored by serial runs.
+  ParityMode parity = ParityMode::kStrict;
+
+  /// Pin each worker-pool thread to one CPU core (des/worker_pool.h) —
+  /// opt-in, Linux-only (silently inert elsewhere). First step of the
+  /// NUMA roadmap item: a pinned lane worker stops migrating between
+  /// cores, so a shard's working set stays in one core's cache.
+  bool pin_worker_threads = false;
 
   /// Seconds each shard coalesces arrivals before mediating them as one
   /// MediationCore::AllocateBatch burst (one matchmaking pass, one provider
@@ -119,6 +124,9 @@ struct ShardedRunResult {
   std::uint64_t gossip_sent = 0;
   /// Routing decisions that found every load report expired.
   std::uint64_t stale_fallbacks = 0;
+  /// Relaxed-parity runs: acquires that found a consumer's sequence lock
+  /// held by another lane (0 under strict parity and serial execution).
+  std::uint64_t consumer_lock_contention = 0;
 
   /// max/mean ratio of first-choice routes per shard (1 = perfectly even).
   double RouteImbalance() const;
@@ -127,7 +135,7 @@ struct ShardedRunResult {
 /// M mediators + router + gossip + one allocation method per shard = one
 /// run. Mirrors `runtime::MediationSystem`'s lifecycle: construct, Run()
 /// once, read the result.
-class ShardedMediationSystem {
+class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
  public:
   /// Fresh method instance per shard (methods are stateful; shards must not
   /// share a cursor or window). Called once per shard at construction.
@@ -154,13 +162,23 @@ class ShardedMediationSystem {
   const runtime::MediationCore& core(std::size_t shard) const {
     return *cores_[shard];
   }
-  const Population& population() const { return population_; }
+  const Population& population() const { return engine_.population(); }
   const msg::Network& network() const { return network_; }
 
  private:
   class GossipSink;  // router-side msg::Node ingesting load reports
 
-  void OnArrival(des::Simulator& sim);
+  // ScenarioEngine::Driver — the sharded policies.
+  void OnQueryArrival(des::Simulator& sim, const Query& query) override;
+  void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
+  void VisitActiveProviders(
+      const std::function<void(runtime::ProviderAgent&)>& fn) override;
+  std::size_t ActiveProviderCount() const override;
+  void ExtendMetricsSample(SimTime now, des::SeriesSet& series) override;
+  void StartAuxiliaryTasks(des::Simulator& sim) override;
+  bool TasksAreBarriers() const override { return parallel_; }
+  void Execute(des::Simulator& sim, SimTime duration) override;
+
   /// Serial mediation walk: tries `shard` and, on a bounce, up to
   /// max_route_attempts - 1 alternatives. `attempt` > 0 resumes the walk
   /// after a bounced batch attempt (the batch was attempt 0).
@@ -176,22 +194,14 @@ class ShardedMediationSystem {
   void CountInfeasible(des::Simulator& sim, std::uint32_t shard);
   /// Folds every lane's effect log into the shared sinks (epoch barrier).
   void MergeEffects();
-  void SampleMetrics(des::Simulator& sim);
-  void RunDepartureChecks(des::Simulator& sim);
   void SendLoadReports(des::Simulator& sim);
-  double ArrivalRateAt(SimTime t) const;
+  /// The parity policy's view of this run's configuration.
+  ParallelRunShape RunShape() const;
 
   ShardedSystemConfig config_;
-  Population population_;
-  des::Simulator sim_;
-  Rng rng_;
-  Rng query_class_rng_;
-  Rng consumer_pick_rng_;
-
-  std::vector<runtime::ProviderAgent> providers_;
-  std::vector<runtime::ConsumerAgent> consumers_;
-  std::vector<std::uint32_t> active_consumers_;
-  runtime::ReputationRegistry reputation_;
+  /// The shared scenario driver: population, agents, RNG streams, arrival
+  /// pump, metric probes, departure schedule, RunResult sinks.
+  runtime::ScenarioEngine engine_;
 
   ShardRouter router_;
   std::vector<std::unique_ptr<AllocationMethod>> methods_;
@@ -202,18 +212,18 @@ class ShardedMediationSystem {
   /// Network addresses: one sender per shard plus the router-side sink.
   std::vector<NodeId> shard_addresses_;
   NodeId sink_address_;
-
-  QueryId next_query_id_ = 0;
-  WindowedMean response_window_;
-  std::vector<std::uint32_t> consumer_violations_;
+  /// The periodic load-report schedule (outlives StartAuxiliaryTasks).
+  des::PeriodicTask gossip_task_;
 
   // Epoch-parallel execution state (worker_threads > 0): one lane event
-  // queue and one effect log per shard. Batch buffers exist in both modes
+  // queue and one effect log per shard, plus — under relaxed parity — the
+  // per-consumer sequence locks. Batch buffers exist in both modes
   // (batch_window > 0); the per-shard flush scratch keeps lane threads from
   // sharing a burst vector.
   bool parallel_ = false;
   std::vector<std::unique_ptr<des::Simulator>> lane_sims_;
   std::vector<runtime::EffectLog> effect_logs_;
+  std::unique_ptr<des::SeqLockTable> consumer_locks_;
   std::vector<std::vector<Query>> batch_buffers_;
   /// When the next armed flush fires, per shard (-inf = none armed). An
   /// arrival at or past this time is not covered by the pending flush —

@@ -34,19 +34,14 @@ double SeriesMean(const runtime::RunResult& result, const char* key) {
   return result.series.Find(key)->MeanOver(200.0, 1000.0);
 }
 
-runtime::RunResult RunMethod(MethodKind kind, const runtime::SystemConfig& config) {
-  auto method = experiments::MakeMethod(kind, config.seed);
-  return runtime::RunScenario(config, method.get());
-}
-
 class PaperShapesTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     const runtime::SystemConfig config = ShapeConfig(1234);
-    sqlb_ = new runtime::RunResult(RunMethod(MethodKind::kSqlb, config));
-    mariposa_ = new runtime::RunResult(RunMethod(MethodKind::kMariposa, config));
+    sqlb_ = new runtime::RunResult(experiments::RunMethod(MethodKind::kSqlb, config));
+    mariposa_ = new runtime::RunResult(experiments::RunMethod(MethodKind::kMariposa, config));
     capacity_ =
-        new runtime::RunResult(RunMethod(MethodKind::kCapacityBased, config));
+        new runtime::RunResult(experiments::RunMethod(MethodKind::kCapacityBased, config));
   }
   static void TearDownTestSuite() {
     delete sqlb_;
@@ -138,10 +133,10 @@ TEST(PaperShapesAutonomyTest, SqlbRetainsParticipants) {
   config.departures.grace_period = 400.0;
   config.departures.check_interval = 300.0;
 
-  const runtime::RunResult sqlb = RunMethod(MethodKind::kSqlb, config);
-  const runtime::RunResult mariposa = RunMethod(MethodKind::kMariposa, config);
+  const runtime::RunResult sqlb = experiments::RunMethod(MethodKind::kSqlb, config);
+  const runtime::RunResult mariposa = experiments::RunMethod(MethodKind::kMariposa, config);
   const runtime::RunResult capacity =
-      RunMethod(MethodKind::kCapacityBased, config);
+      experiments::RunMethod(MethodKind::kCapacityBased, config);
 
   EXPECT_EQ(sqlb.ConsumerDeparturePercent(), 0.0);
   EXPECT_LT(sqlb.ProviderDeparturePercent() + 10.0,

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/sqlb_method.h"
+#include "shard/sharded_mediation_system.h"
 #include "workload/population.h"
 
 namespace sqlb::shard {
@@ -191,6 +194,81 @@ TEST(ShardRouterTest, NextShardWithoutLoadViewWalksTheRing) {
 
   ShardRouter single(Config(1, RoutingPolicy::kHash));
   EXPECT_EQ(single.NextShard(0, 0.0), 0u);
+}
+
+TEST(ShardRouterTest, StaleTableRerouteWalksTheRingNotTheLoadView) {
+  // Every report has expired by decision time, and the bouncing shard's
+  // candidates are saturated: the re-route walk must ignore the stale load
+  // view (however tempting its numbers) and take the ring-order path,
+  // honoring the tried set.
+  RouterConfig config = Config(4, RoutingPolicy::kLeastLoaded);
+  config.report_staleness = 30.0;
+  ShardRouter router(config);
+  router.ReportLoad(0, 0.9, 10, 10.0);
+  router.ReportLoad(1, 0.1, 10, 10.0);  // stale "idle" bait by t = 100
+  router.ReportLoad(2, 0.5, 10, 10.0);
+  router.ReportLoad(3, 0.7, 10, 10.0);
+
+  // Fresh view at t = 11: shard 0 bounces, least-loaded target is 1.
+  EXPECT_EQ(router.NextShard(0, 11.0), 1u);
+
+  // Stale view at t = 100: the walk falls back to ring order (0 -> 1),
+  // not to the expired "shard 1 is idle" report — same answer here, so
+  // pin the distinction where ring order and load order disagree.
+  EXPECT_EQ(router.NextShard(2, 100.0), 3u);  // ring next, not stale-least 1
+  std::vector<bool> tried(4, false);
+  tried[2] = true;
+  tried[3] = true;
+  EXPECT_EQ(router.NextShard(2, 100.0, tried), 0u);  // skips tried 3
+}
+
+TEST(ShardRouterTest, StaleGossipAndSaturationInteractInOneRun) {
+  // A full sharded run exercising both fallback paths at once: gossip is
+  // disabled, so least-loaded routing never sees a fresh report and every
+  // first-choice decision takes the hash fallback; a tiny saturation bound
+  // under near-capacity load bounces queries, so the re-route walk runs on
+  // the same stale table. The system must still serve the whole workload.
+  runtime::SystemConfig base;
+  base.population.num_consumers = 20;
+  base.population.num_providers = 40;
+  base.consumer.window.capacity = 50;
+  base.provider.window.capacity = 100;
+  base.workload = runtime::WorkloadSpec::Constant(0.95);
+  base.duration = 300.0;
+  base.sample_interval = 50.0;
+  base.stats_warmup = 50.0;
+  base.seed = 42;
+
+  ShardedSystemConfig config;
+  config.base = base;
+  config.router.num_shards = 4;
+  config.router.policy = RoutingPolicy::kLeastLoaded;
+  config.router.report_staleness = 30.0;
+  config.gossip_enabled = false;  // the load table stays empty forever
+  config.rerouting_enabled = true;
+  config.max_route_attempts = 4;
+  config.saturation_backlog_seconds = 0.5;  // near-capacity load trips this
+
+  const ShardedRunResult result = RunShardedScenario(
+      config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
+
+  // Both interaction partners actually fired.
+  EXPECT_GT(result.stale_fallbacks, 0u);
+  EXPECT_GT(result.reroutes, 0u);
+  EXPECT_EQ(result.gossip_delivered, 0u);
+  // Every routing decision ran on an expired view: first choices at least.
+  EXPECT_GE(result.stale_fallbacks, result.run.queries_issued);
+
+  // Degraded routing must not drop work: the final attempt mediates even
+  // when saturated, so everything issued completes.
+  EXPECT_GT(result.run.queries_issued, 500u);
+  EXPECT_EQ(result.run.queries_infeasible, 0u);
+  EXPECT_EQ(result.run.queries_completed, result.run.queries_issued);
+
+  // The hash fallback still spreads first-choice routes across shards.
+  for (const ShardStats& shard : result.shards) {
+    EXPECT_GT(shard.routed, 0u);
+  }
 }
 
 TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
