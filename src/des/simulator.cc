@@ -7,12 +7,13 @@
 
 namespace sqlb::des {
 
-EventId Simulator::ScheduleAt(SimTime t, Callback cb, bool barrier) {
+EventId Simulator::ScheduleBarrierAt(SimTime t, Callback cb,
+                                     BarrierKind kind) {
   SQLB_CHECK(t >= now_, "cannot schedule an event in the past");
   SQLB_CHECK(static_cast<bool>(cb), "cannot schedule an empty callback");
   const EventId id = next_id_++;
   heap_.push(Entry{t, id});
-  callbacks_.emplace(id, Stored{std::move(cb), barrier});
+  callbacks_.emplace(id, Stored{std::move(cb), kind});
   return id;
 }
 
@@ -73,8 +74,11 @@ void Simulator::RunUntilParallel(SimTime end, LaneGroup& lanes) {
     // Epoch boundary: drain the lanes up to the barrier's time and merge
     // their effects before the barrier event observes shared state. The
     // coordinator's own event order is untouched, so this loop replays the
-    // serial RunUntil schedule exactly.
-    if (it->second.barrier) lanes.SyncTo(top.time);
+    // serial RunUntil schedule exactly. Rebalance barriers additionally
+    // license the event to re-partition lane membership once merged.
+    if (it->second.barrier != BarrierKind::kNone) {
+      lanes.SyncTo(top.time, it->second.barrier);
+    }
     Step();
   }
   now_ = end;
@@ -95,20 +99,26 @@ LaneGroup::LaneGroup(std::vector<Simulator*> lanes, WorkerPool* pool,
   }
 }
 
-void LaneGroup::SyncTo(SimTime t) {
+void LaneGroup::SyncTo(SimTime t, BarrierKind kind) {
   pool_->ParallelFor(lanes_.size(),
                      [this, t](std::size_t i) { lanes_[i]->RunUntil(t); });
-  if (on_sync_) on_sync_(t);
+  if (kind == BarrierKind::kRebalance) {
+    ++rebalance_syncs_;
+  } else {
+    ++epoch_syncs_;
+  }
+  if (on_sync_) on_sync_(t, kind);
 }
 
 void LaneGroup::DrainAll() {
   pool_->ParallelFor(lanes_.size(),
                      [this](std::size_t i) { lanes_[i]->RunAll(); });
-  if (on_sync_) on_sync_(kSimTimeInfinity);
+  ++epoch_syncs_;
+  if (on_sync_) on_sync_(kSimTimeInfinity, BarrierKind::kEpoch);
 }
 
 void PeriodicTask::Start(Simulator& sim, SimTime start, SimTime interval,
-                         SimTime stop, Callback fn, bool barrier) {
+                         SimTime stop, Callback fn, BarrierKind barrier) {
   SQLB_CHECK(!running_, "PeriodicTask already running");
   SQLB_CHECK(interval > 0.0, "PeriodicTask interval must be positive");
   fn_ = std::move(fn);
@@ -124,7 +134,7 @@ void PeriodicTask::Arm(Simulator& sim, SimTime t) {
     running_ = false;
     return;
   }
-  pending_ = sim.ScheduleAt(
+  pending_ = sim.ScheduleBarrierAt(
       t,
       [this](Simulator& s) {
         fn_(s);

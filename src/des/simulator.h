@@ -39,6 +39,22 @@ class WorkerPool;
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
 
+/// What kind of epoch boundary an event is for RunUntilParallel. Plain
+/// events (kNone) run on the coordinator without touching the lanes; any
+/// other kind drains and merges every lane first. The kinds only differ in
+/// what the merge hook is told: a kRebalance barrier announces that the
+/// caller is about to mutate the lane *partition itself* (shard membership
+/// moves between lanes), not just read merged state — the sync point the
+/// runtime re-partitioning protocol in src/shard/ hands provider state off
+/// at.
+enum class BarrierKind : std::uint8_t {
+  kNone = 0,
+  /// Ordinary epoch boundary: probes, gossip, departure checks.
+  kEpoch = 1,
+  /// Re-partitioning boundary: lane membership may change once merged.
+  kRebalance = 2,
+};
+
 /// The event queue + clock. Single-threaded by design: mediation is an
 /// inherently serialized decision point in the paper's architecture, and a
 /// deterministic kernel makes every experiment reproducible bit-for-bit.
@@ -60,7 +76,14 @@ class Simulator {
   /// usable with Cancel(). `barrier` marks the event as an epoch boundary
   /// for RunUntilParallel (ignored — semantically inert — by the serial run
   /// loops, so serial callers can schedule barrier events unconditionally).
-  EventId ScheduleAt(SimTime t, Callback cb, bool barrier = false);
+  EventId ScheduleAt(SimTime t, Callback cb, bool barrier = false) {
+    return ScheduleBarrierAt(t, std::move(cb),
+                             barrier ? BarrierKind::kEpoch : BarrierKind::kNone);
+  }
+
+  /// ScheduleAt with an explicit barrier kind (kRebalance marks the sync
+  /// points at which lane membership may be re-partitioned).
+  EventId ScheduleBarrierAt(SimTime t, Callback cb, BarrierKind kind);
 
   /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
   EventId ScheduleAfter(SimTime delay, Callback cb) {
@@ -111,7 +134,7 @@ class Simulator {
 
   struct Stored {
     Callback cb;
-    bool barrier = false;
+    BarrierKind barrier = BarrierKind::kNone;
   };
 
   /// Pops heap entries until a live one is found. Returns false when none.
@@ -136,7 +159,11 @@ class Simulator {
 /// pin in tests/shard/ rests on.
 class LaneGroup {
  public:
-  using MergeFn = std::function<void(SimTime)>;
+  /// `kind` tells the hook which barrier forced the sync: kEpoch syncs may
+  /// only read merged state; after a kRebalance sync the caller may also
+  /// move state between lanes (the handoff window of the re-partitioning
+  /// protocol).
+  using MergeFn = std::function<void(SimTime, BarrierKind)>;
 
   /// Lanes and pool are borrowed and must outlive the group. `on_sync` may
   /// be null when the lanes have no shared sinks to merge.
@@ -144,18 +171,23 @@ class LaneGroup {
 
   /// Drains every lane up to and including `t` (lane events at exactly `t`
   /// fire), then runs the merge hook. Lanes advance their clocks to `t`.
-  void SyncTo(SimTime t);
+  void SyncTo(SimTime t, BarrierKind kind = BarrierKind::kEpoch);
 
   /// Runs every lane to queue exhaustion (the end-of-run drain of in-flight
   /// service), then merges. Lane clocks end at their last event.
   void DrainAll();
 
   std::size_t size() const { return lanes_.size(); }
+  /// Syncs performed so far at epoch / rebalance barriers, respectively.
+  std::uint64_t epoch_syncs() const { return epoch_syncs_; }
+  std::uint64_t rebalance_syncs() const { return rebalance_syncs_; }
 
  private:
   std::vector<Simulator*> lanes_;
   WorkerPool* pool_;
   MergeFn on_sync_;
+  std::uint64_t epoch_syncs_ = 0;
+  std::uint64_t rebalance_syncs_ = 0;
 };
 
 /// Periodically invokes fn(sim) every `interval` seconds, starting at
@@ -171,7 +203,15 @@ class PeriodicTask {
   /// every invocation as an epoch boundary for RunUntilParallel (inert
   /// under the serial run loops).
   void Start(Simulator& sim, SimTime start, SimTime interval, SimTime stop,
-             Callback fn, bool barrier = false);
+             Callback fn, bool barrier = false) {
+    Start(sim, start, interval, stop, std::move(fn),
+          barrier ? BarrierKind::kEpoch : BarrierKind::kNone);
+  }
+
+  /// Start with an explicit barrier kind (the rebalance task of the sharded
+  /// tier runs at kRebalance barriers).
+  void Start(Simulator& sim, SimTime start, SimTime interval, SimTime stop,
+             Callback fn, BarrierKind barrier);
 
   /// Stops future invocations.
   void Cancel(Simulator& sim);
@@ -186,7 +226,7 @@ class PeriodicTask {
   SimTime stop_ = 0.0;
   EventId pending_ = 0;
   bool running_ = false;
-  bool barrier_ = false;
+  BarrierKind barrier_ = BarrierKind::kNone;
 };
 
 }  // namespace sqlb::des

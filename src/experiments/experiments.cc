@@ -192,7 +192,7 @@ std::vector<DepartureBreakdown> RunDepartureBreakdown(
           run.ConsumerDeparturePercent();
     }
     const double reps = static_cast<double>(options.repetitions);
-    for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t r = 0; r < runtime::kNumDepartureReasons; ++r) {
       breakdown.total[r] /= reps;
       for (std::size_t d = 0; d < 3; ++d) {
         for (std::size_t l = 0; l < 3; ++l) {

@@ -120,9 +120,9 @@ struct DepartureBreakdown {
   /// percent[reason][dimension][level]: percentage of the initial provider
   /// population, where dimension 0 = consumer-interest class,
   /// 1 = adaptation class, 2 = capacity class (Table 3's three row groups).
-  double percent[3][3][3] = {};
+  double percent[runtime::kNumDepartureReasons][3][3] = {};
   /// Total percentage per reason.
-  double total[3] = {};
+  double total[runtime::kNumDepartureReasons] = {};
   double consumer_departure_percent = 0.0;
 };
 

@@ -1,5 +1,9 @@
 #include "runtime/departures.h"
 
+#include <algorithm>
+
+#include "common/status.h"
+
 namespace sqlb::runtime {
 
 const char* DepartureReasonName(DepartureReason reason) {
@@ -10,8 +14,71 @@ const char* DepartureReasonName(DepartureReason reason) {
       return "starvation";
     case DepartureReason::kOverutilization:
       return "overutilization";
+    case DepartureReason::kChurn:
+      return "churn";
   }
   return "?";
+}
+
+std::vector<std::uint32_t> ChurnSchedule::InitialHoldouts(
+    std::size_t num_providers) const {
+  // First event per provider in (time, list position) order decides whether
+  // it starts held out.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events[a].time < events[b].time;
+                   });
+  std::vector<char> seen(num_providers, 0);
+  std::vector<std::uint32_t> holdouts;
+  for (std::size_t i : order) {
+    const ProviderChurnEvent& event = events[i];
+    SQLB_CHECK(event.provider_index < num_providers,
+               "churn event names an unknown provider");
+    SQLB_CHECK(event.time >= 0.0, "churn event time must be >= 0");
+    if (seen[event.provider_index]) continue;
+    seen[event.provider_index] = 1;
+    if (event.join) holdouts.push_back(event.provider_index);
+  }
+  std::sort(holdouts.begin(), holdouts.end());
+  return holdouts;
+}
+
+ChurnSchedule ChurnSchedule::FlashJoin(SimTime at, std::uint32_t first,
+                                       std::uint32_t count) {
+  ChurnSchedule schedule;
+  schedule.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    schedule.events.push_back(ProviderChurnEvent{at, /*join=*/true, first + i});
+  }
+  return schedule;
+}
+
+ChurnSchedule ChurnSchedule::MassDeparture(SimTime at, std::uint32_t first,
+                                           std::uint32_t count) {
+  ChurnSchedule schedule;
+  schedule.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    schedule.events.push_back(
+        ProviderChurnEvent{at, /*join=*/false, first + i});
+  }
+  return schedule;
+}
+
+ChurnSchedule ChurnSchedule::LeaveAndRejoin(SimTime leave_at,
+                                            SimTime rejoin_at,
+                                            std::uint32_t first,
+                                            std::uint32_t count) {
+  SQLB_CHECK(rejoin_at > leave_at, "rejoin must come after the leave");
+  ChurnSchedule schedule = MassDeparture(leave_at, first, count);
+  schedule.Append(FlashJoin(rejoin_at, first, count));
+  return schedule;
+}
+
+ChurnSchedule& ChurnSchedule::Append(const ChurnSchedule& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  return *this;
 }
 
 DepartureConfig DepartureConfig::AllEnabled() {

@@ -30,11 +30,14 @@ enum class DepartureReason : std::uint8_t {
   kDissatisfaction = 0,
   kStarvation = 1,
   kOverutilization = 2,
+  /// A scheduled leave from an explicit churn schedule (the provider's
+  /// autonomy exercised by the scenario, not by the Section 6.3.2 rules).
+  kChurn = 3,
 };
 
-inline constexpr std::size_t kNumDepartureReasons = 3;
+inline constexpr std::size_t kNumDepartureReasons = 4;
 
-/// "dissatisfaction", "starvation", "overutilization".
+/// "dissatisfaction", "starvation", "overutilization", "churn".
 const char* DepartureReasonName(DepartureReason reason);
 
 struct DepartureConfig {
@@ -89,6 +92,54 @@ struct DepartureConfig {
   static DepartureConfig AllEnabled();
   /// Figure 5(a)'s regime: dissatisfaction + starvation only.
   static DepartureConfig DissatisfactionAndStarvation();
+};
+
+// ---------------------------------------------------------------------------
+// Explicit provider churn (scheduled joins and leaves)
+// ---------------------------------------------------------------------------
+
+/// One scheduled membership change of the provider population. Leaves model
+/// a provider exercising its autonomy on a schedule the scenario fixes
+/// (instead of — or on top of — the Section 6.3.2 rules); joins model a
+/// provider arriving after the run started, or a departed one returning
+/// with its characterization memory intact. A provider whose *first*
+/// scheduled event is a join is held out of the initial membership.
+struct ProviderChurnEvent {
+  SimTime time = 0.0;
+  bool join = true;  // false = scheduled leave
+  std::uint32_t provider_index = 0;
+};
+
+/// The scenario's churn script, executed by the ScenarioEngine: every event
+/// fires at its time (an epoch barrier under parallel execution — membership
+/// changes while the lanes are quiescent and merged). Events need not be
+/// pre-sorted; the engine orders them by (time, list position).
+struct ChurnSchedule {
+  std::vector<ProviderChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Providers whose first scheduled event is a join: they start outside
+  /// the system and enter at that time. Ascending, unique, validated
+  /// against `num_providers`.
+  std::vector<std::uint32_t> InitialHoldouts(std::size_t num_providers) const;
+
+  /// `count` providers starting at index `first` all join at `at` — the
+  /// flash-join burst scenario.
+  static ChurnSchedule FlashJoin(SimTime at, std::uint32_t first,
+                                 std::uint32_t count);
+  /// `count` providers starting at index `first` all leave at `at` — the
+  /// mass-departure scenario.
+  static ChurnSchedule MassDeparture(SimTime at, std::uint32_t first,
+                                     std::uint32_t count);
+  /// `count` providers starting at `first` leave at `leave_at` and rejoin
+  /// at `rejoin_at` — one flap of the ring-flapping scenario family.
+  static ChurnSchedule LeaveAndRejoin(SimTime leave_at, SimTime rejoin_at,
+                                      std::uint32_t first,
+                                      std::uint32_t count);
+
+  /// Appends `other`'s events after this schedule's.
+  ChurnSchedule& Append(const ChurnSchedule& other);
 };
 
 /// One recorded departure, carrying the class labels Table 3 breaks down.

@@ -25,6 +25,8 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
                "member provider index out of range");
     matchmaker_.Register((*shared_.providers)[index].id(), Capability{});
   }
+  units_at_last_check_.assign(shared_.providers->size(), 0.0);
+  member_since_.assign(shared_.providers->size(), 0.0);
 
   // Pre-size the hot-path scratch to the member count: every candidate set
   // is a subset of the members, so no allocation loop ever regrows these.
@@ -355,18 +357,23 @@ void MediationCore::RunProviderDepartureChecks(SimTime now,
   // The paper's order — dissatisfaction, starvation, overutilization; first
   // matching cause wins. Both utilization rules are judged on the chronic
   // utilization — the average allocation rate over capacity since the
-  // previous check — rather than the instantaneous 60-second window: a
-  // provider missing one measurement window has not starved, and a provider
-  // riding a short burst is not overutilized; a provider receiving 2.2x its
-  // capacity for a whole assessment period is.
-  if (units_at_last_check_.empty()) {
-    units_at_last_check_.assign(providers.size(), 0.0);
-  }
-  const SimTime chronic_span = now - last_check_time_;
+  // previous check (or since admission, for a member that joined
+  // mid-span) — rather than the instantaneous 60-second window: a provider
+  // missing one measurement window has not starved, and a provider riding a
+  // short burst is not overutilized; a provider receiving 2.2x its capacity
+  // for a whole assessment period is.
   if (dep.provider_dissatisfaction || dep.provider_starvation ||
       dep.provider_overutilization) {
     for (std::size_t i = 0; i < active_providers_.size();) {
       ProviderAgent& p = providers[active_providers_[i]];
+      // Fresh joiners get the same grace the whole system gets at t = 0:
+      // no judgement until their windows hold real evidence.
+      if (now - member_since_[active_providers_[i]] < dep.grace_period) {
+        ++i;
+        continue;
+      }
+      const SimTime chronic_span =
+          now - std::max(last_check_time_, member_since_[active_providers_[i]]);
       const double sat = p.SatisfactionOnPreferences();
       const double adq = p.AdequationOnPreferences();
       const double acute_ut = p.Utilization(now);
@@ -427,6 +434,78 @@ void MediationCore::DepartProvider(std::size_t index, DepartureReason reason,
 
   active_providers_[index] = active_providers_.back();
   active_providers_.pop_back();
+}
+
+void MediationCore::AdmitMember(std::uint32_t provider_index, SimTime now) {
+  SQLB_CHECK(provider_index < shared_.providers->size(),
+             "admitted provider index out of range");
+  SQLB_CHECK(!IsMember(provider_index), "provider is already a member here");
+  ProviderAgent& agent = (*shared_.providers)[provider_index];
+  agent.Rejoin();
+  matchmaker_.Register(agent.id(), Capability{});
+  active_providers_.push_back(provider_index);
+  // The chronic-utilization clock starts at admission: whatever the agent
+  // allocated in a previous life does not count against this membership.
+  units_at_last_check_[provider_index] = agent.total_allocated_units();
+  member_since_[provider_index] = now;
+}
+
+void MediationCore::SealMember(std::uint32_t provider_index) {
+  SQLB_CHECK(IsMember(provider_index), "sealing a non-member");
+  matchmaker_.Unregister((*shared_.providers)[provider_index].id());
+}
+
+void MediationCore::UnsealMember(std::uint32_t provider_index) {
+  SQLB_CHECK(IsMember(provider_index), "unsealing a non-member");
+  matchmaker_.Register((*shared_.providers)[provider_index].id(),
+                       Capability{});
+}
+
+MediationCore::ProviderHandoff MediationCore::ExportMember(
+    std::uint32_t provider_index) {
+  ProviderAgent& agent = (*shared_.providers)[provider_index];
+  SQLB_CHECK(agent.Idle(),
+             "exporting a provider with in-flight work would leave its "
+             "completion events behind");
+  auto it = std::find(active_providers_.begin(), active_providers_.end(),
+                      provider_index);
+  SQLB_CHECK(it != active_providers_.end(), "exporting a non-member");
+  *it = active_providers_.back();
+  active_providers_.pop_back();
+  matchmaker_.Unregister(agent.id());
+
+  ProviderHandoff handoff;
+  handoff.provider_index = provider_index;
+  handoff.units_at_last_check = units_at_last_check_[provider_index];
+  handoff.member_since = member_since_[provider_index];
+  return handoff;
+}
+
+void MediationCore::ImportMember(const ProviderHandoff& handoff) {
+  SQLB_CHECK(handoff.provider_index < shared_.providers->size(),
+             "imported provider index out of range");
+  SQLB_CHECK(!IsMember(handoff.provider_index),
+             "imported provider is already a member here");
+  matchmaker_.Register((*shared_.providers)[handoff.provider_index].id(),
+                       Capability{});
+  active_providers_.push_back(handoff.provider_index);
+  units_at_last_check_[handoff.provider_index] = handoff.units_at_last_check;
+  member_since_[handoff.provider_index] = handoff.member_since;
+}
+
+bool MediationCore::DepartMemberForChurn(std::uint32_t provider_index,
+                                         SimTime now) {
+  auto it = std::find(active_providers_.begin(), active_providers_.end(),
+                      provider_index);
+  if (it == active_providers_.end()) return false;
+  DepartProvider(static_cast<std::size_t>(it - active_providers_.begin()),
+                 DepartureReason::kChurn, now);
+  return true;
+}
+
+bool MediationCore::IsMember(std::uint32_t provider_index) const {
+  return std::find(active_providers_.begin(), active_providers_.end(),
+                   provider_index) != active_providers_.end();
 }
 
 double ScaledArrivalRate(const SystemConfig& config,

@@ -125,8 +125,51 @@ class MediationCore {
   /// The paper's provider-side departure rules (dissatisfaction,
   /// starvation, overutilization — first match wins) over this core's
   /// active members. `optimal_ut` is the nominal workload fraction at the
-  /// check time.
+  /// check time. Members admitted less than `grace_period` ago are exempt —
+  /// a provider that just joined has no evidence to be judged on, exactly
+  /// like the system-wide grace at t = 0.
   void RunProviderDepartureChecks(SimTime now, double optimal_ut);
+
+  // --- Membership lifecycle (provider churn and shard re-partitioning) -----
+
+  /// Everything a member provider carries across a shard handoff beyond the
+  /// globally-owned agent state: the chronic-utilization baseline of the
+  /// starvation rule and the admission time of the departure grace.
+  struct ProviderHandoff {
+    std::uint32_t provider_index = 0;
+    double units_at_last_check = 0.0;
+    SimTime member_since = 0.0;
+  };
+
+  /// Admits `provider_index` as a new member at `now` (a scheduled join, or
+  /// a departed provider returning): reactivates the agent, registers it
+  /// for matchmaking, and starts its chronic-utilization baseline at the
+  /// agent's current totals. The caller must ensure it is not a member of
+  /// any core already.
+  void AdmitMember(std::uint32_t provider_index, SimTime now);
+
+  /// Stops matching `provider_index` (no new work) without removing its
+  /// membership — the first half of a handoff: the provider drains its
+  /// queue here while departure checks and metrics still count it.
+  void SealMember(std::uint32_t provider_index);
+  /// Reverts SealMember (the ring flapped back before the drain finished).
+  void UnsealMember(std::uint32_t provider_index);
+
+  /// Removes a drained member and returns its handoff state. The provider
+  /// must be a member and Idle() — no pending completion events may be left
+  /// behind on this core's simulator.
+  ProviderHandoff ExportMember(std::uint32_t provider_index);
+  /// Installs a handed-off member: registers matchmaking and restores the
+  /// chronic baseline and admission time ExportMember captured.
+  void ImportMember(const ProviderHandoff& handoff);
+
+  /// Force-departs an active member at `now` with reason kChurn (a
+  /// scheduled leave). Returns false when `provider_index` is not a member
+  /// (it already departed by the Section 6.3.2 rules — the scheduled leave
+  /// is then a no-op).
+  bool DepartMemberForChurn(std::uint32_t provider_index, SimTime now);
+
+  bool IsMember(std::uint32_t provider_index) const;
 
   // --- Load and membership introspection ----------------------------------
 
@@ -197,8 +240,12 @@ class MediationCore {
 
   // Chronic-utilization bookkeeping for the starvation rule: allocated
   // units and timestamp at each member's previous departure check, indexed
-  // globally.
+  // globally. `member_since_` (also global) records when each member was
+  // (last) admitted: 0 for initial members, the join/import time otherwise —
+  // it bounds the chronic measurement span and grants joiners the departure
+  // grace period.
   std::vector<double> units_at_last_check_;
+  std::vector<SimTime> member_since_;
   SimTime last_check_time_ = 0.0;
 
   // Scratch buffers reused across allocations (the hot path). All of them

@@ -9,13 +9,25 @@ MediationSystem::MediationSystem(const SystemConfig& config,
     : engine_(config), method_(method) {
   SQLB_CHECK(method_ != nullptr, "mediation system needs a method");
 
+  // Every provider except the scheduled joiners, which enter on churn.
   std::vector<std::uint32_t> members;
   members.reserve(engine_.providers().size());
   for (const ProviderAgent& provider : engine_.providers()) {
+    if (engine_.held_out()[provider.id().index()]) continue;
     members.push_back(provider.id().index());
   }
   engine_.SetMethodName(method_->name());
   core_.emplace(engine_.CoreSharedState(), method_, std::move(members));
+}
+
+bool MediationSystem::OnProviderChurn(des::Simulator& sim,
+                                      const ProviderChurnEvent& event) {
+  if (event.join) {
+    if (core_->IsMember(event.provider_index)) return false;
+    core_->AdmitMember(event.provider_index, sim.Now());
+    return true;
+  }
+  return core_->DepartMemberForChurn(event.provider_index, sim.Now());
 }
 
 const ProviderAgent& MediationSystem::provider_agent(ProviderId id) const {

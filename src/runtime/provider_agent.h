@@ -133,6 +133,16 @@ class ProviderAgent {
   /// Marks the provider as departed. Outstanding queued work still
   /// completes (consumers get their answers) but nothing new arrives.
   void Depart() { active_ = false; }
+  /// Re-enters a departed (or held-out) provider: it may be matched again.
+  /// Characterization windows and utilization history persist — an
+  /// autonomous provider returning to the market keeps its memory.
+  void Rejoin() { active_ = true; }
+
+  /// True when no query is queued or in service — the provider has no
+  /// pending completion event on any simulator, so its state can be handed
+  /// to another shard without leaving a dangling callback behind (the
+  /// drain condition of the re-partitioning handoff protocol).
+  bool Idle() const { return queue_.empty() && !in_service_; }
 
   /// Total queries performed (allocated to this provider) over the run.
   std::uint64_t performed_count() const { return window_.performed(); }

@@ -58,6 +58,12 @@ struct SystemConfig {
   ProviderAgentConfig provider;
   DepartureConfig departures;  // all disabled = captive participants
 
+  /// Scheduled provider joins and leaves (runtime/departures.h), executed
+  /// by the ScenarioEngine on top of whatever the departure rules do. Empty
+  /// = the classic fixed population. Providers whose first event is a join
+  /// start held out of the initial membership.
+  ChurnSchedule provider_churn;
+
   /// When true, consumers push completion feedback into the reputation
   /// registry (ignored by the paper's upsilon = 1 setup; used by the
   /// upsilon ablation and examples).
@@ -82,9 +88,12 @@ struct RunResult {
   RunningStats response_time;
   RunningStats response_time_all;
 
-  // Departures.
+  // Departures. Scheduled churn leaves are recorded here too, with reason
+  // kChurn; scheduled joins only bump the counter below (`initial_providers`
+  // excludes held-out joiners).
   std::vector<DepartureEvent> departures;
   DepartureTally tally;
+  std::uint64_t provider_joins = 0;
   std::size_t initial_providers = 0;
   std::size_t initial_consumers = 0;
   std::size_t remaining_providers = 0;

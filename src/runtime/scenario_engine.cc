@@ -16,6 +16,16 @@ void ScenarioEngine::Driver::Execute(des::Simulator& sim, SimTime duration) {
   sim.RunAll();
 }
 
+bool ScenarioEngine::Driver::OnProviderChurn(des::Simulator& sim,
+                                             const ProviderChurnEvent& event) {
+  (void)sim;
+  (void)event;
+  SQLB_CHECK(false,
+             "this driver does not implement provider churn; clear "
+             "SystemConfig::provider_churn or override OnProviderChurn");
+  return false;
+}
+
 ScenarioEngine::ScenarioEngine(const SystemConfig& config)
     : config_(config),
       population_(config.population, config.seed),
@@ -38,8 +48,21 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
     active_consumers_.push_back(static_cast<std::uint32_t>(c));
   }
 
+  // Scheduled churn: providers whose first event is a join start outside
+  // the system (inactive, no membership anywhere) and enter at that time.
+  initial_holdouts_ = config_.provider_churn.InitialHoldouts(providers_.size());
+  held_out_.assign(providers_.size(), false);
+  for (std::uint32_t index : initial_holdouts_) {
+    held_out_[index] = true;
+    providers_[index].Depart();
+  }
+  churn_events_ = config_.provider_churn.events;
+  std::stable_sort(churn_events_.begin(), churn_events_.end(),
+                   [](const ProviderChurnEvent& a,
+                      const ProviderChurnEvent& b) { return a.time < b.time; });
+
   result_.duration = config_.duration;
-  result_.initial_providers = providers_.size();
+  result_.initial_providers = providers_.size() - initial_holdouts_.size();
   result_.initial_consumers = consumers_.size();
 }
 
@@ -103,6 +126,21 @@ RunResult ScenarioEngine::Run(Driver& driver) {
                            RunDepartureChecks(sim, driver);
                          },
                          barrier);
+  }
+
+  // The churn script: each event is an epoch barrier under parallel
+  // execution (membership mutates only over quiescent, merged lanes).
+  // Events at one time fire in schedule order (stable sort + ascending
+  // event ids).
+  for (const ProviderChurnEvent& event : churn_events_) {
+    if (event.time > config_.duration) continue;  // beyond the horizon
+    sim_.ScheduleAt(event.time,
+                    [this, &driver, event](des::Simulator& sim) {
+                      if (driver.OnProviderChurn(sim, event) && event.join) {
+                        ++result_.provider_joins;
+                      }
+                    },
+                    barrier);
   }
 
   driver.Execute(sim_, config_.duration);

@@ -56,6 +56,17 @@ class ScenarioEngine {
     virtual void RunProviderDepartureChecks(SimTime now,
                                             double optimal_ut) = 0;
 
+    /// One scheduled churn event (SystemConfig::provider_churn). The driver
+    /// admits the provider to (or force-departs it from) whichever core
+    /// should own it, and returns whether the event applied — a leave for a
+    /// provider the departure rules already removed, or a join for one that
+    /// is still a member, is a no-op and returns false. Fired at an epoch
+    /// barrier under parallel execution: membership changes only while the
+    /// lanes are quiescent and merged. The default refuses churn so drivers
+    /// that predate it fail loudly instead of dropping events.
+    virtual bool OnProviderChurn(des::Simulator& sim,
+                                 const ProviderChurnEvent& event);
+
     /// Visits every still-active provider agent in the tier's metric
     /// sampling order (the mono core's active list; shard order, then each
     /// shard's active list, for the sharded tier — identical at M = 1).
@@ -127,6 +138,14 @@ class ScenarioEngine {
   const std::vector<std::uint32_t>& active_consumers() const {
     return active_consumers_;
   }
+  /// Provider indices held out of the initial membership because their
+  /// first scheduled churn event is a join (ascending). Drivers must
+  /// exclude these from every core's initial member list.
+  const std::vector<std::uint32_t>& initial_holdouts() const {
+    return initial_holdouts_;
+  }
+  /// `held_out()[i]` — membership-mask form of initial_holdouts().
+  const std::vector<bool>& held_out() const { return held_out_; }
   ReputationRegistry& reputation() { return reputation_; }
   RunResult& result() { return result_; }
   WindowedMean& response_window() { return response_window_; }
@@ -161,6 +180,10 @@ class ScenarioEngine {
   /// Indices of still-active consumers (swap-removed on departure); active
   /// provider lists live in the drivers' cores.
   std::vector<std::uint32_t> active_consumers_;
+  std::vector<std::uint32_t> initial_holdouts_;
+  std::vector<bool> held_out_;
+  /// The churn script in firing order (sorted copy of the config's events).
+  std::vector<ProviderChurnEvent> churn_events_;
 
   ReputationRegistry reputation_;
 

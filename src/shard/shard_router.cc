@@ -1,6 +1,7 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/status.h"
 
@@ -33,31 +34,96 @@ ShardRouter::ShardRouter(const RouterConfig& config)
   SQLB_CHECK(config_.num_shards >= 1, "router needs at least one shard");
   SQLB_CHECK(config_.virtual_nodes >= 1,
              "router needs at least one virtual node per shard");
+  SQLB_CHECK(config_.max_virtual_nodes >= config_.virtual_nodes,
+             "max_virtual_nodes must admit the initial allocation");
 
-  ring_.reserve(config_.num_shards * config_.virtual_nodes);
-  for (std::uint32_t shard = 0; shard < config_.num_shards; ++shard) {
-    for (std::uint64_t vnode = 0; vnode < config_.virtual_nodes; ++vnode) {
-      ring_.emplace_back(hash_.Uint64(kRingSalt ^ (vnode << 8), shard),
-                         shard);
-    }
-  }
-  std::sort(ring_.begin(), ring_.end());
+  vnodes_.assign(config_.num_shards, config_.virtual_nodes);
+  RebuildPartitionRing();
+  ring_epoch_ = 0;  // construction is epoch 0, not a rebalance
+  // The routing ring is the epoch-0 partition ring, frozen: consumer
+  // affinity and query spread stay put while the partition migrates.
+  routing_ring_ = ring_;
   loads_.resize(config_.num_shards);
 }
 
-std::uint32_t ShardRouter::RingLookup(std::uint64_t hash) const {
+std::uint64_t ShardRouter::PointHash(std::uint32_t shard,
+                                     std::uint64_t vnode) const {
+  return hash_.Uint64(kRingSalt ^ (vnode << 8), shard);
+}
+
+void ShardRouter::RebuildPartitionRing() {
+  ring_.clear();
+  std::size_t total = 0;
+  for (std::uint32_t shard = 0; shard < config_.num_shards; ++shard) {
+    total += vnodes_[shard];
+    for (std::uint64_t vnode = 0; vnode < vnodes_[shard]; ++vnode) {
+      ring_.emplace_back(PointHash(shard, vnode), shard);
+    }
+  }
+  SQLB_CHECK(total >= 1, "partition ring needs at least one vnode");
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void ShardRouter::SetShardVnodes(std::vector<std::size_t> vnodes) {
+  SQLB_CHECK(vnodes.size() == config_.num_shards,
+             "vnode allocation must cover every shard");
+  vnodes_ = std::move(vnodes);
+  RebuildPartitionRing();
+  ++ring_epoch_;
+}
+
+std::vector<std::size_t> ShardRouter::RebalancedVnodes(
+    const std::vector<std::size_t>& active_counts) const {
+  SQLB_CHECK(active_counts.size() == config_.num_shards,
+             "active counts must cover every shard");
+  const std::size_t m = config_.num_shards;
+  if (m == 1) return vnodes_;
+
+  std::size_t total = 0;
+  std::size_t max_count = 0;
+  std::size_t min_count = active_counts.front();
+  for (std::size_t count : active_counts) {
+    total += count;
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  if (total == 0) return vnodes_;  // nothing left to balance
+
+  const double mean = static_cast<double>(total) / static_cast<double>(m);
+  const double threshold =
+      std::max(1.0, config_.rebalance_imbalance_threshold);
+  if (static_cast<double>(max_count) <= threshold * mean &&
+      static_cast<double>(min_count) * threshold >= mean) {
+    return vnodes_;  // within tolerance: leave the partition alone
+  }
+
+  // Multiplicative correction toward equal counts: a shard owning twice the
+  // mean halves its keyspace, a depleted shard grows (a zero-count shard is
+  // treated as holding half a provider so the correction stays finite).
+  std::vector<std::size_t> corrected(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    const double count = std::max(0.5, static_cast<double>(active_counts[s]));
+    const double scaled = static_cast<double>(vnodes_[s]) * mean / count;
+    const auto rounded = static_cast<std::size_t>(std::llround(scaled));
+    corrected[s] = std::clamp<std::size_t>(rounded, 1,
+                                           config_.max_virtual_nodes);
+  }
+  return corrected;
+}
+
+std::uint32_t ShardRouter::RingLookup(const Ring& ring, std::uint64_t hash) {
   // First ring point clockwise of `hash`, wrapping at the top.
   auto it = std::upper_bound(
-      ring_.begin(), ring_.end(), hash,
+      ring.begin(), ring.end(), hash,
       [](std::uint64_t h, const std::pair<std::uint64_t, std::uint32_t>& p) {
         return h < p.first;
       });
-  if (it == ring_.end()) it = ring_.begin();
+  if (it == ring.end()) it = ring.begin();
   return it->second;
 }
 
 std::uint32_t ShardRouter::ShardOfProvider(ProviderId id) const {
-  return RingLookup(hash_.Uint64(kProviderSalt, id.index()));
+  return RingLookup(ring_, hash_.Uint64(kProviderSalt, id.index()));
 }
 
 std::vector<std::vector<std::uint32_t>> ShardRouter::PartitionProviders(
@@ -75,6 +141,9 @@ std::uint32_t ShardRouter::FreshLeastLoaded(
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
     if (s < exclude.size() && exclude[s]) continue;
     if (!HasFreshReport(s, now)) continue;
+    // A report measured against an older partition no longer describes the
+    // shard's load; wait for the epoch to gossip out.
+    if (loads_[s].ring_epoch != ring_epoch_) continue;
     // An idle shard with no providers left is not a routing target.
     if (loads_[s].active_providers == 0) continue;
     if (best == config_.num_shards ||
@@ -90,18 +159,19 @@ std::uint32_t ShardRouter::Route(const Query& query, SimTime now) {
     case RoutingPolicy::kHash:
       break;
     case RoutingPolicy::kLocality:
-      return RingLookup(hash_.Uint64(kConsumerSalt, query.consumer.index()));
+      return RingLookup(routing_ring_,
+                        hash_.Uint64(kConsumerSalt, query.consumer.index()));
     case RoutingPolicy::kLeastLoaded: {
       const std::uint32_t best = FreshLeastLoaded(now, {});
       if (best < config_.num_shards) return best;
-      // Every report expired (gossip disabled, partitioned, or not yet
-      // warmed up): degrade to the stateless spread rather than hammering
-      // shard 0.
+      // Every report expired (gossip disabled, partitioned, lagging a ring
+      // rebalance, or not yet warmed up): degrade to the stateless spread
+      // rather than hammering shard 0.
       ++stale_fallbacks_;
       break;
     }
   }
-  return RingLookup(hash_.Uint64(kQuerySalt, query.id));
+  return RingLookup(routing_ring_, hash_.Uint64(kQuerySalt, query.id));
 }
 
 std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now,
@@ -131,14 +201,16 @@ std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now) const {
 
 void ShardRouter::ReportLoad(std::uint32_t shard, double utilization,
                              std::size_t active_providers,
-                             SimTime measured_at) {
+                             SimTime measured_at, std::uint64_t ring_epoch) {
   SQLB_CHECK(shard < config_.num_shards, "load report for unknown shard");
   ++reports_;
+  if (ring_epoch < ring_epoch_) ++epoch_lagged_;
   // Delayed deliveries may arrive out of order; keep the newest view.
   if (measured_at >= loads_[shard].measured_at) {
     loads_[shard].utilization = utilization;
     loads_[shard].active_providers = active_providers;
     loads_[shard].measured_at = measured_at;
+    loads_[shard].ring_epoch = ring_epoch;
   }
 }
 
@@ -152,6 +224,24 @@ bool ShardRouter::HasFreshReport(std::uint32_t shard, SimTime now) const {
   if (loads_[shard].measured_at == -kSimTimeInfinity) return false;
   if (config_.report_staleness <= 0.0) return true;
   return now - loads_[shard].measured_at <= config_.report_staleness;
+}
+
+runtime::ChurnSchedule ShardChurnSchedule(const RouterConfig& config,
+                                          std::uint32_t shard,
+                                          std::size_t num_providers,
+                                          SimTime leave_at,
+                                          SimTime rejoin_at) {
+  SQLB_CHECK(shard < config.num_shards, "unknown shard");
+  const ShardRouter preview(config);
+  runtime::ChurnSchedule schedule;
+  for (std::uint32_t p = 0; p < num_providers; ++p) {
+    if (preview.ShardOfProvider(ProviderId(p)) != shard) continue;
+    schedule.events.push_back({leave_at, /*join=*/false, p});
+    if (rejoin_at >= 0.0) {
+      schedule.events.push_back({rejoin_at, /*join=*/true, p});
+    }
+  }
+  return schedule;
 }
 
 }  // namespace sqlb::shard

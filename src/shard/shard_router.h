@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "model/query.h"
+#include "runtime/departures.h"
 #include "workload/population.h"
 
 /// \file
@@ -27,6 +28,25 @@
 ///   - kLocality:    ring lookup of the consumer id — session affinity, so
 ///                   a consumer's queries keep hitting the same shard and
 ///                   its preference/characterization state stays hot there.
+///
+/// Two rings share one point-hash function:
+///
+///   - the *partition ring* maps providers to owning shards. It is mutable
+///     and versioned: SetShardVnodes() rebuilds it with a new vnode count
+///     per shard and bumps ring_epoch(), which is how the runtime
+///     re-partitioning protocol adapts the provider partition to churn
+///     (RebalancedVnodes() is the deterministic reweighting policy).
+///   - the *routing ring* maps query/consumer keys to shards. It is frozen
+///     at construction: consumer affinity must not silently migrate between
+///     shards (the strict-parity contract pins each consumer to one lane),
+///     and query-id hashing wants a uniform spread over shards, not one
+///     proportional to the reweighted partition keyspace.
+///
+/// Load reports carry the ring epoch their shard had seen when measuring:
+/// after a rebalance, reports describing the pre-rebalance partition are
+/// excluded from load-aware routing until the shard acknowledges the new
+/// epoch (routing degrades to the hash fallback meanwhile — the bounded
+/// window a real fleet pays while a membership change gossips out).
 
 namespace sqlb::shard {
 
@@ -51,6 +71,15 @@ struct RouterConfig {
   /// A load report measured more than this many seconds ago no longer
   /// informs least-loaded routing. <= 0 means reports never expire.
   SimTime report_staleness = 30.0;
+  /// RebalancedVnodes() leaves the partition alone while every shard's
+  /// active-provider count stays within this factor of the mean (both
+  /// max/mean and mean/min are bounded by it). Values <= 1 rebalance on any
+  /// imbalance.
+  double rebalance_imbalance_threshold = 1.5;
+  /// Ceiling on the per-shard vnode count a rebalance may assign (floor is
+  /// 1: a shard never leaves the partition ring entirely on its own —
+  /// SetShardVnodes may still assign 0 explicitly).
+  std::size_t max_virtual_nodes = 1024;
 };
 
 class ShardRouter {
@@ -60,7 +89,8 @@ class ShardRouter {
   std::size_t num_shards() const { return config_.num_shards; }
   RoutingPolicy policy() const { return config_.policy; }
 
-  /// Consistent-hash home shard of a provider.
+  /// Consistent-hash home shard of a provider, on the current partition
+  /// ring (epoch-dependent).
   std::uint32_t ShardOfProvider(ProviderId id) const;
 
   /// Splits the provider population into per-shard member lists (global
@@ -68,8 +98,37 @@ class ShardRouter {
   std::vector<std::vector<std::uint32_t>> PartitionProviders(
       const std::vector<ProviderProfile>& providers) const;
 
+  // --- Ring versioning (runtime re-partitioning) ---------------------------
+
+  /// Partition-ring version: 0 at construction, +1 per SetShardVnodes().
+  std::uint64_t ring_epoch() const { return ring_epoch_; }
+  /// Current vnode count per shard on the partition ring.
+  const std::vector<std::size_t>& shard_vnodes() const { return vnodes_; }
+
+  /// Rebuilds the partition ring with `vnodes[s]` points for shard s and
+  /// bumps ring_epoch(). Point hashes are a pure function of (seed, shard,
+  /// vnode index), so the rebuild is deterministic and growing a shard's
+  /// weight only adds points. A shard with 0 vnodes owns no providers. At
+  /// least one vnode must remain in total. The routing ring (query/consumer
+  /// keys) is not touched.
+  void SetShardVnodes(std::vector<std::size_t> vnodes);
+
+  /// The deterministic reweighting policy: given the active-provider count
+  /// per shard, returns the vnode allocation that moves the partition
+  /// toward equal counts (multiplicative correction, clamped to
+  /// [1, max_virtual_nodes]), or the current allocation unchanged when the
+  /// imbalance is within rebalance_imbalance_threshold (or every count is
+  /// zero). Pure — does not touch the ring; pass the result to
+  /// SetShardVnodes() if it differs.
+  std::vector<std::size_t> RebalancedVnodes(
+      const std::vector<std::size_t>& active_counts) const;
+
+  // --- Query routing -------------------------------------------------------
+
   /// Routes an arriving query under the configured policy. `now` bounds the
-  /// staleness of the load view least-loaded routing may use.
+  /// staleness of the load view least-loaded routing may use. Key hashing
+  /// runs on the frozen routing ring: consumer affinity never migrates with
+  /// partition rebalances.
   std::uint32_t Route(const Query& query, SimTime now);
 
   /// Rebalance target when `shard` bounced a query (empty candidate set or
@@ -85,9 +144,13 @@ class ShardRouter {
 
   /// Ingests one (possibly delayed) load report for `shard`. A shard
   /// reporting zero active providers is skipped by load-aware routing — it
-  /// cannot serve, however idle it looks.
+  /// cannot serve, however idle it looks. `ring_epoch` is the partition
+  /// epoch the shard had seen when it measured: reports from an older epoch
+  /// describe a partition that no longer exists and are excluded from
+  /// load-aware routing (but still counted and stored).
   void ReportLoad(std::uint32_t shard, double utilization,
-                  std::size_t active_providers, SimTime measured_at);
+                  std::size_t active_providers, SimTime measured_at,
+                  std::uint64_t ring_epoch = 0);
 
   /// Last reported utilization (0 before any report).
   double LoadOf(std::uint32_t shard) const;
@@ -96,14 +159,21 @@ class ShardRouter {
 
   std::uint64_t reports_received() const { return reports_; }
   /// Least-loaded routing decisions that fell back to hashing because every
-  /// load report had expired.
+  /// load report had expired (or lagged the ring epoch).
   std::uint64_t stale_fallbacks() const { return stale_fallbacks_; }
+  /// Reports ingested whose ring epoch already lagged the current one.
+  std::uint64_t epoch_lagged_reports() const { return epoch_lagged_; }
 
  private:
-  std::uint32_t RingLookup(std::uint64_t hash) const;
-  /// Least-loaded provider-bearing shard with a fresh report, skipping
-  /// shards marked in `exclude` (may be empty = exclude none). Returns
-  /// num_shards() when no such shard exists.
+  using Ring = std::vector<std::pair<std::uint64_t, std::uint32_t>>;
+
+  /// First ring point clockwise of `hash` on `ring`, wrapping at the top.
+  static std::uint32_t RingLookup(const Ring& ring, std::uint64_t hash);
+  std::uint64_t PointHash(std::uint32_t shard, std::uint64_t vnode) const;
+  void RebuildPartitionRing();
+  /// Least-loaded provider-bearing shard with a fresh, epoch-current
+  /// report, skipping shards marked in `exclude` (may be empty = exclude
+  /// none). Returns num_shards() when no such shard exists.
   std::uint32_t FreshLeastLoaded(SimTime now,
                                  const std::vector<bool>& exclude) const;
 
@@ -111,16 +181,36 @@ class ShardRouter {
     double utilization = 0.0;
     std::size_t active_providers = 0;
     SimTime measured_at = -kSimTimeInfinity;
+    std::uint64_t ring_epoch = 0;
   };
 
   RouterConfig config_;
   CounterRng hash_;
-  /// (point hash, shard) sorted by hash — the consistent-hash ring.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  /// The mutable, versioned provider-partition ring.
+  Ring ring_;
+  std::vector<std::size_t> vnodes_;
+  std::uint64_t ring_epoch_ = 0;
+  /// The frozen query/consumer-key routing ring.
+  Ring routing_ring_;
   std::vector<LoadEntry> loads_;
   std::uint64_t reports_ = 0;
   std::uint64_t stale_fallbacks_ = 0;
+  std::uint64_t epoch_lagged_ = 0;
 };
+
+/// The churn script that empties one shard: every provider (of
+/// `num_providers`) that the epoch-0 ring geometry of `config` assigns to
+/// `shard` leaves at `leave_at` and — when `rejoin_at` >= 0 — rejoins at
+/// that time, landing wherever the then-current ring epoch puts it. Events
+/// come in provider-index order (leave, then its rejoin). This is the
+/// scenario the churn tests, bench arm and example all drive; building it
+/// here keeps their ring previews from drifting out of sync with the
+/// system's actual geometry.
+runtime::ChurnSchedule ShardChurnSchedule(const RouterConfig& config,
+                                          std::uint32_t shard,
+                                          std::size_t num_providers,
+                                          SimTime leave_at,
+                                          SimTime rejoin_at = -1.0);
 
 }  // namespace sqlb::shard
 

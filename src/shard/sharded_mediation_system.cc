@@ -12,18 +12,31 @@
 namespace sqlb::shard {
 namespace {
 
-/// Protocol message kind for shard -> router load gossip.
+/// Protocol message kinds for shard <-> router gossip.
 constexpr std::uint32_t kLoadReportKind = 1;
+constexpr std::uint32_t kRingUpdateKind = 2;
 
 /// Gossip payload: one shard's self-measured load at `measured_at`. By the
 /// time the network delivers it, the measurement is already stale — which
 /// is the point: routing decisions run on the same bounded-staleness view a
-/// real mediator fleet would have.
+/// real mediator fleet would have. `ring_epoch` is the partition epoch the
+/// shard had acknowledged when measuring; the router discounts reports that
+/// describe a superseded partition.
 struct LoadReport {
   std::uint32_t shard = 0;
   double utilization = 0.0;
   std::size_t active_providers = 0;
   SimTime measured_at = 0.0;
+  std::uint64_t ring_epoch = 0;
+};
+
+/// Gossip payload announcing a partition-ring rebalance to one shard. Until
+/// it is delivered, the shard keeps stamping its old epoch onto load
+/// reports — the propagation window during which load-aware routing runs on
+/// the hash fallback.
+struct RingUpdate {
+  std::uint32_t shard = 0;
+  std::uint64_t epoch = 0;
 };
 
 }  // namespace
@@ -34,18 +47,25 @@ struct LoadReport {
 /// only their reports travel the network).
 class ShardedMediationSystem::GossipSink final : public msg::Node {
  public:
-  explicit GossipSink(ShardRouter* router) : router_(router) {}
+  GossipSink(ShardRouter* router, ShardedMediationSystem* system)
+      : router_(router), system_(system) {}
 
   void OnMessage(msg::Network& network, const msg::Message& message) override {
     (void)network;
-    if (message.kind != kLoadReportKind) return;
-    const auto& report = std::any_cast<const LoadReport&>(message.payload);
-    router_->ReportLoad(report.shard, report.utilization,
-                        report.active_providers, report.measured_at);
+    if (message.kind == kLoadReportKind) {
+      const auto& report = std::any_cast<const LoadReport&>(message.payload);
+      router_->ReportLoad(report.shard, report.utilization,
+                          report.active_providers, report.measured_at,
+                          report.ring_epoch);
+    } else if (message.kind == kRingUpdateKind) {
+      const auto& update = std::any_cast<const RingUpdate&>(message.payload);
+      system_->OnRingEpochSeen(update.shard, update.epoch);
+    }
   }
 
  private:
   ShardRouter* router_;
+  ShardedMediationSystem* system_;
 };
 
 double ShardedRunResult::RouteImbalance() const {
@@ -72,8 +92,17 @@ ShardedMediationSystem::ShardedMediationSystem(
   SQLB_CHECK(config.router.num_shards >= 1, "need at least one shard");
 
   // Partition the provider population and raise one pipeline per shard.
-  const std::vector<std::vector<std::uint32_t>> partition =
+  // Scheduled joiners (engine holdouts) stay out of every initial member
+  // list; they enter through OnProviderChurn at their join time.
+  std::vector<std::vector<std::uint32_t>> partition =
       router_.PartitionProviders(engine_.population().providers());
+  for (std::vector<std::uint32_t>& members : partition) {
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [this](std::uint32_t index) {
+                                   return engine_.held_out()[index];
+                                 }),
+                  members.end());
+  }
 
   const std::size_t num_shards = config_.router.num_shards;
   parallel_ = config_.worker_threads > 0;
@@ -112,12 +141,13 @@ ShardedMediationSystem::ShardedMediationSystem(
   }
 
   // Gossip endpoints: one sender address per shard, one router-side sink.
-  gossip_sink_ = std::make_unique<GossipSink>(&router_);
+  gossip_sink_ = std::make_unique<GossipSink>(&router_, this);
   shard_addresses_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     shard_addresses_.push_back(network_.Register(gossip_sink_.get()));
   }
   sink_address_ = network_.Register(gossip_sink_.get());
+  shard_epoch_seen_.assign(num_shards, 0);
 
   engine_.SetMethodName(methods_.front()->name());
 }
@@ -155,6 +185,8 @@ ShardedRunResult ShardedMediationSystem::Run() {
   result_.gossip_sent = network_.sent_messages();
   result_.gossip_delivered = network_.delivered_messages();
   result_.stale_fallbacks = router_.stale_fallbacks();
+  result_.ring_epoch = router_.ring_epoch();
+  result_.epoch_lagged_reports = router_.epoch_lagged_reports();
   if (consumer_locks_ != nullptr) {
     result_.consumer_lock_contention = consumer_locks_->contended_acquires();
   }
@@ -174,7 +206,14 @@ void ShardedMediationSystem::Execute(des::Simulator& sim, SimTime duration) {
   lanes.reserve(lane_sims_.size());
   for (const auto& lane : lane_sims_) lanes.push_back(lane.get());
   des::LaneGroup group(std::move(lanes), &pool,
-                       [this](SimTime) { MergeEffects(); });
+                       [this](SimTime, des::BarrierKind kind) {
+                         // Record what this sync licenses: only a rebalance
+                         // barrier may be followed by membership moves (the
+                         // transfer path checks this flag).
+                         lanes_at_rebalance_barrier_ =
+                             kind == des::BarrierKind::kRebalance;
+                         MergeEffects();
+                       });
   sim.RunUntilParallel(duration, group);
   // Drain in-flight service past the horizon: lane completions first
   // (deterministic merge), then the coordinator's remaining gossip
@@ -360,11 +399,22 @@ void ShardedMediationSystem::MergeEffects() {
 void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
   // Cross-shard load gossip (a barrier under parallel execution: reports
   // read core state, so the lanes drain and merge first).
-  if (!config_.gossip_enabled) return;
-  gossip_task_.Start(sim, config_.gossip_interval, config_.gossip_interval,
-                     config_.base.duration,
-                     [this](des::Simulator& s) { SendLoadReports(s); },
-                     /*barrier=*/parallel_);
+  if (config_.gossip_enabled) {
+    gossip_task_.Start(sim, config_.gossip_interval, config_.gossip_interval,
+                       config_.base.duration,
+                       [this](des::Simulator& s) { SendLoadReports(s); },
+                       /*barrier=*/parallel_);
+  }
+  // The re-partitioning schedule: a kRebalance barrier, so under parallel
+  // execution the lanes are quiescent and merged — and the merge hook knows
+  // membership may move — before any provider changes hands.
+  if (config_.rebalance_enabled && cores_.size() > 1) {
+    rebalance_task_.Start(sim, config_.rebalance_interval,
+                          config_.rebalance_interval, config_.base.duration,
+                          [this](des::Simulator& s) { OnRebalanceTick(s); },
+                          parallel_ ? des::BarrierKind::kRebalance
+                                    : des::BarrierKind::kNone);
+  }
 }
 
 void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
@@ -375,6 +425,7 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
     report.utilization = cores_[s]->MeanCommittedUtilization(now);
     report.active_providers = cores_[s]->active_provider_count();
     report.measured_at = now;
+    report.ring_epoch = shard_epoch_seen_[s];
 
     msg::Message message;
     message.from = shard_addresses_[s];
@@ -424,6 +475,181 @@ void ShardedMediationSystem::RunProviderDepartureChecks(SimTime now,
   for (const auto& core : cores_) {
     core->RunProviderDepartureChecks(now, optimal_ut);
   }
+}
+
+bool ShardedMediationSystem::OnProviderChurn(
+    des::Simulator& sim, const runtime::ProviderChurnEvent& event) {
+  // Fires at an epoch barrier under parallel execution: admitting a member
+  // touches no lane-pending events, and a leave behaves exactly like a
+  // rule-based departure (queued work drains on its lane, nothing new
+  // arrives).
+  const SimTime now = sim.Now();
+  if (event.join) {
+    for (const auto& core : cores_) {
+      if (core->IsMember(event.provider_index)) return false;
+    }
+    // A handoff sealed for a previous membership incarnation must not
+    // attach to this one (the provider may be rejoining the very shard the
+    // old seal names as its source, which the IsMember drain check cannot
+    // distinguish from the seal never having been resolved).
+    DropPendingHandoff(event.provider_index);
+    const std::uint32_t shard =
+        router_.ShardOfProvider(ProviderId(event.provider_index));
+    cores_[shard]->AdmitMember(event.provider_index, now);
+    ++result_.shards[shard].joined;
+    return true;
+  }
+  for (const auto& core : cores_) {
+    if (core->DepartMemberForChurn(event.provider_index, now)) {
+      // The member this seal was draining is gone; nothing left to move.
+      DropPendingHandoff(event.provider_index);
+      return true;
+    }
+  }
+  return false;  // already gone (departure rules beat the schedule to it)
+}
+
+void ShardedMediationSystem::DropPendingHandoff(std::uint32_t provider) {
+  const auto it =
+      std::find_if(pending_handoffs_.begin(), pending_handoffs_.end(),
+                   [provider](const PendingHandoff& h) {
+                     return h.provider == provider;
+                   });
+  if (it == pending_handoffs_.end()) return;
+  pending_handoffs_.erase(it);
+  ++result_.handoffs_cancelled;
+}
+
+void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
+  // Pass 1: transfer whatever drained since the last tick (and drop
+  // handoffs whose provider departed mid-drain); learn current ownership.
+  std::vector<std::uint32_t> owner = ProcessPendingHandoffs();
+
+  // Effective member counts, with still-pending moves credited to their
+  // target shard so an in-progress migration is not corrected twice.
+  std::vector<std::size_t> counts(cores_.size(), 0);
+  for (std::size_t s = 0; s < cores_.size(); ++s) {
+    counts[s] = cores_[s]->active_provider_count();
+  }
+  for (const PendingHandoff& h : pending_handoffs_) {
+    --counts[h.from];
+    ++counts[h.to];
+  }
+
+  // Reweight the partition ring past the imbalance threshold and gossip
+  // the new epoch out.
+  std::vector<std::size_t> vnodes = router_.RebalancedVnodes(counts);
+  if (vnodes != router_.shard_vnodes()) {
+    router_.SetShardVnodes(std::move(vnodes));
+    ++result_.ring_rebalances;
+    AnnounceRingEpoch();
+  }
+
+  // Reconcile ownership with the (possibly rebuilt) ring: seal new movers
+  // at their source, retarget in-flight moves, cancel moves the ring
+  // flapped back on. Provider index order keeps the sequence deterministic.
+  for (std::uint32_t p = 0; p < owner.size(); ++p) {
+    if (owner[p] == kNoShard) continue;
+    const std::uint32_t desired = router_.ShardOfProvider(ProviderId(p));
+    const auto pending =
+        std::find_if(pending_handoffs_.begin(), pending_handoffs_.end(),
+                     [p](const PendingHandoff& h) { return h.provider == p; });
+    if (desired == owner[p]) {
+      if (pending != pending_handoffs_.end()) {
+        cores_[owner[p]]->UnsealMember(p);
+        pending_handoffs_.erase(pending);
+        ++result_.handoffs_cancelled;
+      }
+      continue;
+    }
+    if (pending != pending_handoffs_.end()) {
+      pending->to = desired;
+      continue;
+    }
+    cores_[owner[p]]->SealMember(p);
+    pending_handoffs_.push_back(PendingHandoff{p, owner[p], desired});
+    ++result_.handoffs_started;
+  }
+
+  // Pass 2: movers that were already idle transfer within this barrier.
+  owner = ProcessPendingHandoffs();
+
+  // Ownership digest (FNV-1a over ring epoch + owner of every provider):
+  // the determinism pin compares these sequences across thread counts.
+  std::uint64_t digest = 1469598103934665603ULL;
+  const auto mix = [&digest](std::uint64_t v) {
+    digest ^= v;
+    digest *= 1099511628211ULL;
+  };
+  mix(router_.ring_epoch());
+  for (std::uint32_t o : owner) mix(o);
+  result_.ownership_digests.push_back(digest);
+}
+
+std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs() {
+  // Under parallel execution a transfer is only safe with every lane
+  // quiescent at a *rebalance* barrier — the kind the lane group's merge
+  // hook recorded. A plain epoch barrier (or no barrier) must never reach
+  // this point with work to move.
+  SQLB_CHECK(!parallel_ || pending_handoffs_.empty() ||
+                 lanes_at_rebalance_barrier_,
+             "re-partitioning handoffs require a rebalance barrier");
+  std::vector<runtime::ProviderAgent>& providers = engine_.providers();
+  for (auto it = pending_handoffs_.begin(); it != pending_handoffs_.end();) {
+    if (!cores_[it->from]->IsMember(it->provider)) {
+      // Departed (rules or schedule) while draining: nothing left to move.
+      it = pending_handoffs_.erase(it);
+      ++result_.handoffs_cancelled;
+      continue;
+    }
+    if (!providers[it->provider].Idle()) {
+      ++it;  // still draining its queue on the source lane
+      continue;
+    }
+    const runtime::MediationCore::ProviderHandoff handoff =
+        cores_[it->from]->ExportMember(it->provider);
+    cores_[it->to]->ImportMember(handoff);
+    ++result_.shards[it->from].providers_out;
+    ++result_.shards[it->to].providers_in;
+    ++result_.handoffs_completed;
+    it = pending_handoffs_.erase(it);
+  }
+
+  std::vector<std::uint32_t> owner(providers.size(), kNoShard);
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    for (std::uint32_t index : cores_[s]->active_providers()) {
+      owner[index] = s;
+    }
+  }
+  return owner;
+}
+
+void ShardedMediationSystem::AnnounceRingEpoch() {
+  const std::uint64_t epoch = router_.ring_epoch();
+  if (!config_.gossip_enabled) {
+    // No gossip substrate to ride: the fleet learns the epoch instantly.
+    for (std::uint64_t& seen : shard_epoch_seen_) {
+      seen = std::max(seen, epoch);
+    }
+    return;
+  }
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    RingUpdate update;
+    update.shard = s;
+    update.epoch = epoch;
+    msg::Message message;
+    message.from = sink_address_;
+    message.to = shard_addresses_[s];
+    message.kind = kRingUpdateKind;
+    message.correlation = epoch;
+    message.payload = update;
+    network_.Send(std::move(message));
+  }
+}
+
+void ShardedMediationSystem::OnRingEpochSeen(std::uint32_t shard,
+                                             std::uint64_t epoch) {
+  shard_epoch_seen_[shard] = std::max(shard_epoch_seen_[shard], epoch);
 }
 
 ShardedRunResult RunShardedScenario(

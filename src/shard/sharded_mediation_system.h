@@ -96,6 +96,24 @@ struct ShardedSystemConfig {
   /// response time — the classic batching latency/throughput trade.
   /// Works in both serial and parallel execution.
   double batch_window = 0.0;
+
+  // --- Runtime re-partitioning (provider churn) ----------------------------
+
+  /// Adapt the provider partition to churn: every `rebalance_interval`
+  /// seconds (a kRebalance barrier under parallel execution) the system
+  /// compares per-shard active-provider counts and, past the router's
+  /// imbalance threshold, reweights the consistent-hash partition ring
+  /// (ShardRouter::RebalancedVnodes + SetShardVnodes, bumping the ring
+  /// epoch), announces the new epoch to the shards over the gossip network,
+  /// and migrates every provider whose owner changed through the
+  /// seal -> drain -> transfer handoff: the source shard stops matching it
+  /// immediately, its queued work drains in place, and its core state
+  /// (chronic-utilization baseline, admission time) moves to the new owner
+  /// at the first rebalance barrier that finds it idle. Membership only
+  /// ever changes at barriers, which is what keeps strict-parity parallel
+  /// runs bit-identical to serial under churn. Inert at M = 1.
+  bool rebalance_enabled = false;
+  SimTime rebalance_interval = 50.0;
 };
 
 /// Per-shard accounting of one run.
@@ -106,6 +124,11 @@ struct ShardStats {
   std::uint64_t routed = 0;
   /// Queries this shard actually dispatched to providers.
   std::uint64_t allocated = 0;
+  /// Scheduled churn joins admitted here.
+  std::uint64_t joined = 0;
+  /// Providers received from / handed to another shard by re-partitioning.
+  std::uint64_t providers_in = 0;
+  std::uint64_t providers_out = 0;
 };
 
 /// Everything a sharded run produces: the mono-compatible RunResult
@@ -127,6 +150,23 @@ struct ShardedRunResult {
   /// Relaxed-parity runs: acquires that found a consumer's sequence lock
   /// held by another lane (0 under strict parity and serial execution).
   std::uint64_t consumer_lock_contention = 0;
+
+  // --- Re-partitioning under churn -----------------------------------------
+  /// Final partition-ring epoch (0 = the ring never changed).
+  std::uint64_t ring_epoch = 0;
+  /// Rebalance ticks that actually reweighted the ring.
+  std::uint64_t ring_rebalances = 0;
+  /// Provider migrations: sealed for handoff / transferred / dropped
+  /// (departed while draining, or the ring flapped back first).
+  std::uint64_t handoffs_started = 0;
+  std::uint64_t handoffs_completed = 0;
+  std::uint64_t handoffs_cancelled = 0;
+  /// Load reports that arrived carrying an already-superseded ring epoch.
+  std::uint64_t epoch_lagged_reports = 0;
+  /// One digest per rebalance tick over (ring epoch, owner of every
+  /// provider): the ownership sequence of the run. Identical digests across
+  /// thread counts are the re-partitioning determinism pin.
+  std::vector<std::uint64_t> ownership_digests;
 
   /// max/mean ratio of first-choice routes per shard (1 = perfectly even).
   double RouteImbalance() const;
@@ -171,6 +211,8 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   // ScenarioEngine::Driver — the sharded policies.
   void OnQueryArrival(des::Simulator& sim, const Query& query) override;
   void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
+  bool OnProviderChurn(des::Simulator& sim,
+                       const runtime::ProviderChurnEvent& event) override;
   void VisitActiveProviders(
       const std::function<void(runtime::ProviderAgent&)>& fn) override;
   std::size_t ActiveProviderCount() const override;
@@ -198,6 +240,24 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// The parity policy's view of this run's configuration.
   ParallelRunShape RunShape() const;
 
+  // --- Re-partitioning protocol --------------------------------------------
+  /// One rebalance barrier: reconcile ownership with the ring, reweight the
+  /// ring past the imbalance threshold, seal movers, transfer drained ones.
+  void OnRebalanceTick(des::Simulator& sim);
+  /// Transfers every pending handoff whose provider has drained; drops the
+  /// ones whose provider departed while draining. Returns the shard owning
+  /// each provider after the pass (kNoShard = not a member anywhere).
+  std::vector<std::uint32_t> ProcessPendingHandoffs();
+  /// Gossips the router's current ring epoch to every shard (or applies it
+  /// immediately when gossip is disabled).
+  void AnnounceRingEpoch();
+  /// Delivery hook for ring-update gossip (called by the GossipSink).
+  void OnRingEpochSeen(std::uint32_t shard, std::uint64_t epoch);
+  /// Discards `provider`'s pending handoff, if any (its membership
+  /// incarnation ended: a scheduled leave, or a rejoin that must not
+  /// inherit the old seal). Counts as a cancelled handoff.
+  void DropPendingHandoff(std::uint32_t provider);
+
   ShardedSystemConfig config_;
   /// The shared scenario driver: population, agents, RNG streams, arrival
   /// pump, metric probes, departure schedule, RunResult sinks.
@@ -214,6 +274,23 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   NodeId sink_address_;
   /// The periodic load-report schedule (outlives StartAuxiliaryTasks).
   des::PeriodicTask gossip_task_;
+
+  // Re-partitioning state (rebalance_enabled, M > 1). A pending handoff is
+  // a provider sealed on its source shard and draining toward transfer.
+  struct PendingHandoff {
+    std::uint32_t provider = 0;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+  };
+  static constexpr std::uint32_t kNoShard = ~0u;
+  des::PeriodicTask rebalance_task_;
+  std::vector<PendingHandoff> pending_handoffs_;
+  /// What the last lane sync licensed (set by the merge hook): transfers
+  /// are only legal when the lanes drained at a kRebalance barrier.
+  bool lanes_at_rebalance_barrier_ = false;
+  /// Ring epoch each shard has acknowledged (via ring-update gossip);
+  /// stamped onto that shard's load reports.
+  std::vector<std::uint64_t> shard_epoch_seen_;
 
   // Epoch-parallel execution state (worker_threads > 0): one lane event
   // queue and one effect log per shard, plus — under relaxed parity — the

@@ -121,7 +121,11 @@ TEST(LaneGroupTest, SyncDrainsEveryLaneToTheBarrier) {
 
   WorkerPool pool(1);  // deterministic interleaving for the test
   std::vector<SimTime> merges;
-  LaneGroup group({&a, &b}, &pool, [&](SimTime t) { merges.push_back(t); });
+  std::vector<BarrierKind> kinds;
+  LaneGroup group({&a, &b}, &pool, [&](SimTime t, BarrierKind kind) {
+    merges.push_back(t);
+    kinds.push_back(kind);
+  });
 
   group.SyncTo(4.0);
   EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
@@ -132,6 +136,36 @@ TEST(LaneGroupTest, SyncDrainsEveryLaneToTheBarrier) {
   EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 5.0, 9.0}));
   ASSERT_EQ(merges.size(), 2u);
   EXPECT_EQ(merges[0], 4.0);
+  EXPECT_EQ(kinds, (std::vector<BarrierKind>{BarrierKind::kEpoch,
+                                             BarrierKind::kEpoch}));
+  EXPECT_EQ(group.epoch_syncs(), 2u);
+  EXPECT_EQ(group.rebalance_syncs(), 0u);
+}
+
+TEST(LaneGroupTest, RebalanceBarriersReportTheirKindToTheMergeHook) {
+  Simulator coordinator, lane;
+  std::vector<std::string> order;
+  lane.ScheduleAt(2.0, [&](Simulator&) { order.push_back("lane@2"); });
+  lane.ScheduleAt(4.0, [&](Simulator&) { order.push_back("lane@4"); });
+  coordinator.ScheduleBarrierAt(
+      3.0, [&](Simulator&) { order.push_back("rebalance@3"); },
+      BarrierKind::kRebalance);
+
+  WorkerPool pool(1);
+  std::vector<BarrierKind> kinds;
+  LaneGroup group({&lane}, &pool,
+                  [&](SimTime, BarrierKind kind) { kinds.push_back(kind); });
+  coordinator.RunUntilParallel(5.0, group);
+
+  // The rebalance barrier at 3 drains the lane first (lane@2 fires), and
+  // the merge hook learns it may re-partition; the closing sync at 5 is a
+  // plain epoch.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"lane@2", "rebalance@3", "lane@4"}));
+  EXPECT_EQ(kinds, (std::vector<BarrierKind>{BarrierKind::kRebalance,
+                                             BarrierKind::kEpoch}));
+  EXPECT_EQ(group.rebalance_syncs(), 1u);
+  EXPECT_EQ(group.epoch_syncs(), 1u);
 }
 
 TEST(RunUntilParallelTest, BarriersSyncLanesBeforeFiring) {

@@ -280,5 +280,170 @@ TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Ring versioning: mutable partition ring, frozen routing ring.
+// ---------------------------------------------------------------------------
+
+TEST(RingVersioningTest, SetShardVnodesBumpsTheEpochDeterministically) {
+  ShardRouter a(Config(4, RoutingPolicy::kHash));
+  ShardRouter b(Config(4, RoutingPolicy::kHash));
+  EXPECT_EQ(a.ring_epoch(), 0u);
+
+  // The same update sequence applied to two routers with the same seed
+  // yields the same ownership map after every epoch.
+  const std::vector<std::vector<std::size_t>> updates = {
+      {64, 64, 128, 64}, {32, 64, 128, 200}, {64, 64, 64, 64}};
+  const auto providers = MakeProviders(400);
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    a.SetShardVnodes(updates[u]);
+    b.SetShardVnodes(updates[u]);
+    EXPECT_EQ(a.ring_epoch(), u + 1);
+    EXPECT_EQ(b.ring_epoch(), u + 1);
+    for (const ProviderProfile& p : providers) {
+      ASSERT_EQ(a.ShardOfProvider(p.id), b.ShardOfProvider(p.id))
+          << "epoch " << u + 1 << " provider " << p.id.index();
+    }
+  }
+
+  // Restoring the original allocation restores the original partition:
+  // point hashes are a pure function of (seed, shard, vnode).
+  ShardRouter pristine(Config(4, RoutingPolicy::kHash));
+  for (const ProviderProfile& p : providers) {
+    EXPECT_EQ(a.ShardOfProvider(p.id), pristine.ShardOfProvider(p.id));
+  }
+}
+
+TEST(RingVersioningTest, ZeroVnodeShardOwnsNoProviders) {
+  ShardRouter router(Config(4, RoutingPolicy::kHash));
+  router.SetShardVnodes({64, 0, 64, 64});
+  const auto partition = router.PartitionProviders(MakeProviders(400));
+  EXPECT_TRUE(partition[1].empty());
+  EXPECT_EQ(partition[0].size() + partition[2].size() + partition[3].size(),
+            400u);
+}
+
+TEST(RingVersioningTest, RoutingRingStaysFrozenAcrossRebalances) {
+  ShardRouter router(Config(8, RoutingPolicy::kLocality));
+  std::vector<std::uint32_t> before;
+  for (std::uint32_t c = 0; c < 50; ++c) {
+    before.push_back(router.Route(MakeQuery(0, c), 0.0));
+  }
+  router.SetShardVnodes({1, 1, 1, 1, 500, 500, 500, 500});
+  for (std::uint32_t c = 0; c < 50; ++c) {
+    // Consumer affinity must not migrate with the partition: that is the
+    // strict-parity contract (one lane owns each consumer's state).
+    EXPECT_EQ(router.Route(MakeQuery(0, c), 0.0), before[c]) << c;
+  }
+}
+
+TEST(RingVersioningTest, RebalancedVnodesLeavesBalancedCountsAlone) {
+  ShardRouter router(Config(4, RoutingPolicy::kHash));
+  const std::vector<std::size_t> balanced = {100, 95, 105, 100};
+  EXPECT_EQ(router.RebalancedVnodes(balanced), router.shard_vnodes());
+  // All-zero counts (everyone departed): nothing to balance.
+  EXPECT_EQ(router.RebalancedVnodes({0, 0, 0, 0}), router.shard_vnodes());
+}
+
+TEST(RingVersioningTest, RebalancedVnodesGrowsDepletedShards) {
+  ShardRouter router(Config(4, RoutingPolicy::kHash));
+  // Shard 2 lost nearly everything: it must gain keyspace to pull members
+  // back in; the overfull shards shrink.
+  const std::vector<std::size_t> counts = {130, 130, 10, 130};
+  const std::vector<std::size_t> corrected = router.RebalancedVnodes(counts);
+  ASSERT_NE(corrected, router.shard_vnodes());
+  EXPECT_GT(corrected[2], router.shard_vnodes()[2]);
+  EXPECT_LT(corrected[0], router.shard_vnodes()[0]);
+  for (std::size_t v : corrected) EXPECT_GE(v, 1u);
+}
+
+TEST(RingVersioningTest, EpochLaggedReportsAreExcludedFromLoadRouting) {
+  RouterConfig config = Config(3, RoutingPolicy::kLeastLoaded);
+  ShardRouter router(config);
+  router.ReportLoad(0, 0.9, 10, 1.0, /*ring_epoch=*/0);
+  router.ReportLoad(1, 0.1, 10, 1.0, /*ring_epoch=*/0);
+  router.ReportLoad(2, 0.5, 10, 1.0, /*ring_epoch=*/0);
+  EXPECT_EQ(router.Route(MakeQuery(1, 1), 2.0), 1u);
+
+  // A rebalance supersedes every epoch-0 report: least-loaded degrades to
+  // the hash fallback until current-epoch reports arrive.
+  router.SetShardVnodes({64, 64, 200});
+  const std::uint64_t fallbacks_before = router.stale_fallbacks();
+  router.Route(MakeQuery(2, 2), 2.0);
+  EXPECT_EQ(router.stale_fallbacks(), fallbacks_before + 1);
+
+  // A delayed epoch-0 report delivered after the rebalance is counted as
+  // lagged and does not resurrect its shard for load routing.
+  router.ReportLoad(1, 0.05, 10, 2.5, /*ring_epoch=*/0);
+  EXPECT_EQ(router.epoch_lagged_reports(), 1u);
+
+  // Shard 0 acknowledges epoch 1 and reports again: load routing resumes
+  // on the shards with a current view (shard 1's lower-utilization view is
+  // still epoch-stale, so busier-but-current shard 0 wins).
+  router.ReportLoad(0, 0.9, 10, 3.0, /*ring_epoch=*/1);
+  EXPECT_EQ(router.Route(MakeQuery(3, 3), 4.0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ring-update determinism through the full system (the satellite pin: one
+// churn schedule + seed => one ownership sequence at any thread count, and
+// a provider leaving mid-window loses no completed-query counts).
+// ---------------------------------------------------------------------------
+
+TEST(RingVersioningTest, ChurnOwnershipSequenceIsThreadCountInvariant) {
+  runtime::SystemConfig base;
+  base.population.num_consumers = 16;
+  base.population.num_providers = 32;
+  base.consumer.window.capacity = 50;
+  base.provider.window.capacity = 100;
+  base.workload = runtime::WorkloadSpec::Constant(1.2);  // queues stay busy
+  base.duration = 240.0;
+  base.sample_interval = 30.0;
+  base.stats_warmup = 40.0;
+  base.seed = 31;
+
+  ShardedSystemConfig config;
+  config.base = base;
+  config.router.num_shards = 4;
+  config.router.policy = RoutingPolicy::kLocality;
+  config.rerouting_enabled = false;
+  config.rebalance_enabled = true;
+  config.rebalance_interval = 30.0;
+
+  // Gut shard 0 mid-window (its members leave while dragging queued work),
+  // scheduled off the same router geometry the system builds.
+  config.base.provider_churn = ShardChurnSchedule(
+      config.router, /*shard=*/0, base.population.num_providers,
+      /*leave_at=*/base.duration / 2.0);
+  ASSERT_FALSE(config.base.provider_churn.events.empty());
+
+  auto factory = [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
+
+  std::vector<std::vector<std::uint64_t>> sequences;
+  std::vector<std::uint64_t> completed;
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    ShardedSystemConfig run_config = config;
+    run_config.worker_threads = threads;
+    const ShardedRunResult result = RunShardedScenario(run_config, factory);
+    sequences.push_back(result.ownership_digests);
+    completed.push_back(result.run.queries_completed);
+
+    // The mid-window leave loses no completed-query counts: every query a
+    // leaver was still serving completes and is counted exactly once.
+    EXPECT_EQ(result.run.queries_issued,
+              result.run.queries_completed + result.run.queries_infeasible)
+        << threads << " threads";
+    std::uint64_t allocated = 0;
+    for (const ShardStats& s : result.shards) allocated += s.allocated;
+    EXPECT_EQ(allocated, result.run.queries_completed) << threads;
+  }
+
+  // Same schedule + seed => same ownership sequence, serial or parallel.
+  ASSERT_FALSE(sequences[0].empty());
+  EXPECT_EQ(sequences[0], sequences[1]);
+  EXPECT_EQ(sequences[0], sequences[2]);
+  EXPECT_EQ(completed[0], completed[1]);
+  EXPECT_EQ(completed[0], completed[2]);
+}
+
 }  // namespace
 }  // namespace sqlb::shard
