@@ -71,10 +71,14 @@ struct ScalePoint {
   double route_imbalance = 1.0;
   std::uint64_t reroutes = 0;
   std::uint64_t gossip = 0;
+  // Batched-intake arms only: realized mean burst length.
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t batched_queries = 0;
   // Churn arms only.
   std::uint64_t joins = 0;
   std::uint64_t ring_epoch = 0;
   std::uint64_t rebalances = 0;
+  std::uint64_t rebalances_damped = 0;
   std::uint64_t handoffs = 0;
 };
 
@@ -136,6 +140,10 @@ struct ShardedOptions {
   /// Churn arms: a provider join/leave schedule plus ring re-partitioning.
   const runtime::ChurnSchedule* churn = nullptr;
   bool rebalance = false;
+  /// Adaptive arm: per-shard window controller bounded by
+  /// [0, adaptive_max_window] (runtime/batch_window.h).
+  bool adaptive = false;
+  double adaptive_max_window = 2.0;
 };
 
 ScalePoint RunSharded(const runtime::SystemConfig& base,
@@ -150,6 +158,11 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   config.parity = options.parity;
   if (options.churn != nullptr) config.base.provider_churn = *options.churn;
   config.rebalance_enabled = options.rebalance;
+  if (options.adaptive) {
+    config.adaptive_batch.enabled = true;
+    config.adaptive_batch.min_window = 0.0;
+    config.adaptive_batch.max_window = options.adaptive_max_window;
+  }
 
   shard::ShardedMediationSystem system(
       config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
@@ -174,9 +187,12 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   point.route_imbalance = result.RouteImbalance();
   point.reroutes = result.reroutes;
   point.gossip = result.gossip_delivered;
+  point.batch_flushes = result.batch_flushes;
+  point.batched_queries = result.batched_queries;
   point.joins = result.run.provider_joins;
   point.ring_epoch = result.ring_epoch;
   point.rebalances = result.ring_rebalances;
+  point.rebalances_damped = result.rebalances_damped;
   point.handoffs = result.handoffs_completed;
   return point;
 }
@@ -288,6 +304,18 @@ int main() {
   ll_batched.batch_window = batch_window;
   points.push_back(RunSharded(base, ll_batched));
 
+  // Adaptive per-shard windows against the same least-loaded serial
+  // configuration: the controller rate-matches each shard's window (EWMA of
+  // its arrival rate, gated by its queue debt) inside [0, batch_window], so
+  // the stale-gossip herding burst that inflates 8-ll-batch's response time
+  // coalesces in target-length bites instead of one epoch-wide gulp. The CI
+  // gate: mean rt <= the static row's at equal-or-better alloc/sec.
+  ShardedOptions adaptive = ll_serial;
+  adaptive.label = "8-adapt";
+  adaptive.adaptive = true;
+  adaptive.adaptive_max_window = batch_window;
+  points.push_back(RunSharded(base, adaptive));
+
   std::vector<std::string> relaxed_labels;
   for (std::size_t threads : thread_counts) {
     ShardedOptions relaxed = ll_serial;
@@ -377,9 +405,12 @@ int main() {
         .Add("speedup_vs_mono", speedup)
         .Add("mean_response_time", p.mean_rt)
         .Add("consumer_allocsat", p.cons_sat)
+        .Add("batch_flushes", p.batch_flushes)
+        .Add("batched_queries", p.batched_queries)
         .Add("provider_joins", p.joins)
         .Add("ring_epoch", p.ring_epoch)
         .Add("ring_rebalances", p.rebalances)
+        .Add("ring_rebalances_damped", p.rebalances_damped)
         .Add("handoffs_completed", p.handoffs);
     rows.Add(row);
   }
@@ -517,6 +548,39 @@ int main() {
       relaxed_speedup_4t, relaxed_speedup_best,
       hw < 4 ? " (the >= 1.5x gate needs >= 4 cores)" : "");
 
+  // Adaptive batch windows vs the static window under the same routing:
+  // the adaptive controller must close (most of) the coalescing response-
+  // time penalty without giving back intake throughput. CI gates both.
+  const ScalePoint& adapt = FindPoint(points, "8-adapt");
+  const double adapt_rt_ratio =
+      ll_twin.mean_rt > 0.0 ? adapt.mean_rt / ll_twin.mean_rt : 1.0;
+  const double adapt_throughput_ratio =
+      Throughput(adapt) / Throughput(ll_twin);
+  const double adapt_burst = adapt.batch_flushes > 0
+                                 ? static_cast<double>(adapt.batched_queries) /
+                                       static_cast<double>(adapt.batch_flushes)
+                                 : 0.0;
+  const double static_burst =
+      ll_twin.batch_flushes > 0
+          ? static_cast<double>(ll_twin.batched_queries) /
+                static_cast<double>(ll_twin.batch_flushes)
+          : 0.0;
+  std::printf(
+      "adaptive windows vs 8-ll-batch: rt %.4fs vs %.4fs (%.2fx, gate <= "
+      "1.0), alloc/s ratio %.2fx (gate >= 1.0), mean burst %.1f vs %.1f\n",
+      adapt.mean_rt, ll_twin.mean_rt, adapt_rt_ratio, adapt_throughput_ratio,
+      adapt_burst, static_burst);
+
+  // Rebalance damping: reweigh/handoff counts of the churn arm (the
+  // hysteresis + step cap should hold reweighs to a couple per mass
+  // departure; the JSON records the trajectory).
+  std::printf(
+      "churn re-partitioning damping: %llu reweighs (%llu damped), %llu "
+      "handoffs\n",
+      static_cast<unsigned long long>(churn0.rebalances),
+      static_cast<unsigned long long>(churn0.rebalances_damped),
+      static_cast<unsigned long long>(churn0.handoffs));
+
   // Churn overhead: allocation throughput of the churn arm relative to the
   // identically-configured no-churn arm. CI fails below 0.8 (a > 20%
   // regression); the wall-clock ratio is also reported for context.
@@ -550,8 +614,15 @@ int main() {
       .Add("churn_throughput_ratio", churn_throughput_ratio)
       .Add("churn_ring_epoch", churn0.ring_epoch)
       .Add("churn_rebalances", churn0.rebalances)
+      .Add("churn_rebalances_damped", churn0.rebalances_damped)
       .Add("churn_handoffs_completed", churn0.handoffs)
-      .Add("churn_provider_joins", churn0.joins);
+      .Add("churn_provider_joins", churn0.joins)
+      .Add("adaptive_mean_rt", adapt.mean_rt)
+      .Add("static_batch_mean_rt", ll_twin.mean_rt)
+      .Add("adaptive_rt_ratio", adapt_rt_ratio)
+      .Add("adaptive_throughput_ratio", adapt_throughput_ratio)
+      .Add("adaptive_mean_burst", adapt_burst)
+      .Add("static_mean_burst", static_burst);
 
   std::string skipped_json;
   for (std::size_t i = 0; i < skipped.size(); ++i) {

@@ -53,15 +53,19 @@ void WindowedSum::Add(SimTime t, double value) {
   last_time_ = t;
   events_.push_back(Event{t, value});
   sum_ += value;
+  ++revision_;
 }
 
 double WindowedSum::SumAt(SimTime t) {
+  bool evicted = false;
   while (!events_.empty() && events_.front().time <= t - width_) {
     sum_ -= events_.front().value;
     events_.pop_front();
+    evicted = true;
   }
   // Guard against drift from repeated subtraction.
   if (events_.empty()) sum_ = 0.0;
+  if (evicted) ++revision_;
   return sum_;
 }
 
@@ -69,6 +73,7 @@ void WindowedSum::Clear() {
   events_.clear();
   sum_ = 0.0;
   last_time_ = -kSimTimeInfinity;
+  ++revision_;
 }
 
 WindowedMean::WindowedMean(std::size_t capacity) : capacity_(capacity) {

@@ -64,6 +64,29 @@ class WindowedSum {
   SimTime width() const { return width_; }
   std::size_t pending_events() const { return events_.size(); }
 
+  /// Bumped whenever the windowed sum's value may have changed: on every
+  /// Add, on every SumAt that evicted at least one expired event, and on
+  /// Clear. A caller holding a cached SumAt result can treat an unchanged
+  /// revision (plus WouldExpireAt == false) as proof the cached value is
+  /// still exact — the basis of the mediation tier's event-driven
+  /// characterization cache.
+  std::uint64_t revision() const { return revision_; }
+
+  /// True when SumAt(t) would evict (and therefore change the sum): the
+  /// exact eviction predicate, so a staleness check built on it can never
+  /// disagree with SumAt about window membership.
+  bool WouldExpireAt(SimTime t) const {
+    return !events_.empty() && events_.front().time <= t - width_;
+  }
+
+  /// Timestamp of the oldest retained event (+inf when empty): as long as
+  /// revision() is unchanged, `FrontEventTime() <= t - width()` is exactly
+  /// WouldExpireAt(t) — a caller may cache this one double and evaluate the
+  /// decay predicate without touching the deque.
+  SimTime FrontEventTime() const {
+    return events_.empty() ? kSimTimeInfinity : events_.front().time;
+  }
+
   void Clear();
 
  private:
@@ -75,6 +98,7 @@ class WindowedSum {
   SimTime width_;
   SimTime last_time_ = -kSimTimeInfinity;
   double sum_ = 0.0;
+  std::uint64_t revision_ = 0;
   std::deque<Event> events_;
 };
 

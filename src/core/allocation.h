@@ -52,6 +52,61 @@ struct AllocationRequest {
   std::vector<CandidateProvider> candidates;
 };
 
+/// Struct-of-arrays form of a candidate set: one contiguous column per
+/// CandidateProvider field, aligned by candidate index. This is the layout
+/// the mediation hot path fills (from the event-driven characterization
+/// cache) and the scoring kernels consume — ProviderScore/SelectTopN walk
+/// contiguous doubles instead of striding over 72-byte structs. The AoS
+/// CandidateProvider remains the compatibility view: At(i) gathers one, and
+/// AllocationMethod's default columnar entry points materialize a full AoS
+/// request for methods that have no columnar override.
+struct CandidateColumns {
+  std::vector<ProviderId> ids;
+  std::vector<double> consumer_intention;
+  std::vector<double> provider_intention;
+  std::vector<double> provider_satisfaction;
+  std::vector<double> utilization;
+  std::vector<double> capacity;
+  std::vector<double> backlog_seconds;
+  std::vector<double> bid_price;
+  std::vector<double> estimated_delay;
+
+  std::size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+  void Clear();
+  void Reserve(std::size_t n);
+  /// Appends one candidate across every column.
+  void Push(const CandidateProvider& candidate);
+  /// Gathers candidate `i` back into the AoS view.
+  CandidateProvider At(std::size_t i) const;
+};
+
+/// One allocation request over the columnar candidate layout. `candidates`
+/// is borrowed and must outlive the call.
+struct ColumnarRequest {
+  const Query* query = nullptr;
+  double consumer_satisfaction = 0.5;
+  const CandidateColumns* candidates = nullptr;
+};
+
+/// Which optional candidate columns a method actually reads. The gather
+/// loop materializes only these; ids, consumer_intention,
+/// provider_intention and provider_satisfaction are always filled (the
+/// Algorithm-1 core consumes them for scoring and the post-decision half).
+/// The default (everything) is what the AoS compatibility adapter needs.
+struct CandidateColumnNeeds {
+  bool utilization = true;
+  bool capacity = true;
+  bool backlog_seconds = true;
+  bool bid_price = true;
+  bool estimated_delay = true;
+
+  static CandidateColumnNeeds All() { return {}; }
+  static CandidateColumnNeeds None() {
+    return {false, false, false, false, false};
+  }
+};
+
 /// The outcome: `selected` holds indices into request.candidates, best
 /// first, with size min(q.n, N). `scores` (aligned with candidates) records
 /// each method's internal ranking value for diagnostics and tests; methods
@@ -85,10 +140,41 @@ class AllocationMethod {
   /// that bit-for-bit contract is pinned in tests/shard/.
   virtual void AllocateBatch(const AllocationRequest* requests,
                              std::size_t count, AllocationDecision* decisions);
+
+  /// Columnar entry point of the mediation hot path. The default
+  /// materializes an AoS AllocationRequest from the columns (into a member
+  /// scratch, reused across calls) and delegates to Allocate, so every
+  /// method keeps working unchanged; methods with a dedicated SoA kernel
+  /// (SQLB, capacity-based, Mariposa) override this and never touch the AoS
+  /// form. Must decide bit-for-bit like Allocate over the gathered AoS
+  /// request — the contract tests/core/allocation_contract_test.cc pins for
+  /// every method.
+  virtual AllocationDecision AllocateColumns(const ColumnarRequest& request);
+
+  /// Columnar burst scoring; default loops AllocateColumns per request.
+  virtual void AllocateBatchColumns(const ColumnarRequest* requests,
+                                    std::size_t count,
+                                    AllocationDecision* decisions);
+
+  /// The optional columns this method's scoring reads. The mediation
+  /// gather skips the rest — a method overriding AllocateColumns should
+  /// override this too, or it pays for columns it never touches. Must be
+  /// stable over the method's lifetime (the core reads it once).
+  virtual CandidateColumnNeeds RequiredColumns() const {
+    return CandidateColumnNeeds::All();
+  }
+
+ protected:
+  /// Scratch for the default AllocateColumns AoS materialization (methods
+  /// are single-threaded per shard; reusing it keeps the compatibility path
+  /// allocation-free after warm-up).
+  AllocationRequest aos_scratch_;
 };
 
 /// Number of providers Algorithm 1 must select for `request`.
 std::size_t SelectionCount(const AllocationRequest& request);
+/// Same rule — min(q.n, n_candidates) — for the columnar path.
+std::size_t SelectionCount(const Query& query, std::size_t n_candidates);
 
 }  // namespace sqlb
 

@@ -86,6 +86,9 @@ double ProviderIntention(double preference, double utilization,
 /// the factor multiplication order is preserved.
 class ProviderIntentionEvaluator {
  public:
+  /// An empty evaluator (default params, idle provider) so cache tables can
+  /// be pre-sized; always overwritten by a real refresh before Eval runs.
+  ProviderIntentionEvaluator() = default;
   ProviderIntentionEvaluator(double utilization,
                              double preference_satisfaction,
                              const ProviderIntentionParams& params);
@@ -93,11 +96,11 @@ class ProviderIntentionEvaluator {
   double Eval(double preference) const;
 
  private:
-  ProviderIntentionMode mode_;
-  double epsilon_;
-  double clamped_sat_;          // Clamp(sat, 0, 1)
-  double one_minus_sat_;        // exponent of the preference factor
-  double utilization_;          // max(0, ut)
+  ProviderIntentionMode mode_ = ProviderIntentionMode::kSelfBalancing;
+  double epsilon_ = 1.0;
+  double clamped_sat_ = 0.5;    // Clamp(sat, 0, 1)
+  double one_minus_sat_ = 0.5;  // exponent of the preference factor
+  double utilization_ = 0.0;    // max(0, ut)
   double positive_state_factor_ = 1.0;  // (1 - ut)^sat, valid when ut < 1
   double negative_state_factor_ = 1.0;  // (ut + eps)^sat
   double utilization_only_value_ = 0.0;

@@ -31,6 +31,29 @@ double ProviderScore(double provider_intention, double consumer_intention,
            BoundedPow(1.0 - ci + epsilon, 1.0 - w));
 }
 
+void SqlbScoreColumns(const double* provider_intention,
+                      const double* consumer_intention,
+                      const double* provider_satisfaction, std::size_t count,
+                      double consumer_satisfaction, double epsilon,
+                      const double* fixed_omega, std::vector<double>* scores) {
+  scores->clear();
+  scores->reserve(count);
+  if (fixed_omega != nullptr) {
+    const double omega = *fixed_omega;
+    for (std::size_t i = 0; i < count; ++i) {
+      scores->push_back(ProviderScore(provider_intention[i],
+                                      consumer_intention[i], omega, epsilon));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double omega =
+        OmegaBalance(consumer_satisfaction, provider_satisfaction[i]);
+    scores->push_back(ProviderScore(provider_intention[i],
+                                    consumer_intention[i], omega, epsilon));
+  }
+}
+
 std::vector<std::size_t> RankByScore(const std::vector<double>& scores) {
   std::vector<std::size_t> order(scores.size());
   std::iota(order.begin(), order.end(), 0);

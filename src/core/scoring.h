@@ -30,6 +30,21 @@ double OmegaBalance(double consumer_satisfaction,
 double ProviderScore(double provider_intention, double consumer_intention,
                      double omega, double epsilon = 1.0);
 
+/// Definition 9 over struct-of-arrays columns: fills `scores[i]` with
+/// ProviderScore(provider_intention[i], consumer_intention[i], omega_i,
+/// epsilon), where omega_i is Eq. 6 over (consumer_satisfaction,
+/// provider_satisfaction[i]) — or `*fixed_omega` for all i when non-null
+/// (the omega ablation's pinned-omega mode). The SQLB scoring kernel of the
+/// mediation hot path: all four inputs are contiguous doubles filled from
+/// the characterization cache, so the loop never strides over candidate
+/// structs. Arithmetic is per-element identical to the scalar calls, in
+/// index order — bit-for-bit the scores the AoS loop produces.
+void SqlbScoreColumns(const double* provider_intention,
+                      const double* consumer_intention,
+                      const double* provider_satisfaction, std::size_t count,
+                      double consumer_satisfaction, double epsilon,
+                      const double* fixed_omega, std::vector<double>* scores);
+
 /// Ranks candidate indices by descending score; ties broken by original
 /// index (deterministic). Returns the permutation (the R_q vector of
 /// Section 5.3: element 0 is the best-scored provider).

@@ -30,4 +30,21 @@ AllocationDecision SqlbMethod::Allocate(const AllocationRequest& request) {
   return decision;
 }
 
+AllocationDecision SqlbMethod::AllocateColumns(const ColumnarRequest& request) {
+  SQLB_CHECK(request.query != nullptr && request.candidates != nullptr,
+             "columnar request needs a query and candidates");
+  const CandidateColumns& columns = *request.candidates;
+  AllocationDecision decision;
+  SqlbScoreColumns(columns.provider_intention.data(),
+                   columns.consumer_intention.data(),
+                   columns.provider_satisfaction.data(), columns.size(),
+                   request.consumer_satisfaction, options_.epsilon,
+                   options_.fixed_omega.has_value() ? &*options_.fixed_omega
+                                                    : nullptr,
+                   &decision.scores);
+  decision.selected = SelectTopN(
+      decision.scores, SelectionCount(*request.query, columns.size()));
+  return decision;
+}
+
 }  // namespace sqlb

@@ -36,6 +36,18 @@ class SqlbMethod final : public AllocationMethod {
   /// (Definition 9), then rank and take the q.n best.
   AllocationDecision Allocate(const AllocationRequest& request) override;
 
+  /// Same decision over the SoA candidate layout: the SqlbScoreColumns
+  /// kernel runs over the contiguous intention/satisfaction columns, then
+  /// SelectTopN — no AoS materialization. Bit-identical to Allocate over
+  /// the gathered AoS request.
+  AllocationDecision AllocateColumns(const ColumnarRequest& request) override;
+
+  /// Definition 9 reads intentions and satisfactions only — none of the
+  /// load/economy columns need to be materialized for SQLB.
+  CandidateColumnNeeds RequiredColumns() const override {
+    return CandidateColumnNeeds::None();
+  }
+
   const SqlbOptions& options() const { return options_; }
 
  private:

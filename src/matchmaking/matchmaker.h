@@ -49,6 +49,12 @@ class AcceptAllMatchmaker final : public Matchmaker {
   std::vector<ProviderId> Match(const Query& query) const override;
   std::size_t registered_count() const override { return sorted_.size(); }
 
+  /// The same P_q Match returns, borrowed instead of copied: AcceptAll's
+  /// candidate set is query-independent, so the mediation hot path reads
+  /// the member list in place (one vector copy per mediation saved — the
+  /// reference is only valid until the next Register/Unregister).
+  const std::vector<ProviderId>& MatchAll() const { return sorted_; }
+
  private:
   std::vector<ProviderId> sorted_;  // ascending, unique
 };

@@ -29,4 +29,21 @@ AllocationDecision CapacityBasedMethod::Allocate(
   return decision;
 }
 
+AllocationDecision CapacityBasedMethod::AllocateColumns(
+    const ColumnarRequest& request) {
+  const CandidateColumns& columns = *request.candidates;
+  AllocationDecision decision;
+  decision.scores.reserve(columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const double score =
+        ranking_ == CapacityRanking::kMaxAvailableCapacity
+            ? columns.capacity[i] * (1.0 - columns.utilization[i])
+            : -columns.utilization[i];
+    decision.scores.push_back(score);
+  }
+  decision.selected = SelectTopN(
+      decision.scores, SelectionCount(*request.query, columns.size()));
+  return decision;
+}
+
 }  // namespace sqlb

@@ -38,6 +38,17 @@ class CapacityBasedMethod final : public AllocationMethod {
 
   AllocationDecision Allocate(const AllocationRequest& request) override;
 
+  /// Same ranking over the SoA layout: the score loop reads only the
+  /// contiguous utilization (and, for max-available, capacity) columns.
+  AllocationDecision AllocateColumns(const ColumnarRequest& request) override;
+
+  CandidateColumnNeeds RequiredColumns() const override {
+    CandidateColumnNeeds needs = CandidateColumnNeeds::None();
+    needs.utilization = true;
+    needs.capacity = ranking_ == CapacityRanking::kMaxAvailableCapacity;
+    return needs;
+  }
+
  private:
   CapacityRanking ranking_;
 };

@@ -15,8 +15,13 @@ MariposaMethod::MariposaMethod(MariposaOptions options) : options_(options) {
 }
 
 double MariposaMethod::EffectivePrice(const CandidateProvider& p) const {
-  return p.bid_price *
-         (1.0 + options_.load_factor * std::max(0.0, p.backlog_seconds));
+  return EffectivePrice(p.bid_price, p.backlog_seconds);
+}
+
+double MariposaMethod::EffectivePrice(double bid_price,
+                                      double backlog_seconds) const {
+  return bid_price *
+         (1.0 + options_.load_factor * std::max(0.0, backlog_seconds));
 }
 
 bool MariposaMethod::UnderBidCurve(double effective_price,
@@ -28,10 +33,7 @@ bool MariposaMethod::UnderBidCurve(double effective_price,
 
 AllocationDecision MariposaMethod::Allocate(
     const AllocationRequest& request) {
-  AllocationDecision decision;
-  const std::size_t n = SelectionCount(request);
   const std::size_t count = request.candidates.size();
-
   std::vector<double> price(count);
   std::vector<bool> acceptable(count);
   bool any_acceptable = false;
@@ -41,6 +43,30 @@ AllocationDecision MariposaMethod::Allocate(
     acceptable[i] = UnderBidCurve(price[i], p.estimated_delay);
     any_acceptable = any_acceptable || acceptable[i];
   }
+  return Decide(price, acceptable, any_acceptable, SelectionCount(request));
+}
+
+AllocationDecision MariposaMethod::AllocateColumns(
+    const ColumnarRequest& request) {
+  const CandidateColumns& columns = *request.candidates;
+  const std::size_t count = columns.size();
+  std::vector<double> price(count);
+  std::vector<bool> acceptable(count);
+  bool any_acceptable = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    price[i] = EffectivePrice(columns.bid_price[i], columns.backlog_seconds[i]);
+    acceptable[i] = UnderBidCurve(price[i], columns.estimated_delay[i]);
+    any_acceptable = any_acceptable || acceptable[i];
+  }
+  return Decide(price, acceptable, any_acceptable,
+                SelectionCount(*request.query, count));
+}
+
+AllocationDecision MariposaMethod::Decide(const std::vector<double>& price,
+                                          const std::vector<bool>& acceptable,
+                                          bool any_acceptable, std::size_t n) {
+  AllocationDecision decision;
+  const std::size_t count = price.size();
 
   // Scores are negated prices so that "higher is better" holds for the
   // diagnostics; unacceptable bids are pushed below every acceptable one.

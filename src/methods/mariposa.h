@@ -48,8 +48,21 @@ class MariposaMethod final : public AllocationMethod {
 
   AllocationDecision Allocate(const AllocationRequest& request) override;
 
+  /// The broker over the SoA layout: prices and the bid-curve check read
+  /// only the contiguous bid_price/backlog/estimated_delay columns.
+  AllocationDecision AllocateColumns(const ColumnarRequest& request) override;
+
+  CandidateColumnNeeds RequiredColumns() const override {
+    CandidateColumnNeeds needs = CandidateColumnNeeds::None();
+    needs.bid_price = true;
+    needs.backlog_seconds = true;
+    needs.estimated_delay = true;
+    return needs;
+  }
+
   /// Computes the effective (load-scaled) price of a candidate's bid.
   double EffectivePrice(const CandidateProvider& p) const;
+  double EffectivePrice(double bid_price, double backlog_seconds) const;
 
   /// True when the bid lies under the consumer's bid curve.
   bool UnderBidCurve(double effective_price, double delay) const;
@@ -61,6 +74,13 @@ class MariposaMethod final : public AllocationMethod {
   const MariposaOptions& options() const { return options_; }
 
  private:
+  /// The broker tail shared by both layouts: penalty scoring of
+  /// unacceptable bids, the strict/lenient no-acceptable-bid policy, and
+  /// the cheapest-first partial sort.
+  AllocationDecision Decide(const std::vector<double>& price,
+                            const std::vector<bool>& acceptable,
+                            bool any_acceptable, std::size_t n);
+
   MariposaOptions options_;
   std::uint64_t unacceptable_ = 0;
 };

@@ -70,6 +70,7 @@ void ProviderWindow::Record(double shown_intention, double preference,
                             bool performed) {
   const Entry entry{IntentionToUnit(shown_intention),
                     IntentionToUnit(preference), performed};
+  bool perf_changed = performed;
   Entry evicted;
   if (entries_.Push(entry, &evicted)) {
     intention_sum_ -= evicted.intention_unit;
@@ -78,8 +79,10 @@ void ProviderWindow::Record(double shown_intention, double preference,
       perf_intention_sum_ -= evicted.intention_unit;
       perf_preference_sum_ -= evicted.preference_unit;
       --performed_in_window_;
+      perf_changed = true;
     }
   }
+  if (perf_changed) ++sat_revision_;
   intention_sum_ += entry.intention_unit;
   preference_sum_ += entry.preference_unit;
   if (performed) {

@@ -99,6 +99,10 @@ class ProviderWindow {
   /// the mediator allocated the query to this provider.
   void Record(double shown_intention, double preference, bool performed);
 
+  /// Prefetch hint for a bulk notify sweep: pulls the ring slot the next
+  /// Record will touch (see RingBuffer::PrefetchPushSlot).
+  void PrefetchRecordSlot() const { entries_.PrefetchPushSlot(); }
+
   /// The two value channels of the window.
   enum class Channel {
     kIntention,   // mediator-visible (Figures 4(a), Eq. 6)
@@ -122,6 +126,14 @@ class ProviderWindow {
   /// Queries ever proposed / performed (not capped at k).
   std::uint64_t proposed() const { return proposed_; }
   std::uint64_t performed() const { return performed_total_; }
+
+  /// Bumped whenever the performed-subset aggregates change (a performed
+  /// query was recorded, or a performed entry was evicted) — i.e. exactly
+  /// when Satisfaction() can change on either channel. Recording a
+  /// *non-performed* proposal leaves the revision alone: the mediation
+  /// tier's characterization cache uses this to skip satisfaction reads for
+  /// the (common) candidates a query proposed to but did not select.
+  std::uint64_t satisfaction_revision() const { return sat_revision_; }
   /// Performed entries currently inside the window (|SQ^k_p|).
   std::size_t performed_in_window() const { return performed_in_window_; }
   std::size_t size() const { return entries_.size(); }
@@ -143,6 +155,7 @@ class ProviderWindow {
   std::size_t performed_in_window_ = 0;
   std::uint64_t proposed_ = 0;
   std::uint64_t performed_total_ = 0;
+  std::uint64_t sat_revision_ = 0;
   // Last known satisfaction per channel, served while the performed
   // subset is empty (mutable: refreshed on read, which is side-effect-free
   // w.r.t. the observable value).

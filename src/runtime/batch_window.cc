@@ -1,0 +1,54 @@
+#include "runtime/batch_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sqlb::runtime {
+
+BatchWindowController::BatchWindowController(const AdaptiveBatchConfig& config)
+    : config_(config) {
+  SQLB_CHECK(config_.min_window >= 0.0, "min_window must be >= 0");
+  SQLB_CHECK(config_.max_window >= config_.min_window,
+             "max_window must admit min_window");
+  SQLB_CHECK(config_.target_burst > 0.0, "target_burst must be positive");
+  SQLB_CHECK(config_.ewma_tau > 0.0, "ewma_tau must be positive");
+  SQLB_CHECK(config_.backlog_ref > 0.0, "backlog_ref must be positive");
+}
+
+void BatchWindowController::OnArrival(SimTime now) {
+  if (last_arrival_ == -kSimTimeInfinity) {
+    // First arrival: no interval to estimate a rate from yet.
+    last_arrival_ = now;
+    return;
+  }
+  const double dt = std::max(now - last_arrival_, 1e-9);
+  last_arrival_ = now;
+  // Irregular-interval EWMA: an observation's weight decays with the time
+  // it covers, so a long silent gap pulls the rate down by the same
+  // arithmetic a run of rapid arrivals pulls it up.
+  const double alpha = 1.0 - std::exp(-dt / config_.ewma_tau);
+  const double instantaneous = 1.0 / dt;
+  rate_ += alpha * (instantaneous - rate_);
+}
+
+void BatchWindowController::OnBacklogSample(double backlog_seconds) {
+  backlog_ = std::max(0.0, backlog_seconds);
+}
+
+double BatchWindowController::Window() const {
+  if (rate_ <= 0.0) return config_.min_window;
+  // Rate-matched ceiling: hold arrivals just long enough to coalesce
+  // ~target_burst of them at the current rate.
+  const double rate_matched =
+      std::min(config_.target_burst / rate_, config_.max_window);
+  // Queue-debt gate: spend that window only in proportion to how much
+  // amortizable mediation pressure the shard actually carries.
+  const double debt = std::min(backlog_ / config_.backlog_ref, 1.0);
+  const double window =
+      config_.min_window + (rate_matched - config_.min_window) * debt;
+  return std::clamp(window, config_.min_window, config_.max_window);
+}
+
+}  // namespace sqlb::runtime

@@ -1,0 +1,89 @@
+#ifndef SQLB_RUNTIME_BATCH_WINDOW_H_
+#define SQLB_RUNTIME_BATCH_WINDOW_H_
+
+#include "common/types.h"
+
+/// \file
+/// Per-shard adaptive sizing of the batched-intake coalescing window.
+///
+/// A static `batch_window` trades response time for intake throughput with
+/// one global constant, which is wrong in both directions at once: an idle
+/// shard delays its lone query for the full window and gets nothing back,
+/// while a shard that a herding (stale-gossip) router floods with an entire
+/// epoch's arrivals coalesces them into one huge burst whose tail queries
+/// wait far longer than the amortization is worth (the `8-ll-batch` arm of
+/// bench/scale_sharding.cc measures that worst case). The controller sizes
+/// the window per shard from two deterministic signals:
+///
+///  - an EWMA of the shard's arrival rate (updated on every routed arrival,
+///    on the coordinator — never from lane threads), which rate-matches the
+///    window to a target burst length: window ~ target_burst / rate, so a
+///    flooded shard *shrinks* its window (the bursts stay near the target
+///    length) and a trickle shard never waits long for a burst that is not
+///    coming; and
+///  - the shard's queue debt (mean provider backlog, sampled at the
+///    periodic load-report barrier, where the lanes are quiescent), which
+///    gates how much of that rate-matched window is actually spent:
+///    batching only pays when mediation work is worth amortizing, so with
+///    no backlog the window collapses toward min_window (latency mode) and
+///    under sustained queue debt it opens up to the full rate-matched value
+///    (throughput mode).
+///
+/// The result is clamped to [min_window, max_window]. Both inputs advance
+/// only at deterministic points of the simulation (arrival events and
+/// barrier tasks), so adaptive windows preserve the strict-parity
+/// bit-identity contract across thread counts.
+
+namespace sqlb::runtime {
+
+struct AdaptiveBatchConfig {
+  /// Master switch (shard::ShardedSystemConfig wires it): when true the
+  /// sharded intake always runs through the coalescing path, with the
+  /// window recomputed per arrival.
+  bool enabled = false;
+  /// Window bounds, in simulated seconds. min_window = 0 mediates
+  /// effectively inline when idle (the flush fires at the arrival time).
+  double min_window = 0.0;
+  double max_window = 2.0;
+  /// Desired mean burst length the rate-matched window aims for.
+  double target_burst = 8.0;
+  /// EWMA horizon (seconds) of the arrival-rate estimate; the weight of an
+  /// observation decays as exp(-dt / ewma_tau).
+  double ewma_tau = 5.0;
+  /// Queue debt (seconds of mean provider backlog) at which the window
+  /// opens fully to the rate-matched value; below it the window scales
+  /// linearly down toward min_window.
+  double backlog_ref = 5.0;
+};
+
+/// One shard's window controller. Pure arithmetic over the config and the
+/// two signals; no clock access of its own.
+class BatchWindowController {
+ public:
+  explicit BatchWindowController(const AdaptiveBatchConfig& config);
+
+  /// Records one routed arrival at `now` (non-decreasing) and updates the
+  /// arrival-rate EWMA.
+  void OnArrival(SimTime now);
+
+  /// Records the latest barrier-sampled queue debt (mean provider backlog
+  /// seconds of the shard's members).
+  void OnBacklogSample(double backlog_seconds);
+
+  /// The coalescing window an arrival right now should be held for.
+  double Window() const;
+
+  double arrival_rate() const { return rate_; }
+  double backlog_seconds() const { return backlog_; }
+
+ private:
+  AdaptiveBatchConfig config_;
+  SimTime last_arrival_ = -kSimTimeInfinity;
+  /// EWMA arrival rate, queries/second (0 until two arrivals were seen).
+  double rate_ = 0.0;
+  double backlog_ = 0.0;
+};
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_BATCH_WINDOW_H_

@@ -5,11 +5,6 @@ namespace sqlb::runtime {
 ConsumerAgent::ConsumerAgent(ConsumerId id, const ConsumerAgentConfig& config)
     : id_(id), config_(config), window_(config.window) {}
 
-double ConsumerAgent::ComputeIntention(double preference,
-                                       double reputation) const {
-  return ConsumerIntention(preference, reputation, config_.intention);
-}
-
 void ConsumerAgent::OnAllocated(double adequation, double satisfaction) {
   window_.Record(adequation, satisfaction);
 }

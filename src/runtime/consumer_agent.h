@@ -1,6 +1,7 @@
 #ifndef SQLB_RUNTIME_CONSUMER_AGENT_H_
 #define SQLB_RUNTIME_CONSUMER_AGENT_H_
 
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/intention.h"
@@ -31,8 +32,21 @@ class ConsumerAgent {
   ConsumerId id() const { return id_; }
 
   /// ci_c(q, p) — Definition 7 for a provider with the given persistent
-  /// preference and reputation.
-  double ComputeIntention(double preference, double reputation) const;
+  /// preference and reputation. Inline fast path for the paper's
+  /// upsilon = 1 preference-only setup (Section 6.1), which the mediation
+  /// gather calls once per candidate per query.
+  double ComputeIntention(double preference, double reputation) const {
+    if (config_.intention.mode == ConsumerIntentionMode::kPreferenceOnly) {
+      return Clamp(preference, -1.0, 1.0);
+    }
+    return ConsumerIntention(preference, reputation, config_.intention);
+  }
+
+  /// False when intentions ignore reputation entirely (preference-only
+  /// mode): the gather loop may skip the registry read.
+  bool IntentionUsesReputation() const {
+    return config_.intention.mode != ConsumerIntentionMode::kPreferenceOnly;
+  }
 
   /// Records one allocation outcome: the per-query adequation (Eq. 1) and
   /// satisfaction (Eq. 2).

@@ -28,16 +28,22 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
   units_at_last_check_.assign(shared_.providers->size(), 0.0);
   member_since_.assign(shared_.providers->size(), 0.0);
 
+  // The characterization cache: one entry per provider (global indexing, so
+  // a member imported by a churn handoff lands on an entry whose stale
+  // stamps force a full refresh).
+  cache_enabled_ = shared_.config->characterization_cache;
+  utilization_window_width_ = shared_.config->provider.utilization_window;
+  member_cache_.resize(shared_.providers->size());
+  column_needs_ = method_->RequiredColumns();
+
   // Pre-size the hot-path scratch to the member count: every candidate set
   // is a subset of the members, so no allocation loop ever regrows these.
   const std::size_t members = active_providers_.size();
-  scratch_request_.candidates.reserve(members);
+  scratch_columns_.Reserve(members);
   scratch_provider_pref_.reserve(members);
-  scratch_ci_.reserve(members);
   scratch_selected_ci_.reserve(std::min<std::size_t>(
       members, shared_.config->query_n));
   scratch_selected_mask_.reserve(members);
-  scratch_snapshot_.reserve(members);
   // In-flight responses track queries dispatched but not yet completed;
   // under the paper's near-capacity workloads that is a few queued queries
   // per member provider. Reserving a small multiple up front keeps the
@@ -45,11 +51,135 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
   pending_.reserve(members * 4 + 64);
 }
 
+const MediationCore::MemberCharacterization&
+MediationCore::RefreshCharacterization(std::uint32_t provider_index,
+                                       SimTime now) {
+  ProviderAgent& agent = (*shared_.providers)[provider_index];
+  MemberCharacterization& mc = member_cache_[provider_index];
+
+  // Staleness per field, against the agent's event stamps. The decay check
+  // (UtilizationWouldDecay) is the *exact* eviction predicate of the
+  // agent's windowed sum, so the cached path evicts at precisely the call
+  // sites the uncached path would — the floating-point add/evict sequence
+  // inside the agent is identical either way, which is what makes cached
+  // runs bit-identical to cache-disabled twins rather than merely close.
+  const bool never = mc.load_revision == kNeverCharacterized;
+  const bool ut_stale =
+      !cache_enabled_ || never ||
+      mc.utilization_revision != agent.utilization_revision() ||
+      agent.UtilizationWouldDecay(now);
+  const bool load_stale =
+      !cache_enabled_ || never || mc.load_revision != agent.load_revision();
+  const bool sat_stale = !cache_enabled_ || never ||
+                         mc.satisfaction_revision !=
+                             agent.satisfaction_revision();
+
+  if (ut_stale) {
+    mc.snap.utilization = agent.Utilization(now);
+    // Read the stamp after the call: the eviction it performed bumped it.
+    mc.utilization_revision = agent.utilization_revision();
+    ++cache_stats_.utilization_refreshes;
+  }
+  if (load_stale) {
+    mc.snap.id = agent.id();
+    mc.snap.capacity = agent.capacity();
+    mc.snap.backlog_seconds = agent.BacklogSeconds();
+    mc.load_revision = agent.load_revision();
+    ++cache_stats_.backlog_refreshes;
+  }
+  if (sat_stale) {
+    mc.snap.satisfaction_intentions = agent.SatisfactionOnIntentions();
+    mc.snap.satisfaction_preferences = agent.SatisfactionOnPreferences();
+    mc.satisfaction_revision = agent.satisfaction_revision();
+    ++cache_stats_.satisfaction_refreshes;
+  }
+  if (ut_stale || sat_stale) {
+    // The Definition-8 state factors (two pows) depend on utilization and
+    // preference-based satisfaction only; rebuild exactly when either
+    // moved. Eval() then costs one pow per (query, candidate).
+    mc.evaluator = ProviderIntentionEvaluator(
+        mc.snap.utilization, mc.snap.satisfaction_preferences,
+        shared_.config->provider.intention);
+    ++cache_stats_.evaluator_rebuilds;
+  }
+  // Re-arm the coarse hit check: the refresh above consumed every pending
+  // invalidation (including the eviction Utilization just performed).
+  mc.char_revision = agent.characterization_revision();
+  mc.decay_front_time = agent.UtilizationFrontEventTime();
+  return mc;
+}
+
+void MediationCore::GatherCandidates(const Query& query,
+                                     const std::vector<ProviderId>& pq,
+                                     SimTime now, CandidateColumns* columns,
+                                     std::vector<double>* prefs) {
+  ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
+  std::vector<ProviderAgent>& providers = *shared_.providers;
+
+  // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
+  // intentions (synchronously here; runtime/async_mediator.h exercises the
+  // fork/waituntil/timeout version over the message substrate). The
+  // query-independent provider state comes from the characterization cache;
+  // only the per-(query, provider) terms — preferences, consumer intention,
+  // the preference pow of Definition 8, the asking price — are computed
+  // fresh, straight into the SoA columns the scoring kernels consume.
+  columns->Clear();
+  columns->Reserve(pq.size());
+  prefs->clear();
+  prefs->reserve(pq.size());
+  cache_stats_.lookups += pq.size();
+  const CandidateColumnNeeds& needs = column_needs_;
+  // With upsilon = 1 preference-only consumer intentions (the paper's
+  // setup) the registry read is dead weight per candidate; Get is pure, so
+  // skipping it cannot change any value.
+  const bool read_reputation = consumer.IntentionUsesReputation();
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (std::size_t c = 0; c < pq.size(); ++c) {
+    const ProviderId pid = pq[c];
+    if (c + kPrefetchAhead < pq.size()) {
+      // The cache entries are indexed by provider — sequential for the
+      // AcceptAll member walk — but each agent's stamp line is scattered.
+      providers[pq[c + kPrefetchAhead].index()].PrefetchCharacterizationStamp();
+    }
+    const MemberCharacterization& mc = Characterize(pid.index(), now);
+    const double consumer_pref =
+        shared_.population->ConsumerPreference(query.consumer, pid);
+    const double provider_pref =
+        shared_.population->ProviderPreference(pid, query.id);
+    columns->ids.push_back(pid);
+    columns->consumer_intention.push_back(consumer.ComputeIntention(
+        consumer_pref,
+        read_reputation ? shared_.reputation->Get(pid) : 0.0));
+    columns->provider_intention.push_back(mc.evaluator.Eval(provider_pref));
+    columns->provider_satisfaction.push_back(mc.snap.satisfaction_intentions);
+    if (needs.utilization) {
+      columns->utilization.push_back(mc.snap.utilization);
+    }
+    if (needs.capacity) {
+      columns->capacity.push_back(mc.snap.capacity);
+    }
+    if (needs.backlog_seconds) {
+      columns->backlog_seconds.push_back(mc.snap.backlog_seconds);
+    }
+    if (needs.bid_price) {
+      columns->bid_price.push_back(
+          providers[pid.index()].ComputeBidPrice(provider_pref));
+    }
+    if (needs.estimated_delay) {
+      columns->estimated_delay.push_back(mc.snap.backlog_seconds +
+                                         query.units / mc.snap.capacity);
+    }
+    prefs->push_back(provider_pref);
+  }
+}
+
 MediationCore::Outcome MediationCore::Allocate(
     des::Simulator& sim, const Query& query,
     double saturation_backlog_seconds) {
   std::vector<ProviderAgent>& providers = *shared_.providers;
-  const std::vector<ProviderId> pq = matchmaker_.Match(query);
+  // AcceptAll's P_q is the member list itself — borrow it (no per-query
+  // copy); nothing below mutates the matchmaker.
+  const std::vector<ProviderId>& pq = matchmaker_.MatchAll();
   if (pq.empty()) {
     return Outcome::kNoCandidates;
   }
@@ -77,45 +207,22 @@ MediationCore::Outcome MediationCore::Allocate(
   // consumer's window, so the whole mediation holds its sequence lock.
   const des::SeqLockTable::Guard consumer_guard = LockConsumer(query.consumer);
 
-  // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
-  // intentions (synchronously here; runtime/async_mediator.h exercises the
-  // fork/waituntil/timeout version over the message substrate).
-  scratch_request_.candidates.clear();
-  scratch_provider_pref_.clear();
-  scratch_request_.query = &query;
-  scratch_request_.consumer_satisfaction = consumer.Satisfaction();
+  GatherCandidates(query, pq, now, &scratch_columns_, &scratch_provider_pref_);
 
-  for (ProviderId pid : pq) {
-    ProviderAgent& agent = providers[pid.index()];
-    const double consumer_pref =
-        shared_.population->ConsumerPreference(query.consumer, pid);
-    const double provider_pref =
-        shared_.population->ProviderPreference(pid, query.id);
-    CandidateProvider candidate;
-    candidate.id = pid;
-    candidate.consumer_intention = consumer.ComputeIntention(
-        consumer_pref, shared_.reputation->Get(pid));
-    candidate.provider_intention = agent.ComputeIntention(provider_pref, now);
-    candidate.provider_satisfaction = agent.SatisfactionOnIntentions();
-    candidate.utilization = agent.Utilization(now);
-    candidate.capacity = agent.capacity();
-    candidate.backlog_seconds = agent.BacklogSeconds();
-    candidate.bid_price = agent.ComputeBidPrice(provider_pref);
-    candidate.estimated_delay = agent.EstimateDelay(query.units);
-    scratch_request_.candidates.push_back(candidate);
-    scratch_provider_pref_.push_back(provider_pref);
-  }
-
-  // Lines 6-10: the method scores, ranks and selects; then the shared
-  // post-decision half notifies providers, characterizes the consumer and
-  // dispatches.
-  const AllocationDecision decision = method_->Allocate(scratch_request_);
-  return ApplyDecision(sim, query, scratch_request_, scratch_provider_pref_,
+  // Lines 6-10: the method scores, ranks and selects (over the contiguous
+  // columns); then the shared post-decision half notifies providers,
+  // characterizes the consumer and dispatches.
+  ColumnarRequest request;
+  request.query = &query;
+  request.consumer_satisfaction = consumer.Satisfaction();
+  request.candidates = &scratch_columns_;
+  const AllocationDecision decision = method_->AllocateColumns(request);
+  return ApplyDecision(sim, query, scratch_columns_, scratch_provider_pref_,
                        decision);
 }
 
 MediationCore::Outcome MediationCore::ApplyDecision(
-    des::Simulator& sim, const Query& query, const AllocationRequest& request,
+    des::Simulator& sim, const Query& query, const CandidateColumns& columns,
     const std::vector<double>& provider_prefs,
     const AllocationDecision& decision) {
   std::vector<ProviderAgent>& providers = *shared_.providers;
@@ -123,12 +230,12 @@ MediationCore::Outcome MediationCore::ApplyDecision(
 
   // A strict economic broker may select fewer (even zero) providers, but
   // never more than Algorithm 1's min(q.n, N).
-  SQLB_CHECK(decision.selected.size() <= SelectionCount(request),
+  SQLB_CHECK(decision.selected.size() <= SelectionCount(query, columns.size()),
              "allocation produced more selections than min(q.n, N)");
 
   // Inform every provider of the mediation result (Section 5.4): selected
   // providers record a performed query; the rest record a proposal only.
-  scratch_selected_mask_.assign(request.candidates.size(), 0);
+  scratch_selected_mask_.assign(columns.size(), 0);
   for (std::size_t idx : decision.selected) {
     SQLB_CHECK(idx < scratch_selected_mask_.size(),
                "selection index out of range");
@@ -136,21 +243,23 @@ MediationCore::Outcome MediationCore::ApplyDecision(
                "provider selected twice for one query");
     scratch_selected_mask_[idx] = 1;
   }
-  for (std::size_t i = 0; i < request.candidates.size(); ++i) {
-    ProviderAgent& agent = providers[request.candidates[i].id.index()];
-    agent.OnProposed(request.candidates[i].provider_intention,
-                     provider_prefs[i], scratch_selected_mask_[i] != 0);
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i + kPrefetchAhead < columns.size()) {
+      providers[columns.ids[i + kPrefetchAhead].index()]
+          .PrefetchProposalSlot();
+    }
+    ProviderAgent& agent = providers[columns.ids[i].index()];
+    agent.OnProposed(columns.provider_intention[i], provider_prefs[i],
+                     scratch_selected_mask_[i] != 0);
   }
 
-  // Consumer characterization: Eq. 1 over P_q, Eq. 2 over the selection.
-  scratch_ci_.clear();
-  for (const CandidateProvider& candidate : request.candidates) {
-    scratch_ci_.push_back(candidate.consumer_intention);
-  }
-  const double adequation = QueryAdequation(scratch_ci_);
+  // Consumer characterization: Eq. 1 over P_q, Eq. 2 over the selection
+  // (the consumer-intention column *is* the CI_q vector).
+  const double adequation = QueryAdequation(columns.consumer_intention);
   scratch_selected_ci_.clear();
   for (std::size_t idx : decision.selected) {
-    scratch_selected_ci_.push_back(scratch_ci_[idx]);
+    scratch_selected_ci_.push_back(columns.consumer_intention[idx]);
   }
   const double satisfaction =
       QuerySatisfaction(scratch_selected_ci_, query.n);
@@ -169,7 +278,7 @@ MediationCore::Outcome MediationCore::ApplyDecision(
                                        decision.selected.size())});
   ++allocated_queries_;
   for (std::size_t idx : decision.selected) {
-    ProviderAgent& agent = providers[request.candidates[idx].id.index()];
+    ProviderAgent& agent = providers[columns.ids[idx].index()];
     agent.Enqueue(sim, query,
                   [this](const Query& q, ProviderId performer, SimTime t) {
                     OnQueryCompleted(q, performer, t);
@@ -185,52 +294,38 @@ void MediationCore::AllocateBatch(des::Simulator& sim,
   outcomes->assign(queries.size(), Outcome::kNoCandidates);
   if (queries.empty()) return;
 
-  std::vector<ProviderAgent>& providers = *shared_.providers;
-  // One matchmaking pass per burst. The setup's matchmakers are
-  // query-independent over a shard's active members (AcceptAll), so the
-  // burst shares one P_q; with a term-index matchmaker a burst would need
-  // per-class sub-bursts — the intake only coalesces same-shard arrivals.
-  const std::vector<ProviderId> pq = matchmaker_.Match(queries.front());
+  // One matchmaking pass per burst, borrowed in place. The setup's
+  // matchmakers are query-independent over a shard's active members
+  // (AcceptAll), so the burst shares one P_q; with a term-index matchmaker
+  // a burst would need per-class sub-bursts — the intake only coalesces
+  // same-shard arrivals.
+  const std::vector<ProviderId>& pq = matchmaker_.MatchAll();
   if (pq.empty()) return;  // every outcome stays kNoCandidates
 
   const SimTime now = sim.Now();
 
-  // One characterization snapshot per burst: every query in the burst
-  // observes the same provider-side state (utilization, window
-  // satisfactions, backlog) as of `now` — intention gathering amortized
-  // over the burst.
-  const ProviderIntentionParams& intention_params =
-      shared_.config->provider.intention;
-  scratch_snapshot_.clear();
-  scratch_evaluators_.clear();
-  scratch_evaluators_.reserve(pq.size());
+  // Characterize the burst's shared candidate set once at `now` (cache
+  // revalidation; every query in the burst observes the same provider-side
+  // state — queries within one burst do not see each other's allocations).
+  // The cached backlog also feeds the burst-wide saturation pre-check,
+  // which stays side-effect free: the router may replay the whole burst
+  // elsewhere as if it never arrived here.
   double min_backlog = kSimTimeInfinity;
   for (ProviderId pid : pq) {
-    ProviderAgent& agent = providers[pid.index()];
-    CandidateSnapshot snap;
-    snap.id = pid;
-    snap.utilization = agent.Utilization(now);
-    snap.satisfaction_intentions = agent.SatisfactionOnIntentions();
-    snap.satisfaction_preferences = agent.SatisfactionOnPreferences();
-    snap.backlog_seconds = agent.BacklogSeconds();
-    snap.capacity = agent.capacity();
-    scratch_snapshot_.push_back(snap);
-    scratch_evaluators_.emplace_back(snap.utilization,
-                                     snap.satisfaction_preferences,
-                                     intention_params);
-    min_backlog = std::min(min_backlog, snap.backlog_seconds);
+    min_backlog = std::min(
+        min_backlog, Characterize(pid.index(), now).snap.backlog_seconds);
   }
-
-  // Saturation pre-check, burst-wide and side-effect free (the router may
-  // replay the whole burst elsewhere as if it never arrived here).
   if (saturation_backlog_seconds > 0.0 &&
       min_backlog > saturation_backlog_seconds) {
     outcomes->assign(queries.size(), Outcome::kSaturated);
     return;
   }
 
-  // Build every request of the burst against the shared snapshot.
+  // Build every request of the burst against the shared characterization.
+  // No provider state mutates until the post-decision loop below, so the
+  // per-query gathers all hit the cache entries the pass above refreshed.
   if (batch_requests_.size() < queries.size()) {
+    batch_columns_.resize(queries.size());
     batch_requests_.resize(queries.size());
     batch_provider_prefs_.resize(queries.size());
     batch_decisions_.resize(queries.size());
@@ -240,42 +335,16 @@ void MediationCore::AllocateBatch(des::Simulator& sim,
     ConsumerAgent& consumer = (*shared_.consumers)[query.consumer.index()];
     const des::SeqLockTable::Guard consumer_guard =
         LockConsumer(query.consumer);
-    AllocationRequest& request = batch_requests_[q];
-    std::vector<double>& prefs = batch_provider_prefs_[q];
-    request.query = &query;
-    request.consumer_satisfaction = consumer.Satisfaction();
-    request.candidates.clear();
-    request.candidates.reserve(scratch_snapshot_.size());
-    prefs.clear();
-    prefs.reserve(scratch_snapshot_.size());
-
-    for (std::size_t c = 0; c < scratch_snapshot_.size(); ++c) {
-      const CandidateSnapshot& snap = scratch_snapshot_[c];
-      const double consumer_pref =
-          shared_.population->ConsumerPreference(query.consumer, snap.id);
-      const double provider_pref =
-          shared_.population->ProviderPreference(snap.id, query.id);
-      CandidateProvider candidate;
-      candidate.id = snap.id;
-      candidate.consumer_intention = consumer.ComputeIntention(
-          consumer_pref, shared_.reputation->Get(snap.id));
-      candidate.provider_intention = scratch_evaluators_[c].Eval(provider_pref);
-      candidate.provider_satisfaction = snap.satisfaction_intentions;
-      candidate.utilization = snap.utilization;
-      candidate.capacity = snap.capacity;
-      candidate.backlog_seconds = snap.backlog_seconds;
-      candidate.bid_price =
-          providers[snap.id.index()].ComputeBidPrice(provider_pref);
-      candidate.estimated_delay =
-          snap.backlog_seconds + query.units / snap.capacity;
-      request.candidates.push_back(candidate);
-      prefs.push_back(provider_pref);
-    }
+    GatherCandidates(query, pq, now, &batch_columns_[q],
+                     &batch_provider_prefs_[q]);
+    batch_requests_[q].query = &query;
+    batch_requests_[q].consumer_satisfaction = consumer.Satisfaction();
+    batch_requests_[q].candidates = &batch_columns_[q];
   }
 
   // One scoring pass over the burst.
-  method_->AllocateBatch(batch_requests_.data(), queries.size(),
-                         batch_decisions_.data());
+  method_->AllocateBatchColumns(batch_requests_.data(), queries.size(),
+                                batch_decisions_.data());
 
   // Apply per query, in burst order (dispatch, windows, characterization —
   // identical to the tail of Allocate()). ApplyDecision writes the query's
@@ -284,7 +353,7 @@ void MediationCore::AllocateBatch(des::Simulator& sim,
     const des::SeqLockTable::Guard consumer_guard =
         LockConsumer(queries[q].consumer);
     (*outcomes)[q] =
-        ApplyDecision(sim, queries[q], batch_requests_[q],
+        ApplyDecision(sim, queries[q], batch_columns_[q],
                       batch_provider_prefs_[q], batch_decisions_[q]);
   }
 }

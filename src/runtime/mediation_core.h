@@ -37,6 +37,22 @@ namespace sqlb::runtime {
 /// population. Participant vectors are owned by the enclosing system and
 /// indexed globally; the core only ever touches its member providers (and
 /// the consumers that issue queries to it).
+///
+/// The gather step (lines 2-5) is event-proportional, not query-
+/// proportional: each member's query-independent characterization
+/// (utilization, window satisfactions, backlog, the Definition-8 evaluator
+/// with its state pow factors hoisted) lives in a persistent per-member
+/// cache stamped with the provider agent's event revisions
+/// (runtime/provider_agent.h), and a field is recomputed only when the
+/// state transition that could change it actually happened — OnProposed
+/// touching the performed subset, Enqueue/completion, utilization decay,
+/// depart/rejoin. Refreshes run the exact computations (and windowed-sum
+/// evictions) the uncached path would run at the same call sites, so a
+/// cached run is bit-identical to a cache-disabled one
+/// (SystemConfig::characterization_cache; pinned in
+/// tests/shard/cache_parity_test.cc). Both Allocate and AllocateBatch feed
+/// from this cache into struct-of-arrays candidate columns
+/// (core/allocation.h) that the scoring kernels walk contiguously.
 class MediationCore {
  public:
   /// Shared, system-owned state every core reads or sinks into. All
@@ -102,12 +118,12 @@ class MediationCore {
                    double saturation_backlog_seconds = 0.0);
 
   /// Runs Algorithm 1 once for a whole arrival burst: one matchmaking pass,
-  /// one saturation pre-check, one provider characterization snapshot
-  /// (utilization, window satisfactions, backlog), and one scoring pass
-  /// over the burst (AllocationMethod::AllocateBatch), instead of repeating
-  /// all of it per query. Per-query state (consumer intentions, provider
-  /// preferences, windows, dispatch) is still handled query by query, in
-  /// burst order.
+  /// one saturation pre-check, one provider characterization pass (a
+  /// revalidation of the event-driven cache at the burst time), and one
+  /// scoring pass over the burst (AllocationMethod::AllocateBatchColumns),
+  /// instead of repeating all of it per query. Per-query state (consumer
+  /// intentions, provider preferences, windows, dispatch) is still handled
+  /// query by query, in burst order.
   ///
   /// Semantics: every query in the burst observes the provider state as of
   /// `sim.Now()` at the call — queries within one burst do not see each
@@ -191,14 +207,11 @@ class MediationCore {
   std::uint64_t allocated_queries() const { return allocated_queries_; }
   std::uint64_t pending_responses() const { return pending_.size(); }
 
- private:
-  struct PendingResponse {
-    SimTime issue_time;
-    std::uint32_t outstanding;
-  };
+  // --- Event-driven characterization cache ---------------------------------
 
-  /// Burst-shared provider snapshot: the per-candidate state AllocateBatch
-  /// reads once per burst instead of once per query.
+  /// Per-member provider snapshot: every query-independent field of the
+  /// candidate gather, plus the Definition-8 evaluator with the
+  /// provider-state pow factors hoisted.
   struct CandidateSnapshot {
     ProviderId id;
     double utilization = 0.0;
@@ -207,6 +220,72 @@ class MediationCore {
     double backlog_seconds = 0.0;
     double capacity = 1.0;
   };
+
+  /// One member's cached characterization, stamped with the provider-agent
+  /// revisions it was computed from. A field refreshes exactly when its
+  /// stamp no longer matches (or, for the time-decaying utilization, when
+  /// the agent's windowed sum would evict — the exact decay predicate), so
+  /// every refresh recomputes precisely what the uncached path would have
+  /// recomputed and the cached values stay bit-identical to recomputation.
+  struct MemberCharacterization {
+    /// Coarse validity: agent's characterization_revision at refresh. The
+    /// hit path compares only this (plus the decay deadline below), so a
+    /// hit costs one agent load and one cache-entry line.
+    std::uint64_t char_revision = kNeverCharacterized;
+    /// Oldest utilization-window event at refresh (+inf when none):
+    /// `decay_front_time <= now - window` is exactly the agent's eviction
+    /// predicate while char_revision holds, evaluated without touching the
+    /// agent's deque.
+    SimTime decay_front_time = 0.0;
+    CandidateSnapshot snap;
+    ProviderIntentionEvaluator evaluator;
+    // Fine stamps: the refresh path recomputes only what actually moved.
+    std::uint64_t load_revision = kNeverCharacterized;
+    std::uint64_t utilization_revision = kNeverCharacterized;
+    std::uint64_t satisfaction_revision = kNeverCharacterized;
+  };
+
+  /// Cache traffic counters (tests and the micro bench read these).
+  struct CacheStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t utilization_refreshes = 0;
+    std::uint64_t backlog_refreshes = 0;
+    std::uint64_t satisfaction_refreshes = 0;
+    std::uint64_t evaluator_rebuilds = 0;
+  };
+
+ public:
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  bool cache_enabled() const { return cache_enabled_; }
+
+ private:
+  static constexpr std::uint64_t kNeverCharacterized = ~0ULL;
+
+  struct PendingResponse {
+    SimTime issue_time;
+    std::uint32_t outstanding;
+  };
+
+  /// Returns `provider_index`'s characterization, valid as of `now`. The
+  /// inline fast path is the steady-state hit (the coarse stamp matches
+  /// and no utilization decay is due): two compares, no refresh. Misses
+  /// fall through to RefreshCharacterization, which revalidates each
+  /// snapshot field against the agent's fine event stamps and refreshes
+  /// only the stale ones (all of them when the cache is disabled — the
+  /// recompute-per-query twin).
+  const MemberCharacterization& Characterize(std::uint32_t provider_index,
+                                             SimTime now) {
+    const ProviderAgent& agent = (*shared_.providers)[provider_index];
+    const MemberCharacterization& mc = member_cache_[provider_index];
+    if (cache_enabled_ &&
+        mc.char_revision == agent.characterization_revision() &&
+        !(mc.decay_front_time <= now - utilization_window_width_)) {
+      return mc;
+    }
+    return RefreshCharacterization(provider_index, now);
+  }
+  const MemberCharacterization& RefreshCharacterization(
+      std::uint32_t provider_index, SimTime now);
 
   void OnQueryCompleted(const Query& query, ProviderId performer,
                         SimTime completion_time);
@@ -218,17 +297,31 @@ class MediationCore {
                ? shared_.consumer_locks->Acquire(id.index())
                : des::SeqLockTable::Guard();
   }
+  /// Fills `columns`/`prefs` with the per-query candidate gather for
+  /// `query` over `pq` at `now`, reading the query-independent fields from
+  /// the characterization cache. The caller holds the consumer's lock.
+  void GatherCandidates(const Query& query, const std::vector<ProviderId>& pq,
+                        SimTime now, CandidateColumns* columns,
+                        std::vector<double>* prefs);
+
   /// The post-decision half of Algorithm 1 (provider notification, consumer
   /// characterization, dispatch), shared by Allocate and AllocateBatch.
-  /// `provider_prefs` is aligned with `request.candidates`.
+  /// `provider_prefs` is aligned with the candidate columns.
   Outcome ApplyDecision(des::Simulator& sim, const Query& query,
-                        const AllocationRequest& request,
+                        const CandidateColumns& columns,
                         const std::vector<double>& provider_prefs,
                         const AllocationDecision& decision);
 
   Shared shared_;
   AllocationMethod* method_;
   AcceptAllMatchmaker matchmaker_;
+  bool cache_enabled_ = true;
+  /// config->provider.utilization_window, hoisted for the decay check of
+  /// the Characterize fast path.
+  SimTime utilization_window_width_ = 60.0;
+  /// The method's column mask, read once at construction: the gather loop
+  /// materializes only the optional columns the method's scoring reads.
+  CandidateColumnNeeds column_needs_;
 
   /// Global indices of still-active member providers (swap-removed on
   /// departure, mirroring the mono-mediator's active list).
@@ -248,25 +341,24 @@ class MediationCore {
   std::vector<SimTime> member_since_;
   SimTime last_check_time_ = 0.0;
 
+  /// The characterization cache, indexed by global provider index (one
+  /// entry per provider; only member indices are ever touched).
+  std::vector<MemberCharacterization> member_cache_;
+  CacheStats cache_stats_;
+
   // Scratch buffers reused across allocations (the hot path). All of them
   // are pre-sized to the member-provider count at construction so the
   // first allocations do not pay growth reallocations.
-  AllocationRequest scratch_request_;
+  CandidateColumns scratch_columns_;
   std::vector<double> scratch_provider_pref_;
-  /// Owned by ApplyDecision (rebuilt per decision from the request).
-  std::vector<double> scratch_ci_;
   std::vector<double> scratch_selected_ci_;
   std::vector<char> scratch_selected_mask_;
 
-  // Burst scratch for AllocateBatch: the shared provider snapshot plus one
-  // request/decision/preference-row arena slot per burst query (slots are
-  // reused across bursts; only burst sizes beyond the high-water mark
-  // allocate).
-  std::vector<CandidateSnapshot> scratch_snapshot_;
-  /// Definition-8 evaluators with the provider-state pow factors hoisted,
-  /// aligned with scratch_snapshot_ (one per candidate per burst).
-  std::vector<ProviderIntentionEvaluator> scratch_evaluators_;
-  std::vector<AllocationRequest> batch_requests_;
+  // Burst scratch for AllocateBatch: one candidate-column/preference-row/
+  // decision arena slot per burst query (slots are reused across bursts;
+  // only burst sizes beyond the high-water mark allocate).
+  std::vector<CandidateColumns> batch_columns_;
+  std::vector<ColumnarRequest> batch_requests_;
   std::vector<std::vector<double>> batch_provider_prefs_;
   std::vector<AllocationDecision> batch_decisions_;
 };

@@ -20,14 +20,22 @@ MediationSystem::MediationSystem(const SystemConfig& config,
   core_.emplace(engine_.CoreSharedState(), method_, std::move(members));
 }
 
-bool MediationSystem::OnProviderChurn(des::Simulator& sim,
-                                      const ProviderChurnEvent& event) {
+ChurnOutcome MediationSystem::OnProviderChurn(des::Simulator& sim,
+                                              const ProviderChurnEvent& event) {
   if (event.join) {
-    if (core_->IsMember(event.provider_index)) return false;
+    if (core_->IsMember(event.provider_index)) return ChurnOutcome::kNoOp;
+    // A single core cannot mis-place a draining provider, but the drain
+    // rule must match the sharded tier's exactly or the M = 1 parity pin
+    // would see joins at different times.
+    if (!engine_.providers()[event.provider_index].Idle()) {
+      return ChurnOutcome::kDeferred;
+    }
     core_->AdmitMember(event.provider_index, sim.Now());
-    return true;
+    return ChurnOutcome::kApplied;
   }
-  return core_->DepartMemberForChurn(event.provider_index, sim.Now());
+  return core_->DepartMemberForChurn(event.provider_index, sim.Now())
+             ? ChurnOutcome::kApplied
+             : ChurnOutcome::kNoOp;
 }
 
 const ProviderAgent& MediationSystem::provider_agent(ProviderId id) const {

@@ -85,8 +85,8 @@ class MediationSystem : private ScenarioEngine::Driver {
   // the one core.
   void OnQueryArrival(des::Simulator& sim, const Query& query) override;
   void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
-  bool OnProviderChurn(des::Simulator& sim,
-                       const ProviderChurnEvent& event) override;
+  ChurnOutcome OnProviderChurn(des::Simulator& sim,
+                               const ProviderChurnEvent& event) override;
   void VisitActiveProviders(
       const std::function<void(ProviderAgent&)>& fn) override;
   std::size_t ActiveProviderCount() const override;

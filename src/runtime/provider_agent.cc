@@ -28,8 +28,13 @@ double ProviderAgent::EstimateDelay(double units) const {
 }
 
 double ProviderAgent::Utilization(SimTime now) {
-  return allocated_units_.SumAt(now) /
-         (profile_.capacity * allocated_units_.width());
+  // Any eviction this read performs invalidates cached characterizations —
+  // fold it into the coarse stamp so the cache sees reads-with-evictions
+  // from every path (probes, gossip, departure checks), not just events.
+  const std::uint64_t before = allocated_units_.revision();
+  const double sum = allocated_units_.SumAt(now);
+  if (allocated_units_.revision() != before) ++char_revision_;
+  return sum / (profile_.capacity * allocated_units_.width());
 }
 
 double ProviderAgent::CommittedUtilization(SimTime now) {
@@ -39,7 +44,9 @@ double ProviderAgent::CommittedUtilization(SimTime now) {
 
 void ProviderAgent::OnProposed(double shown_intention, double preference,
                                bool performed) {
+  const std::uint64_t before = window_.satisfaction_revision();
   window_.Record(shown_intention, preference, performed);
+  if (window_.satisfaction_revision() != before) ++char_revision_;
 }
 
 void ProviderAgent::Enqueue(des::Simulator& sim, const Query& query,
@@ -48,6 +55,8 @@ void ProviderAgent::Enqueue(des::Simulator& sim, const Query& query,
   allocated_units_.Add(sim.Now(), query.units);
   total_allocated_units_ += query.units;
   backlog_units_ += query.units;
+  ++load_revision_;
+  ++char_revision_;
   queue_.push_back(PendingQuery{query, std::move(on_completion)});
   if (!in_service_) StartNextService(sim);
 }
@@ -61,6 +70,8 @@ void ProviderAgent::StartNextService(des::Simulator& sim) {
     queue_.pop_front();
     backlog_units_ -= done.query.units;
     if (backlog_units_ < 1e-9) backlog_units_ = 0.0;
+    ++load_revision_;
+    ++char_revision_;
     in_service_ = false;
     if (!queue_.empty()) StartNextService(s);
     if (done.on_completion) {

@@ -92,6 +92,52 @@ class ProviderAgent {
   double backlog_units() const { return backlog_units_; }
   std::size_t queue_length() const { return queue_.size(); }
 
+  // --- Event stamps for the characterization cache -------------------------
+  //
+  // MediationCore keeps a per-member candidate snapshot keyed on these
+  // monotonic revisions, so Algorithm 1's gather step recomputes a field
+  // only when an event could have changed it (see
+  // runtime/mediation_core.h). Every stamp is bumped by the state
+  // transition that invalidates the corresponding field — never by reads.
+
+  /// Changes exactly when queue/backlog state changes: Enqueue, service
+  /// completion, Depart/Rejoin.
+  std::uint64_t load_revision() const { return load_revision_; }
+  /// Changes whenever Utilization()'s windowed sum changed value: work was
+  /// allocated, or a past allocation expired out of the measurement window
+  /// (bumped by whichever call evicted it — including probe/departure-check
+  /// reads outside the mediation path).
+  std::uint64_t utilization_revision() const {
+    return allocated_units_.revision();
+  }
+  /// True when evaluating Utilization(now) would evict expired allocations
+  /// — i.e. the utilization has decayed since the last read, even though no
+  /// new event was recorded. The exact eviction predicate of the underlying
+  /// WindowedSum, so a cached utilization revalidated against
+  /// (utilization_revision, WouldExpireAt) is bit-identical to recomputing.
+  bool UtilizationWouldDecay(SimTime now) const {
+    return allocated_units_.WouldExpireAt(now);
+  }
+  /// Changes exactly when either channel's Satisfaction() can change (the
+  /// performed-subset aggregates moved; plain proposals leave it alone).
+  std::uint64_t satisfaction_revision() const {
+    return window_.satisfaction_revision();
+  }
+  /// Coarse summary stamp: changes whenever ANY of the three fine revisions
+  /// above changes — one load decides "everything cached about this
+  /// provider is still exact" (the utilization decay deadline is checked
+  /// separately via UtilizationFrontEventTime). Maintained by the mutating
+  /// methods themselves, so it also covers evictions triggered by reads on
+  /// other paths (probes, gossip, departure checks).
+  std::uint64_t characterization_revision() const { return char_revision_; }
+  /// Timestamp of the oldest allocation still inside the utilization
+  /// window (+inf when none): while characterization_revision() holds,
+  /// `UtilizationFrontEventTime() <= now - utilization window` is exactly
+  /// the decay predicate UtilizationWouldDecay(now) evaluates.
+  SimTime UtilizationFrontEventTime() const {
+    return allocated_units_.FrontEventTime();
+  }
+
   // --- Query lifecycle -----------------------------------------------------
 
   /// Records a proposed query in the characterization window (every query
@@ -99,6 +145,20 @@ class ProviderAgent {
   /// Section 5.4: non-selected providers are informed of the mediation
   /// result).
   void OnProposed(double shown_intention, double preference, bool performed);
+
+  /// Prefetch hint ahead of OnProposed during the post-decision notify
+  /// sweep over a large P_q (each provider's window ring is its own heap
+  /// block; without the hint every Record opens with a cache miss).
+  void PrefetchProposalSlot() const { window_.PrefetchRecordSlot(); }
+
+  /// Prefetch hint ahead of the characterization-cache hit check (the
+  /// coarse stamp lives deep inside the agent object; the gather sweep
+  /// pulls it a few candidates early).
+  void PrefetchCharacterizationStamp() const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&char_revision_, 0, 1);
+#endif
+  }
 
   /// Accepts an allocated query: joins the FIFO queue; service takes
   /// units / capacity seconds once started. `on_completion` fires at
@@ -132,11 +192,19 @@ class ProviderAgent {
   bool active() const { return active_; }
   /// Marks the provider as departed. Outstanding queued work still
   /// completes (consumers get their answers) but nothing new arrives.
-  void Depart() { active_ = false; }
+  void Depart() {
+    active_ = false;
+    ++load_revision_;
+    ++char_revision_;
+  }
   /// Re-enters a departed (or held-out) provider: it may be matched again.
   /// Characterization windows and utilization history persist — an
   /// autonomous provider returning to the market keeps its memory.
-  void Rejoin() { active_ = true; }
+  void Rejoin() {
+    active_ = true;
+    ++load_revision_;
+    ++char_revision_;
+  }
 
   /// True when no query is queued or in service — the provider has no
   /// pending completion event on any simulator, so its state can be handed
@@ -163,6 +231,8 @@ class ProviderAgent {
   bool in_service_ = false;
   double backlog_units_ = 0.0;
   double total_allocated_units_ = 0.0;
+  std::uint64_t load_revision_ = 0;
+  std::uint64_t char_revision_ = 0;
   bool active_ = true;
 };
 

@@ -63,6 +63,12 @@ struct SystemConfig {
   /// = the classic fixed population. Providers whose first event is a join
   /// start held out of the initial membership.
   ChurnSchedule provider_churn;
+  /// Retry cadence for deferred churn joins: a scheduled rejoin whose
+  /// provider still drains in-flight work from its previous membership is
+  /// re-attempted this often until the drain completes (the membership
+  /// analogue of the re-partitioning handoff's seal -> drain -> transfer
+  /// rule; see ScenarioEngine::Driver::OnProviderChurn).
+  SimTime churn_retry_interval = 5.0;
 
   /// When true, consumers push completion feedback into the reputation
   /// registry (ignored by the paper's upsilon = 1 setup; used by the
@@ -72,6 +78,16 @@ struct SystemConfig {
   std::uint64_t seed = 42;
   /// Collect time series (disable for micro-benchmarks).
   bool record_series = true;
+
+  /// Event-driven provider characterization cache (runtime/mediation_core.h):
+  /// Algorithm 1's gather step revalidates each member's candidate snapshot
+  /// against the provider's event stamps instead of recomputing it per
+  /// query. Results are bit-identical either way (the cache refreshes with
+  /// the exact state transitions and decay predicates that change each
+  /// field — pinned in tests/shard/cache_parity_test.cc); disable only to
+  /// measure the cache itself (bench/micro_allocation.cc) or to run the
+  /// parity twin.
+  bool characterization_cache = true;
 };
 
 /// Everything a run produces.

@@ -16,14 +16,14 @@ void ScenarioEngine::Driver::Execute(des::Simulator& sim, SimTime duration) {
   sim.RunAll();
 }
 
-bool ScenarioEngine::Driver::OnProviderChurn(des::Simulator& sim,
-                                             const ProviderChurnEvent& event) {
+ChurnOutcome ScenarioEngine::Driver::OnProviderChurn(
+    des::Simulator& sim, const ProviderChurnEvent& event) {
   (void)sim;
   (void)event;
   SQLB_CHECK(false,
              "this driver does not implement provider churn; clear "
              "SystemConfig::provider_churn or override OnProviderChurn");
-  return false;
+  return ChurnOutcome::kNoOp;
 }
 
 ScenarioEngine::ScenarioEngine(const SystemConfig& config)
@@ -60,6 +60,12 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
   std::stable_sort(churn_events_.begin(), churn_events_.end(),
                    [](const ProviderChurnEvent& a,
                       const ProviderChurnEvent& b) { return a.time < b.time; });
+
+  // A deferred rejoin is retried at now + churn_retry_interval; a zero (or
+  // negative) interval would re-enqueue the retry at the same timestamp
+  // forever and the simulation would never advance past it.
+  SQLB_CHECK(churn_events_.empty() || config_.churn_retry_interval > 0.0,
+             "churn_retry_interval must be positive");
 
   result_.duration = config_.duration;
   result_.initial_providers = providers_.size() - initial_holdouts_.size();
@@ -132,13 +138,15 @@ RunResult ScenarioEngine::Run(Driver& driver) {
   // execution (membership mutates only over quiescent, merged lanes).
   // Events at one time fire in schedule order (stable sort + ascending
   // event ids).
+  if (!churn_events_.empty()) {
+    join_waiting_.assign(providers_.size(), 0);
+  }
   for (const ProviderChurnEvent& event : churn_events_) {
     if (event.time > config_.duration) continue;  // beyond the horizon
     sim_.ScheduleAt(event.time,
-                    [this, &driver, event](des::Simulator& sim) {
-                      if (driver.OnProviderChurn(sim, event) && event.join) {
-                        ++result_.provider_joins;
-                      }
+                    [this, &driver, event, barrier](des::Simulator& sim) {
+                      FireChurnEvent(sim, driver, event, barrier,
+                                     /*retry=*/false);
                     },
                     barrier);
   }
@@ -148,6 +156,48 @@ RunResult ScenarioEngine::Run(Driver& driver) {
   result_.remaining_providers = driver.ActiveProviderCount();
   result_.remaining_consumers = active_consumers_.size();
   return std::move(result_);
+}
+
+void ScenarioEngine::FireChurnEvent(des::Simulator& sim, Driver& driver,
+                                    const ProviderChurnEvent& event,
+                                    bool barrier, bool retry) {
+  const std::uint32_t p = event.provider_index;
+  if (retry && !join_waiting_[p]) {
+    return;  // a scheduled leave annulled this pending join meanwhile
+  }
+  if (!event.join && join_waiting_[p]) {
+    // The provider never managed to rejoin (still draining) and now leaves
+    // again: the join/leave pair annihilates. The live retry event finds
+    // the flag cleared and dies.
+    join_waiting_[p] = 0;
+    return;
+  }
+
+  switch (driver.OnProviderChurn(sim, event)) {
+    case ChurnOutcome::kApplied:
+      join_waiting_[p] = 0;
+      if (event.join) ++result_.provider_joins;
+      break;
+    case ChurnOutcome::kNoOp:
+      join_waiting_[p] = 0;
+      break;
+    case ChurnOutcome::kDeferred: {
+      SQLB_CHECK(event.join, "only joins may be deferred");
+      join_waiting_[p] = 1;
+      const SimTime next = sim.Now() + config_.churn_retry_interval;
+      if (next <= config_.duration) {
+        sim.ScheduleAt(next,
+                       [this, &driver, event, barrier](des::Simulator& s) {
+                         FireChurnEvent(s, driver, event, barrier,
+                                        /*retry=*/true);
+                       },
+                       barrier);
+      }
+      // Past the horizon: the provider never drained in time — it simply
+      // does not return this run (deterministic in every execution mode).
+      break;
+    }
+  }
 }
 
 void ScenarioEngine::OnArrival(des::Simulator& sim, Driver& driver) {

@@ -37,6 +37,24 @@
 
 namespace sqlb::runtime {
 
+/// What one scheduled churn event did when the driver was asked to apply it.
+enum class ChurnOutcome {
+  /// The membership change happened (join admitted / leave departed).
+  kApplied,
+  /// Nothing to do: a leave for a provider the departure rules already
+  /// removed, or a join for one that is still a member.
+  kNoOp,
+  /// A join for a provider still draining in-flight work from its previous
+  /// membership. Admitting it now could place it on a shard other than the
+  /// one whose lane its service chain lives on — the exact cross-lane state
+  /// sharing the strict-parity contract forbids (and the seal -> drain ->
+  /// transfer handoff protocol exists to prevent). The engine re-fires the
+  /// event every SystemConfig::churn_retry_interval until the drain
+  /// completes (or a later scheduled leave annuls the join). Applies
+  /// identically in the mono tier, which keeps M = 1 parity exact.
+  kDeferred,
+};
+
 /// Owns one scenario's shared state and runs its event loop over a Driver.
 class ScenarioEngine {
  public:
@@ -58,14 +76,15 @@ class ScenarioEngine {
 
     /// One scheduled churn event (SystemConfig::provider_churn). The driver
     /// admits the provider to (or force-departs it from) whichever core
-    /// should own it, and returns whether the event applied — a leave for a
-    /// provider the departure rules already removed, or a join for one that
-    /// is still a member, is a no-op and returns false. Fired at an epoch
-    /// barrier under parallel execution: membership changes only while the
-    /// lanes are quiescent and merged. The default refuses churn so drivers
-    /// that predate it fail loudly instead of dropping events.
-    virtual bool OnProviderChurn(des::Simulator& sim,
-                                 const ProviderChurnEvent& event);
+    /// should own it and reports what happened (ChurnOutcome): a no-op for
+    /// redundant events, or a deferral for a join whose provider has not
+    /// drained its previous life's queue yet — the engine retries those.
+    /// Fired at an epoch barrier under parallel execution: membership
+    /// changes only while the lanes are quiescent and merged. The default
+    /// refuses churn so drivers that predate it fail loudly instead of
+    /// dropping events.
+    virtual ChurnOutcome OnProviderChurn(des::Simulator& sim,
+                                         const ProviderChurnEvent& event);
 
     /// Visits every still-active provider agent in the tier's metric
     /// sampling order (the mono core's active list; shard order, then each
@@ -163,6 +182,12 @@ class ScenarioEngine {
   void OnArrival(des::Simulator& sim, Driver& driver);
   void SampleMetrics(des::Simulator& sim, Driver& driver);
   void RunDepartureChecks(des::Simulator& sim, Driver& driver);
+  /// Applies one churn event (original firing or deferred retry): counts
+  /// applied joins, annuls a deferred join when its leave overtakes it, and
+  /// re-schedules deferred joins every churn_retry_interval.
+  void FireChurnEvent(des::Simulator& sim, Driver& driver,
+                      const ProviderChurnEvent& event, bool barrier,
+                      bool retry);
   double ArrivalRateAt(SimTime t) const;
 
   SystemConfig config_;
@@ -184,6 +209,10 @@ class ScenarioEngine {
   std::vector<bool> held_out_;
   /// The churn script in firing order (sorted copy of the config's events).
   std::vector<ProviderChurnEvent> churn_events_;
+  /// `join_waiting_[p]` — a scheduled join for p was deferred (its provider
+  /// is still draining) and its retry event is live. A scheduled leave for
+  /// p annuls the pending join instead of firing.
+  std::vector<std::uint8_t> join_waiting_;
 
   ReputationRegistry reputation_;
 

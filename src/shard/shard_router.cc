@@ -100,11 +100,28 @@ std::vector<std::size_t> ShardRouter::RebalancedVnodes(
   // Multiplicative correction toward equal counts: a shard owning twice the
   // mean halves its keyspace, a depleted shard grows (a zero-count shard is
   // treated as holding half a provider so the correction stays finite).
+  // The per-tick step cap keeps one correction from jumping a shard's
+  // keyspace by more than rebalance_max_vnode_step in either direction —
+  // the uncapped jump after a mass departure overshoots the target
+  // ownership and then oscillates back over the next ticks, each swing
+  // moving (and re-moving) providers.
+  const double step = config_.rebalance_max_vnode_step;
   std::vector<std::size_t> corrected(m);
   for (std::size_t s = 0; s < m; ++s) {
     const double count = std::max(0.5, static_cast<double>(active_counts[s]));
     const double scaled = static_cast<double>(vnodes_[s]) * mean / count;
-    const auto rounded = static_cast<std::size_t>(std::llround(scaled));
+    auto rounded = static_cast<std::size_t>(std::llround(scaled));
+    if (step > 1.0) {
+      const auto current = vnodes_[s];
+      const auto lo = std::min(
+          current - std::min<std::size_t>(current, 1),
+          static_cast<std::size_t>(std::llround(
+              static_cast<double>(current) / step)));
+      const auto hi = std::max(
+          current + 1, static_cast<std::size_t>(std::llround(
+                           static_cast<double>(current) * step)));
+      rounded = std::clamp(rounded, lo, hi);
+    }
     corrected[s] = std::clamp<std::size_t>(rounded, 1,
                                            config_.max_virtual_nodes);
   }

@@ -80,6 +80,24 @@ struct RouterConfig {
   /// 1: a shard never leaves the partition ring entirely on its own —
   /// SetShardVnodes may still assign 0 explicitly).
   std::size_t max_virtual_nodes = 1024;
+  /// Rebalance damping, half 1 (the runtime system applies it): the
+  /// imbalance must persist this many consecutive rebalance ticks before a
+  /// reweigh fires, and the streak restarts after every applied reweigh —
+  /// in-flight seal/drain/transfer handoffs get at least one full interval
+  /// to land before the next correction. 1 = reweigh immediately (the
+  /// pre-damping behaviour).
+  std::size_t rebalance_hysteresis_ticks = 2;
+  /// Rebalance damping, half 2 (RebalancedVnodes applies it): one reweigh
+  /// may scale a shard's vnode count by at most this factor in either
+  /// direction (always by at least +-1 so progress never stalls). Bounds
+  /// the keyspace jump of the multiplicative correction after a mass
+  /// departure, which is what used to overshoot and then oscillate: a
+  /// gutted shard must *steal* keyspace where the survivors actually sit,
+  /// and doubling its vnodes already claims ~an eighth of an 8-shard
+  /// ring's survivor mass — the uncapped correction (mean over ~0 members)
+  /// claimed several times that and then had to hand most of it back.
+  /// Values <= 1 disable the cap.
+  double rebalance_max_vnode_step = 2.0;
 };
 
 class ShardRouter {

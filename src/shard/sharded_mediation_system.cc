@@ -106,6 +106,12 @@ ShardedMediationSystem::ShardedMediationSystem(
 
   const std::size_t num_shards = config_.router.num_shards;
   parallel_ = config_.worker_threads > 0;
+  batching_enabled_ =
+      config_.batch_window > 0.0 || config_.adaptive_batch.enabled;
+  if (config_.adaptive_batch.enabled) {
+    window_controllers_.assign(
+        num_shards, runtime::BatchWindowController(config_.adaptive_batch));
+  }
   if (parallel_) {
     lane_sims_.reserve(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
@@ -118,6 +124,8 @@ ShardedMediationSystem::ShardedMediationSystem(
     }
   }
   batch_buffers_.resize(num_shards);
+  flush_counts_.assign(num_shards, 0);
+  batched_query_counts_.assign(num_shards, 0);
   flush_due_.assign(num_shards, -kSimTimeInfinity);
   flush_scratch_.resize(num_shards);
   outcome_scratch_.resize(num_shards);
@@ -187,6 +195,10 @@ ShardedRunResult ShardedMediationSystem::Run() {
   result_.stale_fallbacks = router_.stale_fallbacks();
   result_.ring_epoch = router_.ring_epoch();
   result_.epoch_lagged_reports = router_.epoch_lagged_reports();
+  for (std::size_t s = 0; s < flush_counts_.size(); ++s) {
+    result_.batch_flushes += flush_counts_[s];
+    result_.batched_queries += batched_query_counts_[s];
+  }
   if (consumer_locks_ != nullptr) {
     result_.consumer_lock_contention = consumer_locks_->contended_acquires();
   }
@@ -228,8 +240,13 @@ void ShardedMediationSystem::OnQueryArrival(des::Simulator& sim,
   const SimTime now = sim.Now();
   const std::uint32_t shard = router_.Route(query, now);
   ++result_.shards[shard].routed;
+  if (!window_controllers_.empty()) {
+    // Adaptive intake: feed the shard's arrival-rate EWMA (coordinator
+    // event — deterministic under any thread count).
+    window_controllers_[shard].OnArrival(now);
+  }
 
-  if (!parallel_ && config_.batch_window <= 0.0) {
+  if (!parallel_ && !batching_enabled_) {
     // Classic path: mediate inline, inside the arrival event.
     RouteWalk(sim, query, shard, 0);
     return;
@@ -294,13 +311,27 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
   ++engine_.result().queries_infeasible;
 }
 
+double ShardedMediationSystem::BatchWindowFor(std::uint32_t shard) const {
+  return window_controllers_.empty() ? config_.batch_window
+                                     : window_controllers_[shard].Window();
+}
+
+void ShardedMediationSystem::SampleShardBacklogs() {
+  // Barrier context (gossip task or the dedicated sampling task): the lanes
+  // are quiescent, so reading the member providers' queue state from the
+  // coordinator is race-free and deterministic.
+  for (std::size_t s = 0; s < cores_.size(); ++s) {
+    window_controllers_[s].OnBacklogSample(cores_[s]->MeanBacklogSeconds());
+  }
+}
+
 void ShardedMediationSystem::EnqueueForMediation(const Query& query,
                                                  std::uint32_t shard,
                                                  SimTime now) {
   // Lane intake: the shard's own queue under parallel execution, the
   // shared kernel otherwise (serial batching).
   des::Simulator& lane = parallel_ ? *lane_sims_[shard] : engine_.sim();
-  if (config_.batch_window > 0.0) {
+  if (batching_enabled_) {
     std::vector<Query>& buffer = batch_buffers_[shard];
     buffer.push_back(query);
     // Arm a flush when no pending flush covers this arrival: either the
@@ -309,7 +340,7 @@ void ShardedMediationSystem::EnqueueForMediation(const Query& query,
     // lanes, so a flush can be due but not yet executed — it will only
     // consume the arrivals that preceded it).
     if (buffer.size() == 1 || now >= flush_due_[shard]) {
-      flush_due_[shard] = now + config_.batch_window;
+      flush_due_[shard] = now + BatchWindowFor(shard);
       lane.ScheduleAt(flush_due_[shard],
                       [this, shard](des::Simulator& lane_sim) {
                         FlushBatch(lane_sim, shard);
@@ -346,6 +377,10 @@ void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
   if (covered == 0) return;
   burst.assign(buffer.begin(), buffer.begin() + covered);
   buffer.erase(buffer.begin(), buffer.begin() + covered);
+  // Per-shard counters: FlushBatch runs on the shard's lane thread under
+  // parallel execution, so the cross-shard totals are summed at Run() end.
+  ++flush_counts_[shard];
+  batched_query_counts_[shard] += burst.size();
 
   std::size_t attempts = 1;
   if (!parallel_ && config_.rerouting_enabled && cores_.size() > 1) {
@@ -404,6 +439,16 @@ void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
                        config_.base.duration,
                        [this](des::Simulator& s) { SendLoadReports(s); },
                        /*barrier=*/parallel_);
+  } else if (!window_controllers_.empty()) {
+    // No gossip to piggyback on: the adaptive controllers still need their
+    // queue-debt signal, on the same cadence and with the same barrier
+    // semantics the load reports would have had.
+    backlog_sample_task_.Start(sim, config_.gossip_interval,
+                               config_.gossip_interval, config_.base.duration,
+                               [this](des::Simulator&) {
+                                 SampleShardBacklogs();
+                               },
+                               /*barrier=*/parallel_);
   }
   // The re-partitioning schedule: a kRebalance barrier, so under parallel
   // execution the lanes are quiescent and merged — and the merge hook knows
@@ -419,6 +464,9 @@ void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
 
 void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   const SimTime now = sim.Now();
+  if (!window_controllers_.empty()) {
+    SampleShardBacklogs();
+  }
   for (std::uint32_t s = 0; s < cores_.size(); ++s) {
     LoadReport report;
     report.shard = s;
@@ -477,7 +525,7 @@ void ShardedMediationSystem::RunProviderDepartureChecks(SimTime now,
   }
 }
 
-bool ShardedMediationSystem::OnProviderChurn(
+runtime::ChurnOutcome ShardedMediationSystem::OnProviderChurn(
     des::Simulator& sim, const runtime::ProviderChurnEvent& event) {
   // Fires at an epoch barrier under parallel execution: admitting a member
   // touches no lane-pending events, and a leave behaves exactly like a
@@ -486,7 +534,18 @@ bool ShardedMediationSystem::OnProviderChurn(
   const SimTime now = sim.Now();
   if (event.join) {
     for (const auto& core : cores_) {
-      if (core->IsMember(event.provider_index)) return false;
+      if (core->IsMember(event.provider_index)) {
+        return runtime::ChurnOutcome::kNoOp;
+      }
+    }
+    // A rejoining provider must have drained its previous life's queue
+    // first: its in-flight service chain lives on the lane of the shard
+    // that enqueued it, and the current ring may home the provider
+    // elsewhere — admitting it there would split its state across two
+    // lanes, exactly what the handoff protocol's drain rule forbids. The
+    // engine retries the join until the drain completes.
+    if (!engine_.providers()[event.provider_index].Idle()) {
+      return runtime::ChurnOutcome::kDeferred;
     }
     // A handoff sealed for a previous membership incarnation must not
     // attach to this one (the provider may be rejoining the very shard the
@@ -497,16 +556,17 @@ bool ShardedMediationSystem::OnProviderChurn(
         router_.ShardOfProvider(ProviderId(event.provider_index));
     cores_[shard]->AdmitMember(event.provider_index, now);
     ++result_.shards[shard].joined;
-    return true;
+    return runtime::ChurnOutcome::kApplied;
   }
   for (const auto& core : cores_) {
     if (core->DepartMemberForChurn(event.provider_index, now)) {
       // The member this seal was draining is gone; nothing left to move.
       DropPendingHandoff(event.provider_index);
-      return true;
+      return runtime::ChurnOutcome::kApplied;
     }
   }
-  return false;  // already gone (departure rules beat the schedule to it)
+  // Already gone (departure rules beat the schedule to it).
+  return runtime::ChurnOutcome::kNoOp;
 }
 
 void ShardedMediationSystem::DropPendingHandoff(std::uint32_t provider) {
@@ -537,12 +597,35 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
   }
 
   // Reweight the partition ring past the imbalance threshold and gossip
-  // the new epoch out.
-  std::vector<std::size_t> vnodes = router_.RebalancedVnodes(counts);
-  if (vnodes != router_.shard_vnodes()) {
-    router_.SetShardVnodes(std::move(vnodes));
-    ++result_.ring_rebalances;
-    AnnounceRingEpoch();
+  // the new epoch out — damped two ways. Settle gate: while any handoff of
+  // the previous correction is still draining, the member counts are a
+  // moving target and a fresh correction would chase them (the reweigh
+  // cascade a mass departure used to trigger), so the ring holds still
+  // until the moves land. Hysteresis: the imbalance must then persist
+  // rebalance_hysteresis_ticks consecutive ticks, and the streak restarts
+  // after every applied reweigh.
+  if (!pending_handoffs_.empty()) {
+    if (router_.RebalancedVnodes(counts) != router_.shard_vnodes()) {
+      ++result_.rebalances_damped;
+    }
+    imbalance_streak_ = 0;
+  } else {
+    std::vector<std::size_t> vnodes = router_.RebalancedVnodes(counts);
+    if (vnodes != router_.shard_vnodes()) {
+      ++imbalance_streak_;
+      if (imbalance_streak_ >=
+          std::max<std::size_t>(1,
+                                config_.router.rebalance_hysteresis_ticks)) {
+        router_.SetShardVnodes(std::move(vnodes));
+        ++result_.ring_rebalances;
+        AnnounceRingEpoch();
+        imbalance_streak_ = 0;
+      } else {
+        ++result_.rebalances_damped;
+      }
+    } else {
+      imbalance_streak_ = 0;
+    }
   }
 
   // Reconcile ownership with the (possibly rebuilt) ring: seal new movers

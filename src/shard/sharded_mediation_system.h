@@ -10,6 +10,7 @@
 #include "des/seqlock.h"
 #include "des/simulator.h"
 #include "msg/network.h"
+#include "runtime/batch_window.h"
 #include "runtime/mediation_core.h"
 #include "runtime/scenario.h"
 #include "runtime/scenario_engine.h"
@@ -97,6 +98,17 @@ struct ShardedSystemConfig {
   /// Works in both serial and parallel execution.
   double batch_window = 0.0;
 
+  /// Per-shard adaptive window sizing (runtime/batch_window.h): when
+  /// enabled, the static `batch_window` above is ignored and each shard
+  /// recomputes its coalescing window per arrival from its own arrival-rate
+  /// EWMA and barrier-sampled queue debt, bounded by
+  /// [adaptive_batch.min_window, adaptive_batch.max_window]. Signals update
+  /// only on coordinator arrival events and at barrier tasks, so adaptive
+  /// windows keep strict-parity parallel runs bit-identical to serial. The
+  /// queue-debt sample rides the load-report cadence (gossip_interval) and
+  /// is taken even when gossip delivery itself is disabled.
+  runtime::AdaptiveBatchConfig adaptive_batch;
+
   // --- Runtime re-partitioning (provider churn) ----------------------------
 
   /// Adapt the provider partition to churn: every `rebalance_interval`
@@ -163,6 +175,14 @@ struct ShardedRunResult {
   std::uint64_t handoffs_cancelled = 0;
   /// Load reports that arrived carrying an already-superseded ring epoch.
   std::uint64_t epoch_lagged_reports = 0;
+  /// Batched-intake accounting: bursts flushed and queries they carried
+  /// (batched_queries / batch_flushes = realized mean burst length; both 0
+  /// under unbatched intake).
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t batched_queries = 0;
+  /// Rebalance ticks suppressed by the damping hysteresis (the imbalance
+  /// had not yet persisted RouterConfig::rebalance_hysteresis_ticks ticks).
+  std::uint64_t rebalances_damped = 0;
   /// One digest per rebalance tick over (ring epoch, owner of every
   /// provider): the ownership sequence of the run. Identical digests across
   /// thread counts are the re-partitioning determinism pin.
@@ -211,8 +231,8 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   // ScenarioEngine::Driver — the sharded policies.
   void OnQueryArrival(des::Simulator& sim, const Query& query) override;
   void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
-  bool OnProviderChurn(des::Simulator& sim,
-                       const runtime::ProviderChurnEvent& event) override;
+  runtime::ChurnOutcome OnProviderChurn(
+      des::Simulator& sim, const runtime::ProviderChurnEvent& event) override;
   void VisitActiveProviders(
       const std::function<void(runtime::ProviderAgent&)>& fn) override;
   std::size_t ActiveProviderCount() const override;
@@ -227,10 +247,16 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   void RouteWalk(des::Simulator& sim, const Query& query, std::uint32_t shard,
                  std::size_t attempt);
   /// Hands a routed query to its shard's intake: appends to the shard's
-  /// coalescing buffer (batch_window > 0) or schedules an immediate
-  /// single-query mediation on the shard's lane (parallel, unbatched).
+  /// coalescing buffer (static or adaptive batching) or schedules an
+  /// immediate single-query mediation on the shard's lane (parallel,
+  /// unbatched).
   void EnqueueForMediation(const Query& query, std::uint32_t shard,
                            SimTime now);
+  /// The coalescing window an arrival on `shard` is held for right now:
+  /// the adaptive controller's answer, or the static batch_window.
+  double BatchWindowFor(std::uint32_t shard) const;
+  /// Barrier-sampled queue-debt feed of the adaptive controllers.
+  void SampleShardBacklogs();
   /// Mediates a shard's coalesced burst (lane context in parallel mode).
   void FlushBatch(des::Simulator& sim, std::uint32_t shard);
   void CountInfeasible(des::Simulator& sim, std::uint32_t shard);
@@ -285,6 +311,10 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   static constexpr std::uint32_t kNoShard = ~0u;
   des::PeriodicTask rebalance_task_;
   std::vector<PendingHandoff> pending_handoffs_;
+  /// Damping hysteresis: consecutive rebalance ticks whose proposed vnode
+  /// allocation differed from the current ring (reset on apply and on any
+  /// tick back within tolerance).
+  std::size_t imbalance_streak_ = 0;
   /// What the last lane sync licensed (set by the merge hook): transfers
   /// are only legal when the lanes drained at a kRebalance barrier.
   bool lanes_at_rebalance_barrier_ = false;
@@ -298,10 +328,22 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   // (batch_window > 0); the per-shard flush scratch keeps lane threads from
   // sharing a burst vector.
   bool parallel_ = false;
+  /// Batched intake active (static batch_window > 0 or adaptive enabled).
+  bool batching_enabled_ = false;
   std::vector<std::unique_ptr<des::Simulator>> lane_sims_;
   std::vector<runtime::EffectLog> effect_logs_;
   std::unique_ptr<des::SeqLockTable> consumer_locks_;
+  /// One adaptive window controller per shard (empty when the adaptive
+  /// mode is off). Updated only from coordinator events and barriers.
+  std::vector<runtime::BatchWindowController> window_controllers_;
+  /// Queue-debt sampling schedule for the controllers when gossip is off
+  /// (with gossip on, the sample rides SendLoadReports).
+  des::PeriodicTask backlog_sample_task_;
   std::vector<std::vector<Query>> batch_buffers_;
+  /// Per-shard flush/burst tallies (written from the shard's own lane;
+  /// summed into the result on the coordinator after the run).
+  std::vector<std::uint64_t> flush_counts_;
+  std::vector<std::uint64_t> batched_query_counts_;
   /// When the next armed flush fires, per shard (-inf = none armed). An
   /// arrival at or past this time is not covered by the pending flush —
   /// the coordinator may run ahead of the lanes — and arms the next one.

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sqlb_method.h"
+#include "runtime/batch_window.h"
+#include "shard/sharded_mediation_system.h"
+
+/// \file
+/// The adaptive batch-window controller (runtime/batch_window.h): the
+/// rate-matched window, the queue-debt gate, the [min, max] bounds, and the
+/// end-to-end contracts of the adaptive intake — counters conserved, bursts
+/// actually formed, strict-parity parallel runs bit-identical to serial.
+
+namespace sqlb::runtime {
+namespace {
+
+AdaptiveBatchConfig Config(double min_window = 0.0, double max_window = 2.0) {
+  AdaptiveBatchConfig config;
+  config.enabled = true;
+  config.min_window = min_window;
+  config.max_window = max_window;
+  config.target_burst = 8.0;
+  config.ewma_tau = 5.0;
+  config.backlog_ref = 5.0;
+  return config;
+}
+
+TEST(BatchWindowControllerTest, StartsAtMinWindowUntilRateIsKnown) {
+  BatchWindowController controller(Config(0.1, 2.0));
+  EXPECT_DOUBLE_EQ(controller.Window(), 0.1);
+  controller.OnArrival(1.0);  // first arrival: still no interval
+  EXPECT_DOUBLE_EQ(controller.Window(), 0.1);
+}
+
+TEST(BatchWindowControllerTest, IdleShardStaysAtMinWindow) {
+  // Steady arrivals but an empty queue: there is nothing to amortize, so
+  // coalescing would be pure added latency — the debt gate holds the
+  // window at the floor.
+  BatchWindowController controller(Config(0.0, 2.0));
+  for (int i = 0; i < 100; ++i) {
+    controller.OnArrival(0.1 * static_cast<double>(i));
+  }
+  controller.OnBacklogSample(0.0);
+  EXPECT_DOUBLE_EQ(controller.Window(), 0.0);
+}
+
+TEST(BatchWindowControllerTest, QueueDebtOpensTheRateMatchedWindow) {
+  BatchWindowController controller(Config(0.0, 2.0));
+  // ~10 arrivals/second.
+  for (int i = 0; i < 200; ++i) {
+    controller.OnArrival(0.1 * static_cast<double>(i));
+  }
+  EXPECT_NEAR(controller.arrival_rate(), 10.0, 1.0);
+
+  controller.OnBacklogSample(10.0);  // deep queue: fully open
+  // target_burst / rate = 8 / 10 = 0.8 seconds.
+  EXPECT_NEAR(controller.Window(), 0.8, 0.1);
+
+  controller.OnBacklogSample(2.5);  // half the reference debt: half open
+  EXPECT_NEAR(controller.Window(), 0.4, 0.1);
+}
+
+TEST(BatchWindowControllerTest, HerdingSpikeShrinksTheWindow) {
+  // The stale-gossip herding case: a shard that was receiving 2/second
+  // suddenly receives the whole system's arrivals (50/second). The
+  // rate-matched window must shrink roughly with the rate so bursts stay
+  // near the target length instead of swallowing the entire spike.
+  BatchWindowController controller(Config(0.0, 2.0));
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.5;
+    controller.OnArrival(t);
+  }
+  controller.OnBacklogSample(100.0);
+  const double slow_window = controller.Window();
+  EXPECT_NEAR(slow_window, 2.0, 0.2);  // 8/2 = 4s, clamped to max 2
+
+  for (int i = 0; i < 1000; ++i) {
+    t += 0.02;
+    controller.OnArrival(t);
+  }
+  const double spike_window = controller.Window();
+  EXPECT_LT(spike_window, 0.5 * slow_window);
+  EXPECT_NEAR(spike_window, 8.0 / 50.0, 0.1);
+}
+
+TEST(BatchWindowControllerTest, WindowRespectsBounds) {
+  BatchWindowController controller(Config(0.05, 0.5));
+  // Very slow arrivals: rate-matched window would be huge — clamped.
+  controller.OnArrival(0.0);
+  controller.OnArrival(100.0);
+  controller.OnBacklogSample(1000.0);
+  EXPECT_LE(controller.Window(), 0.5);
+  EXPECT_GE(controller.Window(), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end adaptive intake.
+// ---------------------------------------------------------------------------
+
+SystemConfig SmallConfig(double workload, std::uint64_t seed) {
+  SystemConfig config;
+  config.population.num_consumers = 20;
+  config.population.num_providers = 40;
+  config.consumer.window.capacity = 50;
+  config.provider.window.capacity = 100;
+  config.workload = WorkloadSpec::Constant(workload);
+  config.duration = 300.0;
+  config.sample_interval = 25.0;
+  config.stats_warmup = 50.0;
+  config.seed = seed;
+  return config;
+}
+
+shard::ShardedMediationSystem::MethodFactory SqlbFactory() {
+  return [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
+}
+
+TEST(AdaptiveBatchingTest, ConservesCountersAndFormsBursts) {
+  shard::ShardedSystemConfig config;
+  config.base = SmallConfig(1.0, 21);
+  config.router.num_shards = 4;
+  config.router.policy = shard::RoutingPolicy::kLeastLoaded;
+  config.adaptive_batch.enabled = true;
+  config.adaptive_batch.max_window = 1.0;
+
+  const shard::ShardedRunResult result =
+      shard::RunShardedScenario(config, SqlbFactory());
+  EXPECT_EQ(result.run.queries_issued,
+            result.run.queries_completed + result.run.queries_infeasible);
+  EXPECT_GT(result.batch_flushes, 0u);
+  // Every issued query went through exactly one flush (re-route walks
+  // replay bounced queries after their burst already consumed them).
+  EXPECT_EQ(result.batched_queries, result.run.queries_issued);
+  // Under saturating load the debt gate must open far enough to coalesce
+  // more than one query per flush on average.
+  EXPECT_GT(static_cast<double>(result.batched_queries) /
+                static_cast<double>(result.batch_flushes),
+            1.0);
+}
+
+TEST(AdaptiveBatchingTest, StrictParallelAdaptiveRunIsBitIdenticalToSerial) {
+  shard::ShardedSystemConfig serial;
+  serial.base = SmallConfig(0.9, 33);
+  serial.router.num_shards = 4;
+  serial.router.policy = shard::RoutingPolicy::kLocality;  // strict shape
+  serial.rerouting_enabled = false;
+  serial.adaptive_batch.enabled = true;
+  serial.adaptive_batch.max_window = 1.0;
+
+  const shard::ShardedRunResult serial_result =
+      shard::RunShardedScenario(serial, SqlbFactory());
+  ASSERT_GT(serial_result.batch_flushes, 0u);
+
+  shard::ShardedSystemConfig parallel = serial;
+  parallel.worker_threads = 2;
+  const shard::ShardedRunResult parallel_result =
+      shard::RunShardedScenario(parallel, SqlbFactory());
+
+  EXPECT_EQ(serial_result.run.queries_issued,
+            parallel_result.run.queries_issued);
+  EXPECT_EQ(serial_result.run.queries_completed,
+            parallel_result.run.queries_completed);
+  EXPECT_EQ(serial_result.run.response_time.mean(),
+            parallel_result.run.response_time.mean());
+  EXPECT_EQ(serial_result.run.response_time_all.sum(),
+            parallel_result.run.response_time_all.sum());
+  EXPECT_EQ(serial_result.batch_flushes, parallel_result.batch_flushes);
+  EXPECT_EQ(serial_result.batched_queries, parallel_result.batched_queries);
+}
+
+TEST(AdaptiveBatchingTest, AdaptiveWorksWithGossipDisabled) {
+  // Without gossip the controllers get their queue-debt signal from the
+  // dedicated sampling task; routing falls back to hashing, but the intake
+  // must still batch and conserve the workload.
+  shard::ShardedSystemConfig config;
+  config.base = SmallConfig(1.0, 44);
+  config.router.num_shards = 4;
+  config.router.policy = shard::RoutingPolicy::kHash;
+  config.gossip_enabled = false;
+  config.adaptive_batch.enabled = true;
+  config.adaptive_batch.max_window = 1.0;
+
+  const shard::ShardedRunResult result =
+      shard::RunShardedScenario(config, SqlbFactory());
+  EXPECT_EQ(result.run.queries_issued,
+            result.run.queries_completed + result.run.queries_infeasible);
+  EXPECT_GT(result.batch_flushes, 0u);
+}
+
+}  // namespace
+}  // namespace sqlb::runtime

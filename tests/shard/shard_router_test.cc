@@ -356,6 +356,83 @@ TEST(RingVersioningTest, RebalancedVnodesGrowsDepletedShards) {
   for (std::size_t v : corrected) EXPECT_GE(v, 1u);
 }
 
+TEST(RingVersioningTest, RebalancedVnodesCapsThePerTickStep) {
+  // A gutted shard's multiplicative correction would jump its keyspace by
+  // ~2 orders of magnitude in one tick; the step cap bounds the jump to
+  // rebalance_max_vnode_step per tick so the partition converges in
+  // measured strides instead of overshooting and oscillating back.
+  RouterConfig config = Config(4, RoutingPolicy::kHash);
+  config.rebalance_max_vnode_step = 4.0;
+  ShardRouter router(config);
+  const std::size_t initial = router.shard_vnodes()[2];
+
+  const std::vector<std::size_t> counts = {130, 130, 1, 130};
+  const std::vector<std::size_t> corrected = router.RebalancedVnodes(counts);
+  EXPECT_GT(corrected[2], initial);
+  EXPECT_LE(corrected[2], initial * 4);
+  // The overfull shards shrink by at most the same factor.
+  for (std::size_t s : {0u, 1u, 3u}) {
+    EXPECT_GE(corrected[s] * 4, initial);
+  }
+}
+
+TEST(RingVersioningTest, StepCapDisabledReproducesUncappedCorrection) {
+  RouterConfig capped = Config(4, RoutingPolicy::kHash);
+  capped.rebalance_max_vnode_step = 1.0;  // <= 1 disables the cap
+  RouterConfig uncapped = capped;
+  uncapped.rebalance_max_vnode_step = 1e9;  // cap far beyond any correction
+  ShardRouter a(capped), b(uncapped);
+  const std::vector<std::size_t> counts = {130, 130, 10, 130};
+  EXPECT_EQ(a.RebalancedVnodes(counts), b.RebalancedVnodes(counts));
+}
+
+TEST(RingVersioningTest, HysteresisSuppressesSingleTickImbalance) {
+  // End-to-end damping: with hysteresis at k ticks, a mass departure's
+  // imbalance must persist before the ring reweights, and after each
+  // reweigh the streak restarts — the bench's 8-churn arm counts the
+  // resulting drop in reweighs/handoffs, this pins the mechanism.
+  runtime::SystemConfig base;
+  base.population.num_consumers = 16;
+  base.population.num_providers = 40;
+  base.workload = runtime::WorkloadSpec::Constant(0.8);
+  base.duration = 300.0;
+  base.stats_warmup = 50.0;
+
+  ShardedSystemConfig damped;
+  damped.base = base;
+  damped.router.num_shards = 4;
+  damped.router.policy = RoutingPolicy::kLocality;
+  damped.rerouting_enabled = false;
+  damped.rebalance_enabled = true;
+  damped.rebalance_interval = 30.0;
+  damped.router.rebalance_hysteresis_ticks = 3;
+  damped.base.provider_churn = ShardChurnSchedule(
+      damped.router, /*shard=*/0, base.population.num_providers,
+      /*leave_at=*/100.0);
+
+  ShardedSystemConfig eager = damped;
+  eager.router.rebalance_hysteresis_ticks = 1;
+
+  const auto factory = [] {
+    return [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
+  };
+  const ShardedRunResult damped_result =
+      RunShardedScenario(damped, factory());
+  const ShardedRunResult eager_result = RunShardedScenario(eager, factory());
+
+  // Both still rebalance (the imbalance is persistent), but the damped run
+  // waited: its first reweigh fires at least two ticks later, which the
+  // suppressed-tick counter records.
+  EXPECT_GT(eager_result.ring_rebalances, 0u);
+  EXPECT_GT(damped_result.ring_rebalances, 0u);
+  EXPECT_GT(damped_result.rebalances_damped, 0u);
+  EXPECT_LE(damped_result.ring_rebalances, eager_result.ring_rebalances);
+  // Damping must not leak workload: both runs account every query.
+  EXPECT_EQ(damped_result.run.queries_issued,
+            damped_result.run.queries_completed +
+                damped_result.run.queries_infeasible);
+}
+
 TEST(RingVersioningTest, EpochLaggedReportsAreExcludedFromLoadRouting) {
   RouterConfig config = Config(3, RoutingPolicy::kLeastLoaded);
   ShardRouter router(config);
