@@ -33,6 +33,18 @@ void Main() {
   bench::WriteSweepCsv("fig4i_response_time_captive.csv", sweeps,
                        &experiments::SweepPoint::mean_response_time);
 
+  // The tail the mean hides (latency histogram, ~11% bucket resolution):
+  // the paper reports means only, but the intention-honouring cost shows up
+  // disproportionately in the tail quantiles.
+  bench::PrintSweepTable("p50 response time (seconds) vs workload:", sweeps,
+                         &experiments::SweepPoint::rt_p50);
+  bench::PrintSweepTable("p99 response time (seconds) vs workload:", sweeps,
+                         &experiments::SweepPoint::rt_p99);
+  bench::PrintSweepTable("p999 response time (seconds) vs workload:", sweeps,
+                         &experiments::SweepPoint::rt_p999);
+  bench::WriteSweepCsv("fig4i_response_time_captive_p99.csv", sweeps,
+                       &experiments::SweepPoint::rt_p99);
+
   // The paper's headline factors, relative to Capacity based.
   const auto& capacity = sweeps.back();  // PaperTrio order: SQLB, MP, CAP
   TablePrinter factors({"workload(%)", "SQLB/Capacity", "Mariposa/Capacity"});

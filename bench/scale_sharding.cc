@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -49,6 +50,8 @@
 
 #include "bench_common.h"
 #include "core/sqlb_method.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/mediation_system.h"
 #include "shard/sharded_mediation_system.h"
 #include "workload/population.h"
@@ -67,6 +70,11 @@ struct ScalePoint {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   double mean_rt = 0.0;
+  // Response-time tail from the run's merged latency histogram (zero when
+  // the metrics registry is disabled for the arm).
+  double rt_p50 = 0.0;
+  double rt_p99 = 0.0;
+  double rt_p999 = 0.0;
   double cons_sat = 0.0;
   double route_imbalance = 1.0;
   std::uint64_t reroutes = 0;
@@ -121,6 +129,9 @@ ScalePoint RunMono(const runtime::SystemConfig& config) {
   point.issued = result.queries_issued;
   point.completed = result.queries_completed;
   point.mean_rt = result.response_time.mean();
+  point.rt_p50 = result.ResponseTimeQuantile(0.5);
+  point.rt_p99 = result.ResponseTimeQuantile(0.99);
+  point.rt_p999 = result.ResponseTimeQuantile(0.999);
   point.cons_sat =
       result.series
           .Find(runtime::MediationSystem::kSeriesConsAllocSatMean)
@@ -144,10 +155,14 @@ struct ShardedOptions {
   /// [0, adaptive_max_window] (runtime/batch_window.h).
   bool adaptive = false;
   double adaptive_max_window = 2.0;
+  /// Observability arms: metrics registry (histograms) and span tracing.
+  bool obs_metrics = true;
+  bool obs_trace = false;
 };
 
 ScalePoint RunSharded(const runtime::SystemConfig& base,
-                      const ShardedOptions& options) {
+                      const ShardedOptions& options,
+                      shard::ShardedRunResult* full_out = nullptr) {
   shard::ShardedSystemConfig config;
   config.base = base;
   config.router.num_shards = options.shards;
@@ -163,11 +178,13 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
     config.adaptive_batch.min_window = 0.0;
     config.adaptive_batch.max_window = options.adaptive_max_window;
   }
+  config.base.observability.metrics = options.obs_metrics;
+  config.base.observability.trace = options.obs_trace;
 
   shard::ShardedMediationSystem system(
       config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
   const auto start = Clock::now();
-  const shard::ShardedRunResult result = system.Run();
+  shard::ShardedRunResult result = system.Run();
   const auto end = Clock::now();
 
   ScalePoint point;
@@ -179,6 +196,9 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   point.issued = result.run.queries_issued;
   point.completed = result.run.queries_completed;
   point.mean_rt = result.run.response_time.mean();
+  point.rt_p50 = result.run.ResponseTimeQuantile(0.5);
+  point.rt_p99 = result.run.ResponseTimeQuantile(0.99);
+  point.rt_p999 = result.run.ResponseTimeQuantile(0.999);
   point.cons_sat =
       result.run.series
           .Find(runtime::MediationSystem::kSeriesConsAllocSatMean)
@@ -194,6 +214,7 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   point.rebalances = result.ring_rebalances;
   point.rebalances_damped = result.rebalances_damped;
   point.handoffs = result.handoffs_completed;
+  if (full_out != nullptr) *full_out = std::move(result);
   return point;
 }
 
@@ -251,6 +272,21 @@ int main() {
                                    shard::RoutingPolicy::kLocality, false, 0,
                                    0.0};
   points.push_back(RunSharded(base, serial_base));
+
+  // The observability overhead pair: the same serial 8-shard configuration
+  // with everything off (no histograms, no spans — the zero-cost baseline)
+  // and with everything on at the default span sampling. CI gates the
+  // throughput ratio at >= 0.97 (a <= 3% instrumentation tax).
+  ShardedOptions noobs = serial_base;
+  noobs.label = "8-noobs";
+  noobs.obs_metrics = false;
+  points.push_back(RunSharded(base, noobs));
+
+  ShardedOptions traced = serial_base;
+  traced.label = "8-trace";
+  traced.obs_trace = true;
+  shard::ShardedRunResult traced_result;
+  points.push_back(RunSharded(base, traced, &traced_result));
 
   ShardedOptions batched = serial_base;
   batched.label = "8-batch";
@@ -353,11 +389,13 @@ int main() {
   const double mono_throughput = Throughput(points.front());
 
   TablePrinter table({"config", "threads", "batch(s)", "wall(s)", "completed",
-                      "alloc/s(wall)", "speedup", "mean rt(s)", "cons sat",
-                      "imbalance", "reroutes", "gossip", "handoffs"});
+                      "alloc/s(wall)", "speedup", "mean rt(s)", "p50 rt",
+                      "p99 rt", "p999 rt", "cons sat", "imbalance",
+                      "reroutes", "gossip", "handoffs"});
   CsvWriter csv({"config", "shards", "threads", "batch_window",
                  "wall_seconds", "completed", "alloc_per_second", "speedup",
-                 "mean_response_time", "consumer_allocsat", "route_imbalance",
+                 "mean_response_time", "rt_p50", "rt_p99", "rt_p999",
+                 "consumer_allocsat", "route_imbalance",
                  "reroutes", "gossip_delivered", "provider_joins",
                  "ring_epoch", "ring_rebalances", "handoffs_completed"});
   bench::JsonArray rows;
@@ -369,7 +407,9 @@ int main() {
                   FormatNumber(p.wall_seconds, 3),
                   FormatNumber(static_cast<double>(p.completed)),
                   FormatNumber(throughput, 4), FormatNumber(speedup, 3),
-                  FormatNumber(p.mean_rt, 4), FormatNumber(p.cons_sat, 4),
+                  FormatNumber(p.mean_rt, 4), FormatNumber(p.rt_p50, 4),
+                  FormatNumber(p.rt_p99, 4), FormatNumber(p.rt_p999, 4),
+                  FormatNumber(p.cons_sat, 4),
                   FormatNumber(p.route_imbalance, 3),
                   FormatNumber(static_cast<double>(p.reroutes)),
                   FormatNumber(static_cast<double>(p.gossip)),
@@ -384,6 +424,9 @@ int main() {
     csv.AddCell(throughput);
     csv.AddCell(speedup);
     csv.AddCell(p.mean_rt);
+    csv.AddCell(p.rt_p50);
+    csv.AddCell(p.rt_p99);
+    csv.AddCell(p.rt_p999);
     csv.AddCell(p.cons_sat);
     csv.AddCell(p.route_imbalance);
     csv.AddCell(static_cast<std::size_t>(p.reroutes));
@@ -404,6 +447,9 @@ int main() {
         .Add("alloc_per_second", throughput)
         .Add("speedup_vs_mono", speedup)
         .Add("mean_response_time", p.mean_rt)
+        .Add("rt_p50", p.rt_p50)
+        .Add("rt_p99", p.rt_p99)
+        .Add("rt_p999", p.rt_p999)
         .Add("consumer_allocsat", p.cons_sat)
         .Add("batch_flushes", p.batch_flushes)
         .Add("batched_queries", p.batched_queries)
@@ -428,6 +474,8 @@ int main() {
 
   // --- Hardware-independent pins -------------------------------------------
 
+  bool obs_transparent_pin = false;
+
   // 1. The M = 1 sharded run must BE the mono run.
   const ScalePoint& mono = points[0];
   const ScalePoint& one = FindPoint(points, "1-shard");
@@ -438,8 +486,28 @@ int main() {
   std::printf("M=1 parity with mono-mediator: %s\n",
               mono_parity ? "EXACT" : "BROKEN (investigate!)");
 
-  // 2. Unbatched parallel execution must BE the serial locality run.
+  // 2. Observability must be observation only: the metrics-off arm and the
+  //    fully-traced arm replay the default arm's workload bit for bit
+  //    (instrumentation never touches RNG draws, schedules, or float state).
   const ScalePoint& serial8 = FindPoint(points, "8-serial");
+  {
+    const ScalePoint& noobs_pt = FindPoint(points, "8-noobs");
+    const ScalePoint& trace_pt = FindPoint(points, "8-trace");
+    const bool obs_transparent =
+        serial8.issued == noobs_pt.issued &&
+        serial8.completed == noobs_pt.completed &&
+        serial8.mean_rt == noobs_pt.mean_rt &&
+        serial8.cons_sat == noobs_pt.cons_sat &&
+        serial8.issued == trace_pt.issued &&
+        serial8.completed == trace_pt.completed &&
+        serial8.mean_rt == trace_pt.mean_rt &&
+        serial8.cons_sat == trace_pt.cons_sat;
+    std::printf("observability transparency (off/traced vs default): %s\n",
+                obs_transparent ? "EXACT" : "BROKEN (investigate!)");
+    obs_transparent_pin = obs_transparent;
+  }
+
+  // 3. Unbatched parallel execution must BE the serial locality run.
   const ScalePoint& par_nobatch = FindPoint(points, "8-par-nobatch");
   const bool parallel_parity = serial8.issued == par_nobatch.issued &&
                                serial8.completed == par_nobatch.completed &&
@@ -448,7 +516,7 @@ int main() {
   std::printf("parallel (unbatched) parity with 8-serial: %s\n",
               parallel_parity ? "EXACT" : "BROKEN (investigate!)");
 
-  // 3. The batched parallel rows must agree with each other bit-for-bit
+  // 4. The batched parallel rows must agree with each other bit-for-bit
   //    across thread counts (determinism of the epoch merge).
   bool thread_determinism = true;
   const ScalePoint& first_parallel = FindPoint(points, parallel_labels.front());
@@ -463,7 +531,7 @@ int main() {
   std::printf("parallel determinism across thread counts: %s\n",
               thread_determinism ? "EXACT" : "BROKEN (investigate!)");
 
-  // 4. Relaxed-parity divergence bound vs the serial twin of the same
+  // 5. Relaxed-parity divergence bound vs the serial twin of the same
   //    configuration (8-ll-batch: identical routing and coalescing, only
   //    the execution substrate differs): counters conserved exactly, mean
   //    response time within 10%.
@@ -485,7 +553,7 @@ int main() {
   std::printf("relaxed-parity mean rt within 10%% of serial twin: %s\n",
               relaxed_rt_within_tolerance ? "OK" : "BROKEN (investigate!)");
 
-  // 5. Churn: the strict parallel churn row must BE the serial churn row,
+  // 6. Churn: the strict parallel churn row must BE the serial churn row,
   //    the ring must actually re-partition, and the accounting must stay
   //    conserved under the handoffs.
   const ScalePoint& churn0 = FindPoint(points, "8-churn-serial");
@@ -587,8 +655,20 @@ int main() {
   const double churn_throughput_ratio =
       Throughput(churn0) / Throughput(serial8);
   std::printf(
-      "churn arm throughput vs 8-serial: %.2fx (CI gate: >= 0.80)\n\n",
+      "churn arm throughput vs 8-serial: %.2fx (CI gate: >= 0.80)\n",
       churn_throughput_ratio);
+
+  // Observability overhead: the fully-instrumented arm (histograms + spans
+  // at the default 1-in-16 sampling) against the uninstrumented twin.
+  const ScalePoint& noobs_pt = FindPoint(points, "8-noobs");
+  const ScalePoint& trace_pt = FindPoint(points, "8-trace");
+  const double obs_throughput_ratio =
+      Throughput(trace_pt) / Throughput(noobs_pt);
+  std::printf(
+      "observability overhead: traced/uninstrumented alloc/s ratio %.3fx "
+      "(CI gate: >= 0.97), %zu spans kept, %llu dropped\n\n",
+      obs_throughput_ratio, traced_result.run.trace_spans.size(),
+      static_cast<unsigned long long>(traced_result.run.trace_spans_dropped));
 
   bench::JsonObject summary;
   summary.Add("serial_8shard_wall_seconds", serial8.wall_seconds)
@@ -622,7 +702,15 @@ int main() {
       .Add("adaptive_rt_ratio", adapt_rt_ratio)
       .Add("adaptive_throughput_ratio", adapt_throughput_ratio)
       .Add("adaptive_mean_burst", adapt_burst)
-      .Add("static_mean_burst", static_burst);
+      .Add("static_mean_burst", static_burst)
+      .Add("observability_transparent", obs_transparent_pin)
+      .Add("observability_throughput_ratio", obs_throughput_ratio)
+      .Add("trace_spans",
+           static_cast<std::uint64_t>(traced_result.run.trace_spans.size()))
+      .Add("trace_spans_dropped", traced_result.run.trace_spans_dropped)
+      .Add("serial_rt_p50", serial8.rt_p50)
+      .Add("serial_rt_p99", serial8.rt_p99)
+      .Add("serial_rt_p999", serial8.rt_p999);
 
   std::string skipped_json;
   for (std::size_t i = 0; i < skipped.size(); ++i) {
@@ -643,9 +731,34 @@ int main() {
   if (path.ok() && csv.WriteFile(path.value()).ok()) {
     std::printf("wrote %s\n", path.value().c_str());
   }
-  return mono_parity && parallel_parity && thread_determinism &&
-                 relaxed_counters_conserved && relaxed_rt_within_tolerance &&
-                 churn_parity && churn_repartitioned && speedup8 >= 2.0
+
+  // Flight-recorder artifacts of the fully-instrumented arm: the merged
+  // metrics snapshot and the Perfetto/chrome://tracing span stream. CI
+  // uploads both next to the bench JSON.
+  auto metrics_path =
+      EnsureOutputPath(ResultsDirectory(), "METRICS_scale_sharding.json");
+  if (metrics_path.ok()) {
+    std::ofstream out(metrics_path.value());
+    if (out) {
+      out << traced_result.run.metrics.ToJson() << "\n";
+      std::printf("wrote %s\n", metrics_path.value().c_str());
+    }
+  }
+  auto trace_path =
+      EnsureOutputPath(ResultsDirectory(), "TRACE_scale_sharding.json");
+  if (trace_path.ok()) {
+    std::ofstream out(trace_path.value());
+    if (out) {
+      out << obs::ChromeTraceJson(traced_result.run.trace_spans, kShards)
+          << "\n";
+      std::printf("wrote %s\n", trace_path.value().c_str());
+    }
+  }
+
+  return mono_parity && obs_transparent_pin && parallel_parity &&
+                 thread_determinism && relaxed_counters_conserved &&
+                 relaxed_rt_within_tolerance && churn_parity &&
+                 churn_repartitioned && speedup8 >= 2.0
              ? 0
              : 1;
 }

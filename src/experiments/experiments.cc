@@ -120,6 +120,9 @@ std::vector<SweepResult> RunWorkloadSweep(
         runtime::RunResult run = RunMethod(kind, config);
 
         point.mean_response_time += run.response_time.mean();
+        point.rt_p50 += run.ResponseTimeQuantile(0.5);
+        point.rt_p99 += run.ResponseTimeQuantile(0.99);
+        point.rt_p999 += run.ResponseTimeQuantile(0.999);
         point.provider_departure_percent += run.ProviderDeparturePercent();
         point.consumer_departure_percent += run.ConsumerDeparturePercent();
         point.queries_issued += run.queries_issued;
@@ -137,6 +140,9 @@ std::vector<SweepResult> RunWorkloadSweep(
       }
       const double reps = static_cast<double>(options.repetitions);
       point.mean_response_time /= reps;
+      point.rt_p50 /= reps;
+      point.rt_p99 /= reps;
+      point.rt_p999 /= reps;
       point.provider_departure_percent /= reps;
       point.consumer_departure_percent /= reps;
       point.mean_provider_satisfaction /= reps;

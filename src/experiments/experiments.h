@@ -81,6 +81,11 @@ std::vector<QualityRampResult> RunQualityRamp(
 struct SweepPoint {
   double workload_fraction = 0.0;
   double mean_response_time = 0.0;       // post-warmup completions
+  /// Response-time tail, from the run's merged latency histogram (log-scale
+  /// buckets, ~11% relative resolution). Repetition-averaged like the mean.
+  double rt_p50 = 0.0;
+  double rt_p99 = 0.0;
+  double rt_p999 = 0.0;
   double provider_departure_percent = 0.0;
   double consumer_departure_percent = 0.0;
   double mean_provider_satisfaction = 0.0;  // intention channel, final value

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sqlb::obs {
+
+namespace {
+
+// log(kMaxValue / kMinValue), the total log-span the buckets divide evenly.
+const double kLogSpan = std::log(Histogram::kMaxValue / Histogram::kMinValue);
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonUint(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+// Metric names are code constants (no quotes or control characters), so
+// escaping is a plain quote wrap.
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+}
+
+}  // namespace
+
+std::size_t Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN
+  if (value >= kMaxValue) return kBuckets - 1;
+  const double frac = std::log(value / kMinValue) / kLogSpan;
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(kBuckets));
+  return std::min(idx, kBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(std::size_t i) {
+  if (i == 0) return 0.0;
+  return kMinValue *
+         std::exp(kLogSpan * static_cast<double>(i) /
+                  static_cast<double>(kBuckets));
+}
+
+double Histogram::BucketUpperBound(std::size_t i) {
+  return kMinValue *
+         std::exp(kLogSpan * static_cast<double>(i + 1) /
+                  static_cast<double>(kBuckets));
+}
+
+void Histogram::Record(double value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (0-based, nearest-rank style).
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double first = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (target < static_cast<double>(cumulative)) {
+      // Geometric interpolation across the bucket's log-width.
+      const double within =
+          (target - first + 0.5) / static_cast<double>(buckets_[i]);
+      const double lo = std::max(BucketLowerBound(i), kMinValue);
+      const double hi = BucketUpperBound(i);
+      const double value = lo * std::pow(hi / lo, std::clamp(within, 0.0, 1.0));
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::HistogramQuantile(const std::string& name,
+                                          double q) const {
+  const Histogram* h = FindHistogram(name);
+  return h == nullptr ? 0.0 : h->Quantile(q);
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].Merge(counter);
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].Merge(gauge);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].Merge(histogram);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendJsonUint(&out, counter.value());
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendJsonNumber(&out, gauge.value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out.append("{\"count\":");
+    AppendJsonUint(&out, h.count());
+    out.append(",\"sum\":");
+    AppendJsonNumber(&out, h.sum());
+    out.append(",\"min\":");
+    AppendJsonNumber(&out, h.min());
+    out.append(",\"max\":");
+    AppendJsonNumber(&out, h.max());
+    out.append(",\"mean\":");
+    AppendJsonNumber(&out, h.mean());
+    out.append(",\"p50\":");
+    AppendJsonNumber(&out, h.Quantile(0.50));
+    out.append(",\"p90\":");
+    AppendJsonNumber(&out, h.Quantile(0.90));
+    out.append(",\"p99\":");
+    AppendJsonNumber(&out, h.Quantile(0.99));
+    out.append(",\"p999\":");
+    AppendJsonNumber(&out, h.Quantile(0.999));
+    out.append(",\"buckets\":[");
+    bool first_bucket = true;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      AppendJsonNumber(&out, Histogram::BucketLowerBound(i));
+      out.push_back(',');
+      AppendJsonUint(&out, buckets[i]);
+      out.push_back(']');
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace sqlb::obs

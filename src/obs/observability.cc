@@ -1,0 +1,53 @@
+#include "obs/observability.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sqlb::obs {
+
+FlightRecorder::FlightRecorder(const ObservabilityConfig& config,
+                               std::size_t shard_lanes)
+    : config_(config),
+      shard_lanes_(shard_lanes),
+      registries_(shard_lanes + 1) {
+#if !defined(SQLB_DISABLE_OBSERVABILITY)
+  if (config_.trace) {
+    lanes_.reserve(shard_lanes + 1);
+    for (std::size_t lane = 0; lane <= shard_lanes; ++lane) {
+      lanes_.push_back(std::make_unique<TraceLane>(
+          static_cast<std::uint32_t>(lane), config_.trace_sample_every,
+          config_.trace_ring_capacity));
+    }
+  }
+#endif
+}
+
+void FlightRecorder::DrainSpans() {
+  for (auto& lane : lanes_) lane->Drain(&spans_);
+}
+
+std::vector<TraceSpan> FlightRecorder::FinishSpans() {
+  DrainSpans();
+  std::sort(spans_.begin(), spans_.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return std::tie(a.start, a.lane, a.seq) <
+                     std::tie(b.start, b.lane, b.seq);
+            });
+  return std::move(spans_);
+}
+
+std::uint64_t FlightRecorder::DroppedSpans() const {
+  std::uint64_t dropped = 0;
+  for (const auto& lane : lanes_) dropped += lane->dropped();
+  return dropped;
+}
+
+MetricsRegistry FlightRecorder::MergedMetrics() const {
+  MetricsRegistry merged;
+  for (const MetricsRegistry& registry : registries_) {
+    merged.MergeFrom(registry);
+  }
+  return merged;
+}
+
+}  // namespace sqlb::obs

@@ -1,0 +1,114 @@
+#ifndef SQLB_OBS_OBSERVABILITY_H_
+#define SQLB_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+/// \file
+/// FlightRecorder: the per-run assembly of the observability layer. One
+/// metrics registry and one optional trace lane per execution lane (M shard
+/// lanes plus one coordinator lane), drained and merged exactly like the
+/// EffectLog — per-lane single-writer between barriers, folded in a fixed
+/// lane order so the run-level snapshot is bit-identical across thread
+/// counts.
+///
+/// Gating levels:
+///  - `ObservabilityConfig::trace` — span recording; off by default.
+///    trace_lane() returns nullptr when off, so call sites pay one branch.
+///  - `ObservabilityConfig::metrics` — hot-path latency histograms
+///    (response time, batch wait, ...). hot_metrics() returns nullptr when
+///    off. Structural counters (flushes, reroutes, handoffs, ...) are NOT
+///    gated: they replace pre-existing always-on ad-hoc counters at the
+///    same cost and feed the bench result structs, so registry() is always
+///    live.
+///  - compile time — building with -DSQLB_DISABLE_OBSERVABILITY strips
+///    spans and hot histograms entirely (both accessors return nullptr
+///    regardless of config); structural counters keep working.
+
+namespace sqlb::obs {
+
+/// Run-level observability switches; lives in SystemConfig::observability.
+struct ObservabilityConfig {
+  /// Record hot-path latency histograms into the per-lane registries.
+  bool metrics = true;
+  /// Record per-query trace spans (flight recorder + exporter).
+  bool trace = false;
+  /// Record spans for every N-th query (by arrival id; id % N == 0).
+  /// 1 = every query. Non-query spans (gossip, handoff) are always
+  /// recorded when trace is on.
+  std::uint64_t trace_sample_every = 16;
+  /// Spans retained per lane; older spans are overwritten ("flight
+  /// recorder"). Drains at barriers keep the ring far from full in
+  /// practice; the dropped counter reports any overflow.
+  std::size_t trace_ring_capacity = 1 << 15;
+};
+
+class FlightRecorder {
+ public:
+  /// `shard_lanes` = M; lane indices 0..M-1 are shard lanes and lane M is
+  /// the coordinator lane (router, gossip, handoff, intake).
+  FlightRecorder(const ObservabilityConfig& config, std::size_t shard_lanes);
+
+  std::size_t shard_lanes() const { return shard_lanes_; }
+  std::uint32_t coordinator_lane() const {
+    return static_cast<std::uint32_t>(shard_lanes_);
+  }
+  const ObservabilityConfig& config() const { return config_; }
+
+  /// Always-live registry for `lane` (structural counters + merged stats).
+  MetricsRegistry& registry(std::size_t lane) { return registries_[lane]; }
+
+  /// Registry for hot-path histogram recording, or nullptr when histograms
+  /// are disabled (config or compile time).
+  MetricsRegistry* hot_metrics(std::size_t lane) {
+#if defined(SQLB_DISABLE_OBSERVABILITY)
+    (void)lane;
+    return nullptr;
+#else
+    return config_.metrics ? &registries_[lane] : nullptr;
+#endif
+  }
+
+  /// Span recorder for `lane`, or nullptr when tracing is disabled.
+  TraceLane* trace_lane(std::size_t lane) {
+#if defined(SQLB_DISABLE_OBSERVABILITY)
+    (void)lane;
+    return nullptr;
+#else
+    return lanes_.empty() ? nullptr : lanes_[lane].get();
+#endif
+  }
+
+  /// Moves retained spans out of every lane ring into the run-level store.
+  /// Called at parallel barriers (alongside the EffectLog merge) and at the
+  /// end of the run; cheap no-op when tracing is off.
+  void DrainSpans();
+
+  /// Drains any remaining spans and returns the full stream sorted by
+  /// (start, lane, seq) — a total order (lane/seq unique), so the stream is
+  /// bit-identical across serial and strict-parity parallel runs whenever
+  /// DroppedSpans() == 0.
+  std::vector<TraceSpan> FinishSpans();
+
+  /// Spans lost to ring overflow, summed over lanes.
+  std::uint64_t DroppedSpans() const;
+
+  /// Folds the per-lane registries in fixed lane order (shard 0..M-1, then
+  /// coordinator) into one run-level snapshot.
+  MetricsRegistry MergedMetrics() const;
+
+ private:
+  ObservabilityConfig config_;
+  std::size_t shard_lanes_;
+  std::vector<MetricsRegistry> registries_;  // size shard_lanes_ + 1
+  std::vector<std::unique_ptr<TraceLane>> lanes_;  // empty when trace off
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace sqlb::obs
+
+#endif  // SQLB_OBS_OBSERVABILITY_H_

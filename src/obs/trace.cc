@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace sqlb::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIntake:
+      return "intake";
+    case SpanKind::kRoute:
+      return "route";
+    case SpanKind::kReroute:
+      return "reroute";
+    case SpanKind::kBatchWait:
+      return "batch_wait";
+    case SpanKind::kGather:
+      return "gather";
+    case SpanKind::kScore:
+      return "score";
+    case SpanKind::kAllocate:
+      return "allocate";
+    case SpanKind::kReject:
+      return "reject";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kComplete:
+      return "complete";
+    case SpanKind::kHandoff:
+      return "handoff";
+    case SpanKind::kGossip:
+      return "gossip";
+  }
+  return "unknown";
+}
+
+void TraceLane::Drain(std::vector<TraceSpan>* out) {
+  // No reserve: an exact-size reserve per drain would defeat push_back's
+  // geometric growth and turn repeated drains into quadratic reallocation.
+  ring_.ForEach([out](const TraceSpan& span) { out->push_back(span); });
+  ring_.Clear();
+}
+
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans,
+                            std::size_t shard_lanes) {
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  char buf[256];
+  bool first = true;
+  // Thread-name metadata rows so Perfetto labels each lane.
+  for (std::size_t lane = 0; lane <= shard_lanes; ++lane) {
+    if (!first) out.push_back(',');
+    first = false;
+    if (lane < shard_lanes) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                    "\"tid\":%zu,\"args\":{\"name\":\"shard %zu\"}}",
+                    lane, lane);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                    "\"tid\":%zu,\"args\":{\"name\":\"coordinator\"}}",
+                    lane);
+    }
+    out.append(buf);
+  }
+  for (const TraceSpan& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    // Simulated seconds -> microseconds; "X" complete events need a
+    // non-negative duration, instants get dur 0.
+    const double ts_us = span.start * 1e6;
+    const double dur_us =
+        span.end > span.start ? (span.end - span.start) * 1e6 : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"sqlb\",\"ph\":\"X\","
+                  "\"ts\":%.6f,\"dur\":%.6f,\"pid\":0,\"tid\":%u,"
+                  "\"args\":{\"ref\":%llu,\"detail\":%.17g,\"seq\":%u}}",
+                  SpanKindName(span.kind), ts_us, dur_us, span.lane,
+                  static_cast<unsigned long long>(span.ref), span.detail,
+                  span.seq);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace sqlb::obs

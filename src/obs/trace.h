@@ -1,0 +1,121 @@
+#ifndef SQLB_OBS_TRACE_H_
+#define SQLB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+
+/// \file
+/// The trace half of the observability layer: per-query lifecycle spans
+/// recorded into per-lane ring buffers ("flight recorder" semantics — a
+/// bounded window of the most recent spans, oldest overwritten first), and
+/// an exporter to the chrome://tracing / Perfetto JSON event format.
+///
+/// Determinism contract (pinned in tests/obs/trace_determinism_test.cc):
+/// spans are attributed to the lane that owns the query's shard at the
+/// *record site*, in both serial and strict-parity parallel execution, so
+/// each lane observes the identical span sequence regardless of thread
+/// count. Every span carries (lane, seq) with a per-lane monotone seq;
+/// sorting the drained union by (start, lane, seq) is therefore a total
+/// order and yields a bit-identical stream across {serial, parallel x N}
+/// whenever no lane overflowed (dropped() == 0).
+
+namespace sqlb::obs {
+
+/// Lifecycle stage a span describes. Order follows a query's path through
+/// the stack; the taxonomy is documented in README "Observability".
+enum class SpanKind : std::uint8_t {
+  kIntake = 0,    // query drawn from the workload and issued
+  kRoute,         // router picked the owning shard
+  kReroute,       // walked to the next shard after a saturated attempt
+  kBatchWait,     // time the query sat in a batch-window buffer
+  kGather,        // candidate gathering (cache hit or refresh)
+  kScore,         // utilization/satisfaction scoring pass
+  kAllocate,      // providers committed for the query
+  kReject,        // query declared infeasible (no candidates / saturated)
+  kExecute,       // provider-side execution (dispatch -> completion)
+  kComplete,      // response delivered back to the consumer
+  kHandoff,       // provider ownership transfer between shards
+  kGossip,        // load-report fan-out round
+};
+
+/// Human-readable name for a span kind ("intake", "route", ...).
+const char* SpanKindName(SpanKind kind);
+
+/// One recorded span. 48 bytes; POD so the ring buffer stays trivially
+/// copyable.
+struct TraceSpan {
+  SimTime start = 0.0;   // simulated seconds
+  SimTime end = 0.0;     // == start for instantaneous events
+  std::uint64_t ref = 0;  // QueryId, provider index, or 0 (kind-dependent)
+  double detail = 0.0;    // kind-specific payload (shard, wait, count, ...)
+  std::uint32_t lane = 0;  // shard index, or the coordinator lane (M)
+  std::uint32_t seq = 0;   // per-lane record sequence number
+  SpanKind kind = SpanKind::kIntake;
+};
+
+/// Single-writer span recorder for one lane. Holds the most recent
+/// `capacity` spans; older spans are overwritten and counted in dropped().
+/// Sampling is deterministic in the query id (arrival sequence), never in
+/// wall-clock or RNG state, so the sampled set is identical across runs.
+class TraceLane {
+ public:
+  TraceLane(std::uint32_t lane, std::uint64_t sample_every,
+            std::size_t capacity)
+      : lane_(lane),
+        sample_every_(sample_every == 0 ? 1 : sample_every),
+        ring_(capacity == 0 ? 1 : capacity) {}
+
+  /// True when spans for this query should be recorded (every
+  /// `sample_every`-th query by id; ids are the monotone arrival sequence).
+  bool SamplesQuery(QueryId id) const { return id % sample_every_ == 0; }
+
+  void Record(SpanKind kind, SimTime start, SimTime end, std::uint64_t ref,
+              double detail) {
+    TraceSpan span;
+    span.start = start;
+    span.end = end;
+    span.ref = ref;
+    span.detail = detail;
+    span.lane = lane_;
+    span.seq = seq_++;
+    span.kind = kind;
+    TraceSpan evicted;
+    if (ring_.Push(span, &evicted)) ++dropped_;
+  }
+
+  /// Instantaneous event at `at`.
+  void RecordInstant(SpanKind kind, SimTime at, std::uint64_t ref,
+                     double detail) {
+    Record(kind, at, at, ref, detail);
+  }
+
+  /// Appends the retained spans oldest-first to `out` and clears the ring.
+  /// dropped() and the seq counter persist across drains.
+  void Drain(std::vector<TraceSpan>* out);
+
+  std::uint32_t lane() const { return lane_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint32_t seq() const { return seq_; }
+  std::size_t pending() const { return ring_.size(); }
+
+ private:
+  std::uint32_t lane_;
+  std::uint64_t sample_every_;
+  std::uint32_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  RingBuffer<TraceSpan> ring_;
+};
+
+/// Renders spans as a chrome://tracing / Perfetto "traceEvents" JSON
+/// document. Each lane becomes a tid row ("shard 0", ..., "coordinator");
+/// simulated seconds map to microseconds of trace time.
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans,
+                            std::size_t shard_lanes);
+
+}  // namespace sqlb::obs
+
+#endif  // SQLB_OBS_TRACE_H_

@@ -49,6 +49,14 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
   // per member provider. Reserving a small multiple up front keeps the
   // pending map from rehashing during the measured region.
   pending_.reserve(members * 4 + 64);
+
+  // Hoist the hot-path histogram references once: the record sites then pay
+  // a null check instead of a map lookup per query.
+  if (shared_.metrics != nullptr) {
+    rt_histogram_ = &shared_.metrics->GetHistogram(obs::kMetricResponseTime);
+    candidates_histogram_ =
+        &shared_.metrics->GetHistogram(obs::kMetricMediationCandidates);
+  }
 }
 
 const MediationCore::MemberCharacterization&
@@ -171,6 +179,16 @@ void MediationCore::GatherCandidates(const Query& query,
     }
     prefs->push_back(provider_pref);
   }
+
+  // Mediation cost proxy: Algorithm 1's per-query work is proportional to
+  // the candidate count characterized + scored.
+  if (candidates_histogram_ != nullptr) {
+    candidates_histogram_->Record(static_cast<double>(pq.size()));
+  }
+  if (shared_.trace != nullptr && shared_.trace->SamplesQuery(query.id)) {
+    shared_.trace->RecordInstant(obs::SpanKind::kGather, now, query.id,
+                                 static_cast<double>(pq.size()));
+  }
 }
 
 MediationCore::Outcome MediationCore::Allocate(
@@ -265,15 +283,28 @@ MediationCore::Outcome MediationCore::ApplyDecision(
       QuerySatisfaction(scratch_selected_ci_, query.n);
   consumer.OnAllocated(adequation, satisfaction);
 
+  const bool traced =
+      shared_.trace != nullptr && shared_.trace->SamplesQuery(query.id);
+  if (traced) {
+    shared_.trace->RecordInstant(obs::SpanKind::kScore, sim.Now(), query.id,
+                                 static_cast<double>(columns.size()));
+  }
+
   if (decision.selected.empty()) {
     // Strict economic broker may leave a query untreated.
     return Outcome::kUnallocated;
   }
 
+  if (traced) {
+    shared_.trace->RecordInstant(obs::SpanKind::kAllocate, sim.Now(),
+                                 query.id,
+                                 static_cast<double>(decision.selected.size()));
+  }
+
   // Dispatch to the selected providers; the consumer's response arrives
   // when the last of them completes.
   pending_.emplace(query.id,
-                   PendingResponse{query.issue_time,
+                   PendingResponse{query.issue_time, sim.Now(),
                                    static_cast<std::uint32_t>(
                                        decision.selected.size())});
   ++allocated_queries_;
@@ -379,8 +410,22 @@ void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
   if (--it->second.outstanding > 0) return;
 
   const double response_time = completion_time - it->second.issue_time;
+  const SimTime dispatch_time = it->second.dispatch_time;
   pending_.erase(it);
   const bool post_warmup = query.issue_time >= shared_.config->stats_warmup;
+  if (rt_histogram_ != nullptr && post_warmup) {
+    // Same population as the headline `response_time` stat, recorded
+    // lane-side (histogram merge is commutative, so per-lane recording
+    // yields the identical merged histogram in every execution mode).
+    rt_histogram_->Record(response_time);
+  }
+  if (shared_.trace != nullptr && shared_.trace->SamplesQuery(query.id)) {
+    shared_.trace->Record(obs::SpanKind::kExecute, dispatch_time,
+                          completion_time, query.id,
+                          static_cast<double>(performer.index()));
+    shared_.trace->RecordInstant(obs::SpanKind::kComplete, completion_time,
+                                 query.id, response_time);
+  }
   if (shared_.effects != nullptr) {
     // Epoch-parallel lane: cross-shard sinks are merged at the barrier.
     shared_.effects->RecordCompletion(completion_time, response_time,

@@ -78,6 +78,14 @@ class MediationCore {
     /// shard-private. Requires `config->reputation_feedback == false`
     /// (completion-time reputation writes would couple shards mid-epoch).
     EffectLog* effects = nullptr;
+    /// This core's span recorder (the owning shard's lane of the flight
+    /// recorder), or null when tracing is off. Single-writer: the core
+    /// records spans for its own queries only, in both serial and parallel
+    /// execution, so the lane's record sequence is mode-independent.
+    obs::TraceLane* trace = nullptr;
+    /// This core's hot-path histogram registry (the shard's lane registry),
+    /// or null when histograms are off. Same single-writer discipline.
+    obs::MetricsRegistry* metrics = nullptr;
     /// When non-null (relaxed-parity parallel execution), every lane-side
     /// consumer-agent access — intention gathering, allocation
     /// characterization, completion results — runs inside the consumer's
@@ -263,6 +271,9 @@ class MediationCore {
 
   struct PendingResponse {
     SimTime issue_time;
+    /// When the query was dispatched to its providers (the kExecute span's
+    /// start; equals the mediation time).
+    SimTime dispatch_time;
     std::uint32_t outstanding;
   };
 
@@ -345,6 +356,11 @@ class MediationCore {
   /// entry per provider; only member indices are ever touched).
   std::vector<MemberCharacterization> member_cache_;
   CacheStats cache_stats_;
+
+  // Hot-path histograms, hoisted from Shared::metrics at construction
+  // (null when histograms are disabled — call sites pay one branch).
+  obs::Histogram* rt_histogram_ = nullptr;
+  obs::Histogram* candidates_histogram_ = nullptr;
 
   // Scratch buffers reused across allocations (the hot path). All of them
   // are pre-sized to the member-provider count at construction so the

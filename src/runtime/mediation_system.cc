@@ -17,7 +17,11 @@ MediationSystem::MediationSystem(const SystemConfig& config,
     members.push_back(provider.id().index());
   }
   engine_.SetMethodName(method_->name());
-  core_.emplace(engine_.CoreSharedState(), method_, std::move(members));
+  MediationCore::Shared shared = engine_.CoreSharedState();
+  // The mono core is shard lane 0 of the engine's flight recorder.
+  shared.trace = engine_.recorder().trace_lane(0);
+  shared.metrics = engine_.recorder().hot_metrics(0);
+  core_.emplace(shared, method_, std::move(members));
 }
 
 ChurnOutcome MediationSystem::OnProviderChurn(des::Simulator& sim,
@@ -55,6 +59,11 @@ void MediationSystem::OnQueryArrival(des::Simulator& sim,
   const MediationCore::Outcome outcome = core_->Allocate(sim, query);
   if (outcome != MediationCore::Outcome::kAllocated) {
     ++engine_.result().queries_infeasible;
+    if (obs::TraceLane* lane = engine_.recorder().trace_lane(0);
+        lane != nullptr && lane->SamplesQuery(query.id)) {
+      lane->RecordInstant(obs::SpanKind::kReject, sim.Now(), query.id,
+                          static_cast<double>(outcome));
+    }
   }
 }
 

@@ -56,6 +56,10 @@ double RunResult::ConsumerDeparturePercent() const {
          static_cast<double>(initial_consumers);
 }
 
+double RunResult::ResponseTimeQuantile(double q) const {
+  return metrics.HistogramQuantile(obs::kMetricResponseTime, q);
+}
+
 void MergeEffectLogs(std::vector<EffectLog>& logs, RunResult* result,
                      WindowedMean* response_window) {
   // K-way merge over the per-shard cursors: smallest time wins, ties go to

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "des/time_series.h"
+#include "obs/observability.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/departures.h"
 #include "runtime/provider_agent.h"
@@ -88,6 +89,13 @@ struct SystemConfig {
   /// measure the cache itself (bench/micro_allocation.cc) or to run the
   /// parity twin.
   bool characterization_cache = true;
+
+  /// Observability gates (src/obs/): hot-path latency histograms and the
+  /// per-query trace recorder. Pure observation — toggling these never
+  /// changes RNG draws, event schedules or any float the run computes, so
+  /// results stay bit-identical across settings (pinned in
+  /// tests/obs/trace_determinism_test.cc).
+  obs::ObservabilityConfig observability;
 };
 
 /// Everything a run produces.
@@ -118,10 +126,24 @@ struct RunResult {
   // Time series keyed as documented on MediationSystem::kSeries* constants.
   des::SeriesSet series;
 
+  /// Run-level metrics snapshot (obs/): per-lane registries folded in fixed
+  /// lane order at the end of the run. Counters here are the source of
+  /// truth for the bench counters mirrored into ShardedRunResult.
+  obs::MetricsRegistry metrics;
+  /// Trace spans drained from the flight recorder, sorted by
+  /// (start, lane, seq); empty unless SystemConfig::observability.trace.
+  std::vector<obs::TraceSpan> trace_spans;
+  /// Spans lost to per-lane ring overflow (0 = trace_spans is complete).
+  std::uint64_t trace_spans_dropped = 0;
+
   /// Percentage (0-100) of providers that departed.
   double ProviderDeparturePercent() const;
   /// Percentage (0-100) of consumers that departed.
   double ConsumerDeparturePercent() const;
+  /// q-quantile of the post-warmup response-time histogram
+  /// ("rt.response_seconds"); 0 when histograms were disabled or nothing
+  /// completed. Complements the exact mean in `response_time`.
+  double ResponseTimeQuantile(double q) const;
 };
 
 /// Per-shard accumulator for the RunResult sinks a mediation pipeline

@@ -70,6 +70,17 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
   result_.duration = config_.duration;
   result_.initial_providers = providers_.size() - initial_holdouts_.size();
   result_.initial_consumers = consumers_.size();
+
+  // Mono default: one shard lane + the coordinator lane. The sharded
+  // driver re-creates the recorder with its shard count before building
+  // cores (ConfigureObservability).
+  recorder_ = std::make_unique<obs::FlightRecorder>(config_.observability, 1);
+}
+
+void ScenarioEngine::ConfigureObservability(std::size_t shard_lanes) {
+  SQLB_CHECK(!ran_, "ConfigureObservability must precede Run");
+  recorder_ =
+      std::make_unique<obs::FlightRecorder>(config_.observability, shard_lanes);
 }
 
 MediationCore::Shared ScenarioEngine::CoreSharedState() {
@@ -155,6 +166,14 @@ RunResult ScenarioEngine::Run(Driver& driver) {
 
   result_.remaining_providers = driver.ActiveProviderCount();
   result_.remaining_consumers = active_consumers_.size();
+
+  // Seal the flight recorder: remaining spans drained and sorted into the
+  // deterministic (start, lane, seq) stream, per-lane registries folded in
+  // fixed lane order into the run-level snapshot.
+  result_.trace_spans = recorder_->FinishSpans();
+  result_.trace_spans_dropped = recorder_->DroppedSpans();
+  result_.metrics = recorder_->MergedMetrics();
+
   return std::move(result_);
 }
 
@@ -208,6 +227,16 @@ void ScenarioEngine::OnArrival(des::Simulator& sim, Driver& driver) {
                        next_query_id_++, sim.Now());
 
   ++result_.queries_issued;
+
+  // Intake span: the query exists. Recorded on the coordinator lane — the
+  // arrival pump runs there in every execution mode.
+  if (obs::TraceLane* lane =
+          recorder_->trace_lane(recorder_->coordinator_lane());
+      lane != nullptr && lane->SamplesQuery(query.id)) {
+    lane->RecordInstant(obs::SpanKind::kIntake, sim.Now(), query.id,
+                        static_cast<double>(query.consumer.index()));
+  }
+
   driver.OnQueryArrival(sim, query);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,6 +11,7 @@
 #include "des/simulator.h"
 #include "des/time_series.h"
 #include "model/query.h"
+#include "obs/observability.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/mediation_core.h"
 #include "runtime/provider_agent.h"
@@ -169,6 +171,13 @@ class ScenarioEngine {
   RunResult& result() { return result_; }
   WindowedMean& response_window() { return response_window_; }
 
+  /// The run's flight recorder. The engine constructs one for a single
+  /// shard lane plus the coordinator lane; the sharded driver calls
+  /// ConfigureObservability(M) from its constructor — before building its
+  /// cores, which capture lane pointers — to get one lane per shard.
+  obs::FlightRecorder& recorder() { return *recorder_; }
+  void ConfigureObservability(std::size_t shard_lanes);
+
   /// The shared-state block a MediationCore needs, pointing into this
   /// engine. Drivers set the per-core fields (`effects`, `consumer_locks`)
   /// on top before constructing each core.
@@ -218,6 +227,8 @@ class ScenarioEngine {
 
   QueryId next_query_id_ = 0;
   WindowedMean response_window_;
+
+  std::unique_ptr<obs::FlightRecorder> recorder_;
 
   // Consecutive failed assessments per consumer (hysteresis).
   std::vector<std::uint32_t> consumer_violations_;

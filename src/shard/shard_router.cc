@@ -180,7 +180,13 @@ std::uint32_t ShardRouter::Route(const Query& query, SimTime now) {
                         hash_.Uint64(kConsumerSalt, query.consumer.index()));
     case RoutingPolicy::kLeastLoaded: {
       const std::uint32_t best = FreshLeastLoaded(now, {});
-      if (best < config_.num_shards) return best;
+      if (best < config_.num_shards) {
+        if (staleness_histogram_ != nullptr) {
+          // Age of the load view this decision acted on.
+          staleness_histogram_->Record(now - loads_[best].measured_at);
+        }
+        return best;
+      }
       // Every report expired (gossip disabled, partitioned, lagging a ring
       // rebalance, or not yet warmed up): degrade to the stateless spread
       // rather than hammering shard 0.
@@ -229,6 +235,12 @@ void ShardRouter::ReportLoad(std::uint32_t shard, double utilization,
     loads_[shard].measured_at = measured_at;
     loads_[shard].ring_epoch = ring_epoch;
   }
+}
+
+void ShardRouter::SetMetricsRegistry(obs::MetricsRegistry* metrics) {
+  staleness_histogram_ =
+      metrics != nullptr ? &metrics->GetHistogram(obs::kMetricGossipStaleness)
+                         : nullptr;
 }
 
 double ShardRouter::LoadOf(std::uint32_t shard) const {

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "model/query.h"
+#include "obs/metrics.h"
 #include "runtime/departures.h"
 #include "workload/population.h"
 
@@ -175,6 +176,13 @@ class ShardRouter {
   /// True when `shard`'s last report is within the staleness bound.
   bool HasFreshReport(std::uint32_t shard, SimTime now) const;
 
+  /// Wires the coordinator-lane metrics registry (may be null): every
+  /// least-loaded routing decision then records the age of the load report
+  /// it acted on into the "gossip.staleness_seconds" histogram — the
+  /// staleness the router's bounded view actually operated at, as opposed
+  /// to the configured bound.
+  void SetMetricsRegistry(obs::MetricsRegistry* metrics);
+
   std::uint64_t reports_received() const { return reports_; }
   /// Least-loaded routing decisions that fell back to hashing because every
   /// load report had expired (or lagged the ring epoch).
@@ -214,6 +222,8 @@ class ShardRouter {
   std::uint64_t reports_ = 0;
   std::uint64_t stale_fallbacks_ = 0;
   std::uint64_t epoch_lagged_ = 0;
+  /// Hoisted from the registry SetMetricsRegistry received; null = off.
+  obs::Histogram* staleness_histogram_ = nullptr;
 };
 
 /// The churn script that empties one shard: every provider (of

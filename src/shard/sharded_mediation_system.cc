@@ -105,6 +105,46 @@ ShardedMediationSystem::ShardedMediationSystem(
   }
 
   const std::size_t num_shards = config_.router.num_shards;
+  // One flight-recorder lane per shard plus the coordinator lane. Must
+  // precede core construction: the cores capture their lane pointers.
+  engine_.ConfigureObservability(num_shards);
+  obs::FlightRecorder& recorder = engine_.recorder();
+  const std::size_t coord = recorder.coordinator_lane();
+  coord_trace_ = recorder.trace_lane(coord);
+  router_.SetMetricsRegistry(recorder.hot_metrics(coord));
+  {
+    obs::MetricsRegistry& coord_registry = recorder.registry(coord);
+    reroutes_counter_ = &coord_registry.GetCounter(obs::kMetricReroutes);
+    rescues_counter_ = &coord_registry.GetCounter(obs::kMetricRerouteRescues);
+    handoffs_started_counter_ =
+        &coord_registry.GetCounter(obs::kMetricHandoffsStarted);
+    handoffs_completed_counter_ =
+        &coord_registry.GetCounter(obs::kMetricHandoffsCompleted);
+    handoffs_cancelled_counter_ =
+        &coord_registry.GetCounter(obs::kMetricHandoffsCancelled);
+    rebalances_damped_counter_ =
+        &coord_registry.GetCounter(obs::kMetricRebalancesDamped);
+    ring_rebalances_counter_ =
+        &coord_registry.GetCounter(obs::kMetricRingRebalances);
+    if (obs::MetricsRegistry* hot = recorder.hot_metrics(coord)) {
+      handoff_drain_hist_ = &hot->GetHistogram(obs::kMetricHandoffDrain);
+    }
+  }
+  flush_counters_.resize(num_shards);
+  batched_query_counters_.resize(num_shards);
+  batch_wait_hists_.assign(num_shards, nullptr);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    // Lane-side tallies go to the shard's own registry (single writer per
+    // lane thread); the run-level totals come out of the merged snapshot.
+    flush_counters_[s] =
+        &recorder.registry(s).GetCounter(obs::kMetricBatchFlushes);
+    batched_query_counters_[s] =
+        &recorder.registry(s).GetCounter(obs::kMetricBatchedQueries);
+    if (obs::MetricsRegistry* hot = recorder.hot_metrics(s)) {
+      batch_wait_hists_[s] = &hot->GetHistogram(obs::kMetricBatchWait);
+    }
+  }
+
   parallel_ = config_.worker_threads > 0;
   batching_enabled_ =
       config_.batch_window > 0.0 || config_.adaptive_batch.enabled;
@@ -124,8 +164,6 @@ ShardedMediationSystem::ShardedMediationSystem(
     }
   }
   batch_buffers_.resize(num_shards);
-  flush_counts_.assign(num_shards, 0);
-  batched_query_counts_.assign(num_shards, 0);
   flush_due_.assign(num_shards, -kSimTimeInfinity);
   flush_scratch_.resize(num_shards);
   outcome_scratch_.resize(num_shards);
@@ -143,6 +181,11 @@ ShardedMediationSystem::ShardedMediationSystem(
     // the per-consumer sequence locks on every lane-side consumer access.
     shared.effects = parallel_ ? &effect_logs_[s] : nullptr;
     shared.consumer_locks = consumer_locks_.get();
+    // Each core records spans and histograms into its own shard lane, in
+    // serial and parallel mode alike — the lane's record sequence is the
+    // trace-determinism contract.
+    shared.trace = recorder.trace_lane(s);
+    shared.metrics = recorder.hot_metrics(s);
     cores_.push_back(std::make_unique<runtime::MediationCore>(
         shared, methods_.back().get(), partition[s]));
     result_.shards[s].initial_providers = partition[s].size();
@@ -192,13 +235,30 @@ ShardedRunResult ShardedMediationSystem::Run() {
   }
   result_.gossip_sent = network_.sent_messages();
   result_.gossip_delivered = network_.delivered_messages();
-  result_.stale_fallbacks = router_.stale_fallbacks();
   result_.ring_epoch = router_.ring_epoch();
-  result_.epoch_lagged_reports = router_.epoch_lagged_reports();
-  for (std::size_t s = 0; s < flush_counts_.size(); ++s) {
-    result_.batch_flushes += flush_counts_[s];
-    result_.batched_queries += batched_query_counts_[s];
-  }
+
+  // Fold the router's internal tallies into the run-level registry, then
+  // fill every mirror field from it — the registry is the single source of
+  // truth for the bench counters (rows and JSON read the same numbers).
+  obs::MetricsRegistry& metrics = result_.run.metrics;
+  metrics.GetCounter(obs::kMetricStaleFallbacks).Inc(router_.stale_fallbacks());
+  metrics.GetCounter(obs::kMetricEpochLaggedReports)
+      .Inc(router_.epoch_lagged_reports());
+  result_.stale_fallbacks = metrics.CounterValue(obs::kMetricStaleFallbacks);
+  result_.epoch_lagged_reports =
+      metrics.CounterValue(obs::kMetricEpochLaggedReports);
+  result_.reroutes = metrics.CounterValue(obs::kMetricReroutes);
+  result_.reroute_rescues = metrics.CounterValue(obs::kMetricRerouteRescues);
+  result_.batch_flushes = metrics.CounterValue(obs::kMetricBatchFlushes);
+  result_.batched_queries = metrics.CounterValue(obs::kMetricBatchedQueries);
+  result_.ring_rebalances = metrics.CounterValue(obs::kMetricRingRebalances);
+  result_.rebalances_damped =
+      metrics.CounterValue(obs::kMetricRebalancesDamped);
+  result_.handoffs_started = metrics.CounterValue(obs::kMetricHandoffsStarted);
+  result_.handoffs_completed =
+      metrics.CounterValue(obs::kMetricHandoffsCompleted);
+  result_.handoffs_cancelled =
+      metrics.CounterValue(obs::kMetricHandoffsCancelled);
   if (consumer_locks_ != nullptr) {
     result_.consumer_lock_contention = consumer_locks_->contended_acquires();
   }
@@ -240,6 +300,10 @@ void ShardedMediationSystem::OnQueryArrival(des::Simulator& sim,
   const SimTime now = sim.Now();
   const std::uint32_t shard = router_.Route(query, now);
   ++result_.shards[shard].routed;
+  if (coord_trace_ != nullptr && coord_trace_->SamplesQuery(query.id)) {
+    coord_trace_->RecordInstant(obs::SpanKind::kRoute, now, query.id,
+                                static_cast<double>(shard));
+  }
   if (!window_controllers_.empty()) {
     // Adaptive intake: feed the shard's arrival-rate EWMA (coordinator
     // event — deterministic under any thread count).
@@ -266,17 +330,27 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
 
   // Shards this query has bounced off, so the re-route walk visits each
   // shard at most once (sized lazily: most queries never bounce).
+  const bool traced =
+      coord_trace_ != nullptr && coord_trace_->SamplesQuery(query.id);
   std::vector<bool> tried;
   if (attempt > 0) {
     // Resuming after a bounced batch attempt on `shard` (attempt 0).
     if (attempt >= attempts) {
       ++engine_.result().queries_infeasible;
+      if (traced) {
+        coord_trace_->RecordInstant(obs::SpanKind::kReject, now, query.id,
+                                    static_cast<double>(shard));
+      }
       return;
     }
     tried.assign(cores_.size(), false);
     tried[shard] = true;
     shard = router_.NextShard(shard, now, tried);
-    ++result_.reroutes;
+    reroutes_counter_->Inc();
+    if (traced) {
+      coord_trace_->RecordInstant(obs::SpanKind::kReroute, now, query.id,
+                                  static_cast<double>(shard));
+    }
   }
   for (; attempt < attempts; ++attempt) {
     const bool final_attempt = attempt + 1 == attempts;
@@ -288,7 +362,7 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
         cores_[shard]->Allocate(sim, query, saturation_bound);
     switch (outcome) {
       case runtime::MediationCore::Outcome::kAllocated:
-        if (attempt > 0) ++result_.reroute_rescues;
+        if (attempt > 0) rescues_counter_->Inc();
         return;
       case runtime::MediationCore::Outcome::kUnallocated:
         // The method saw the full candidate set and refused (strict
@@ -305,10 +379,18 @@ void ShardedMediationSystem::RouteWalk(des::Simulator& sim, const Query& query,
       if (tried.empty()) tried.assign(cores_.size(), false);
       tried[shard] = true;
       shard = router_.NextShard(shard, now, tried);
-      ++result_.reroutes;
+      reroutes_counter_->Inc();
+      if (traced) {
+        coord_trace_->RecordInstant(obs::SpanKind::kReroute, now, query.id,
+                                    static_cast<double>(shard));
+      }
     }
   }
   ++engine_.result().queries_infeasible;
+  if (traced) {
+    coord_trace_->RecordInstant(obs::SpanKind::kReject, now, query.id,
+                                static_cast<double>(shard));
+  }
 }
 
 double ShardedMediationSystem::BatchWindowFor(std::uint32_t shard) const {
@@ -355,7 +437,7 @@ void ShardedMediationSystem::EnqueueForMediation(const Query& query,
     const runtime::MediationCore::Outcome outcome =
         cores_[shard]->Allocate(lane_sim, query, 0.0);
     if (outcome != runtime::MediationCore::Outcome::kAllocated) {
-      CountInfeasible(lane_sim, shard);
+      CountInfeasible(lane_sim, shard, query);
     }
   });
 }
@@ -377,10 +459,22 @@ void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
   if (covered == 0) return;
   burst.assign(buffer.begin(), buffer.begin() + covered);
   buffer.erase(buffer.begin(), buffer.begin() + covered);
-  // Per-shard counters: FlushBatch runs on the shard's lane thread under
-  // parallel execution, so the cross-shard totals are summed at Run() end.
-  ++flush_counts_[shard];
-  batched_query_counts_[shard] += burst.size();
+  // Lane-side registry tallies: FlushBatch runs on the shard's lane thread
+  // under parallel execution, so these write the shard's own registry; the
+  // merged snapshot sums them at Run() end.
+  flush_counters_[shard]->Inc();
+  batched_query_counters_[shard]->Inc(burst.size());
+  obs::TraceLane* lane_trace = engine_.recorder().trace_lane(shard);
+  for (const Query& q : burst) {
+    const double wait = flush_time - q.issue_time;
+    if (batch_wait_hists_[shard] != nullptr) {
+      batch_wait_hists_[shard]->Record(wait);
+    }
+    if (lane_trace != nullptr && lane_trace->SamplesQuery(q.id)) {
+      lane_trace->Record(obs::SpanKind::kBatchWait, q.issue_time, flush_time,
+                         q.id, static_cast<double>(burst.size()));
+    }
+  }
 
   std::size_t attempts = 1;
   if (!parallel_ && config_.rerouting_enabled && cores_.size() > 1) {
@@ -401,7 +495,7 @@ void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
       case runtime::MediationCore::Outcome::kAllocated:
         break;
       case runtime::MediationCore::Outcome::kUnallocated:
-        CountInfeasible(sim, shard);
+        CountInfeasible(sim, shard, burst[i]);
         break;
       case runtime::MediationCore::Outcome::kNoCandidates:
       case runtime::MediationCore::Outcome::kSaturated:
@@ -410,7 +504,7 @@ void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
           // attempt, query by query.
           RouteWalk(sim, burst[i], shard, 1);
         } else {
-          CountInfeasible(sim, shard);
+          CountInfeasible(sim, shard, burst[i]);
         }
         break;
     }
@@ -418,17 +512,28 @@ void ShardedMediationSystem::FlushBatch(des::Simulator& sim,
 }
 
 void ShardedMediationSystem::CountInfeasible(des::Simulator& sim,
-                                             std::uint32_t shard) {
+                                             std::uint32_t shard,
+                                             const Query& query) {
   if (parallel_) {
     effect_logs_[shard].RecordInfeasible(sim.Now());
   } else {
     ++engine_.result().queries_infeasible;
+  }
+  // Lane-side rejection span: this runs on the shard's lane thread under
+  // parallel execution, so it records into the shard's own trace lane.
+  if (obs::TraceLane* lane_trace = engine_.recorder().trace_lane(shard);
+      lane_trace != nullptr && lane_trace->SamplesQuery(query.id)) {
+    lane_trace->RecordInstant(obs::SpanKind::kReject, sim.Now(), query.id,
+                              static_cast<double>(shard));
   }
 }
 
 void ShardedMediationSystem::MergeEffects() {
   runtime::MergeEffectLogs(effect_logs_, &engine_.result(),
                            &engine_.response_window());
+  // Lanes are quiescent at a barrier: move their pending spans into the
+  // recorder's merged stream before the rings can overflow.
+  engine_.recorder().DrainSpans();
 }
 
 void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
@@ -467,6 +572,9 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   if (!window_controllers_.empty()) {
     SampleShardBacklogs();
   }
+  // In serial runs no barrier merge ever fires; draining on the gossip
+  // cadence keeps the per-lane rings from overflowing on long runs.
+  engine_.recorder().DrainSpans();
   for (std::uint32_t s = 0; s < cores_.size(); ++s) {
     LoadReport report;
     report.shard = s;
@@ -474,6 +582,12 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
     report.active_providers = cores_[s]->active_provider_count();
     report.measured_at = now;
     report.ring_epoch = shard_epoch_seen_[s];
+    if (coord_trace_ != nullptr) {
+      // Gossip spans are not query-scoped: ref = reporting shard, detail =
+      // the utilization it reported. Always recorded while tracing is on.
+      coord_trace_->RecordInstant(obs::SpanKind::kGossip, now, s,
+                                  report.utilization);
+    }
 
     msg::Message message;
     message.from = shard_addresses_[s];
@@ -577,13 +691,13 @@ void ShardedMediationSystem::DropPendingHandoff(std::uint32_t provider) {
                    });
   if (it == pending_handoffs_.end()) return;
   pending_handoffs_.erase(it);
-  ++result_.handoffs_cancelled;
+  handoffs_cancelled_counter_->Inc();
 }
 
 void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
   // Pass 1: transfer whatever drained since the last tick (and drop
   // handoffs whose provider departed mid-drain); learn current ownership.
-  std::vector<std::uint32_t> owner = ProcessPendingHandoffs();
+  std::vector<std::uint32_t> owner = ProcessPendingHandoffs(sim.Now());
 
   // Effective member counts, with still-pending moves credited to their
   // target shard so an in-progress migration is not corrected twice.
@@ -606,7 +720,7 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
   // after every applied reweigh.
   if (!pending_handoffs_.empty()) {
     if (router_.RebalancedVnodes(counts) != router_.shard_vnodes()) {
-      ++result_.rebalances_damped;
+      rebalances_damped_counter_->Inc();
     }
     imbalance_streak_ = 0;
   } else {
@@ -617,11 +731,11 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
           std::max<std::size_t>(1,
                                 config_.router.rebalance_hysteresis_ticks)) {
         router_.SetShardVnodes(std::move(vnodes));
-        ++result_.ring_rebalances;
+        ring_rebalances_counter_->Inc();
         AnnounceRingEpoch();
         imbalance_streak_ = 0;
       } else {
-        ++result_.rebalances_damped;
+        rebalances_damped_counter_->Inc();
       }
     } else {
       imbalance_streak_ = 0;
@@ -641,7 +755,7 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
       if (pending != pending_handoffs_.end()) {
         cores_[owner[p]]->UnsealMember(p);
         pending_handoffs_.erase(pending);
-        ++result_.handoffs_cancelled;
+        handoffs_cancelled_counter_->Inc();
       }
       continue;
     }
@@ -650,12 +764,13 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
       continue;
     }
     cores_[owner[p]]->SealMember(p);
-    pending_handoffs_.push_back(PendingHandoff{p, owner[p], desired});
-    ++result_.handoffs_started;
+    pending_handoffs_.push_back(
+        PendingHandoff{p, owner[p], desired, sim.Now()});
+    handoffs_started_counter_->Inc();
   }
 
   // Pass 2: movers that were already idle transfer within this barrier.
-  owner = ProcessPendingHandoffs();
+  owner = ProcessPendingHandoffs(sim.Now());
 
   // Ownership digest (FNV-1a over ring epoch + owner of every provider):
   // the determinism pin compares these sequences across thread counts.
@@ -669,7 +784,8 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
   result_.ownership_digests.push_back(digest);
 }
 
-std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs() {
+std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs(
+    SimTime now) {
   // Under parallel execution a transfer is only safe with every lane
   // quiescent at a *rebalance* barrier — the kind the lane group's merge
   // hook recorded. A plain epoch barrier (or no barrier) must never reach
@@ -682,7 +798,7 @@ std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs() {
     if (!cores_[it->from]->IsMember(it->provider)) {
       // Departed (rules or schedule) while draining: nothing left to move.
       it = pending_handoffs_.erase(it);
-      ++result_.handoffs_cancelled;
+      handoffs_cancelled_counter_->Inc();
       continue;
     }
     if (!providers[it->provider].Idle()) {
@@ -694,7 +810,16 @@ std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs() {
     cores_[it->to]->ImportMember(handoff);
     ++result_.shards[it->from].providers_out;
     ++result_.shards[it->to].providers_in;
-    ++result_.handoffs_completed;
+    handoffs_completed_counter_->Inc();
+    // Seal-to-transfer drain latency, and the handoff span covering it
+    // (ref = the migrating provider, detail = destination shard).
+    if (handoff_drain_hist_ != nullptr) {
+      handoff_drain_hist_->Record(now - it->sealed_at);
+    }
+    if (coord_trace_ != nullptr) {
+      coord_trace_->Record(obs::SpanKind::kHandoff, it->sealed_at, now,
+                           it->provider, static_cast<double>(it->to));
+    }
     it = pending_handoffs_.erase(it);
   }
 

@@ -259,7 +259,8 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   void SampleShardBacklogs();
   /// Mediates a shard's coalesced burst (lane context in parallel mode).
   void FlushBatch(des::Simulator& sim, std::uint32_t shard);
-  void CountInfeasible(des::Simulator& sim, std::uint32_t shard);
+  void CountInfeasible(des::Simulator& sim, std::uint32_t shard,
+                       const Query& query);
   /// Folds every lane's effect log into the shared sinks (epoch barrier).
   void MergeEffects();
   void SendLoadReports(des::Simulator& sim);
@@ -273,7 +274,8 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// Transfers every pending handoff whose provider has drained; drops the
   /// ones whose provider departed while draining. Returns the shard owning
   /// each provider after the pass (kNoShard = not a member anywhere).
-  std::vector<std::uint32_t> ProcessPendingHandoffs();
+  /// `now` stamps the handoff-drain histogram and spans.
+  std::vector<std::uint32_t> ProcessPendingHandoffs(SimTime now);
   /// Gossips the router's current ring epoch to every shard (or applies it
   /// immediately when gossip is disabled).
   void AnnounceRingEpoch();
@@ -307,6 +309,9 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
     std::uint32_t provider = 0;
     std::uint32_t from = 0;
     std::uint32_t to = 0;
+    /// When the provider was sealed (the handoff span's start; the drain
+    /// histogram records transfer time minus this).
+    SimTime sealed_at = 0.0;
   };
   static constexpr std::uint32_t kNoShard = ~0u;
   des::PeriodicTask rebalance_task_;
@@ -340,16 +345,36 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// (with gossip on, the sample rides SendLoadReports).
   des::PeriodicTask backlog_sample_task_;
   std::vector<std::vector<Query>> batch_buffers_;
-  /// Per-shard flush/burst tallies (written from the shard's own lane;
-  /// summed into the result on the coordinator after the run).
-  std::vector<std::uint64_t> flush_counts_;
-  std::vector<std::uint64_t> batched_query_counts_;
   /// When the next armed flush fires, per shard (-inf = none armed). An
   /// arrival at or past this time is not covered by the pending flush —
   /// the coordinator may run ahead of the lanes — and arms the next one.
   std::vector<SimTime> flush_due_;
   std::vector<std::vector<Query>> flush_scratch_;
   std::vector<std::vector<runtime::MediationCore::Outcome>> outcome_scratch_;
+
+  // Observability plumbing (obs/), hoisted from the engine's flight
+  // recorder at construction so the record sites pay a pointer deref (or
+  // one null check) instead of a name lookup. Structural counters replace
+  // the former ad-hoc tallies and live in the always-on registries — the
+  // shard's own lane registry for lane-side sites (flushes), the
+  // coordinator registry for coordinator/barrier sites (reroutes,
+  // rebalances, handoffs) — and the ShardedRunResult mirror fields are
+  // filled from the merged registry at Run() end (one source of truth).
+  obs::Counter* reroutes_counter_ = nullptr;
+  obs::Counter* rescues_counter_ = nullptr;
+  obs::Counter* handoffs_started_counter_ = nullptr;
+  obs::Counter* handoffs_completed_counter_ = nullptr;
+  obs::Counter* handoffs_cancelled_counter_ = nullptr;
+  obs::Counter* rebalances_damped_counter_ = nullptr;
+  obs::Counter* ring_rebalances_counter_ = nullptr;
+  std::vector<obs::Counter*> flush_counters_;
+  std::vector<obs::Counter*> batched_query_counters_;
+  /// Per-shard batch-wait histograms; null entries when histograms are off.
+  std::vector<obs::Histogram*> batch_wait_hists_;
+  obs::Histogram* handoff_drain_hist_ = nullptr;
+  /// Coordinator-lane span recorder (routing, gossip, handoffs); null when
+  /// tracing is off.
+  obs::TraceLane* coord_trace_ = nullptr;
 
   ShardedRunResult result_;
   bool ran_ = false;

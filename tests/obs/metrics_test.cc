@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file
+/// Pins the algebra the flight recorder's merge relies on: histogram Merge
+/// must be associative and commutative on the full integer + min/max state
+/// (that is what makes the folded run-level snapshot independent of how
+/// work was split across lanes), quantiles must land within the documented
+/// bucket resolution, and MergeFrom must combine registries the way the
+/// per-lane fold assumes (counters add, gauges fill-if-unset).
+
+namespace sqlb::obs {
+namespace {
+
+/// Bit-level equality of everything a Quantile readout consumes: the
+/// integer state (bucket counts, value count) plus exact min/max. The
+/// float `sum` is checked to double precision separately where it matters —
+/// FP addition is commutative but not bit-associative, and the merge
+/// contract's exactness claim is scoped to the integer state.
+void ExpectHistogramsIdentical(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.buckets()[i], b.buckets()[i]) << "bucket " << i;
+  }
+}
+
+Histogram FromSamples(const std::vector<double>& samples) {
+  Histogram h;
+  for (double s : samples) h.Record(s);
+  return h;
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  const Histogram a = FromSamples({0.001, 0.5, 3.0, 120.0});
+  const Histogram b = FromSamples({0.02, 0.02, 7.5});
+  const Histogram c = FromSamples({1e-9, 5e5, 0.25});  // clamped extremes too
+
+  // (a + b) + c
+  Histogram left = a;
+  left.Merge(b);
+  left.Merge(c);
+  // a + (b + c)
+  Histogram right_tail = b;
+  right_tail.Merge(c);
+  Histogram right = a;
+  right.Merge(right_tail);
+
+  ExpectHistogramsIdentical(left, right);
+}
+
+TEST(HistogramTest, MergeIsCommutative) {
+  const Histogram a = FromSamples({0.004, 0.004, 18.0, 2500.0});
+  const Histogram b = FromSamples({0.9, 0.9, 0.9, 1e-7});
+
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+
+  ExpectHistogramsIdentical(ab, ba);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  const Histogram a = FromSamples({0.1, 1.0, 10.0});
+  const Histogram empty;
+
+  Histogram merged = a;
+  merged.Merge(empty);
+  ExpectHistogramsIdentical(merged, a);
+
+  Histogram other = empty;
+  other.Merge(a);
+  ExpectHistogramsIdentical(other, a);
+}
+
+TEST(HistogramTest, MergeCombinesCountSumMinMaxExactly) {
+  const Histogram a = FromSamples({0.5, 2.0});
+  const Histogram b = FromSamples({0.125, 64.0});
+  Histogram merged = a;
+  merged.Merge(b);
+
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_EQ(merged.sum(), 0.5 + 2.0 + 0.125 + 64.0);
+  EXPECT_EQ(merged.min(), 0.125);
+  EXPECT_EQ(merged.max(), 64.0);
+}
+
+TEST(HistogramTest, QuantileWithinBucketResolution) {
+  // 1000 uniform samples in [1, 2]: every quantile estimate must land
+  // within one bucket's relative resolution of the exact order statistic.
+  Histogram h;
+  std::vector<double> sorted;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1.0 + static_cast<double>(i) / 999.0;
+    h.Record(v);
+    sorted.push_back(v);
+  }
+  const double resolution =
+      std::pow(Histogram::kMaxValue / Histogram::kMinValue,
+               1.0 / static_cast<double>(Histogram::kBuckets)) -
+      1.0;
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+    const double est = h.Quantile(q);
+    EXPECT_NEAR(est, exact, 2.0 * resolution * exact) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileClampedToObservedRange) {
+  const Histogram h = FromSamples({3.0, 3.5, 4.0});
+  EXPECT_GE(h.Quantile(0.0), 3.0);
+  EXPECT_LE(h.Quantile(1.0), 4.0);
+  EXPECT_GE(h.Quantile(0.999), 3.0);
+  EXPECT_LE(h.Quantile(0.999), 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReadsAsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesCollapseToIt) {
+  const Histogram h = FromSamples({0.042});
+  EXPECT_EQ(h.Quantile(0.0), 0.042);
+  EXPECT_EQ(h.Quantile(0.5), 0.042);
+  EXPECT_EQ(h.Quantile(1.0), 0.042);
+}
+
+TEST(HistogramTest, BucketBoundsBracketTheirValues) {
+  for (double v : {1e-6, 0.003, 1.0, 999.0, 9.9e5}) {
+    const std::size_t i = Histogram::BucketIndex(v);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_LE(Histogram::BucketLowerBound(i), v) << v;
+    EXPECT_GT(Histogram::BucketUpperBound(i), v) << v;
+  }
+  // Out-of-range values clamp to the edge buckets.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e12), Histogram::kBuckets - 1);
+}
+
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndMergesHistograms) {
+  MetricsRegistry a;
+  a.GetCounter("c").Inc(3);
+  a.GetHistogram("h").Record(1.0);
+
+  MetricsRegistry b;
+  b.GetCounter("c").Inc(4);
+  b.GetCounter("only_b").Inc(7);
+  b.GetHistogram("h").Record(2.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("c"), 7u);
+  EXPECT_EQ(a.CounterValue("only_b"), 7u);
+  ASSERT_NE(a.FindHistogram("h"), nullptr);
+  EXPECT_EQ(a.FindHistogram("h")->count(), 2u);
+  EXPECT_EQ(a.FindHistogram("h")->sum(), 3.0);
+}
+
+TEST(MetricsRegistryTest, MergeFromFillsUnsetGaugesOnly) {
+  MetricsRegistry a;
+  a.GetGauge("set_in_both").Set(1.0);
+
+  MetricsRegistry b;
+  b.GetGauge("set_in_both").Set(2.0);
+  b.GetGauge("set_in_b").Set(3.0);
+
+  a.MergeFrom(b);
+  // The fold never overwrites a live value.
+  EXPECT_EQ(a.GaugeValue("set_in_both"), 1.0);
+  EXPECT_EQ(a.GaugeValue("set_in_b"), 3.0);
+}
+
+TEST(MetricsRegistryTest, LaneFoldOrderDoesNotChangeTheSnapshot) {
+  // Three "lanes" folded in two different orders must agree exactly —
+  // the registry-level statement of associativity + commutativity.
+  auto make_lane = [](std::uint64_t n, double v) {
+    MetricsRegistry r;
+    r.GetCounter(kMetricBatchFlushes).Inc(n);
+    r.GetHistogram(kMetricResponseTime).Record(v);
+    r.GetHistogram(kMetricResponseTime).Record(v * 2.0);
+    return r;
+  };
+  // Dyadic sample values: every partial sum is exactly representable, so
+  // even the float `sum` (and hence the JSON byte stream) is order-free.
+  const MetricsRegistry l0 = make_lane(1, 0.5);
+  const MetricsRegistry l1 = make_lane(10, 8.0);
+  const MetricsRegistry l2 = make_lane(100, 0.25);
+
+  MetricsRegistry forward;
+  forward.MergeFrom(l0);
+  forward.MergeFrom(l1);
+  forward.MergeFrom(l2);
+
+  MetricsRegistry backward;
+  backward.MergeFrom(l2);
+  backward.MergeFrom(l1);
+  backward.MergeFrom(l0);
+
+  EXPECT_EQ(forward.ToJson(), backward.ToJson());
+  ExpectHistogramsIdentical(*forward.FindHistogram(kMetricResponseTime),
+                            *backward.FindHistogram(kMetricResponseTime));
+}
+
+TEST(MetricsRegistryTest, ReadOnlyLookupsDoNotCreateMetrics) {
+  const MetricsRegistry r;
+  EXPECT_EQ(r.CounterValue("absent"), 0u);
+  EXPECT_EQ(r.GaugeValue("absent"), 0.0);
+  EXPECT_EQ(r.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(r.HistogramQuantile("absent", 0.99), 0.0);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(MetricsRegistryTest, ToJsonCarriesAllSectionsAndQuantiles) {
+  MetricsRegistry r;
+  r.GetCounter(kMetricReroutes).Inc(5);
+  r.GetGauge("batch.window.0").Set(0.25);
+  for (int i = 1; i <= 100; ++i) {
+    r.GetHistogram(kMetricResponseTime).Record(0.01 * i);
+  }
+
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"route.reroutes\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch.window.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rt.response_seconds\""), std::string::npos);
+  for (const char* key : {"\"count\"", "\"p50\"", "\"p90\"", "\"p99\"",
+                          "\"p999\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace sqlb::obs

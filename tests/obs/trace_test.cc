@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+/// \file
+/// Pins the TraceLane flight-recorder semantics: bounded ring that keeps
+/// the most recent spans and counts evictions, a per-lane monotone seq that
+/// survives drains, deterministic id-based sampling, and the Chrome/Perfetto
+/// JSON export shape.
+
+namespace sqlb::obs {
+namespace {
+
+void RecordNth(TraceLane* lane, std::uint64_t i) {
+  lane->Record(SpanKind::kExecute, static_cast<double>(i),
+               static_cast<double>(i) + 0.5, /*ref=*/i, /*detail=*/0.0);
+}
+
+TEST(TraceLaneTest, OverflowKeepsTheMostRecentSpansAndCountsDrops) {
+  TraceLane lane(/*lane=*/2, /*sample_every=*/1, /*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) RecordNth(&lane, i);
+
+  EXPECT_EQ(lane.dropped(), 6u);
+  EXPECT_EQ(lane.pending(), 4u);
+  EXPECT_EQ(lane.seq(), 10u);
+
+  std::vector<TraceSpan> out;
+  lane.Drain(&out);
+  ASSERT_EQ(out.size(), 4u);
+  // Flight-recorder semantics: the retained window is the LAST 4 records,
+  // oldest-first.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ref, 6u + i) << i;
+    EXPECT_EQ(out[i].seq, 6u + i) << i;
+    EXPECT_EQ(out[i].lane, 2u) << i;
+  }
+}
+
+TEST(TraceLaneTest, DrainAppendsOldestFirstAndClears) {
+  TraceLane lane(0, 1, 16);
+  for (std::uint64_t i = 0; i < 3; ++i) RecordNth(&lane, i);
+
+  std::vector<TraceSpan> out;
+  out.push_back(TraceSpan{});  // Drain must append, not overwrite
+  lane.Drain(&out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[1].ref, 0u);
+  EXPECT_EQ(out[2].ref, 1u);
+  EXPECT_EQ(out[3].ref, 2u);
+  EXPECT_EQ(lane.pending(), 0u);
+
+  // seq and dropped persist across drains; the next record continues the
+  // per-lane sequence.
+  RecordNth(&lane, 99);
+  std::vector<TraceSpan> next;
+  lane.Drain(&next);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].seq, 3u);
+  EXPECT_EQ(lane.dropped(), 0u);
+}
+
+TEST(TraceLaneTest, SamplingIsDeterministicInTheQueryId) {
+  TraceLane lane(0, /*sample_every=*/16, 16);
+  EXPECT_TRUE(lane.SamplesQuery(0));
+  for (std::uint64_t id = 1; id < 16; ++id) {
+    EXPECT_FALSE(lane.SamplesQuery(id)) << id;
+  }
+  EXPECT_TRUE(lane.SamplesQuery(16));
+  EXPECT_TRUE(lane.SamplesQuery(32));
+  EXPECT_FALSE(lane.SamplesQuery(33));
+}
+
+TEST(TraceLaneTest, SampleEveryZeroMeansEveryQuery) {
+  TraceLane lane(0, /*sample_every=*/0, 16);
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    EXPECT_TRUE(lane.SamplesQuery(id)) << id;
+  }
+}
+
+TEST(TraceLaneTest, RecordInstantHasZeroDuration) {
+  TraceLane lane(1, 1, 16);
+  lane.RecordInstant(SpanKind::kGossip, 42.0, 7, 0.5);
+  std::vector<TraceSpan> out;
+  lane.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start, 42.0);
+  EXPECT_EQ(out[0].end, 42.0);
+  EXPECT_EQ(out[0].ref, 7u);
+  EXPECT_EQ(out[0].detail, 0.5);
+  EXPECT_EQ(out[0].kind, SpanKind::kGossip);
+}
+
+TEST(SpanKindTest, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kGossip); ++k) {
+    const char* name = SpanKindName(static_cast<SpanKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << k;
+  }
+}
+
+TEST(ChromeTraceJsonTest, EmitsLaneMetadataAndSpanEvents) {
+  TraceLane shard(0, 1, 16);
+  shard.Record(SpanKind::kBatchWait, 1.0, 1.25, 17, 3.0);
+  TraceLane coord(2, 1, 16);
+  coord.RecordInstant(SpanKind::kGossip, 2.0, 1, 0.8);
+
+  std::vector<TraceSpan> spans;
+  shard.Drain(&spans);
+  coord.Drain(&spans);
+
+  const std::string json = ChromeTraceJson(spans, /*shard_lanes=*/2);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata row per lane, coordinator last.
+  EXPECT_NE(json.find("\"shard 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+  // Span rows: kind names, complete-event phase, microsecond timestamps.
+  EXPECT_NE(json.find("\"batch_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"gossip\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"ref\":17"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyStreamIsStillValidJson) {
+  const std::string json = ChromeTraceJson({}, 1);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace sqlb::obs
