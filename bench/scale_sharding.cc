@@ -13,11 +13,18 @@
 //     sequence locks and bounded aggregate divergence from the serial
 //     least-loaded run (counters conserved exactly; response time within
 //     a small tolerance).
-//  4. Churn (this PR): the same 8-shard strict tier under a provider
+//  4. Churn (PR 4): the same 8-shard strict tier under a provider
 //     join/leave schedule that guts one shard mid-run, with runtime ring
 //     re-partitioning on — the churn arm must stay bit-identical between
 //     serial and parallel execution and must not regress allocation
 //     throughput vs the no-churn arm by more than the CI gate (20%).
+//  5. Chaos (this PR): random mid-run shard kills with crash-consistent
+//     snapshots, survivor adoption of the dead shard's providers, and
+//     re-issue of the queries the crash lost. The zero-lost-completions
+//     invariant — completed + infeasible + reissued == issued, exactly —
+//     is pinned here under the kill schedule, the serial and 4-thread
+//     chaos rows must stay bit-identical, and throughput vs the calm
+//     8-serial arm is the CI gate (>= 0.70).
 //
 // What to look for:
 //   - M = 1 (sharded) reproduces the mono-mediator exactly, and the
@@ -41,6 +48,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -88,6 +96,14 @@ struct ScalePoint {
   std::uint64_t rebalances = 0;
   std::uint64_t rebalances_damped = 0;
   std::uint64_t handoffs = 0;
+  // Chaos (fault-injection) arms only.
+  std::uint64_t infeasible = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t orphaned = 0;
+  std::uint64_t dropped_completions = 0;
 };
 
 runtime::SystemConfig BaseConfig() {
@@ -128,6 +144,8 @@ ScalePoint RunMono(const runtime::SystemConfig& config) {
   point.wall_seconds = std::chrono::duration<double>(end - start).count();
   point.issued = result.queries_issued;
   point.completed = result.queries_completed;
+  point.infeasible = result.queries_infeasible;
+  point.reissued = result.queries_reissued;
   point.mean_rt = result.response_time.mean();
   point.rt_p50 = result.ResponseTimeQuantile(0.5);
   point.rt_p99 = result.ResponseTimeQuantile(0.99);
@@ -151,6 +169,8 @@ struct ShardedOptions {
   /// Churn arms: a provider join/leave schedule plus ring re-partitioning.
   const runtime::ChurnSchedule* churn = nullptr;
   bool rebalance = false;
+  /// Chaos arms: scheduled shard kills (crash, failover, recovery).
+  const runtime::FaultSchedule* faults = nullptr;
   /// Adaptive arm: per-shard window controller bounded by
   /// [0, adaptive_max_window] (runtime/batch_window.h).
   bool adaptive = false;
@@ -172,6 +192,7 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   config.batch_window = options.batch_window;
   config.parity = options.parity;
   if (options.churn != nullptr) config.base.provider_churn = *options.churn;
+  if (options.faults != nullptr) config.base.shard_faults = *options.faults;
   config.rebalance_enabled = options.rebalance;
   if (options.adaptive) {
     config.adaptive_batch.enabled = true;
@@ -214,6 +235,13 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   point.rebalances = result.ring_rebalances;
   point.rebalances_damped = result.rebalances_damped;
   point.handoffs = result.handoffs_completed;
+  point.infeasible = result.run.queries_infeasible;
+  point.reissued = result.reissued_queries;
+  point.crashes = result.shard_crashes;
+  point.snapshots = result.snapshots_taken;
+  point.restored = result.restored_providers;
+  point.orphaned = result.orphaned_providers;
+  point.dropped_completions = result.dropped_completions;
   if (full_out != nullptr) *full_out = std::move(result);
   return point;
 }
@@ -386,6 +414,30 @@ int main() {
   churn_parallel.worker_threads = 4;
   points.push_back(RunSharded(base, churn_parallel));
 
+  // The chaos story: random shard kills on the strict serial baseline, plus
+  // a 4-thread twin for the failover parity pin. Each kill loses the dead
+  // shard's un-snapshotted mediation state; survivors adopt its providers
+  // through the versioned ring and the lost queries are re-issued with the
+  // availability penalty charged to the response-time statistics. The kill
+  // schedule is pure data (seeded up front), so the arm is reproducible.
+  runtime::FaultSchedule chaos_faults = runtime::FaultSchedule::RandomKills(
+      base.stats_warmup, base.duration - 100.0, /*kills_per_1000s=*/3.0,
+      static_cast<std::uint32_t>(kShards), /*seed=*/1007);
+  // Guarantee at least one mid-run kill even under the trimmed fast-mode
+  // horizon (the engine sorts events; killing a dead shard is a no-op).
+  chaos_faults.Append(
+      runtime::FaultSchedule::KillAt(base.duration / 2.0, /*shard=*/3));
+  ShardedOptions chaos_serial = serial_base;
+  chaos_serial.label = "8-chaos";
+  chaos_serial.faults = &chaos_faults;
+  chaos_serial.rebalance = true;
+  points.push_back(RunSharded(base, chaos_serial));
+
+  ShardedOptions chaos_parallel = chaos_serial;
+  chaos_parallel.label = "8-chaos-t4";
+  chaos_parallel.worker_threads = 4;
+  points.push_back(RunSharded(base, chaos_parallel));
+
   const double mono_throughput = Throughput(points.front());
 
   TablePrinter table({"config", "threads", "batch(s)", "wall(s)", "completed",
@@ -457,7 +509,14 @@ int main() {
         .Add("ring_epoch", p.ring_epoch)
         .Add("ring_rebalances", p.rebalances)
         .Add("ring_rebalances_damped", p.rebalances_damped)
-        .Add("handoffs_completed", p.handoffs);
+        .Add("handoffs_completed", p.handoffs)
+        .Add("queries_infeasible", p.infeasible)
+        .Add("queries_reissued", p.reissued)
+        .Add("shard_crashes", p.crashes)
+        .Add("snapshots_taken", p.snapshots)
+        .Add("restored_providers", p.restored)
+        .Add("orphaned_providers", p.orphaned)
+        .Add("dropped_completions", p.dropped_completions);
     rows.Add(row);
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -577,6 +636,49 @@ int main() {
       static_cast<unsigned long long>(churn0.handoffs),
       static_cast<unsigned long long>(churn0.joins));
 
+  // 7. Chaos: zero lost completions under the kill schedule — every issued
+  //    query is completed, declared infeasible, or declared re-issued,
+  //    exactly — the failover machinery actually fired (crashes and
+  //    snapshots happened), and the strict 4-thread chaos row must BE the
+  //    serial chaos row, failover counters included.
+  const ScalePoint& chaos0 = FindPoint(points, "8-chaos");
+  const ScalePoint& chaos4 = FindPoint(points, "8-chaos-t4");
+  const std::int64_t chaos_lost_completions =
+      static_cast<std::int64_t>(chaos0.issued) -
+      static_cast<std::int64_t>(chaos0.completed) -
+      static_cast<std::int64_t>(chaos0.infeasible) -
+      static_cast<std::int64_t>(chaos0.reissued);
+  const bool chaos_zero_lost = chaos_lost_completions == 0;
+  const bool chaos_parity = chaos0.issued == chaos4.issued &&
+                            chaos0.completed == chaos4.completed &&
+                            chaos0.reissued == chaos4.reissued &&
+                            chaos0.crashes == chaos4.crashes &&
+                            chaos0.restored == chaos4.restored &&
+                            chaos0.orphaned == chaos4.orphaned &&
+                            chaos0.mean_rt == chaos4.mean_rt &&
+                            chaos0.cons_sat == chaos4.cons_sat;
+  const bool chaos_active = chaos0.crashes > 0 && chaos0.snapshots > 0;
+  std::printf(
+      "chaos zero-lost-completions: %s (issued %llu = completed %llu + "
+      "infeasible %llu + reissued %llu, delta %lld)\n",
+      chaos_zero_lost ? "EXACT" : "BROKEN (investigate!)",
+      static_cast<unsigned long long>(chaos0.issued),
+      static_cast<unsigned long long>(chaos0.completed),
+      static_cast<unsigned long long>(chaos0.infeasible),
+      static_cast<unsigned long long>(chaos0.reissued),
+      static_cast<long long>(chaos_lost_completions));
+  std::printf("chaos failover parity (serial vs 4 threads): %s\n",
+              chaos_parity ? "EXACT" : "BROKEN (investigate!)");
+  std::printf(
+      "chaos activity (%s): %llu crashes, %llu snapshots, %llu restored, "
+      "%llu orphaned, %llu dropped completions\n",
+      chaos_active ? "YES" : "NO (investigate!)",
+      static_cast<unsigned long long>(chaos0.crashes),
+      static_cast<unsigned long long>(chaos0.snapshots),
+      static_cast<unsigned long long>(chaos0.restored),
+      static_cast<unsigned long long>(chaos0.orphaned),
+      static_cast<unsigned long long>(chaos0.dropped_completions));
+
   // --- Hardware-dependent wall-clock numbers -------------------------------
 
   const ScalePoint& eight = FindPoint(points, "8-shard");
@@ -658,6 +760,16 @@ int main() {
       "churn arm throughput vs 8-serial: %.2fx (CI gate: >= 0.80)\n",
       churn_throughput_ratio);
 
+  // Chaos overhead: allocation throughput under the kill schedule relative
+  // to the identically-configured calm arm. Crashes cost re-mediation of
+  // everything re-issued plus the adoption drain, so some loss is expected;
+  // CI fails below 0.7 (a > 30% regression).
+  const double chaos_throughput_ratio =
+      Throughput(chaos0) / Throughput(serial8);
+  std::printf(
+      "chaos arm throughput vs 8-serial: %.2fx (CI gate: >= 0.70)\n",
+      chaos_throughput_ratio);
+
   // Observability overhead: the fully-instrumented arm (histograms + spans
   // at the default 1-in-16 sampling) against the uninstrumented twin.
   const ScalePoint& noobs_pt = FindPoint(points, "8-noobs");
@@ -697,6 +809,18 @@ int main() {
       .Add("churn_rebalances_damped", churn0.rebalances_damped)
       .Add("churn_handoffs_completed", churn0.handoffs)
       .Add("churn_provider_joins", churn0.joins)
+      .AddRaw("chaos_lost_completions",
+              std::to_string(chaos_lost_completions))
+      .Add("chaos_zero_lost", chaos_zero_lost)
+      .Add("chaos_parity_exact", chaos_parity)
+      .Add("chaos_active", chaos_active)
+      .Add("chaos_throughput_ratio", chaos_throughput_ratio)
+      .Add("chaos_shard_crashes", chaos0.crashes)
+      .Add("chaos_snapshots_taken", chaos0.snapshots)
+      .Add("chaos_reissued_queries", chaos0.reissued)
+      .Add("chaos_restored_providers", chaos0.restored)
+      .Add("chaos_orphaned_providers", chaos0.orphaned)
+      .Add("chaos_dropped_completions", chaos0.dropped_completions)
       .Add("adaptive_mean_rt", adapt.mean_rt)
       .Add("static_batch_mean_rt", ll_twin.mean_rt)
       .Add("adaptive_rt_ratio", adapt_rt_ratio)
@@ -758,7 +882,8 @@ int main() {
   return mono_parity && obs_transparent_pin && parallel_parity &&
                  thread_determinism && relaxed_counters_conserved &&
                  relaxed_rt_within_tolerance && churn_parity &&
-                 churn_repartitioned && speedup8 >= 2.0
+                 churn_repartitioned && chaos_zero_lost && chaos_parity &&
+                 chaos_active && speedup8 >= 2.0
              ? 0
              : 1;
 }

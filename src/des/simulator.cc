@@ -104,6 +104,8 @@ void LaneGroup::SyncTo(SimTime t, BarrierKind kind) {
                      [this, t](std::size_t i) { lanes_[i]->RunUntil(t); });
   if (kind == BarrierKind::kRebalance) {
     ++rebalance_syncs_;
+  } else if (kind == BarrierKind::kFailover) {
+    ++failover_syncs_;
   } else {
     ++epoch_syncs_;
   }

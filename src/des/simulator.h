@@ -53,6 +53,12 @@ enum class BarrierKind : std::uint8_t {
   kEpoch = 1,
   /// Re-partitioning boundary: lane membership may change once merged.
   kRebalance = 2,
+  /// Failover boundary: a lane's owner may be crashed or restored once
+  /// merged. Like kRebalance it licenses the event to move state between
+  /// lanes; it additionally announces that a lane may stop participating
+  /// (its queue keeps draining already-scheduled completions, but the
+  /// owner's shared-state writes are suppressed from here on).
+  kFailover = 3,
 };
 
 /// The event queue + clock. Single-threaded by design: mediation is an
@@ -178,9 +184,11 @@ class LaneGroup {
   void DrainAll();
 
   std::size_t size() const { return lanes_.size(); }
-  /// Syncs performed so far at epoch / rebalance barriers, respectively.
+  /// Syncs performed so far at epoch / rebalance / failover barriers,
+  /// respectively.
   std::uint64_t epoch_syncs() const { return epoch_syncs_; }
   std::uint64_t rebalance_syncs() const { return rebalance_syncs_; }
+  std::uint64_t failover_syncs() const { return failover_syncs_; }
 
  private:
   std::vector<Simulator*> lanes_;
@@ -188,6 +196,7 @@ class LaneGroup {
   MergeFn on_sync_;
   std::uint64_t epoch_syncs_ = 0;
   std::uint64_t rebalance_syncs_ = 0;
+  std::uint64_t failover_syncs_ = 0;
 };
 
 /// Periodically invokes fn(sim) every `interval` seconds, starting at

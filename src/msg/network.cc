@@ -21,11 +21,45 @@ NodeId Network::Register(Node* node) {
 
 void Network::Unregister(NodeId id) { nodes_.erase(id); }
 
+void Network::SetFaultPolicy(const FaultPolicy& policy) {
+  SQLB_CHECK(policy.drop_probability >= 0.0 && policy.drop_probability <= 1.0,
+             "drop probability must be in [0, 1]");
+  SQLB_CHECK(policy.delay_probability >= 0.0 &&
+                 policy.delay_probability <= 1.0,
+             "delay probability must be in [0, 1]");
+  SQLB_CHECK(policy.extra_delay_min >= 0.0 &&
+                 policy.extra_delay_max >= policy.extra_delay_min,
+             "extra delay bounds must be ordered and non-negative");
+  faults_ = policy;
+  fault_rng_.Reseed(policy.seed ^ 0xfa01c0ffeeULL);
+}
+
 void Network::Send(Message message) {
   SQLB_CHECK(message.to.valid(), "message needs a destination");
   ++sent_;
+  // Fault injection happens before the latency draw, on its own stream: a
+  // dropped message consumes no latency randomness, and a disabled policy
+  // consumes no randomness at all — zero-policy runs are bit-identical to
+  // runs that predate fault injection.
+  SimTime injected_delay = 0.0;
+  if (faults_.enabled()) {
+    if (faults_.drop_probability > 0.0 &&
+        fault_rng_.Bernoulli(faults_.drop_probability)) {
+      ++dropped_;
+      ++injected_drops_;
+      return;
+    }
+    if (faults_.delay_probability > 0.0 &&
+        fault_rng_.Bernoulli(faults_.delay_probability)) {
+      injected_delay = faults_.extra_delay_max > faults_.extra_delay_min
+                           ? fault_rng_.Uniform(faults_.extra_delay_min,
+                                                faults_.extra_delay_max)
+                           : faults_.extra_delay_min;
+      ++injected_delays_;
+    }
+  }
   const SimTime delay =
-      latency_.base +
+      injected_delay + latency_.base +
       (latency_.jitter > 0.0 ? rng_.Uniform(0.0, latency_.jitter) : 0.0);
   sim_.ScheduleAfter(
       delay, [this, msg = std::move(message)](des::Simulator&) {

@@ -53,10 +53,34 @@ struct LatencyModel {
   SimTime jitter = 0.0;
 };
 
+/// Deterministic message-fault injection. Every Send consults this policy:
+/// the message is dropped with `drop_probability`; otherwise it is delayed
+/// by an extra uniform [extra_delay_min, extra_delay_max] seconds with
+/// `delay_probability`. Decisions come from a dedicated stream seeded by
+/// `seed` — independent of the latency jitter stream, so a zero policy run
+/// is bit-identical to a network without fault injection at all, and
+/// enabling faults never perturbs the latency draws of surviving messages.
+struct FaultPolicy {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  SimTime extra_delay_min = 0.0;
+  SimTime extra_delay_max = 0.0;
+  std::uint64_t seed = 0x10557ULL;
+
+  bool enabled() const {
+    return drop_probability > 0.0 || delay_probability > 0.0;
+  }
+};
+
 /// The simulated network: registration, routing, latency, loss accounting.
 class Network {
  public:
   Network(des::Simulator& sim, LatencyModel latency, Rng rng);
+
+  /// Installs (or replaces) the fault-injection policy. Reseeds the fault
+  /// stream from the policy's seed, so installing the same policy twice
+  /// reproduces the same drop/delay sequence.
+  void SetFaultPolicy(const FaultPolicy& policy);
 
   /// Registers a node and assigns its address. The node must outlive the
   /// network or unregister first.
@@ -74,18 +98,28 @@ class Network {
 
   std::uint64_t sent_messages() const { return sent_; }
   std::uint64_t delivered_messages() const { return delivered_; }
+  /// Messages that never reached a handler: destination gone on arrival,
+  /// plus injected drops.
   std::uint64_t dropped_messages() const { return dropped_; }
+  /// Drops charged to the fault policy (subset of dropped_messages()).
+  std::uint64_t injected_drops() const { return injected_drops_; }
+  /// Messages the fault policy delayed beyond the latency model.
+  std::uint64_t injected_delays() const { return injected_delays_; }
   std::size_t node_count() const { return nodes_.size(); }
 
  private:
   des::Simulator& sim_;
   LatencyModel latency_;
   Rng rng_;
+  FaultPolicy faults_;
+  Rng fault_rng_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::uint32_t next_node_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_delays_ = 0;
 };
 
 }  // namespace sqlb::msg

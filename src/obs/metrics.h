@@ -170,6 +170,10 @@ inline constexpr const char kMetricGossipStaleness[] =
 // (Algorithm 1's per-query work is proportional to |P_q|).
 inline constexpr const char kMetricMediationCandidates[] =
     "mediation.candidates_per_query";
+// Availability penalty per re-issued query: re-issue time minus original
+// issue time (the time the query spent bound to a mediator that died).
+inline constexpr const char kMetricReissueDelay[] =
+    "failover.reissue_delay_seconds";
 
 // Counters.
 inline constexpr const char kMetricBatchFlushes[] = "batch.flushes";
@@ -184,6 +188,42 @@ inline constexpr const char kMetricRingRebalances[] = "rebalance.applied";
 inline constexpr const char kMetricHandoffsStarted[] = "handoff.started";
 inline constexpr const char kMetricHandoffsCompleted[] = "handoff.completed";
 inline constexpr const char kMetricHandoffsCancelled[] = "handoff.cancelled";
+
+// Failover accounting (runtime/faults.h). The reissued total satisfies
+// completed + infeasible + reissued == issued under any kill schedule.
+inline constexpr const char kMetricShardCrashes[] = "failover.shard_crashes";
+inline constexpr const char kMetricReissuedQueries[] =
+    "failover.reissued_queries";
+// Per-reason re-issue counters: "failover.reissued.in_flight",
+// "failover.reissued.intake" (the ReissueReasonName suffix is appended).
+inline constexpr const char kMetricReissuedPrefix[] = "failover.reissued.";
+// Providers a survivor adopted from a snapshot (baselines restored) vs
+// re-admitted fresh (crashed before their first snapshot).
+inline constexpr const char kMetricRestoredProviders[] =
+    "failover.restored_providers";
+inline constexpr const char kMetricOrphanedProviders[] =
+    "failover.orphaned_providers";
+// Drain-retry ticks where a dead shard's provider still had in-flight work.
+inline constexpr const char kMetricFailoverDrainTicks[] =
+    "failover.drain_ticks";
+// Completions suppressed because their dispatching incarnation crashed.
+inline constexpr const char kMetricDroppedCompletions[] =
+    "failover.dropped_completions";
+// Crash-consistent snapshots exported at barriers.
+inline constexpr const char kMetricSnapshots[] = "failover.snapshots";
+
+// Message substrate (msg/network.h) — surfaced so network loss is visible
+// to the single-source-of-truth metrics layer.
+inline constexpr const char kMetricNetSent[] = "net.sent";
+inline constexpr const char kMetricNetDelivered[] = "net.delivered";
+inline constexpr const char kMetricNetDropped[] = "net.dropped";
+inline constexpr const char kMetricNetInjectedDrops[] = "net.injected_drops";
+inline constexpr const char kMetricNetInjectedDelays[] =
+    "net.injected_delays";
+// Ring-epoch re-announcements to shards whose gossiped epoch lags (the
+// retry half of "gossip retry + epoch-lagged fallback").
+inline constexpr const char kMetricGossipRingRetries[] =
+    "gossip.ring_retries";
 
 // Per-shard gauges (the shard index is appended: "batch.window.0", ...).
 inline constexpr const char kMetricBatchWindowPrefix[] = "batch.window.";

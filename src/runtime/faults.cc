@@ -1,0 +1,48 @@
+#include "runtime/faults.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqlb::runtime {
+
+const char* ReissueReasonName(ReissueReason reason) {
+  switch (reason) {
+    case ReissueReason::kInFlight:
+      return "in_flight";
+    case ReissueReason::kIntake:
+      return "intake";
+  }
+  return "?";
+}
+
+FaultSchedule FaultSchedule::KillAt(SimTime time, std::uint32_t shard) {
+  FaultSchedule schedule;
+  schedule.events.push_back(ShardFaultEvent{time, shard});
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::RandomKills(SimTime start, SimTime end,
+                                         double kills_per_1000s,
+                                         std::uint32_t num_shards,
+                                         std::uint64_t seed) {
+  SQLB_CHECK(end >= start, "RandomKills window ends before it starts");
+  SQLB_CHECK(kills_per_1000s > 0.0, "RandomKills rate must be positive");
+  SQLB_CHECK(num_shards > 0, "RandomKills needs at least one shard");
+  FaultSchedule schedule;
+  Rng rng(seed ^ 0xfa117a11ULL);
+  const double rate = kills_per_1000s / 1000.0;
+  SimTime t = start + rng.Exponential(rate);
+  while (t <= end) {
+    const auto shard = static_cast<std::uint32_t>(rng.NextBounded(num_shards));
+    schedule.events.push_back(ShardFaultEvent{t, shard});
+    t += rng.Exponential(rate);
+  }
+  return schedule;
+}
+
+FaultSchedule& FaultSchedule::Append(const FaultSchedule& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  return *this;
+}
+
+}  // namespace sqlb::runtime

@@ -302,16 +302,26 @@ MediationCore::Outcome MediationCore::ApplyDecision(
   }
 
   // Dispatch to the selected providers; the consumer's response arrives
-  // when the last of them completes.
+  // when the last of them completes. Completion callbacks carry the crash
+  // epoch they were dispatched under: if this core crashes before they
+  // fire, the stale callbacks drop themselves (the query was re-issued by
+  // the failover path — counting the orphaned completion would break the
+  // completed + infeasible + reissued == issued identity).
   pending_.emplace(query.id,
-                   PendingResponse{query.issue_time, sim.Now(),
+                   PendingResponse{query, sim.Now(),
                                    static_cast<std::uint32_t>(
                                        decision.selected.size())});
   ++allocated_queries_;
   for (std::size_t idx : decision.selected) {
     ProviderAgent& agent = providers[columns.ids[idx].index()];
     agent.Enqueue(sim, query,
-                  [this](const Query& q, ProviderId performer, SimTime t) {
+                  [this, epoch = crash_epoch_](const Query& q,
+                                               ProviderId performer,
+                                               SimTime t) {
+                    if (epoch != crash_epoch_) {
+                      ++dropped_completions_;
+                      return;
+                    }
                     OnQueryCompleted(q, performer, t);
                   });
   }
@@ -409,7 +419,7 @@ void MediationCore::OnQueryCompleted(const Query& query, ProviderId performer,
   SQLB_CHECK(it != pending_.end(), "completion for unknown query");
   if (--it->second.outstanding > 0) return;
 
-  const double response_time = completion_time - it->second.issue_time;
+  const double response_time = completion_time - it->second.query.issue_time;
   const SimTime dispatch_time = it->second.dispatch_time;
   pending_.erase(it);
   const bool post_warmup = query.issue_time >= shared_.config->stats_warmup;
@@ -620,6 +630,75 @@ bool MediationCore::DepartMemberForChurn(std::uint32_t provider_index,
 bool MediationCore::IsMember(std::uint32_t provider_index) const {
   return std::find(active_providers_.begin(), active_providers_.end(),
                    provider_index) != active_providers_.end();
+}
+
+MediationCore::CoreSnapshot MediationCore::ExportSnapshot(SimTime now) const {
+  CoreSnapshot snapshot;
+  snapshot.taken_at = now;
+  // Members sorted by provider index so the snapshot (and any restore
+  // order derived from it) is independent of the swap-remove history of
+  // the active list.
+  std::vector<std::uint32_t> sorted(active_providers_);
+  std::sort(sorted.begin(), sorted.end());
+  snapshot.members.reserve(sorted.size());
+  for (std::uint32_t index : sorted) {
+    ProviderHandoff handoff;
+    handoff.provider_index = index;
+    handoff.units_at_last_check = units_at_last_check_[index];
+    handoff.member_since = member_since_[index];
+    snapshot.members.push_back(handoff);
+  }
+  snapshot.pending_count = pending_.size();
+  std::vector<QueryId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& entry : pending_) ids.push_back(entry.first);
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (QueryId id : ids) {
+    digest ^= static_cast<std::uint64_t>(id);
+    digest *= 1099511628211ULL;
+  }
+  snapshot.pending_digest = digest;
+  return snapshot;
+}
+
+MediationCore::CrashReport MediationCore::Crash() {
+  CrashReport report;
+  report.members.assign(active_providers_.begin(), active_providers_.end());
+  std::sort(report.members.begin(), report.members.end());
+  report.lost_queries.reserve(pending_.size());
+  for (const auto& entry : pending_) {
+    report.lost_queries.push_back(entry.second.query);
+  }
+  std::sort(report.lost_queries.begin(), report.lost_queries.end(),
+            [](const Query& a, const Query& b) { return a.id < b.id; });
+
+  // Tear down the mediator-owned state. Provider agents are participants,
+  // not mediator state: they stay active, keep draining their queues on
+  // the dead lane, and will be adopted once Idle(). Their already-scheduled
+  // completion callbacks see the bumped epoch and drop themselves.
+  for (std::uint32_t index : active_providers_) {
+    matchmaker_.Unregister((*shared_.providers)[index].id());
+  }
+  active_providers_.clear();
+  pending_.clear();
+  ++crash_epoch_;
+  return report;
+}
+
+std::size_t MediationCore::RestoreSnapshot(const CoreSnapshot& snapshot) {
+  SQLB_CHECK(active_providers_.empty(),
+             "restoring a snapshot over live membership");
+  std::size_t restored = 0;
+  for (const ProviderHandoff& handoff : snapshot.members) {
+    // A member that departed (Section 6.3.2 or scheduled churn) between the
+    // snapshot and the crash stays departed: restoring membership must not
+    // resurrect an agent that exercised its autonomy.
+    if (!(*shared_.providers)[handoff.provider_index].active()) continue;
+    ImportMember(handoff);
+    ++restored;
+  }
+  return restored;
 }
 
 double ScaledArrivalRate(const SystemConfig& config,

@@ -195,6 +195,62 @@ class MediationCore {
 
   bool IsMember(std::uint32_t provider_index) const;
 
+  // --- Crash, snapshot, and failover recovery ------------------------------
+
+  /// A crash-consistent image of this core's mediator-owned state, taken at
+  /// an epoch barrier (every lane quiescent, so the cut is well-defined).
+  /// Provider windows, utilization history and queue state are *not* here:
+  /// agents are autonomous participants owned by the system, not mediator
+  /// state, so they survive a mediator crash by construction — what dies
+  /// with the mediator is its membership bookkeeping (who it mediates over,
+  /// chronic baselines, admission times) and its in-flight response
+  /// tracking, which is exactly what this captures.
+  struct CoreSnapshot {
+    SimTime taken_at = 0.0;
+    /// Member baselines as of the snapshot (the ExportMember payload),
+    /// sorted by provider index.
+    std::vector<ProviderHandoff> members;
+    /// In-flight FIFO digest: how many responses were pending and an
+    /// FNV-1a hash over their sorted query ids — a cheap diagnostic that a
+    /// restored run's in-flight population matches expectations.
+    std::size_t pending_count = 0;
+    std::uint64_t pending_digest = 0;
+  };
+
+  /// Captures the snapshot at `now`. Pure read — never perturbs the run.
+  CoreSnapshot ExportSnapshot(SimTime now) const;
+
+  /// What a crash took down with the mediator.
+  struct CrashReport {
+    /// Member provider indices at crash time (ascending). Their agents are
+    /// still alive — survivors must adopt them (from the last snapshot's
+    /// baselines when present, fresh otherwise).
+    std::vector<std::uint32_t> members;
+    /// Queries dispatched but not yet completed, sorted by id: their
+    /// completion callbacks die with this core and they must be re-issued
+    /// (ReissueReason::kInFlight).
+    std::vector<Query> lost_queries;
+  };
+
+  /// Kills this core: clears membership, matchmaking and in-flight
+  /// tracking, and bumps the crash epoch so completion callbacks already
+  /// scheduled on provider agents are dropped when they fire (counted in
+  /// dropped_completions(); the agents still pop their queues, so they
+  /// drain to Idle() on the dead lane and can be adopted). Call only at a
+  /// kFailover barrier.
+  CrashReport Crash();
+
+  /// Re-installs a snapshot's members on this (crashed, empty) core — the
+  /// restart path of a mediator that has no survivor to fail over to (the
+  /// mono system, or the last live shard). Members whose agent departed
+  /// between snapshot and crash are skipped. Returns the number restored.
+  std::size_t RestoreSnapshot(const CoreSnapshot& snapshot);
+
+  /// Completions dropped because their dispatching incarnation crashed.
+  std::uint64_t dropped_completions() const { return dropped_completions_; }
+  /// Times this core has crashed (the completion-suppression epoch).
+  std::uint64_t crash_count() const { return crash_epoch_; }
+
   // --- Load and membership introspection ----------------------------------
 
   const std::vector<std::uint32_t>& active_providers() const {
@@ -270,7 +326,9 @@ class MediationCore {
   static constexpr std::uint64_t kNeverCharacterized = ~0ULL;
 
   struct PendingResponse {
-    SimTime issue_time;
+    /// The dispatched query itself, kept so a crash can re-issue exactly
+    /// what was in flight (issue_time rides along inside).
+    Query query;
     /// When the query was dispatched to its providers (the kExecute span's
     /// start; equals the mediation time).
     SimTime dispatch_time;
@@ -341,6 +399,13 @@ class MediationCore {
 
   std::unordered_map<QueryId, PendingResponse> pending_;
   std::uint64_t allocated_queries_ = 0;
+
+  /// Bumped by Crash(): completion callbacks capture the epoch they were
+  /// dispatched under and drop themselves when it no longer matches —
+  /// already-scheduled agent completions on a dead lane fire harmlessly
+  /// instead of corrupting the successor incarnation's accounting.
+  std::uint64_t crash_epoch_ = 0;
+  std::uint64_t dropped_completions_ = 0;
 
   // Chronic-utilization bookkeeping for the starvation rule: allocated
   // units and timestamp at each member's previous departure check, indexed

@@ -1,5 +1,7 @@
 #include "runtime/mediation_system.h"
 
+#include <string>
+
 #include "common/status.h"
 
 namespace sqlb::runtime {
@@ -22,6 +24,91 @@ MediationSystem::MediationSystem(const SystemConfig& config,
   shared.trace = engine_.recorder().trace_lane(0);
   shared.metrics = engine_.recorder().hot_metrics(0);
   core_.emplace(shared, method_, std::move(members));
+
+  // Failover accounting on the coordinator lane, under the sharded tier's
+  // metric names — the M = 1 parity pins compare merged registries.
+  obs::FlightRecorder& recorder = engine_.recorder();
+  const std::size_t coord = recorder.coordinator_lane();
+  obs::MetricsRegistry& coord_registry = recorder.registry(coord);
+  shard_crashes_counter_ =
+      &coord_registry.GetCounter(obs::kMetricShardCrashes);
+  reissued_counter_ = &coord_registry.GetCounter(obs::kMetricReissuedQueries);
+  for (std::size_t r = 0; r < kNumReissueReasons; ++r) {
+    reissued_reason_counters_[r] = &coord_registry.GetCounter(
+        std::string(obs::kMetricReissuedPrefix) +
+        ReissueReasonName(static_cast<ReissueReason>(r)));
+  }
+  restored_counter_ =
+      &coord_registry.GetCounter(obs::kMetricRestoredProviders);
+  orphaned_counter_ =
+      &coord_registry.GetCounter(obs::kMetricOrphanedProviders);
+  snapshots_counter_ = &coord_registry.GetCounter(obs::kMetricSnapshots);
+  if (obs::MetricsRegistry* hot = recorder.hot_metrics(coord);
+      hot != nullptr) {
+    reissue_delay_hist_ = &hot->GetHistogram(obs::kMetricReissueDelay);
+  }
+  for (const ShardFaultEvent& event : config.shard_faults.events) {
+    SQLB_CHECK(event.shard == 0, "mono system has only shard 0");
+  }
+}
+
+void MediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
+  if (engine_.config().shard_faults.empty()) return;
+  const SimTime cadence = engine_.config().shard_faults.snapshot_interval;
+  snapshot_task_.Start(sim, cadence, cadence, engine_.config().duration,
+                       [this](des::Simulator& s) {
+                         snapshot_ = core_->ExportSnapshot(s.Now());
+                         snapshots_counter_->Inc();
+                       });
+}
+
+void MediationSystem::Execute(des::Simulator& sim, SimTime duration) {
+  Driver::Execute(sim, duration);
+  // Every suppressed completion has fired by the end of the drain; the
+  // engine merges the registries right after this returns.
+  engine_.recorder()
+      .registry(engine_.recorder().coordinator_lane())
+      .GetCounter(obs::kMetricDroppedCompletions)
+      .Inc(core_->dropped_completions());
+}
+
+void MediationSystem::OnShardFault(des::Simulator& sim,
+                                   const ShardFaultEvent& event) {
+  (void)event;  // always shard 0 (checked at construction)
+  const SimTime now = sim.Now();
+  shard_crashes_counter_->Inc();
+  MediationCore::CrashReport report = core_->Crash();
+  // Restart in place from the last snapshot. Same core, same kernel: even
+  // members with in-flight service restore directly — their completions
+  // from the previous incarnation drop against the bumped crash epoch.
+  restored_counter_->Inc(core_->RestoreSnapshot(snapshot_));
+  // Members the snapshot predates (admitted after it was taken) re-enter
+  // fresh: chronic baseline at current totals, departure grace restarted.
+  for (std::uint32_t p : report.members) {
+    if (core_->IsMember(p)) continue;
+    if (!engine_.providers()[p].active()) continue;
+    MediationCore::ProviderHandoff fresh;
+    fresh.provider_index = p;
+    fresh.units_at_last_check =
+        engine_.providers()[p].total_allocated_units();
+    fresh.member_since = now;
+    core_->ImportMember(fresh);
+    orphaned_counter_->Inc();
+  }
+  // Re-issue what the crash lost, ascending query id. Each re-issue is a
+  // fresh issue — completed + infeasible + reissued == issued stays exact.
+  for (const Query& q : report.lost_queries) {
+    ++engine_.result().queries_issued;
+    ++engine_.result().queries_reissued;
+    reissued_counter_->Inc();
+    reissued_reason_counters_[static_cast<std::size_t>(
+                                  ReissueReason::kInFlight)]
+        ->Inc();
+    if (reissue_delay_hist_ != nullptr) {
+      reissue_delay_hist_->Record(now - q.issue_time);
+    }
+    OnQueryArrival(sim, q);
+  }
 }
 
 ChurnOutcome MediationSystem::OnProviderChurn(des::Simulator& sim,

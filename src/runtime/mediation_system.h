@@ -87,9 +87,22 @@ class MediationSystem : private ScenarioEngine::Driver {
   void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
   ChurnOutcome OnProviderChurn(des::Simulator& sim,
                                const ProviderChurnEvent& event) override;
+  /// Crash + restart in place: with one mediator there is no survivor to
+  /// fail over to, so a fault restores the core from the last snapshot,
+  /// re-admits snapshot-orphaned members fresh, and re-issues the lost
+  /// in-flight queries. Exactly the sharded tier's last-live-shard restart
+  /// path, which keeps the M = 1 parity pin bit-exact under kill schedules.
+  void OnShardFault(des::Simulator& sim, const ShardFaultEvent& event) override;
   void VisitActiveProviders(
       const std::function<void(ProviderAgent&)>& fn) override;
   std::size_t ActiveProviderCount() const override;
+  /// Arms the periodic crash-consistent snapshot when a fault schedule is
+  /// configured.
+  void StartAuxiliaryTasks(des::Simulator& sim) override;
+  /// Default serial drain, then folds the core's suppressed-completion
+  /// tally into the coordinator registry (the engine merges registries
+  /// right after Execute returns).
+  void Execute(des::Simulator& sim, SimTime duration) override;
 
   ScenarioEngine engine_;
   AllocationMethod* method_;
@@ -97,6 +110,20 @@ class MediationSystem : private ScenarioEngine::Driver {
   /// The Algorithm-1 pipeline over the whole provider population
   /// (constructed after the engine filled the participant vectors).
   std::optional<MediationCore> core_;
+
+  /// Last crash-consistent snapshot (empty until the first snapshot tick).
+  MediationCore::CoreSnapshot snapshot_;
+  des::PeriodicTask snapshot_task_;
+
+  // Failover accounting, on the coordinator lane under the same metric
+  // names as the sharded tier (the parity pins compare merged registries).
+  obs::Counter* shard_crashes_counter_ = nullptr;
+  obs::Counter* reissued_counter_ = nullptr;
+  obs::Counter* reissued_reason_counters_[kNumReissueReasons] = {};
+  obs::Counter* restored_counter_ = nullptr;
+  obs::Counter* orphaned_counter_ = nullptr;
+  obs::Counter* snapshots_counter_ = nullptr;
+  obs::Histogram* reissue_delay_hist_ = nullptr;
 };
 
 /// Builds a system around `method`, runs it, returns the result.

@@ -11,6 +11,7 @@
 #include "obs/observability.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/departures.h"
+#include "runtime/faults.h"
 #include "runtime/provider_agent.h"
 #include "workload/population.h"
 
@@ -71,6 +72,12 @@ struct SystemConfig {
   /// rule; see ScenarioEngine::Driver::OnProviderChurn).
   SimTime churn_retry_interval = 5.0;
 
+  /// Scheduled mediator-shard kills (runtime/faults.h), executed by the
+  /// ScenarioEngine at kFailover barriers. Empty = immortal mediators.
+  /// Non-empty schedules also arm the periodic snapshot task (cadence
+  /// FaultSchedule::snapshot_interval) in drivers that support failover.
+  FaultSchedule shard_faults;
+
   /// When true, consumers push completion feedback into the reputation
   /// registry (ignored by the paper's upsilon = 1 setup; used by the
   /// upsilon ablation and examples).
@@ -107,6 +114,11 @@ struct RunResult {
   std::uint64_t queries_issued = 0;
   std::uint64_t queries_completed = 0;
   std::uint64_t queries_infeasible = 0;  // no active provider remained
+  /// Queries whose mediation died with a crashed shard and were issued
+  /// again (each re-issue also increments queries_issued, so the failover
+  /// accounting identity is exact:
+  /// completed + infeasible + reissued == issued).
+  std::uint64_t queries_reissued = 0;
 
   // Response time over completions of post-warmup queries, and over all.
   RunningStats response_time;

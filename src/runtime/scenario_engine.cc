@@ -26,6 +26,15 @@ ChurnOutcome ScenarioEngine::Driver::OnProviderChurn(
   return ChurnOutcome::kNoOp;
 }
 
+void ScenarioEngine::Driver::OnShardFault(des::Simulator& sim,
+                                          const ShardFaultEvent& event) {
+  (void)sim;
+  (void)event;
+  SQLB_CHECK(false,
+             "this driver does not implement shard failover; clear "
+             "SystemConfig::shard_faults or override OnShardFault");
+}
+
 ScenarioEngine::ScenarioEngine(const SystemConfig& config)
     : config_(config),
       population_(config.population, config.seed),
@@ -60,6 +69,19 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
   std::stable_sort(churn_events_.begin(), churn_events_.end(),
                    [](const ProviderChurnEvent& a,
                       const ProviderChurnEvent& b) { return a.time < b.time; });
+
+  fault_events_ = config_.shard_faults.events;
+  std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                   [](const ShardFaultEvent& a, const ShardFaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (const ShardFaultEvent& event : fault_events_) {
+    SQLB_CHECK(event.time >= 0.0, "fault event time must be >= 0");
+  }
+  SQLB_CHECK(fault_events_.empty() ||
+                 (config_.shard_faults.snapshot_interval > 0.0 &&
+                  config_.shard_faults.drain_retry_interval > 0.0),
+             "fault snapshot/drain intervals must be positive");
 
   // A deferred rejoin is retried at now + churn_retry_interval; a zero (or
   // negative) interval would re-enqueue the retry at the same timestamp
@@ -160,6 +182,20 @@ RunResult ScenarioEngine::Run(Driver& driver) {
                                      /*retry=*/false);
                     },
                     barrier);
+  }
+
+  // The fault script: every kill is a kFailover barrier — the lanes are
+  // quiescent and merged when the crash fires, and the barrier kind
+  // licenses the driver to move membership between lanes (kFailover is
+  // semantically inert under serial execution, so it is passed
+  // unconditionally).
+  for (const ShardFaultEvent& event : fault_events_) {
+    if (event.time > config_.duration) continue;  // beyond the horizon
+    sim_.ScheduleBarrierAt(event.time,
+                           [&driver, event](des::Simulator& sim) {
+                             driver.OnShardFault(sim, event);
+                           },
+                           des::BarrierKind::kFailover);
   }
 
   driver.Execute(sim_, config_.duration);

@@ -88,6 +88,20 @@ class ScenarioEngine {
     virtual ChurnOutcome OnProviderChurn(des::Simulator& sim,
                                          const ProviderChurnEvent& event);
 
+    /// One scheduled shard kill (SystemConfig::shard_faults). Fired at a
+    /// kFailover barrier under parallel execution: the lanes are quiescent
+    /// and merged, so the crash is a clean cut — the driver crashes the
+    /// named shard's core, re-partitions its providers to survivors via
+    /// the versioned ring, restores them from the last snapshot, and
+    /// re-issues the in-flight queries the crash lost (each re-issue also
+    /// counts as issued, keeping completed + infeasible + reissued ==
+    /// issued exact). Kills naming an already-dead shard are no-ops; the
+    /// driver never kills the last live shard. The default refuses faults
+    /// so drivers that predate failover fail loudly instead of dropping
+    /// kill events.
+    virtual void OnShardFault(des::Simulator& sim,
+                              const ShardFaultEvent& event);
+
     /// Visits every still-active provider agent in the tier's metric
     /// sampling order (the mono core's active list; shard order, then each
     /// shard's active list, for the sharded tier — identical at M = 1).
@@ -218,6 +232,8 @@ class ScenarioEngine {
   std::vector<bool> held_out_;
   /// The churn script in firing order (sorted copy of the config's events).
   std::vector<ProviderChurnEvent> churn_events_;
+  /// The fault script in firing order (sorted copy of the config's events).
+  std::vector<ShardFaultEvent> fault_events_;
   /// `join_waiting_[p]` — a scheduled join for p was deferred (its provider
   /// is still draining) and its retry event is live. A scheduled leave for
   /// p annuls the pending join instead of firing.

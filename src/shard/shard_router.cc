@@ -44,6 +44,21 @@ ShardRouter::ShardRouter(const RouterConfig& config)
   // affinity and query spread stay put while the partition migrates.
   routing_ring_ = ring_;
   loads_.resize(config_.num_shards);
+  dead_.assign(config_.num_shards, false);
+}
+
+void ShardRouter::MarkShardDead(std::uint32_t shard) {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  SQLB_CHECK(!dead_[shard], "shard is already dead");
+  SQLB_CHECK(dead_count_ + 1 < config_.num_shards,
+             "cannot kill the last live shard (restart it instead)");
+  dead_[shard] = true;
+  ++dead_count_;
+}
+
+bool ShardRouter::IsShardDead(std::uint32_t shard) const {
+  SQLB_CHECK(shard < config_.num_shards, "unknown shard");
+  return dead_[shard];
 }
 
 std::uint64_t ShardRouter::PointHash(std::uint32_t shard,
@@ -77,19 +92,23 @@ std::vector<std::size_t> ShardRouter::RebalancedVnodes(
   SQLB_CHECK(active_counts.size() == config_.num_shards,
              "active counts must cover every shard");
   const std::size_t m = config_.num_shards;
-  if (m == 1) return vnodes_;
+  const std::size_t live = m - dead_count_;
+  if (live <= 1) return vnodes_;
 
+  // Dead shards are out of the partition entirely: they contribute nothing
+  // to the balance target and their zero vnodes stay zero below.
   std::size_t total = 0;
   std::size_t max_count = 0;
-  std::size_t min_count = active_counts.front();
-  for (std::size_t count : active_counts) {
-    total += count;
-    max_count = std::max(max_count, count);
-    min_count = std::min(min_count, count);
+  std::size_t min_count = ~static_cast<std::size_t>(0);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (dead_[s]) continue;
+    total += active_counts[s];
+    max_count = std::max(max_count, active_counts[s]);
+    min_count = std::min(min_count, active_counts[s]);
   }
   if (total == 0) return vnodes_;  // nothing left to balance
 
-  const double mean = static_cast<double>(total) / static_cast<double>(m);
+  const double mean = static_cast<double>(total) / static_cast<double>(live);
   const double threshold =
       std::max(1.0, config_.rebalance_imbalance_threshold);
   if (static_cast<double>(max_count) <= threshold * mean &&
@@ -108,6 +127,12 @@ std::vector<std::size_t> ShardRouter::RebalancedVnodes(
   const double step = config_.rebalance_max_vnode_step;
   std::vector<std::size_t> corrected(m);
   for (std::size_t s = 0; s < m; ++s) {
+    if (dead_[s]) {
+      // The 1-vnode floor below must not resurrect a crashed shard's
+      // keyspace.
+      corrected[s] = 0;
+      continue;
+    }
     const double count = std::max(0.5, static_cast<double>(active_counts[s]));
     const double scaled = static_cast<double>(vnodes_[s]) * mean / count;
     auto rounded = static_cast<std::size_t>(std::llround(scaled));
@@ -139,6 +164,28 @@ std::uint32_t ShardRouter::RingLookup(const Ring& ring, std::uint64_t hash) {
   return it->second;
 }
 
+std::uint32_t ShardRouter::RingLookupLive(const Ring& ring,
+                                          std::uint64_t hash) const {
+  auto it = std::upper_bound(
+      ring.begin(), ring.end(), hash,
+      [](std::uint64_t h, const std::pair<std::uint64_t, std::uint32_t>& p) {
+        return h < p.first;
+      });
+  if (it == ring.end()) it = ring.begin();
+  if (dead_count_ == 0) return it->second;  // the pre-failover fast path
+  // Clockwise walk past dead shards' points: the remap is a pure function
+  // of (key, dead set), so every key lands on the same live shard in every
+  // execution mode — and keys whose first point is live keep routing
+  // exactly where they always did.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (!dead_[it->second]) return it->second;
+    ++it;
+    if (it == ring.end()) it = ring.begin();
+  }
+  SQLB_CHECK(false, "no live shard left on the ring");
+  return 0;
+}
+
 std::uint32_t ShardRouter::ShardOfProvider(ProviderId id) const {
   return RingLookup(ring_, hash_.Uint64(kProviderSalt, id.index()));
 }
@@ -156,6 +203,7 @@ std::uint32_t ShardRouter::FreshLeastLoaded(
     SimTime now, const std::vector<bool>& exclude) const {
   std::uint32_t best = static_cast<std::uint32_t>(config_.num_shards);
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    if (dead_[s]) continue;  // a crashed shard serves nothing
     if (s < exclude.size() && exclude[s]) continue;
     if (!HasFreshReport(s, now)) continue;
     // A report measured against an older partition no longer describes the
@@ -176,8 +224,8 @@ std::uint32_t ShardRouter::Route(const Query& query, SimTime now) {
     case RoutingPolicy::kHash:
       break;
     case RoutingPolicy::kLocality:
-      return RingLookup(routing_ring_,
-                        hash_.Uint64(kConsumerSalt, query.consumer.index()));
+      return RingLookupLive(
+          routing_ring_, hash_.Uint64(kConsumerSalt, query.consumer.index()));
     case RoutingPolicy::kLeastLoaded: {
       const std::uint32_t best = FreshLeastLoaded(now, {});
       if (best < config_.num_shards) {
@@ -194,7 +242,7 @@ std::uint32_t ShardRouter::Route(const Query& query, SimTime now) {
       break;
     }
   }
-  return RingLookup(routing_ring_, hash_.Uint64(kQuerySalt, query.id));
+  return RingLookupLive(routing_ring_, hash_.Uint64(kQuerySalt, query.id));
 }
 
 std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now,
@@ -209,6 +257,7 @@ std::uint32_t ShardRouter::NextShard(std::uint32_t shard, SimTime now,
   const std::uint32_t m = static_cast<std::uint32_t>(config_.num_shards);
   for (std::uint32_t step = 1; step < m; ++step) {
     const std::uint32_t candidate = (shard + step) % m;
+    if (dead_[candidate]) continue;
     if (candidate < tried.size() && tried[candidate]) continue;
     return candidate;
   }

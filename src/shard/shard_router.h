@@ -161,6 +161,22 @@ class ShardRouter {
   /// Convenience for a first bounce: only `shard` counts as tried.
   std::uint32_t NextShard(std::uint32_t shard, SimTime now) const;
 
+  // --- Failover (dead shards) ----------------------------------------------
+
+  /// Removes `shard` from every routing decision after a mediator crash:
+  /// frozen-ring lookups walk clockwise to the next live shard's point (a
+  /// pure function of (key, dead set) — identical across execution modes
+  /// and thread counts), load-aware routing and re-route walks skip it,
+  /// and RebalancedVnodes pins its vnode count at zero instead of applying
+  /// the 1-vnode floor. At least one shard must stay live. The caller
+  /// zeroes the dead shard's partition vnodes (SetShardVnodes, same
+  /// failover barrier) so provider ownership agrees with routing.
+  void MarkShardDead(std::uint32_t shard);
+  bool IsShardDead(std::uint32_t shard) const;
+  std::size_t live_shard_count() const {
+    return config_.num_shards - dead_count_;
+  }
+
   /// Ingests one (possibly delayed) load report for `shard`. A shard
   /// reporting zero active providers is skipped by load-aware routing — it
   /// cannot serve, however idle it looks. `ring_epoch` is the partition
@@ -195,6 +211,9 @@ class ShardRouter {
 
   /// First ring point clockwise of `hash` on `ring`, wrapping at the top.
   static std::uint32_t RingLookup(const Ring& ring, std::uint64_t hash);
+  /// RingLookup that skips points of dead shards (clockwise walk to the
+  /// next live one). Equals RingLookup while no shard is dead.
+  std::uint32_t RingLookupLive(const Ring& ring, std::uint64_t hash) const;
   std::uint64_t PointHash(std::uint32_t shard, std::uint64_t vnode) const;
   void RebuildPartitionRing();
   /// Least-loaded provider-bearing shard with a fresh, epoch-current
@@ -219,6 +238,9 @@ class ShardRouter {
   /// The frozen query/consumer-key routing ring.
   Ring routing_ring_;
   std::vector<LoadEntry> loads_;
+  /// `dead_[s]` — shard s crashed and routes nowhere (see MarkShardDead).
+  std::vector<bool> dead_;
+  std::size_t dead_count_ = 0;
   std::uint64_t reports_ = 0;
   std::uint64_t stale_fallbacks_ = 0;
   std::uint64_t epoch_lagged_ = 0;

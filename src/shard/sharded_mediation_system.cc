@@ -126,8 +126,29 @@ ShardedMediationSystem::ShardedMediationSystem(
         &coord_registry.GetCounter(obs::kMetricRebalancesDamped);
     ring_rebalances_counter_ =
         &coord_registry.GetCounter(obs::kMetricRingRebalances);
+    // Failover accounting lives on the coordinator lane: crashes,
+    // adoptions and re-issues all happen in barrier context.
+    shard_crashes_counter_ =
+        &coord_registry.GetCounter(obs::kMetricShardCrashes);
+    reissued_counter_ =
+        &coord_registry.GetCounter(obs::kMetricReissuedQueries);
+    for (std::size_t r = 0; r < runtime::kNumReissueReasons; ++r) {
+      reissued_reason_counters_[r] = &coord_registry.GetCounter(
+          std::string(obs::kMetricReissuedPrefix) +
+          runtime::ReissueReasonName(static_cast<runtime::ReissueReason>(r)));
+    }
+    restored_counter_ =
+        &coord_registry.GetCounter(obs::kMetricRestoredProviders);
+    orphaned_counter_ =
+        &coord_registry.GetCounter(obs::kMetricOrphanedProviders);
+    drain_ticks_counter_ =
+        &coord_registry.GetCounter(obs::kMetricFailoverDrainTicks);
+    snapshots_counter_ = &coord_registry.GetCounter(obs::kMetricSnapshots);
+    ring_retries_counter_ =
+        &coord_registry.GetCounter(obs::kMetricGossipRingRetries);
     if (obs::MetricsRegistry* hot = recorder.hot_metrics(coord)) {
       handoff_drain_hist_ = &hot->GetHistogram(obs::kMetricHandoffDrain);
+      reissue_delay_hist_ = &hot->GetHistogram(obs::kMetricReissueDelay);
     }
   }
   flush_counters_.resize(num_shards);
@@ -199,6 +220,19 @@ ShardedMediationSystem::ShardedMediationSystem(
   }
   sink_address_ = network_.Register(gossip_sink_.get());
   shard_epoch_seen_.assign(num_shards, 0);
+  if (config_.network_faults.enabled()) {
+    network_.SetFaultPolicy(config_.network_faults);
+  }
+
+  // Failover state: one (initially empty) snapshot slot per shard — a kill
+  // before the first snapshot tick re-admits every member fresh. The
+  // engine validates times and cadences; only this driver knows M.
+  snapshots_.resize(num_shards);
+  for (const runtime::ShardFaultEvent& event :
+       config_.base.shard_faults.events) {
+    SQLB_CHECK(event.shard < num_shards,
+               "fault event names an unknown shard");
+  }
 
   engine_.SetMethodName(methods_.front()->name());
 }
@@ -259,6 +293,45 @@ ShardedRunResult ShardedMediationSystem::Run() {
       metrics.CounterValue(obs::kMetricHandoffsCompleted);
   result_.handoffs_cancelled =
       metrics.CounterValue(obs::kMetricHandoffsCancelled);
+
+  // Failover and message-substrate folds: the core-side suppression tally
+  // and the network counters enter the registry here, then every mirror
+  // field reads back out of it.
+  std::uint64_t dropped_completions = 0;
+  for (const auto& core : cores_) {
+    dropped_completions += core->dropped_completions();
+  }
+  metrics.GetCounter(obs::kMetricDroppedCompletions).Inc(dropped_completions);
+  metrics.GetCounter(obs::kMetricNetSent).Inc(network_.sent_messages());
+  metrics.GetCounter(obs::kMetricNetDelivered)
+      .Inc(network_.delivered_messages());
+  metrics.GetCounter(obs::kMetricNetDropped).Inc(network_.dropped_messages());
+  metrics.GetCounter(obs::kMetricNetInjectedDrops)
+      .Inc(network_.injected_drops());
+  metrics.GetCounter(obs::kMetricNetInjectedDelays)
+      .Inc(network_.injected_delays());
+  result_.shard_crashes = metrics.CounterValue(obs::kMetricShardCrashes);
+  result_.reissued_queries =
+      metrics.CounterValue(obs::kMetricReissuedQueries);
+  result_.restored_providers =
+      metrics.CounterValue(obs::kMetricRestoredProviders);
+  result_.orphaned_providers =
+      metrics.CounterValue(obs::kMetricOrphanedProviders);
+  result_.failover_drain_ticks =
+      metrics.CounterValue(obs::kMetricFailoverDrainTicks);
+  result_.dropped_completions =
+      metrics.CounterValue(obs::kMetricDroppedCompletions);
+  result_.snapshots_taken = metrics.CounterValue(obs::kMetricSnapshots);
+  result_.gossip_ring_retries =
+      metrics.CounterValue(obs::kMetricGossipRingRetries);
+  result_.net_sent = metrics.CounterValue(obs::kMetricNetSent);
+  result_.net_delivered = metrics.CounterValue(obs::kMetricNetDelivered);
+  result_.net_dropped = metrics.CounterValue(obs::kMetricNetDropped);
+  result_.net_injected_drops =
+      metrics.CounterValue(obs::kMetricNetInjectedDrops);
+  result_.net_injected_delays =
+      metrics.CounterValue(obs::kMetricNetInjectedDelays);
+
   if (consumer_locks_ != nullptr) {
     result_.consumer_lock_contention = consumer_locks_->contended_acquires();
   }
@@ -280,10 +353,12 @@ void ShardedMediationSystem::Execute(des::Simulator& sim, SimTime duration) {
   des::LaneGroup group(std::move(lanes), &pool,
                        [this](SimTime, des::BarrierKind kind) {
                          // Record what this sync licenses: only a rebalance
-                         // barrier may be followed by membership moves (the
-                         // transfer path checks this flag).
-                         lanes_at_rebalance_barrier_ =
-                             kind == des::BarrierKind::kRebalance;
+                         // or failover barrier may be followed by membership
+                         // moves (the transfer and adoption paths check this
+                         // flag).
+                         lanes_at_membership_barrier_ =
+                             kind == des::BarrierKind::kRebalance ||
+                             kind == des::BarrierKind::kFailover;
                          MergeEffects();
                        });
   sim.RunUntilParallel(duration, group);
@@ -555,6 +630,15 @@ void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
                                },
                                /*barrier=*/parallel_);
   }
+  // Crash-consistent snapshots on the fault schedule's cadence, armed only
+  // when kills are scheduled. An epoch barrier under parallel execution:
+  // the cut reads core state over quiescent, merged lanes.
+  if (!config_.base.shard_faults.empty()) {
+    const SimTime cadence = config_.base.shard_faults.snapshot_interval;
+    snapshot_task_.Start(sim, cadence, cadence, config_.base.duration,
+                         [this](des::Simulator& s) { OnSnapshotTick(s); },
+                         /*barrier=*/parallel_);
+  }
   // The re-partitioning schedule: a kRebalance barrier, so under parallel
   // execution the lanes are quiescent and merged — and the merge hook knows
   // membership may move — before any provider changes hands.
@@ -576,6 +660,7 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   // cadence keeps the per-lane rings from overflowing on long runs.
   engine_.recorder().DrainSpans();
   for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    if (router_.IsShardDead(s)) continue;  // dead mediators report nothing
     LoadReport report;
     report.shard = s;
     report.utilization = cores_[s]->MeanCommittedUtilization(now);
@@ -595,6 +680,27 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
     message.kind = kLoadReportKind;
     message.correlation = s;
     message.payload = report;
+    network_.Send(std::move(message));
+  }
+
+  // The retry half of loss tolerance: a shard still acknowledging an older
+  // partition epoch (its ring update was dropped or delayed by the network)
+  // gets the current epoch re-announced on this cadence until it converges.
+  // Until then its load reports stay epoch-lagged and load-aware routing
+  // falls back to hashing for it — stale but safe.
+  const std::uint64_t epoch = router_.ring_epoch();
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    if (router_.IsShardDead(s) || shard_epoch_seen_[s] >= epoch) continue;
+    ring_retries_counter_->Inc();
+    RingUpdate update;
+    update.shard = s;
+    update.epoch = epoch;
+    msg::Message message;
+    message.from = sink_address_;
+    message.to = shard_addresses_[s];
+    message.kind = kRingUpdateKind;
+    message.correlation = epoch;
+    message.payload = update;
     network_.Send(std::move(message));
   }
 }
@@ -652,6 +758,15 @@ runtime::ChurnOutcome ShardedMediationSystem::OnProviderChurn(
         return runtime::ChurnOutcome::kNoOp;
       }
     }
+    // A dead shard's provider awaiting adoption is a member nowhere, but it
+    // is still in the system (active, draining toward its new owner): the
+    // join is as redundant as it would have been without the crash.
+    if (std::any_of(pending_adoptions_.begin(), pending_adoptions_.end(),
+                    [&event](const PendingAdoption& a) {
+                      return a.provider == event.provider_index;
+                    })) {
+      return runtime::ChurnOutcome::kNoOp;
+    }
     // A rejoining provider must have drained its previous life's queue
     // first: its in-flight service chain lives on the lane of the shard
     // that enqueued it, and the current ring may home the provider
@@ -678,6 +793,30 @@ runtime::ChurnOutcome ShardedMediationSystem::OnProviderChurn(
       DropPendingHandoff(event.provider_index);
       return runtime::ChurnOutcome::kApplied;
     }
+  }
+  // A provider awaiting failover adoption is a member of no core, but the
+  // scheduled leave still binds: it departs directly (the accounting a
+  // DepartMemberForChurn would have done) and the adoption is annulled.
+  const auto pending = std::find_if(
+      pending_adoptions_.begin(), pending_adoptions_.end(),
+      [&event](const PendingAdoption& a) {
+        return a.provider == event.provider_index;
+      });
+  if (pending != pending_adoptions_.end()) {
+    pending_adoptions_.erase(pending);
+    runtime::ProviderAgent& agent = engine_.providers()[event.provider_index];
+    agent.Depart();
+    runtime::DepartureEvent departure;
+    departure.time = now;
+    departure.is_provider = true;
+    departure.reason = runtime::DepartureReason::kChurn;
+    departure.participant_index = event.provider_index;
+    departure.capacity_class = agent.profile().capacity_class;
+    departure.interest_class = agent.profile().interest_class;
+    departure.adaptation_class = agent.profile().adaptation_class;
+    engine_.result().departures.push_back(departure);
+    engine_.result().tally.Add(departure);
+    return runtime::ChurnOutcome::kApplied;
   }
   // Already gone (departure rules beat the schedule to it).
   return runtime::ChurnOutcome::kNoOp;
@@ -787,12 +926,13 @@ void ShardedMediationSystem::OnRebalanceTick(des::Simulator& sim) {
 std::vector<std::uint32_t> ShardedMediationSystem::ProcessPendingHandoffs(
     SimTime now) {
   // Under parallel execution a transfer is only safe with every lane
-  // quiescent at a *rebalance* barrier — the kind the lane group's merge
-  // hook recorded. A plain epoch barrier (or no barrier) must never reach
-  // this point with work to move.
+  // quiescent at a *membership* barrier (kRebalance or kFailover) — the
+  // kind the lane group's merge hook recorded. A plain epoch barrier (or no
+  // barrier) must never reach this point with work to move.
   SQLB_CHECK(!parallel_ || pending_handoffs_.empty() ||
-                 lanes_at_rebalance_barrier_,
-             "re-partitioning handoffs require a rebalance barrier");
+                 lanes_at_membership_barrier_,
+             "re-partitioning handoffs require a rebalance or failover "
+             "barrier");
   std::vector<runtime::ProviderAgent>& providers = engine_.providers();
   for (auto it = pending_handoffs_.begin(); it != pending_handoffs_.end();) {
     if (!cores_[it->from]->IsMember(it->provider)) {
@@ -858,6 +998,221 @@ void ShardedMediationSystem::AnnounceRingEpoch() {
 void ShardedMediationSystem::OnRingEpochSeen(std::uint32_t shard,
                                              std::uint64_t epoch) {
   shard_epoch_seen_[shard] = std::max(shard_epoch_seen_[shard], epoch);
+}
+
+void ShardedMediationSystem::OnSnapshotTick(des::Simulator& sim) {
+  const SimTime now = sim.Now();
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    if (router_.IsShardDead(s)) continue;
+    snapshots_[s] = cores_[s]->ExportSnapshot(now);
+    snapshots_counter_->Inc();
+  }
+}
+
+void ShardedMediationSystem::OnShardFault(
+    des::Simulator& sim, const runtime::ShardFaultEvent& event) {
+  const std::uint32_t dead = event.shard;
+  if (router_.IsShardDead(dead)) return;  // killing the dead twice: no-op
+  if (router_.live_shard_count() == 1) {
+    // No survivor to fail over to (M = 1, or every sibling already died):
+    // the mediator crashes and restarts in place — the mono semantics.
+    RestartShard(sim, dead);
+    return;
+  }
+  const SimTime now = sim.Now();
+  shard_crashes_counter_->Inc();
+  if (coord_trace_ != nullptr) {
+    coord_trace_->RecordInstant(obs::SpanKind::kGossip, now, dead, -1.0);
+  }
+
+  // 1. The crash: membership, matchmaking and in-flight tracking die with
+  //    the core; completions already scheduled on its providers will drop
+  //    against the bumped crash epoch when they fire.
+  runtime::MediationCore::CrashReport report = cores_[dead]->Crash();
+
+  // 2. Take the dead shard off every routing surface and off the partition
+  //    ring (epoch bump), and tell the fleet. Survivor ownership follows
+  //    the rebuilt ring.
+  router_.MarkShardDead(dead);
+  std::vector<std::size_t> vnodes = router_.shard_vnodes();
+  vnodes[dead] = 0;
+  router_.SetShardVnodes(std::move(vnodes));
+  AnnounceRingEpoch();
+
+  // 3. Cancel handoffs touching the dead shard: a move out of it is moot
+  //    (the member died with the core and re-enters through adoption); a
+  //    move into it releases the seal so the live source resumes matching.
+  for (auto it = pending_handoffs_.begin(); it != pending_handoffs_.end();) {
+    if (it->from == dead) {
+      it = pending_handoffs_.erase(it);
+      handoffs_cancelled_counter_->Inc();
+    } else if (it->to == dead) {
+      cores_[it->from]->UnsealMember(it->provider);
+      it = pending_handoffs_.erase(it);
+      handoffs_cancelled_counter_->Inc();
+    } else {
+      ++it;
+    }
+  }
+
+  // 4. Queue every lost member for adoption — snapshot baselines when the
+  //    last snapshot has them, fresh admission otherwise — and adopt the
+  //    already-idle ones within this barrier. Non-idle ones keep draining
+  //    their service chains on the dead lane and are retried at kFailover
+  //    barriers every drain_retry_interval (the handoff drain rule's twin).
+  const runtime::MediationCore::CoreSnapshot& snapshot = snapshots_[dead];
+  for (std::uint32_t p : report.members) {
+    PendingAdoption adoption;
+    adoption.provider = p;
+    const auto snap = std::lower_bound(
+        snapshot.members.begin(), snapshot.members.end(), p,
+        [](const runtime::MediationCore::ProviderHandoff& h,
+           std::uint32_t value) { return h.provider_index < value; });
+    if (snap != snapshot.members.end() && snap->provider_index == p) {
+      adoption.baseline = *snap;
+      adoption.restored = true;
+    } else {
+      adoption.baseline.provider_index = p;  // baseline set at adoption time
+      adoption.restored = false;
+    }
+    pending_adoptions_.push_back(adoption);
+  }
+  ProcessPendingAdoptions(now);
+  if (!pending_adoptions_.empty()) {
+    drain_ticks_counter_->Inc();
+    ScheduleAdoptionRetry(sim);
+  }
+
+  // 5. Re-issue what the crash lost, ascending query id: in-flight
+  //    mediations (their completion callbacks died with the core), then the
+  //    intake buffer (routed but never mediated).
+  for (const Query& q : report.lost_queries) {
+    ReissueQuery(sim, q, runtime::ReissueReason::kInFlight);
+  }
+  std::vector<Query> intake;
+  intake.swap(batch_buffers_[dead]);
+  flush_due_[dead] = -kSimTimeInfinity;
+  for (const Query& q : intake) {
+    ReissueQuery(sim, q, runtime::ReissueReason::kIntake);
+  }
+}
+
+void ShardedMediationSystem::RestartShard(des::Simulator& sim,
+                                          std::uint32_t shard) {
+  const SimTime now = sim.Now();
+  shard_crashes_counter_->Inc();
+  runtime::MediationCore::CrashReport report = cores_[shard]->Crash();
+  // Same core, same lane: the restart re-installs the snapshot in place, so
+  // even non-idle members keep their service chain on the one lane that
+  // ever touched them — no drain wait, unlike cross-shard adoption.
+  restored_counter_->Inc(cores_[shard]->RestoreSnapshot(snapshots_[shard]));
+  // Members the snapshot predates (admitted after it was taken) re-enter
+  // fresh: chronic baseline at current totals, departure grace restarted.
+  for (std::uint32_t p : report.members) {
+    if (cores_[shard]->IsMember(p)) continue;
+    if (!engine_.providers()[p].active()) continue;
+    runtime::MediationCore::ProviderHandoff fresh;
+    fresh.provider_index = p;
+    fresh.units_at_last_check =
+        engine_.providers()[p].total_allocated_units();
+    fresh.member_since = now;
+    cores_[shard]->ImportMember(fresh);
+    orphaned_counter_->Inc();
+  }
+  for (const Query& q : report.lost_queries) {
+    ReissueQuery(sim, q, runtime::ReissueReason::kInFlight);
+  }
+  std::vector<Query> intake;
+  intake.swap(batch_buffers_[shard]);
+  flush_due_[shard] = -kSimTimeInfinity;
+  for (const Query& q : intake) {
+    ReissueQuery(sim, q, runtime::ReissueReason::kIntake);
+  }
+}
+
+void ShardedMediationSystem::ProcessPendingAdoptions(SimTime now) {
+  // Adoptions move membership between lanes, exactly like handoff
+  // transfers: legal only with every lane quiescent at a membership
+  // barrier.
+  SQLB_CHECK(!parallel_ || pending_adoptions_.empty() ||
+                 lanes_at_membership_barrier_,
+             "failover adoptions require a failover barrier");
+  std::vector<runtime::ProviderAgent>& providers = engine_.providers();
+  for (auto it = pending_adoptions_.begin();
+       it != pending_adoptions_.end();) {
+    runtime::ProviderAgent& agent = providers[it->provider];
+    if (!agent.active()) {
+      // Departed while waiting (a scheduled leave): nothing to adopt.
+      it = pending_adoptions_.erase(it);
+      continue;
+    }
+    if (!agent.Idle()) {
+      ++it;  // still draining its dead-lane service chain
+      continue;
+    }
+    const std::uint32_t target =
+        router_.ShardOfProvider(ProviderId(it->provider));
+    runtime::MediationCore::ProviderHandoff baseline = it->baseline;
+    if (it->restored) {
+      restored_counter_->Inc();
+    } else {
+      // Orphan: the crash predates its first snapshot. Fresh admission.
+      baseline.units_at_last_check = agent.total_allocated_units();
+      baseline.member_since = now;
+      orphaned_counter_->Inc();
+    }
+    cores_[target]->ImportMember(baseline);
+    ++result_.shards[target].providers_in;
+    if (coord_trace_ != nullptr) {
+      coord_trace_->Record(obs::SpanKind::kHandoff, now, now, it->provider,
+                           static_cast<double>(target));
+    }
+    it = pending_adoptions_.erase(it);
+  }
+}
+
+void ShardedMediationSystem::ScheduleAdoptionRetry(des::Simulator& sim) {
+  if (adoption_retry_armed_) return;
+  const SimTime next =
+      sim.Now() + config_.base.shard_faults.drain_retry_interval;
+  // Past the horizon: the drain never completed in time — the providers
+  // stay outside every membership this run (deterministic in every
+  // execution mode, mirroring deferred churn joins).
+  if (next > config_.base.duration) return;
+  adoption_retry_armed_ = true;
+  sim.ScheduleBarrierAt(next,
+                        [this](des::Simulator& s) {
+                          adoption_retry_armed_ = false;
+                          ProcessPendingAdoptions(s.Now());
+                          if (!pending_adoptions_.empty()) {
+                            drain_ticks_counter_->Inc();
+                            ScheduleAdoptionRetry(s);
+                          }
+                        },
+                        des::BarrierKind::kFailover);
+}
+
+void ShardedMediationSystem::ReissueQuery(des::Simulator& sim,
+                                          const Query& query,
+                                          runtime::ReissueReason reason) {
+  // Each re-issue is a fresh issue — that is what keeps the accounting
+  // identity exact: completed + infeasible + reissued == issued.
+  ++engine_.result().queries_issued;
+  ++engine_.result().queries_reissued;
+  reissued_counter_->Inc();
+  reissued_reason_counters_[static_cast<std::size_t>(reason)]->Inc();
+  if (reissue_delay_hist_ != nullptr) {
+    reissue_delay_hist_->Record(sim.Now() - query.issue_time);
+  }
+  if (coord_trace_ != nullptr && coord_trace_->SamplesQuery(query.id)) {
+    coord_trace_->RecordInstant(obs::SpanKind::kIntake, sim.Now(), query.id,
+                                static_cast<double>(reason));
+  }
+  // The query keeps its id and original issue time, so the crash-to-
+  // reissue gap rides into its response time: the availability penalty is
+  // charged, not hidden. Routing sees the post-crash ring (the dead shard
+  // is excluded everywhere).
+  OnQueryArrival(sim, query);
 }
 
 ShardedRunResult RunShardedScenario(

@@ -54,6 +54,13 @@ struct ShardedSystemConfig {
   SimTime gossip_interval = 5.0;
   msg::LatencyModel gossip_latency{0.005, 0.005};
 
+  /// Deterministic message loss/delay injected into the gossip network
+  /// (msg/network.h). The gossip protocol is proven safe under it: lost
+  /// load reports age into the router's staleness fallback, and lost
+  /// ring-epoch announcements are re-sent on the gossip cadence until the
+  /// shard acknowledges the current epoch (counted in gossip_ring_retries).
+  msg::FaultPolicy network_faults;
+
   /// Re-route a bounced query to another shard (M > 1 only). A query is
   /// bounced when its shard has no active candidate, or — when
   /// `saturation_backlog_seconds` > 0 — every candidate drags more queued
@@ -183,6 +190,37 @@ struct ShardedRunResult {
   /// Rebalance ticks suppressed by the damping hysteresis (the imbalance
   /// had not yet persisted RouterConfig::rebalance_hysteresis_ticks ticks).
   std::uint64_t rebalances_damped = 0;
+
+  // --- Failover (runtime/faults.h) -----------------------------------------
+  /// Scheduled kills that actually crashed a live shard (no-op kills on an
+  /// already-dead shard are not counted).
+  std::uint64_t shard_crashes = 0;
+  /// Queries re-issued after a crash (mirror of run.queries_reissued; the
+  /// identity completed + infeasible + reissued == issued is exact).
+  std::uint64_t reissued_queries = 0;
+  /// Dead-shard providers adopted from the last snapshot's baselines vs
+  /// re-admitted fresh (they joined after the snapshot was taken).
+  std::uint64_t restored_providers = 0;
+  std::uint64_t orphaned_providers = 0;
+  /// Drain-retry ticks at which some dead-shard provider still had
+  /// in-flight work and could not be adopted yet.
+  std::uint64_t failover_drain_ticks = 0;
+  /// Completion callbacks dropped because their dispatching shard
+  /// incarnation crashed before they fired.
+  std::uint64_t dropped_completions = 0;
+  /// Crash-consistent snapshots exported (all shards, whole run).
+  std::uint64_t snapshots_taken = 0;
+
+  // --- Message substrate (msg/network.h) -----------------------------------
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+  /// Drops/delays charged to ShardedSystemConfig::network_faults.
+  std::uint64_t net_injected_drops = 0;
+  std::uint64_t net_injected_delays = 0;
+  /// Ring-epoch re-announcements to shards whose acknowledged epoch lagged
+  /// (the gossip-retry half of loss tolerance).
+  std::uint64_t gossip_ring_retries = 0;
   /// One digest per rebalance tick over (ring epoch, owner of every
   /// provider): the ownership sequence of the run. Identical digests across
   /// thread counts are the re-partitioning determinism pin.
@@ -233,6 +271,8 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   void RunProviderDepartureChecks(SimTime now, double optimal_ut) override;
   runtime::ChurnOutcome OnProviderChurn(
       des::Simulator& sim, const runtime::ProviderChurnEvent& event) override;
+  void OnShardFault(des::Simulator& sim,
+                    const runtime::ShardFaultEvent& event) override;
   void VisitActiveProviders(
       const std::function<void(runtime::ProviderAgent&)>& fn) override;
   std::size_t ActiveProviderCount() const override;
@@ -286,6 +326,30 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// inherit the old seal). Counts as a cancelled handoff.
   void DropPendingHandoff(std::uint32_t provider);
 
+  // --- Failover protocol ----------------------------------------------------
+  /// Periodic crash-consistent snapshot of every live shard's core (armed
+  /// iff config.base.shard_faults is non-empty; an epoch barrier under
+  /// parallel execution, so the cut is taken over quiescent lanes).
+  void OnSnapshotTick(des::Simulator& sim);
+  /// The crash-and-restart path of a shard with no survivor to fail over
+  /// to (the last live shard, M = 1 included): crash the core, restore the
+  /// last snapshot onto it, re-admit post-snapshot members fresh, re-issue
+  /// what the crash lost. Mirrors MediationSystem's mono restart exactly.
+  void RestartShard(des::Simulator& sim, std::uint32_t shard);
+  /// Adopts every dead-shard provider whose agent has drained its in-flight
+  /// work (snapshot baselines when present, fresh otherwise); the rest stay
+  /// queued for the next drain-retry tick.
+  void ProcessPendingAdoptions(SimTime now);
+  /// Arms the next kFailover-barrier drain-retry tick, if none is armed and
+  /// the horizon allows one.
+  void ScheduleAdoptionRetry(des::Simulator& sim);
+  /// Issues `query` again after its mediation died with a crashed shard:
+  /// counts it (issued, reissued, per-reason), charges the availability
+  /// penalty into the reissue-delay histogram, and routes it like a fresh
+  /// arrival (the dead shard is already off the ring).
+  void ReissueQuery(des::Simulator& sim, const Query& query,
+                    runtime::ReissueReason reason);
+
   ShardedSystemConfig config_;
   /// The shared scenario driver: population, agents, RNG streams, arrival
   /// pump, metric probes, departure schedule, RunResult sinks.
@@ -320,12 +384,34 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// allocation differed from the current ring (reset on apply and on any
   /// tick back within tolerance).
   std::size_t imbalance_streak_ = 0;
-  /// What the last lane sync licensed (set by the merge hook): transfers
-  /// are only legal when the lanes drained at a kRebalance barrier.
-  bool lanes_at_rebalance_barrier_ = false;
+  /// What the last lane sync licensed (set by the merge hook): moving a
+  /// provider's membership between cores — re-partitioning transfers and
+  /// failover adoptions alike — is only legal when the lanes drained at a
+  /// kRebalance or kFailover barrier.
+  bool lanes_at_membership_barrier_ = false;
   /// Ring epoch each shard has acknowledged (via ring-update gossip);
   /// stamped onto that shard's load reports.
   std::vector<std::uint64_t> shard_epoch_seen_;
+
+  // Failover state (config.base.shard_faults non-empty). A pending adoption
+  // is a dead shard's provider still draining in-flight completions on the
+  // dead lane; its new owner imports it at the first drain-retry tick that
+  // finds it idle — the failover twin of the handoff drain rule, needed for
+  // the same reason (an agent's service chain must never span two lanes).
+  struct PendingAdoption {
+    std::uint32_t provider = 0;
+    /// Baseline to restore: the last snapshot's handoff payload when the
+    /// provider was in it, a fresh one (admission at adoption time)
+    /// otherwise.
+    runtime::MediationCore::ProviderHandoff baseline;
+    bool restored = false;
+  };
+  /// Last crash-consistent snapshot per shard (empty default = nothing
+  /// snapshotted yet: a crash then re-admits every member fresh).
+  std::vector<runtime::MediationCore::CoreSnapshot> snapshots_;
+  des::PeriodicTask snapshot_task_;
+  std::vector<PendingAdoption> pending_adoptions_;
+  bool adoption_retry_armed_ = false;
 
   // Epoch-parallel execution state (worker_threads > 0): one lane event
   // queue and one effect log per shard, plus — under relaxed parity — the
@@ -367,11 +453,21 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   obs::Counter* handoffs_cancelled_counter_ = nullptr;
   obs::Counter* rebalances_damped_counter_ = nullptr;
   obs::Counter* ring_rebalances_counter_ = nullptr;
+  obs::Counter* shard_crashes_counter_ = nullptr;
+  obs::Counter* reissued_counter_ = nullptr;
+  obs::Counter* reissued_reason_counters_[runtime::kNumReissueReasons] = {};
+  obs::Counter* restored_counter_ = nullptr;
+  obs::Counter* orphaned_counter_ = nullptr;
+  obs::Counter* drain_ticks_counter_ = nullptr;
+  obs::Counter* snapshots_counter_ = nullptr;
+  obs::Counter* ring_retries_counter_ = nullptr;
   std::vector<obs::Counter*> flush_counters_;
   std::vector<obs::Counter*> batched_query_counters_;
   /// Per-shard batch-wait histograms; null entries when histograms are off.
   std::vector<obs::Histogram*> batch_wait_hists_;
   obs::Histogram* handoff_drain_hist_ = nullptr;
+  /// Availability penalty per re-issued query; null when histograms are off.
+  obs::Histogram* reissue_delay_hist_ = nullptr;
   /// Coordinator-lane span recorder (routing, gossip, handoffs); null when
   /// tracing is off.
   obs::TraceLane* coord_trace_ = nullptr;

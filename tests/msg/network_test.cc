@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sqlb::msg {
@@ -141,6 +143,148 @@ TEST(NetworkDeathTest, SendNeedsDestination) {
   Network network(sim, LatencyModel{0.0, 0.0}, Rng(1));
   Message m;  // no destination
   EXPECT_DEATH(network.Send(std::move(m)), "destination");
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (FaultPolicy).
+// ---------------------------------------------------------------------------
+
+/// Records delivery times alongside the messages.
+class TimedRecordingNode final : public Node {
+ public:
+  void OnMessage(Network& network, const Message& message) override {
+    received.push_back(message);
+    times.push_back(network.sim().Now());
+  }
+  std::vector<Message> received;
+  std::vector<SimTime> times;
+};
+
+/// Sends `count` self-addressed messages and returns (delivery times,
+/// injected drop count).
+std::pair<std::vector<SimTime>, std::uint64_t> RunFaultedBatch(
+    const FaultPolicy* policy, int count, std::uint64_t latency_seed = 5) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.01, 0.02}, Rng(latency_seed));
+  if (policy != nullptr) network.SetFaultPolicy(*policy);
+  TimedRecordingNode node;
+  const NodeId id = network.Register(&node);
+  for (int i = 0; i < count; ++i) {
+    Message m;
+    m.from = id;
+    m.to = id;
+    m.kind = static_cast<std::uint32_t>(i);
+    network.Send(std::move(m));
+  }
+  sim.RunAll();
+  return {node.times, network.injected_drops()};
+}
+
+TEST(NetworkFaultTest, DropsAreSeededAndCounted) {
+  FaultPolicy policy;
+  policy.drop_probability = 0.5;
+  policy.seed = 11;
+
+  const auto [times_a, drops_a] = RunFaultedBatch(&policy, 200);
+  const auto [times_b, drops_b] = RunFaultedBatch(&policy, 200);
+
+  // Roughly half die, and the same seed kills the same messages.
+  EXPECT_GT(drops_a, 50u);
+  EXPECT_LT(drops_a, 150u);
+  EXPECT_EQ(drops_a, drops_b);
+  ASSERT_EQ(times_a.size(), times_b.size());
+  EXPECT_EQ(times_a, times_b);
+  EXPECT_EQ(times_a.size() + drops_a, 200u);
+}
+
+TEST(NetworkFaultTest, AccountingIdentityHoldsUnderDrops) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.01, 0.0}, Rng(3));
+  FaultPolicy policy;
+  policy.drop_probability = 0.3;
+  network.SetFaultPolicy(policy);
+  TimedRecordingNode node;
+  const NodeId id = network.Register(&node);
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.from = id;
+    m.to = id;
+    network.Send(std::move(m));
+  }
+  sim.RunAll();
+  EXPECT_EQ(network.sent_messages(), 100u);
+  EXPECT_EQ(network.sent_messages(),
+            network.delivered_messages() + network.dropped_messages());
+  EXPECT_EQ(network.dropped_messages(), network.injected_drops());
+}
+
+TEST(NetworkFaultTest, InjectedDelayAddsToLatency) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.01, 0.0}, Rng(3));
+  FaultPolicy policy;
+  policy.delay_probability = 1.0;
+  policy.extra_delay_min = 0.5;
+  policy.extra_delay_max = 0.5;
+  network.SetFaultPolicy(policy);
+  TimedRecordingNode node;
+  const NodeId id = network.Register(&node);
+  Message m;
+  m.from = id;
+  m.to = id;
+  network.Send(std::move(m));
+  sim.RunAll();
+  ASSERT_EQ(node.times.size(), 1u);
+  EXPECT_DOUBLE_EQ(node.times[0], 0.51);
+  EXPECT_EQ(network.injected_delays(), 1u);
+  EXPECT_EQ(network.dropped_messages(), 0u);
+}
+
+TEST(NetworkFaultTest, ZeroPolicyIsBitIdenticalToNoPolicy) {
+  // Installing an all-zero policy consumes no randomness: delivery times
+  // are bit-identical to a network that never saw SetFaultPolicy.
+  const FaultPolicy zero;
+  const auto [plain_times, plain_drops] = RunFaultedBatch(nullptr, 100);
+  const auto [zero_times, zero_drops] = RunFaultedBatch(&zero, 100);
+  EXPECT_EQ(plain_drops, 0u);
+  EXPECT_EQ(zero_drops, 0u);
+  ASSERT_EQ(plain_times.size(), zero_times.size());
+  EXPECT_EQ(plain_times, zero_times);
+}
+
+TEST(NetworkFaultTest, DropConsumesNoLatencyRandomness) {
+  // The fault stream is independent of the latency stream: the surviving
+  // messages of a faulted run draw exactly the latency samples they would
+  // have drawn in order — drops never shift the jitter sequence of the
+  // messages that follow them within the same Send order.
+  FaultPolicy policy;
+  policy.drop_probability = 0.5;
+  policy.seed = 11;
+  const auto [faulted_times, drops] = RunFaultedBatch(&policy, 50);
+  ASSERT_GT(drops, 0u);
+  const auto [plain_times, plain_drops] = RunFaultedBatch(nullptr, 50);
+  ASSERT_EQ(plain_drops, 0u);
+  // Every surviving delivery time appears in the fault-free run's
+  // delivery-time multiset (same latency stream, fewer consumers of it
+  // would break this if drops consumed jitter draws).
+  std::vector<SimTime> plain_sorted = plain_times;
+  std::sort(plain_sorted.begin(), plain_sorted.end());
+  for (SimTime t : faulted_times) {
+    EXPECT_TRUE(std::binary_search(plain_sorted.begin(), plain_sorted.end(),
+                                   t))
+        << t;
+  }
+}
+
+TEST(NetworkFaultDeathTest, PolicyProbabilitiesAreValidated) {
+  des::Simulator sim;
+  Network network(sim, LatencyModel{0.0, 0.0}, Rng(1));
+  FaultPolicy bad;
+  bad.drop_probability = 1.5;
+  EXPECT_DEATH(network.SetFaultPolicy(bad), "probability");
+  FaultPolicy unordered;
+  unordered.extra_delay_min = 0.5;
+  unordered.extra_delay_max = 0.1;
+  EXPECT_DEATH(network.SetFaultPolicy(unordered), "delay");
 }
 
 }  // namespace
