@@ -18,13 +18,23 @@
 //     re-partitioning on — the churn arm must stay bit-identical between
 //     serial and parallel execution and must not regress allocation
 //     throughput vs the no-churn arm by more than the CI gate (20%).
-//  5. Chaos (this PR): random mid-run shard kills with crash-consistent
+//  5. Chaos (PR 5): random mid-run shard kills with crash-consistent
 //     snapshots, survivor adoption of the dead shard's providers, and
 //     re-issue of the queries the crash lost. The zero-lost-completions
 //     invariant — completed + infeasible + reissued == issued, exactly —
 //     is pinned here under the kill schedule, the serial and 4-thread
 //     chaos rows must stay bit-identical, and throughput vs the calm
 //     8-serial arm is the CI gate (>= 0.70).
+//  6. Million-agent scale (this PR): pooled SoA agent state
+//     (runtime/agent_store.h + mem/) against the eager heap layout,
+//     hierarchical gossip (shard/gossip_topology.h) against the direct
+//     baseline at M = 64, and a 1M-provider 64-shard pooled arm. Pins:
+//     the pooled twin of 8-serial is bit-identical; the topology-aware
+//     parallel twin is bit-identical; per-provider resident bytes drop
+//     >= 4x under the pool (and >= 4x again at 1M, where almost every
+//     provider is idle and the lazy chunks never materialize); the
+//     hierarchical 64-shard arm's wire cost stays under the
+//     rounds x M ceil(log2 M) budget the closed form promises.
 //
 // What to look for:
 //   - M = 1 (sharded) reproduces the mono-mediator exactly, and the
@@ -50,6 +60,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -104,7 +115,29 @@ struct ScalePoint {
   std::uint64_t restored = 0;
   std::uint64_t orphaned = 0;
   std::uint64_t dropped_completions = 0;
+  // Scale arms: agent-state residency and gossip wire cost.
+  std::size_t providers = 0;
+  double bytes_per_provider = 0.0;  // SoA columns + resident chunks, / N
+  double arena_mb = 0.0;            // pooled arms: arena pages reserved
+  std::uint64_t gossip_msgs = 0;    // load-report sends + relay forwards
+  std::uint64_t relay_forwards = 0;
+  double peak_rss_mb = 0.0;         // process VmHWM (monotonic across arms)
 };
+
+/// Peak resident set (VmHWM) of this process in MiB. Monotonic: each row
+/// records the high-water mark as of the end of its run, so only the last
+/// (largest) arm's reading is a per-arm statement — which is why the
+/// 1M-provider arm runs last.
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
 
 runtime::SystemConfig BaseConfig() {
   runtime::SystemConfig config = experiments::PaperConfig(/*seed=*/42);
@@ -155,6 +188,14 @@ ScalePoint RunMono(const runtime::SystemConfig& config) {
           .Find(runtime::MediationSystem::kSeriesConsAllocSatMean)
           ->samples.back()
           .second;
+  point.providers = config.population.num_providers;
+  std::size_t agent_bytes = system.engine().agent_store().columns_bytes();
+  for (const runtime::ProviderAgent& agent : system.engine().providers()) {
+    agent_bytes += agent.ResidentBytes();
+  }
+  point.bytes_per_provider = static_cast<double>(agent_bytes) /
+                             static_cast<double>(point.providers);
+  point.peak_rss_mb = PeakRssMb();
   return point;
 }
 
@@ -178,6 +219,14 @@ struct ShardedOptions {
   /// Observability arms: metrics registry (histograms) and span tracing.
   bool obs_metrics = true;
   bool obs_trace = false;
+  /// Scale arms: gossip dissemination topology (shard/gossip_topology.h),
+  /// pooled SoA agent state (runtime/agent_store.h + mem/), and
+  /// topology-aware worker placement with the static lane->thread schedule
+  /// (des/hw_topo.h).
+  shard::GossipTopologyKind gossip_topology =
+      shard::GossipTopologyKind::kDirect;
+  bool agent_pool = false;
+  bool topology_aware = false;
 };
 
 ScalePoint RunSharded(const runtime::SystemConfig& base,
@@ -201,6 +250,9 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   }
   config.base.observability.metrics = options.obs_metrics;
   config.base.observability.trace = options.obs_trace;
+  config.gossip_topology = options.gossip_topology;
+  config.base.agent_pool.enabled = options.agent_pool;
+  config.topology_aware_workers = options.topology_aware;
 
   shard::ShardedMediationSystem system(
       config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
@@ -242,8 +294,38 @@ ScalePoint RunSharded(const runtime::SystemConfig& base,
   point.restored = result.restored_providers;
   point.orphaned = result.orphaned_providers;
   point.dropped_completions = result.dropped_completions;
+  point.providers = config.base.population.num_providers;
+  point.bytes_per_provider = static_cast<double>(result.agent_state_bytes) /
+                             static_cast<double>(point.providers);
+  point.arena_mb =
+      static_cast<double>(result.arena_bytes_reserved) / (1024.0 * 1024.0);
+  point.gossip_msgs = result.gossip_load_messages;
+  point.relay_forwards = result.gossip_relay_forwards;
+  point.peak_rss_mb = PeakRssMb();
   if (full_out != nullptr) *full_out = std::move(result);
   return point;
+}
+
+/// A light-workload, large-population configuration for the memory and
+/// gossip scale arms. The absolute query volume is pinned (~target_qps
+/// regardless of N: the workload fraction scales as 1/capacity), so these
+/// arms measure state residency and gossip wire cost at population scale —
+/// not allocation throughput, which the paper-config arms already cover.
+/// Consumer preferences are drawn lazily: the eager C x N matrix is a
+/// population-level cost that would swamp the per-provider story.
+runtime::SystemConfig ScaleBase(std::size_t providers, double duration,
+                                double target_qps) {
+  runtime::SystemConfig config = experiments::PaperConfig(/*seed=*/42);
+  config.population.num_consumers = 256;
+  config.population.num_providers = providers;
+  config.population.lazy_consumer_preferences = true;
+  config.duration = duration;
+  config.sample_interval = duration / 4.0;
+  config.stats_warmup = duration / 4.0;
+  config.workload = runtime::WorkloadSpec::Constant(1.0);
+  config.workload = runtime::WorkloadSpec::Constant(
+      std::min(1.0, target_qps / NominalArrivalRate(config)));
+  return config;
 }
 
 const ScalePoint& FindPoint(const std::vector<ScalePoint>& points,
@@ -438,18 +520,91 @@ int main() {
   chaos_parallel.worker_threads = 4;
   points.push_back(RunSharded(base, chaos_parallel));
 
+  // The million-agent scale story. First the two bit-identity twins on the
+  // paper workload: pooled SoA agent state and topology-aware parallel
+  // placement must each reproduce 8-serial exactly.
+  ShardedOptions pooled_twin = serial_base;
+  pooled_twin.label = "8-pooled";
+  pooled_twin.agent_pool = true;
+  points.push_back(RunSharded(base, pooled_twin));
+
+  ShardedOptions topo_twin = serial_base;
+  topo_twin.label = "8-par-topo";
+  topo_twin.worker_threads = 4;
+  topo_twin.topology_aware = true;
+  points.push_back(RunSharded(base, topo_twin));
+
+  // 64-shard gossip wire cost: the direct baseline fixes the exact round
+  // count (sends are counted at send time: total = rounds x M), then the
+  // hierarchical arm must come in under rounds x M ceil(log2 M).
+  const std::size_t kGossipShards = 64;
+  const runtime::SystemConfig gossip_base =
+      ScaleBase(/*providers=*/fast ? 4096 : 16384,
+                /*duration=*/fast ? 400.0 : 800.0, /*target_qps=*/50.0);
+  ShardedOptions gossip_direct{"64-direct", kGossipShards,
+                               shard::RoutingPolicy::kLocality, false, 0,
+                               0.0};
+  gossip_direct.agent_pool = true;
+  points.push_back(RunSharded(gossip_base, gossip_direct));
+
+  ShardedOptions gossip_hier = gossip_direct;
+  gossip_hier.label = "64-hier";
+  gossip_hier.gossip_topology = shard::GossipTopologyKind::kHierarchical;
+  points.push_back(RunSharded(gossip_base, gossip_hier));
+
+  // Per-provider residency: the eager heap layout against the pooled SoA
+  // layout on an identical 64-shard run. The query volume is pinned low —
+  // every mediation proposes to all of its shard's candidates, so each
+  // provider's resident window grows ~24 B per query its shard sees; a
+  // near-idle fleet is the provisioned-for-peak shape the pool exists for,
+  // and it keeps the eager layout's preallocated rings (the fixed ~13 KB)
+  // the dominant term.
+  const runtime::SystemConfig mem_base =
+      ScaleBase(/*providers=*/fast ? 16384 : 65536,
+                /*duration=*/fast ? 240.0 : 480.0, /*target_qps=*/8.0);
+  ShardedOptions mem_pooled{"64-pooled", kGossipShards,
+                            shard::RoutingPolicy::kLocality, false, 0, 0.0};
+  mem_pooled.agent_pool = true;
+  mem_pooled.gossip_topology = shard::GossipTopologyKind::kHierarchical;
+  points.push_back(RunSharded(mem_base, mem_pooled));
+
+  ShardedOptions mem_aos = mem_pooled;
+  mem_aos.label = "64-aos";
+  mem_aos.agent_pool = false;
+  points.push_back(RunSharded(mem_base, mem_aos));
+
+  // The headline arm: one million providers on 64 shards, pooled state +
+  // lazy preferences + hierarchical gossip. Runs LAST so the VmHWM reading
+  // is its own high-water mark. Fast mode skips it (and says so).
+  bool million_ran = false;
+  ScalePoint million_pt;
+  if (fast) {
+    skipped.push_back("64-pooled-1m (1M providers; full runs only)");
+  } else {
+    const runtime::SystemConfig million_base =
+        ScaleBase(/*providers=*/1'000'000, /*duration=*/300.0,
+                  /*target_qps=*/8.0);
+    ShardedOptions million = mem_pooled;
+    million.label = "64-pooled-1m";
+    points.push_back(RunSharded(million_base, million));
+    million_pt = points.back();
+    million_ran = true;
+  }
+
   const double mono_throughput = Throughput(points.front());
 
   TablePrinter table({"config", "threads", "batch(s)", "wall(s)", "completed",
                       "alloc/s(wall)", "speedup", "mean rt(s)", "p50 rt",
                       "p99 rt", "p999 rt", "cons sat", "imbalance",
-                      "reroutes", "gossip", "handoffs"});
+                      "reroutes", "gossip", "handoffs", "B/prov"});
   CsvWriter csv({"config", "shards", "threads", "batch_window",
                  "wall_seconds", "completed", "alloc_per_second", "speedup",
                  "mean_response_time", "rt_p50", "rt_p99", "rt_p999",
                  "consumer_allocsat", "route_imbalance",
                  "reroutes", "gossip_delivered", "provider_joins",
-                 "ring_epoch", "ring_rebalances", "handoffs_completed"});
+                 "ring_epoch", "ring_rebalances", "handoffs_completed",
+                 "providers", "bytes_per_provider", "gossip_load_messages",
+                 "peak_rss_mb"});
   bench::JsonArray rows;
   for (const ScalePoint& p : points) {
     const double throughput = Throughput(p);
@@ -465,7 +620,8 @@ int main() {
                   FormatNumber(p.route_imbalance, 3),
                   FormatNumber(static_cast<double>(p.reroutes)),
                   FormatNumber(static_cast<double>(p.gossip)),
-                  FormatNumber(static_cast<double>(p.handoffs))});
+                  FormatNumber(static_cast<double>(p.handoffs)),
+                  FormatNumber(p.bytes_per_provider, 0)});
     csv.BeginRow();
     csv.AddCell(p.label);
     csv.AddCell(p.shards);
@@ -487,6 +643,10 @@ int main() {
     csv.AddCell(static_cast<std::size_t>(p.ring_epoch));
     csv.AddCell(static_cast<std::size_t>(p.rebalances));
     csv.AddCell(static_cast<std::size_t>(p.handoffs));
+    csv.AddCell(p.providers);
+    csv.AddCell(p.bytes_per_provider);
+    csv.AddCell(static_cast<std::size_t>(p.gossip_msgs));
+    csv.AddCell(p.peak_rss_mb);
 
     bench::JsonObject row;
     row.Add("config", p.label)
@@ -516,7 +676,13 @@ int main() {
         .Add("snapshots_taken", p.snapshots)
         .Add("restored_providers", p.restored)
         .Add("orphaned_providers", p.orphaned)
-        .Add("dropped_completions", p.dropped_completions);
+        .Add("dropped_completions", p.dropped_completions)
+        .Add("providers", p.providers)
+        .Add("bytes_per_provider", p.bytes_per_provider)
+        .Add("arena_mb", p.arena_mb)
+        .Add("gossip_load_messages", p.gossip_msgs)
+        .Add("gossip_relay_forwards", p.relay_forwards)
+        .Add("peak_rss_mb", p.peak_rss_mb);
     rows.Add(row);
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -679,6 +845,86 @@ int main() {
       static_cast<unsigned long long>(chaos0.orphaned),
       static_cast<unsigned long long>(chaos0.dropped_completions));
 
+  // 8. Pooled agent state must be storage-only: the pooled twin replays
+  //    8-serial bit for bit, and so does the topology-aware parallel twin
+  //    (placement moves threads, never the schedule within a lane).
+  const ScalePoint& pooled_pt = FindPoint(points, "8-pooled");
+  const bool pooled_parity = serial8.issued == pooled_pt.issued &&
+                             serial8.completed == pooled_pt.completed &&
+                             serial8.mean_rt == pooled_pt.mean_rt &&
+                             serial8.cons_sat == pooled_pt.cons_sat;
+  std::printf("pooled-state parity with 8-serial: %s\n",
+              pooled_parity ? "EXACT" : "BROKEN (investigate!)");
+  const ScalePoint& topo_pt = FindPoint(points, "8-par-topo");
+  const bool topo_parity = serial8.issued == topo_pt.issued &&
+                           serial8.completed == topo_pt.completed &&
+                           serial8.mean_rt == topo_pt.mean_rt &&
+                           serial8.cons_sat == topo_pt.cons_sat;
+  std::printf("topology-aware parallel parity with 8-serial: %s\n",
+              topo_parity ? "EXACT" : "BROKEN (investigate!)");
+
+  // 9. Gossip wire cost at M = 64: the direct arm counts rounds exactly
+  //    (sends only, at send time), and the hierarchical arm must stay
+  //    under the O(M log M) budget for those rounds. Its own counter obeys
+  //    the audit identity total = rounds x M + relay forwards, up to the
+  //    final round's relays still in flight at the horizon.
+  const ScalePoint& g_direct = FindPoint(points, "64-direct");
+  const ScalePoint& g_hier = FindPoint(points, "64-hier");
+  const std::uint64_t gossip_rounds = g_direct.gossip_msgs / kGossipShards;
+  const std::uint64_t gossip_budget =
+      gossip_rounds * kGossipShards *
+      static_cast<std::uint64_t>(
+          std::ceil(std::log2(static_cast<double>(kGossipShards))));
+  const bool gossip_budget_ok = gossip_rounds > 0 &&
+                                g_direct.gossip_msgs % kGossipShards == 0 &&
+                                g_hier.gossip_msgs <= gossip_budget;
+  std::printf(
+      "64-shard gossip: %llu rounds, direct %llu msgs, hierarchical %llu "
+      "(%llu relay forwards) vs budget %llu (M ceil(log2 M) per round): %s\n",
+      static_cast<unsigned long long>(gossip_rounds),
+      static_cast<unsigned long long>(g_direct.gossip_msgs),
+      static_cast<unsigned long long>(g_hier.gossip_msgs),
+      static_cast<unsigned long long>(g_hier.relay_forwards),
+      static_cast<unsigned long long>(gossip_budget),
+      gossip_budget_ok ? "UNDER" : "OVER (investigate!)");
+
+  // 10. Per-provider residency: the pooled layout must cut resident bytes
+  //     per provider >= 4x vs the eager heap twin of the same run, and the
+  //     1M arm (full runs) must hold the same factor vs that AoS baseline
+  //     while finishing inside container memory.
+  const ScalePoint& mem_aos_pt = FindPoint(points, "64-aos");
+  const ScalePoint& mem_pooled_pt = FindPoint(points, "64-pooled");
+  const double memory_ratio =
+      mem_pooled_pt.bytes_per_provider > 0.0
+          ? mem_aos_pt.bytes_per_provider / mem_pooled_pt.bytes_per_provider
+          : 0.0;
+  const bool memory_ratio_ok = memory_ratio >= 4.0;
+  std::printf(
+      "agent-state residency at %zu providers: %.0f B/provider eager heap "
+      "vs %.0f B/provider pooled (%.1fx, CI gate >= 4x): %s\n",
+      mem_aos_pt.providers, mem_aos_pt.bytes_per_provider,
+      mem_pooled_pt.bytes_per_provider, memory_ratio,
+      memory_ratio_ok ? "OK" : "BROKEN (investigate!)");
+
+  double million_ratio = 0.0;
+  bool million_ok = true;  // vacuously true when the arm is skipped
+  if (million_ran) {
+    million_ratio =
+        million_pt.bytes_per_provider > 0.0
+            ? mem_aos_pt.bytes_per_provider / million_pt.bytes_per_provider
+            : 0.0;
+    million_ok = million_pt.completed > 0 && million_ratio >= 4.0;
+    std::printf(
+        "1M-provider arm: %llu completed, %.0f B/provider (%.1fx vs the "
+        "%zu-provider eager baseline, gate >= 4x), %.0f MiB peak RSS, "
+        "%.1f MiB arena, %llu gossip msgs: %s\n",
+        static_cast<unsigned long long>(million_pt.completed),
+        million_pt.bytes_per_provider, million_ratio, mem_aos_pt.providers,
+        million_pt.peak_rss_mb, million_pt.arena_mb,
+        static_cast<unsigned long long>(million_pt.gossip_msgs),
+        million_ok ? "OK" : "BROKEN (investigate!)");
+  }
+
   // --- Hardware-dependent wall-clock numbers -------------------------------
 
   const ScalePoint& eight = FindPoint(points, "8-shard");
@@ -834,7 +1080,27 @@ int main() {
       .Add("trace_spans_dropped", traced_result.run.trace_spans_dropped)
       .Add("serial_rt_p50", serial8.rt_p50)
       .Add("serial_rt_p99", serial8.rt_p99)
-      .Add("serial_rt_p999", serial8.rt_p999);
+      .Add("serial_rt_p999", serial8.rt_p999)
+      .Add("pooled_parity_exact", pooled_parity)
+      .Add("topology_parity_exact", topo_parity)
+      .Add("gossip_shards", kGossipShards)
+      .Add("gossip_rounds", gossip_rounds)
+      .Add("gossip_direct_messages", g_direct.gossip_msgs)
+      .Add("gossip_hier_messages", g_hier.gossip_msgs)
+      .Add("gossip_hier_relay_forwards", g_hier.relay_forwards)
+      .Add("gossip_budget_messages", gossip_budget)
+      .Add("gossip_budget_ok", gossip_budget_ok)
+      .Add("aos_bytes_per_provider", mem_aos_pt.bytes_per_provider)
+      .Add("pooled_bytes_per_provider", mem_pooled_pt.bytes_per_provider)
+      .Add("memory_bytes_ratio", memory_ratio)
+      .Add("memory_ratio_ok", memory_ratio_ok)
+      .Add("million_arm_ran", million_ran)
+      .Add("million_bytes_per_provider",
+           million_ran ? million_pt.bytes_per_provider : 0.0)
+      .Add("million_memory_ratio", million_ratio)
+      .Add("million_peak_rss_mb", million_ran ? million_pt.peak_rss_mb : 0.0)
+      .Add("million_completed", million_ran ? million_pt.completed : 0)
+      .Add("million_ok", million_ok);
 
   std::string skipped_json;
   for (std::size_t i = 0; i < skipped.size(); ++i) {
@@ -883,7 +1149,9 @@ int main() {
                  thread_determinism && relaxed_counters_conserved &&
                  relaxed_rt_within_tolerance && churn_parity &&
                  churn_repartitioned && chaos_zero_lost && chaos_parity &&
-                 chaos_active && speedup8 >= 2.0
+                 chaos_active && speedup8 >= 2.0 && pooled_parity &&
+                 topo_parity && gossip_budget_ok && memory_ratio_ok &&
+                 million_ok
              ? 0
              : 1;
 }

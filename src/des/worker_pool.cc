@@ -1,5 +1,7 @@
 #include "des/worker_pool.h"
 
+#include "des/hw_topo.h"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -28,15 +30,36 @@ bool PinThreadToCore(std::thread& thread, std::size_t core) {
 }  // namespace
 
 WorkerPool::WorkerPool(std::size_t concurrency,
-                       const WorkerPoolOptions& options) {
+                       const WorkerPoolOptions& options)
+    : static_schedule_(options.static_schedule) {
   const std::size_t spawned = concurrency > 1 ? concurrency - 1 : 0;
   workers_.reserve(spawned);
+  thread_sockets_.assign(spawned + 1, 0);  // slot 0 = the calling thread
   const unsigned hardware = std::thread::hardware_concurrency();
+
+  // Topology-aware placement order, computed once. Empty when the mode is
+  // off or the host has a single usable CPU; the legacy round-robin covers
+  // those cases.
+  std::vector<unsigned> placement;
+  HwTopology topo;
+  if (options.topology_aware && hardware > 1) {
+    topo = HwTopology::Detect();
+    placement = topo.PlacementOrder(/*skip_cpu0=*/true);
+  }
+
   for (std::size_t i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-    // Round-robin over cores 1..hw-1, leaving core 0 to the (unpinned)
-    // calling thread; on a single-core host there is nothing to spread.
-    if (options.pin_threads && hardware > 1) {
+    const std::size_t rank = i + 1;  // rank 0 is the caller
+    workers_.emplace_back([this, rank] { WorkerLoop(rank); });
+    if (!placement.empty()) {
+      const unsigned cpu = placement[i % placement.size()];
+      if (PinThreadToCore(workers_.back(), cpu)) {
+        ++pinned_workers_;
+        thread_sockets_[rank] = topo.SocketOf(cpu);
+      }
+    } else if ((options.pin_threads || options.topology_aware) &&
+               hardware > 1) {
+      // Round-robin over cores 1..hw-1, leaving core 0 to the (unpinned)
+      // calling thread; on a single-core host there is nothing to spread.
       const std::size_t core = 1 + (i % (hardware - 1));
       if (PinThreadToCore(workers_.back(), core)) ++pinned_workers_;
     }
@@ -68,10 +91,17 @@ void WorkerPool::ParallelFor(std::size_t count,
   }
   work_cv_.notify_all();
 
-  // The caller is one of the pool's threads: grab indices like everyone.
-  std::size_t i;
-  while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
-    fn(i);
+  // The caller is one of the pool's threads: rank 0. Under the static
+  // schedule it owns indices i with i % concurrency == 0; otherwise it
+  // grabs indices from the shared counter like everyone.
+  if (static_schedule_) {
+    const std::size_t stride = concurrency();
+    for (std::size_t i = 0; i < count; i += stride) fn(i);
+  } else {
+    std::size_t i;
+    while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
+      fn(i);
+    }
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -79,7 +109,7 @@ void WorkerPool::ParallelFor(std::size_t count,
   job_ = nullptr;
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(std::size_t rank) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
@@ -94,9 +124,18 @@ void WorkerPool::WorkerLoop() {
       job = job_;
       count = job_count_;
     }
-    std::size_t i;
-    while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) < count) {
-      (*job)(i);
+    if (static_schedule_) {
+      // Fixed stride by thread rank: index i always runs on the same
+      // thread across epochs, so a lane's memory stays where it was
+      // first touched.
+      const std::size_t stride = workers_.size() + 1;
+      for (std::size_t i = rank; i < count; i += stride) (*job)(i);
+    } else {
+      std::size_t i;
+      while ((i = next_index_.fetch_add(1, std::memory_order_relaxed)) <
+             count) {
+        (*job)(i);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -27,6 +27,22 @@ struct WorkerPoolOptions {
   /// core's cache. The calling thread is never pinned (it belongs to the
   /// application).
   bool pin_threads = false;
+
+  /// Placement-aware pinning (des/hw_topo.h): instead of the blind
+  /// round-robin above, workers are pinned along the detected topology's
+  /// placement order — every physical core before any SMT sibling, one
+  /// socket filled before the next — so adjacent workers share a socket's
+  /// cache and memory controller. Implies pinning; falls back to the
+  /// legacy order when /sys topology is unreadable.
+  bool topology_aware = false;
+
+  /// Deterministic index->thread schedule for ParallelFor: index i always
+  /// runs on pool thread i % concurrency (the caller is thread 0) instead
+  /// of atomic work-stealing. With topology-aware pinning this keeps every
+  /// lane on the same socket across epochs, so its first-touch arena pages
+  /// stay local; without it, page homing decays as lanes migrate between
+  /// sockets. Costs load balance when per-index work is uneven.
+  bool static_schedule = false;
 };
 
 /// A fixed set of worker threads executing index-based parallel-for jobs.
@@ -59,8 +75,15 @@ class WorkerPool {
   /// from inside a job.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Socket each pool thread was pinned to (index 0 = the calling thread,
+  /// always socket 0 / unpinned; workers follow). Used by tests and by
+  /// NUMA-aware callers that want to home per-lane memory.
+  const std::vector<unsigned>& thread_sockets() const {
+    return thread_sockets_;
+  }
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t rank);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a new generation
@@ -73,6 +96,8 @@ class WorkerPool {
   std::atomic<std::size_t> next_index_{0};
   std::vector<std::thread> workers_;
   std::size_t pinned_workers_ = 0;
+  bool static_schedule_ = false;
+  std::vector<unsigned> thread_sockets_;
 };
 
 }  // namespace sqlb::des

@@ -1,0 +1,11 @@
+#include "mem/agent_arena.h"
+
+#include "mem/chunked_fifo.h"
+
+namespace sqlb::mem {
+
+AgentArena::AgentArena(const AgentPoolConfig& config)
+    : pages_(config.page_bytes, config.max_bytes_per_arena),
+      slabs_(&pages_, kAgentChunkBytes) {}
+
+}  // namespace sqlb::mem

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/ring_buffer.h"
+#include "mem/paged_ring.h"
 
 /// \file
 /// Sliding "k last interactions" state behind the long-run characterization
@@ -92,7 +93,19 @@ class ConsumerWindow {
 /// Window over the provider's k last proposed queries.
 class ProviderWindow {
  public:
-  explicit ProviderWindow(const WindowConfig& config);
+  /// `lazy` selects the pooled backing mode of the entry ring: eager
+  /// (default) allocates every chunk up front like the legacy RingBuffer
+  /// sized its vector; lazy materializes chunks on first write, from the
+  /// pool wired via set_chunk_pool() (heap until one is wired). The two
+  /// modes run the identical Record/eviction arithmetic.
+  explicit ProviderWindow(const WindowConfig& config, bool lazy = false);
+
+  /// Wires the slab pool lazy chunks come from (the owning lane's arena);
+  /// resident chunks keep their original owner.
+  void set_chunk_pool(mem::SlabPool* pool) { entries_.set_pool(pool); }
+
+  /// Bytes of entry-ring storage currently resident.
+  std::size_t resident_bytes() const { return entries_.resident_bytes(); }
 
   /// Records one proposed query: the intention the provider showed, its
   /// private preference (both on the [-1, 1] scale; clamped), and whether
@@ -147,7 +160,7 @@ class ProviderWindow {
   };
 
   WindowConfig config_;
-  RingBuffer<Entry> entries_;
+  mem::PagedRing<Entry> entries_;
   double intention_sum_ = 0.0;        // over all entries
   double preference_sum_ = 0.0;       // over all entries
   double perf_intention_sum_ = 0.0;   // over performed entries

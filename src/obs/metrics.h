@@ -224,6 +224,19 @@ inline constexpr const char kMetricNetInjectedDelays[] =
 // retry half of "gossip retry + epoch-lagged fallback").
 inline constexpr const char kMetricGossipRingRetries[] =
     "gossip.ring_retries";
+// Load-report messages put on the wire per run (every hop counts one:
+// origin sends and hierarchical relay forwards alike). The scale gate
+// bounds this at O(M log M) per gossip round.
+inline constexpr const char kMetricGossipLoadMessages[] =
+    "gossip.load_messages";
+// Hierarchical-topology relay traffic: reports forwarded hop-by-hop
+// through aggregator shards, and reports dropped because their relay
+// shard was dead at delivery time (the origin keeps reporting; the next
+// round's tree routes around the corpse).
+inline constexpr const char kMetricGossipRelayForwards[] =
+    "gossip.relay_forwards";
+inline constexpr const char kMetricGossipRelayDrops[] =
+    "gossip.relay_drops";
 
 // Per-shard gauges (the shard index is appended: "batch.window.0", ...).
 inline constexpr const char kMetricBatchWindowPrefix[] = "batch.window.";

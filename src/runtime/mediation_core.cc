@@ -20,21 +20,27 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
                  shared_.reputation != nullptr && shared_.result != nullptr &&
                  shared_.response_window != nullptr,
              "mediation core shared state is incomplete");
+  cache_enabled_ = shared_.config->characterization_cache;
+  utilization_window_width_ = shared_.config->provider.utilization_window;
+  column_needs_ = method_->RequiredColumns();
+
+  // Membership state — the chronic-utilization baselines and the
+  // characterization cache — is member-slot indexed and member-sized: a
+  // core over 1/M of a million-provider population carries O(members)
+  // state, not O(population). Slots recycle through a freelist on
+  // departure/export with their cache stamps reset, so a member imported
+  // by a churn handoff always starts never-characterized.
+  units_at_last_check_.reserve(active_providers_.size());
+  member_since_.reserve(active_providers_.size());
+  member_cache_.reserve(active_providers_.size());
   for (std::uint32_t index : active_providers_) {
     SQLB_CHECK(index < shared_.providers->size(),
                "member provider index out of range");
-    matchmaker_.Register((*shared_.providers)[index].id(), Capability{});
+    ProviderAgent& agent = (*shared_.providers)[index];
+    matchmaker_.Register(agent.id(), Capability{});
+    AllocMemberSlot(index);
+    if (shared_.arena != nullptr) agent.SetArena(shared_.arena);
   }
-  units_at_last_check_.assign(shared_.providers->size(), 0.0);
-  member_since_.assign(shared_.providers->size(), 0.0);
-
-  // The characterization cache: one entry per provider (global indexing, so
-  // a member imported by a churn handoff lands on an entry whose stale
-  // stamps force a full refresh).
-  cache_enabled_ = shared_.config->characterization_cache;
-  utilization_window_width_ = shared_.config->provider.utilization_window;
-  member_cache_.resize(shared_.providers->size());
-  column_needs_ = method_->RequiredColumns();
 
   // Pre-size the hot-path scratch to the member count: every candidate set
   // is a subset of the members, so no allocation loop ever regrows these.
@@ -59,11 +65,37 @@ MediationCore::MediationCore(const Shared& shared, AllocationMethod* method,
   }
 }
 
+std::uint32_t MediationCore::AllocMemberSlot(std::uint32_t provider_index) {
+  std::uint32_t slot;
+  if (!free_member_slots_.empty()) {
+    slot = free_member_slots_.back();
+    free_member_slots_.pop_back();
+    units_at_last_check_[slot] = 0.0;
+    member_since_[slot] = 0.0;
+    member_cache_[slot] = MemberCharacterization{};
+  } else {
+    slot = static_cast<std::uint32_t>(member_cache_.size());
+    units_at_last_check_.push_back(0.0);
+    member_since_.push_back(0.0);
+    member_cache_.emplace_back();
+  }
+  (*shared_.providers)[provider_index].set_core_slot(slot);
+  return slot;
+}
+
+void MediationCore::FreeMemberSlot(std::uint32_t provider_index) {
+  ProviderAgent& agent = (*shared_.providers)[provider_index];
+  const std::uint32_t slot = agent.core_slot();
+  SQLB_CHECK(slot < member_cache_.size(), "freeing a slotless member");
+  free_member_slots_.push_back(slot);
+  agent.set_core_slot(AgentStore::kNoCoreSlot);
+}
+
 const MediationCore::MemberCharacterization&
 MediationCore::RefreshCharacterization(std::uint32_t provider_index,
                                        SimTime now) {
   ProviderAgent& agent = (*shared_.providers)[provider_index];
-  MemberCharacterization& mc = member_cache_[provider_index];
+  MemberCharacterization& mc = member_cache_[agent.core_slot()];
 
   // Staleness per field, against the agent's event stamps. The decay check
   // (UtilizationWouldDecay) is the *exact* eviction predicate of the
@@ -490,21 +522,21 @@ void MediationCore::RunProviderDepartureChecks(SimTime now,
       dep.provider_overutilization) {
     for (std::size_t i = 0; i < active_providers_.size();) {
       ProviderAgent& p = providers[active_providers_[i]];
+      const std::uint32_t slot = p.core_slot();
       // Fresh joiners get the same grace the whole system gets at t = 0:
       // no judgement until their windows hold real evidence.
-      if (now - member_since_[active_providers_[i]] < dep.grace_period) {
+      if (now - member_since_[slot] < dep.grace_period) {
         ++i;
         continue;
       }
       const SimTime chronic_span =
-          now - std::max(last_check_time_, member_since_[active_providers_[i]]);
+          now - std::max(last_check_time_, member_since_[slot]);
       const double sat = p.SatisfactionOnPreferences();
       const double adq = p.AdequationOnPreferences();
       const double acute_ut = p.Utilization(now);
       const double chronic_ut =
           chronic_span > 0.0
-              ? (p.total_allocated_units() -
-                 units_at_last_check_[active_providers_[i]]) /
+              ? (p.total_allocated_units() - units_at_last_check_[slot]) /
                     (p.capacity() * chronic_span)
               : acute_ut;
       DepartureReason reason{};
@@ -533,7 +565,8 @@ void MediationCore::RunProviderDepartureChecks(SimTime now,
     }
   }
   for (std::uint32_t index : active_providers_) {
-    units_at_last_check_[index] = providers[index].total_allocated_units();
+    units_at_last_check_[providers[index].core_slot()] =
+        providers[index].total_allocated_units();
   }
   last_check_time_ = now;
 }
@@ -556,6 +589,7 @@ void MediationCore::DepartProvider(std::size_t index, DepartureReason reason,
   shared_.result->departures.push_back(event);
   shared_.result->tally.Add(event);
 
+  FreeMemberSlot(provider_index);
   active_providers_[index] = active_providers_.back();
   active_providers_.pop_back();
 }
@@ -568,10 +602,12 @@ void MediationCore::AdmitMember(std::uint32_t provider_index, SimTime now) {
   agent.Rejoin();
   matchmaker_.Register(agent.id(), Capability{});
   active_providers_.push_back(provider_index);
+  const std::uint32_t slot = AllocMemberSlot(provider_index);
+  if (shared_.arena != nullptr) agent.SetArena(shared_.arena);
   // The chronic-utilization clock starts at admission: whatever the agent
   // allocated in a previous life does not count against this membership.
-  units_at_last_check_[provider_index] = agent.total_allocated_units();
-  member_since_[provider_index] = now;
+  units_at_last_check_[slot] = agent.total_allocated_units();
+  member_since_[slot] = now;
 }
 
 void MediationCore::SealMember(std::uint32_t provider_index) {
@@ -600,8 +636,9 @@ MediationCore::ProviderHandoff MediationCore::ExportMember(
 
   ProviderHandoff handoff;
   handoff.provider_index = provider_index;
-  handoff.units_at_last_check = units_at_last_check_[provider_index];
-  handoff.member_since = member_since_[provider_index];
+  handoff.units_at_last_check = units_at_last_check_[agent.core_slot()];
+  handoff.member_since = member_since_[agent.core_slot()];
+  FreeMemberSlot(provider_index);
   return handoff;
 }
 
@@ -610,11 +647,15 @@ void MediationCore::ImportMember(const ProviderHandoff& handoff) {
              "imported provider index out of range");
   SQLB_CHECK(!IsMember(handoff.provider_index),
              "imported provider is already a member here");
-  matchmaker_.Register((*shared_.providers)[handoff.provider_index].id(),
-                       Capability{});
+  ProviderAgent& agent = (*shared_.providers)[handoff.provider_index];
+  matchmaker_.Register(agent.id(), Capability{});
   active_providers_.push_back(handoff.provider_index);
-  units_at_last_check_[handoff.provider_index] = handoff.units_at_last_check;
-  member_since_[handoff.provider_index] = handoff.member_since;
+  const std::uint32_t slot = AllocMemberSlot(handoff.provider_index);
+  // Re-home the import on this core's arena: new chunks come from here,
+  // chunks carried across the handoff drain back to their origin pool.
+  if (shared_.arena != nullptr) agent.SetArena(shared_.arena);
+  units_at_last_check_[slot] = handoff.units_at_last_check;
+  member_since_[slot] = handoff.member_since;
 }
 
 bool MediationCore::DepartMemberForChurn(std::uint32_t provider_index,
@@ -644,8 +685,8 @@ MediationCore::CoreSnapshot MediationCore::ExportSnapshot(SimTime now) const {
   for (std::uint32_t index : sorted) {
     ProviderHandoff handoff;
     handoff.provider_index = index;
-    handoff.units_at_last_check = units_at_last_check_[index];
-    handoff.member_since = member_since_[index];
+    handoff.units_at_last_check = units_at_last_check_[MemberSlot(index)];
+    handoff.member_since = member_since_[MemberSlot(index)];
     snapshot.members.push_back(handoff);
   }
   snapshot.pending_count = pending_.size();
@@ -679,6 +720,7 @@ MediationCore::CrashReport MediationCore::Crash() {
   // completion callbacks see the bumped epoch and drop themselves.
   for (std::uint32_t index : active_providers_) {
     matchmaker_.Unregister((*shared_.providers)[index].id());
+    FreeMemberSlot(index);
   }
   active_providers_.clear();
   pending_.clear();

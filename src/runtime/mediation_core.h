@@ -11,6 +11,7 @@
 #include "des/seqlock.h"
 #include "des/simulator.h"
 #include "matchmaking/matchmaker.h"
+#include "mem/agent_arena.h"
 #include "model/query.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/provider_agent.h"
@@ -94,6 +95,11 @@ class MediationCore {
     /// strict parity's consumer-affine routing, where the accesses are
     /// single-threaded by construction.
     des::SeqLockTable* consumer_locks = nullptr;
+    /// This core's agent arena (the owning lane's pooled chunk source), or
+    /// null when agent pooling is disabled. Members admitted, imported or
+    /// restored onto this core are re-homed on it (SetArena); their
+    /// already-resident chunks keep draining to their original pool.
+    mem::AgentArena* arena = nullptr;
   };
 
   /// What one mediation attempt did, so the caller (mono system or shard
@@ -345,7 +351,7 @@ class MediationCore {
   const MemberCharacterization& Characterize(std::uint32_t provider_index,
                                              SimTime now) {
     const ProviderAgent& agent = (*shared_.providers)[provider_index];
-    const MemberCharacterization& mc = member_cache_[provider_index];
+    const MemberCharacterization& mc = member_cache_[agent.core_slot()];
     if (cache_enabled_ &&
         mc.char_revision == agent.characterization_revision() &&
         !(mc.decay_front_time <= now - utilization_window_width_)) {
@@ -407,18 +413,34 @@ class MediationCore {
   std::uint64_t crash_epoch_ = 0;
   std::uint64_t dropped_completions_ = 0;
 
+  /// Assigns `provider_index` a dense member slot on this core (recycling
+  /// freed slots LIFO — membership changes only happen at deterministic
+  /// barriers, so the recycling order is part of the parity contract) and
+  /// resets the slot's characterization stamps to never-characterized: a
+  /// recycled slot must not serve the previous occupant's cache entry.
+  std::uint32_t AllocMemberSlot(std::uint32_t provider_index);
+  /// Returns the member's slot to the freelist and detaches the agent.
+  void FreeMemberSlot(std::uint32_t provider_index);
+  std::uint32_t MemberSlot(std::uint32_t provider_index) const {
+    return (*shared_.providers)[provider_index].core_slot();
+  }
+
   // Chronic-utilization bookkeeping for the starvation rule: allocated
   // units and timestamp at each member's previous departure check, indexed
-  // globally. `member_since_` (also global) records when each member was
+  // by *member slot* (the agent's core_slot column), so a core over 1/M of
+  // a million-provider population holds member-count state, not
+  // population-count state. `member_since_` records when each member was
   // (last) admitted: 0 for initial members, the join/import time otherwise —
   // it bounds the chronic measurement span and grants joiners the departure
   // grace period.
   std::vector<double> units_at_last_check_;
   std::vector<SimTime> member_since_;
+  std::vector<std::uint32_t> free_member_slots_;
   SimTime last_check_time_ = 0.0;
 
-  /// The characterization cache, indexed by global provider index (one
-  /// entry per provider; only member indices are ever touched).
+  /// The characterization cache, indexed by member slot (one entry per
+  /// current member; slots recycle across membership changes with their
+  /// stamps reset).
   std::vector<MemberCharacterization> member_cache_;
   CacheStats cache_stats_;
 

@@ -79,6 +79,7 @@ class MediationSystem : private ScenarioEngine::Driver {
   const ConsumerAgent& consumer_agent(ConsumerId id) const;
   ReputationRegistry& reputation() { return engine_.reputation(); }
   const MediationCore& core() const { return *core_; }
+  const ScenarioEngine& engine() const { return engine_; }
 
  private:
   // ScenarioEngine::Driver — the mono-mediator policy: mediate inline on

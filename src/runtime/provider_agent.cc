@@ -7,77 +7,139 @@ namespace sqlb::runtime {
 
 ProviderAgent::ProviderAgent(const ProviderProfile& profile,
                              const ProviderAgentConfig& config)
+    : ProviderAgent(profile, std::make_unique<SelfStore>(config)) {}
+
+ProviderAgent::ProviderAgent(const ProviderProfile& profile,
+                             std::unique_ptr<SelfStore> self)
+    : profile_(profile),
+      self_(std::move(self)),
+      config_(&self_->config),
+      store_(&self_->store),
+      slot_(0),
+      window_(config_->window, /*lazy=*/false),
+      util_events_(/*eager_first_chunk=*/true),
+      queue_(/*eager_first_chunk=*/true) {
+  SQLB_CHECK(profile.capacity > 0.0, "provider capacity must be positive");
+}
+
+ProviderAgent::ProviderAgent(const ProviderProfile& profile,
+                             const ProviderAgentConfig* config,
+                             AgentStore* store, std::uint32_t slot)
     : profile_(profile),
       config_(config),
-      window_(config.window),
-      allocated_units_(config.utilization_window) {
+      store_(store),
+      slot_(slot),
+      window_(config->window, /*lazy=*/store->pooled()),
+      util_events_(/*eager_first_chunk=*/!store->pooled()),
+      queue_(/*eager_first_chunk=*/!store->pooled()) {
   SQLB_CHECK(profile.capacity > 0.0, "provider capacity must be positive");
+  SQLB_CHECK(slot_ < store_->count(), "agent slot out of range");
+}
+
+void ProviderAgent::SetArena(mem::AgentArena* arena) {
+  slabs_ = arena != nullptr ? arena->slabs() : nullptr;
+  window_.set_chunk_pool(slabs_);
 }
 
 double ProviderAgent::ComputeIntention(double preference, SimTime now) {
   return ProviderIntention(preference, Utilization(now),
-                           SatisfactionOnPreferences(), config_.intention);
+                           SatisfactionOnPreferences(), config_->intention);
 }
 
 double ProviderAgent::ComputeBidPrice(double preference) const {
-  return MariposaAskingPrice(preference, config_.bid_price_floor);
+  return MariposaAskingPrice(preference, config_->bid_price_floor);
 }
 
 double ProviderAgent::EstimateDelay(double units) const {
   return BacklogSeconds() + units / profile_.capacity;
 }
 
+void ProviderAgent::UtilAdd(SimTime t, double value) {
+  SQLB_CHECK(t >= store_->util_last_time(slot_),
+             "windowed sum times must be non-decreasing");
+  store_->util_last_time(slot_) = t;
+  SQLB_CHECK(util_events_.push_back(UtilEvent{t, value}, slabs_),
+             "agent pool out of memory: raise agent_pool.max_bytes");
+  store_->util_sum(slot_) += value;
+  ++store_->util_revision(slot_);
+}
+
+double ProviderAgent::UtilSumAt(SimTime t) {
+  const SimTime width = config_->utilization_window;
+  bool evicted = false;
+  while (!util_events_.empty() && util_events_.front().time <= t - width) {
+    store_->util_sum(slot_) -= util_events_.front().value;
+    util_events_.pop_front();
+    evicted = true;
+  }
+  if (util_events_.empty()) store_->util_sum(slot_) = 0.0;
+  if (evicted) ++store_->util_revision(slot_);
+  return store_->util_sum(slot_);
+}
+
 double ProviderAgent::Utilization(SimTime now) {
   // Any eviction this read performs invalidates cached characterizations —
   // fold it into the coarse stamp so the cache sees reads-with-evictions
   // from every path (probes, gossip, departure checks), not just events.
-  const std::uint64_t before = allocated_units_.revision();
-  const double sum = allocated_units_.SumAt(now);
-  if (allocated_units_.revision() != before) ++char_revision_;
-  return sum / (profile_.capacity * allocated_units_.width());
+  const std::uint64_t before = store_->util_revision(slot_);
+  const double sum = UtilSumAt(now);
+  if (store_->util_revision(slot_) != before) ++store_->char_revision(slot_);
+  return sum / (profile_.capacity * config_->utilization_window);
 }
 
 double ProviderAgent::CommittedUtilization(SimTime now) {
   return Utilization(now) +
-         backlog_units_ / (profile_.capacity * allocated_units_.width());
+         store_->backlog_units(slot_) /
+             (profile_.capacity * config_->utilization_window);
 }
 
 void ProviderAgent::OnProposed(double shown_intention, double preference,
                                bool performed) {
   const std::uint64_t before = window_.satisfaction_revision();
   window_.Record(shown_intention, preference, performed);
-  if (window_.satisfaction_revision() != before) ++char_revision_;
+  if (window_.satisfaction_revision() != before) {
+    ++store_->char_revision(slot_);
+  }
 }
 
 void ProviderAgent::Enqueue(des::Simulator& sim, const Query& query,
                             CompletionFn on_completion) {
   SQLB_CHECK(query.units > 0.0, "query treatment cost must be positive");
-  allocated_units_.Add(sim.Now(), query.units);
-  total_allocated_units_ += query.units;
-  backlog_units_ += query.units;
-  ++load_revision_;
-  ++char_revision_;
-  queue_.push_back(PendingQuery{query, std::move(on_completion)});
-  if (!in_service_) StartNextService(sim);
+  UtilAdd(sim.Now(), query.units);
+  store_->total_allocated_units(slot_) += query.units;
+  store_->backlog_units(slot_) += query.units;
+  ++store_->load_revision(slot_);
+  ++store_->char_revision(slot_);
+  SQLB_CHECK(
+      queue_.push_back(PendingQuery{query, std::move(on_completion)}, slabs_),
+      "agent pool out of memory: raise agent_pool.max_bytes");
+  if (!store_->in_service(slot_)) StartNextService(sim);
 }
 
 void ProviderAgent::StartNextService(des::Simulator& sim) {
   SQLB_CHECK(!queue_.empty(), "no query to serve");
-  in_service_ = true;
+  store_->set_in_service(slot_, true);
   const double service_seconds = queue_.front().query.units / profile_.capacity;
   sim.ScheduleAfter(service_seconds, [this](des::Simulator& s) {
     PendingQuery done = std::move(queue_.front());
     queue_.pop_front();
-    backlog_units_ -= done.query.units;
-    if (backlog_units_ < 1e-9) backlog_units_ = 0.0;
-    ++load_revision_;
-    ++char_revision_;
-    in_service_ = false;
+    store_->backlog_units(slot_) -= done.query.units;
+    if (store_->backlog_units(slot_) < 1e-9) {
+      store_->backlog_units(slot_) = 0.0;
+    }
+    ++store_->load_revision(slot_);
+    ++store_->char_revision(slot_);
+    store_->set_in_service(slot_, false);
     if (!queue_.empty()) StartNextService(s);
     if (done.on_completion) {
       done.on_completion(done.query, profile_.id, s.Now());
     }
   });
+}
+
+std::size_t ProviderAgent::ResidentBytes() const {
+  return sizeof(ProviderAgent) + window_.resident_bytes() +
+         util_events_.resident_bytes() + queue_.resident_bytes();
 }
 
 }  // namespace sqlb::runtime

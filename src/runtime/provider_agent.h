@@ -1,15 +1,16 @@
 #ifndef SQLB_RUNTIME_PROVIDER_AGENT_H_
 #define SQLB_RUNTIME_PROVIDER_AGENT_H_
 
-#include <deque>
 #include <functional>
+#include <memory>
 
-#include "common/stats.h"
 #include "common/types.h"
 #include "core/intention.h"
 #include "des/simulator.h"
+#include "mem/chunked_fifo.h"
 #include "model/query.h"
 #include "model/windows.h"
+#include "runtime/agent_store.h"
 #include "workload/population.h"
 
 /// \file
@@ -19,6 +20,17 @@
 /// window of Section 3.2, and the Definition 8 intention function, whose
 /// self-balance uses the provider's *private preference-based* satisfaction
 /// (Section 5.2).
+///
+/// Storage layout: ProviderAgent is a *view*. The hot scalar state —
+/// backlog, running totals, the utilization windowed sum and every
+/// event-revision stamp — lives in SoA columns of the engine-owned
+/// AgentStore (runtime/agent_store.h); the queue and the utilization event
+/// log are chunked FIFOs and the characterization window rides a chunked
+/// ring, all drawing from the owning lane's arena when pooling is enabled.
+/// The standalone (profile, config) constructor — unit tests, examples —
+/// self-hosts a single-slot store so the class keeps its old value
+/// semantics. Pooled and heap modes execute the identical arithmetic, so
+/// enabling the pool is bit-invisible to every parity pin.
 
 namespace sqlb::runtime {
 
@@ -43,12 +55,28 @@ class ProviderAgent {
   using CompletionFn =
       std::function<void(const Query&, ProviderId, SimTime)>;
 
+  /// Standalone agent owning its own config copy and single-slot store
+  /// (heap-eager layout) — the unit-test / example constructor.
   ProviderAgent(const ProviderProfile& profile,
                 const ProviderAgentConfig& config);
+
+  /// Engine-owned agent: a view over `store` slot `slot`, sharing one
+  /// config for the whole population. Both must outlive the agent.
+  ProviderAgent(const ProviderProfile& profile,
+                const ProviderAgentConfig* config, AgentStore* store,
+                std::uint32_t slot);
+
+  ProviderAgent(ProviderAgent&&) = default;
 
   const ProviderProfile& profile() const { return profile_; }
   ProviderId id() const { return profile_.id; }
   double capacity() const { return profile_.capacity; }
+
+  /// Homes this agent's future chunk allocations on `arena` (the owning
+  /// lane's). Null reverts to heap chunks. Chunks already resident keep
+  /// their original owner pool and return there when drained — the
+  /// cross-shard migration contract of churn handoffs.
+  void SetArena(mem::AgentArena* arena);
 
   // --- Intention and bidding (what the mediator asks for) -----------------
 
@@ -74,7 +102,9 @@ class ProviderAgent {
   /// capacity since the previous check) from deltas of this counter; it
   /// drives the starvation rule (a provider missing one 60-second window
   /// has not "starved").
-  double total_allocated_units() const { return total_allocated_units_; }
+  double total_allocated_units() const {
+    return store_->total_allocated_units(slot_);
+  }
 
   /// Utilization including the carried queue: Utilization(now) +
   /// backlog / (capacity * window). A provider absorbing work at exactly
@@ -87,9 +117,9 @@ class ProviderAgent {
   /// counted at full cost — a documented over-estimate of at most one
   /// query).
   double BacklogSeconds() const {
-    return backlog_units_ / profile_.capacity;
+    return store_->backlog_units(slot_) / profile_.capacity;
   }
-  double backlog_units() const { return backlog_units_; }
+  double backlog_units() const { return store_->backlog_units(slot_); }
   std::size_t queue_length() const { return queue_.size(); }
 
   // --- Event stamps for the characterization cache -------------------------
@@ -102,21 +132,22 @@ class ProviderAgent {
 
   /// Changes exactly when queue/backlog state changes: Enqueue, service
   /// completion, Depart/Rejoin.
-  std::uint64_t load_revision() const { return load_revision_; }
+  std::uint64_t load_revision() const { return store_->load_revision(slot_); }
   /// Changes whenever Utilization()'s windowed sum changed value: work was
   /// allocated, or a past allocation expired out of the measurement window
   /// (bumped by whichever call evicted it — including probe/departure-check
   /// reads outside the mediation path).
   std::uint64_t utilization_revision() const {
-    return allocated_units_.revision();
+    return store_->util_revision(slot_);
   }
   /// True when evaluating Utilization(now) would evict expired allocations
   /// — i.e. the utilization has decayed since the last read, even though no
-  /// new event was recorded. The exact eviction predicate of the underlying
-  /// WindowedSum, so a cached utilization revalidated against
+  /// new event was recorded. The exact eviction predicate of the windowed
+  /// sum, so a cached utilization revalidated against
   /// (utilization_revision, WouldExpireAt) is bit-identical to recomputing.
   bool UtilizationWouldDecay(SimTime now) const {
-    return allocated_units_.WouldExpireAt(now);
+    return !util_events_.empty() &&
+           util_events_.front().time <= now - config_->utilization_window;
   }
   /// Changes exactly when either channel's Satisfaction() can change (the
   /// performed-subset aggregates moved; plain proposals leave it alone).
@@ -129,13 +160,16 @@ class ProviderAgent {
   /// separately via UtilizationFrontEventTime). Maintained by the mutating
   /// methods themselves, so it also covers evictions triggered by reads on
   /// other paths (probes, gossip, departure checks).
-  std::uint64_t characterization_revision() const { return char_revision_; }
+  std::uint64_t characterization_revision() const {
+    return store_->char_revision(slot_);
+  }
   /// Timestamp of the oldest allocation still inside the utilization
   /// window (+inf when none): while characterization_revision() holds,
   /// `UtilizationFrontEventTime() <= now - utilization window` is exactly
   /// the decay predicate UtilizationWouldDecay(now) evaluates.
   SimTime UtilizationFrontEventTime() const {
-    return allocated_units_.FrontEventTime();
+    return util_events_.empty() ? kSimTimeInfinity
+                                : util_events_.front().time;
   }
 
   // --- Query lifecycle -----------------------------------------------------
@@ -151,12 +185,12 @@ class ProviderAgent {
   /// block; without the hint every Record opens with a cache miss).
   void PrefetchProposalSlot() const { window_.PrefetchRecordSlot(); }
 
-  /// Prefetch hint ahead of the characterization-cache hit check (the
-  /// coarse stamp lives deep inside the agent object; the gather sweep
-  /// pulls it a few candidates early).
+  /// Prefetch hint ahead of the characterization-cache hit check: the
+  /// coarse stamps live in one dense store column, so the gather sweep
+  /// pulls the candidate's stamp line a few entries early.
   void PrefetchCharacterizationStamp() const {
 #if defined(__GNUC__) || defined(__clang__)
-    __builtin_prefetch(&char_revision_, 0, 1);
+    __builtin_prefetch(store_->char_revision_data() + slot_, 0, 1);
 #endif
   }
 
@@ -189,51 +223,85 @@ class ProviderAgent {
 
   // --- Departure -----------------------------------------------------------
 
-  bool active() const { return active_; }
+  bool active() const { return store_->active(slot_); }
   /// Marks the provider as departed. Outstanding queued work still
   /// completes (consumers get their answers) but nothing new arrives.
+  /// Idempotent: a second Depart on an already-departed provider changes
+  /// nothing and bumps no revision — cached characterizations stay valid.
   void Depart() {
-    active_ = false;
-    ++load_revision_;
-    ++char_revision_;
+    if (!store_->active(slot_)) return;
+    store_->set_active(slot_, false);
+    ++store_->load_revision(slot_);
+    ++store_->char_revision(slot_);
   }
   /// Re-enters a departed (or held-out) provider: it may be matched again.
   /// Characterization windows and utilization history persist — an
   /// autonomous provider returning to the market keeps its memory.
+  /// Idempotent like Depart: rejoining an active provider is a no-op.
   void Rejoin() {
-    active_ = true;
-    ++load_revision_;
-    ++char_revision_;
+    if (store_->active(slot_)) return;
+    store_->set_active(slot_, true);
+    ++store_->load_revision(slot_);
+    ++store_->char_revision(slot_);
   }
 
   /// True when no query is queued or in service — the provider has no
   /// pending completion event on any simulator, so its state can be handed
   /// to another shard without leaving a dangling callback behind (the
   /// drain condition of the re-partitioning handoff protocol).
-  bool Idle() const { return queue_.empty() && !in_service_; }
+  bool Idle() const { return queue_.empty() && !store_->in_service(slot_); }
 
   /// Total queries performed (allocated to this provider) over the run.
   std::uint64_t performed_count() const { return window_.performed(); }
 
+  // --- Core membership bookkeeping (set by the owning MediationCore) -------
+
+  std::uint32_t core_slot() const { return store_->core_slot(slot_); }
+  void set_core_slot(std::uint32_t slot) { store_->core_slot(slot_) = slot; }
+
+  /// Resident bytes of this agent's view + chunked state (the per-agent
+  /// share of bytes_per_provider; the store's columns are accounted once,
+  /// store-side).
+  std::size_t ResidentBytes() const;
+
  private:
   void StartNextService(des::Simulator& sim);
+  /// WindowedSum::Add over the store columns + pooled event log — the exact
+  /// arithmetic of common/stats.h's WindowedSum.
+  void UtilAdd(SimTime t, double value);
+  /// WindowedSum::SumAt: evicts expired events (bumping the utilization
+  /// revision exactly when the sum changed shape) and returns the sum.
+  double UtilSumAt(SimTime t);
 
   struct PendingQuery {
     Query query;
     CompletionFn on_completion;
   };
+  struct UtilEvent {
+    SimTime time;
+    double value;
+  };
+  /// Self-hosted backing state of the standalone constructor.
+  struct SelfStore {
+    explicit SelfStore(const ProviderAgentConfig& c) : config(c) {
+      store.Resize(1);
+    }
+    ProviderAgentConfig config;
+    AgentStore store;
+  };
+
+  ProviderAgent(const ProviderProfile& profile,
+                std::unique_ptr<SelfStore> self);
 
   ProviderProfile profile_;
-  ProviderAgentConfig config_;
+  std::unique_ptr<SelfStore> self_;  // standalone mode only
+  const ProviderAgentConfig* config_;
+  AgentStore* store_;
+  std::uint32_t slot_;
+  mem::SlabPool* slabs_ = nullptr;  // null = heap chunks
   ProviderWindow window_;
-  WindowedSum allocated_units_;  // drives Utilization()
-  std::deque<PendingQuery> queue_;
-  bool in_service_ = false;
-  double backlog_units_ = 0.0;
-  double total_allocated_units_ = 0.0;
-  std::uint64_t load_revision_ = 0;
-  std::uint64_t char_revision_ = 0;
-  bool active_ = true;
+  mem::ChunkedFifo<UtilEvent> util_events_;
+  mem::ChunkedFifo<PendingQuery> queue_;
 };
 
 }  // namespace sqlb::runtime

@@ -41,14 +41,17 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
       rng_(config.seed ^ 0x5e5703a7ULL),
       query_class_rng_(rng_.Fork(11)),
       consumer_pick_rng_(rng_.Fork(12)),
+      agent_store_(config.agent_pool),
       reputation_(config.population.num_providers, 0.0, 0.1),
       response_window_(500) {
   SQLB_CHECK(config.duration > 0.0, "run duration must be positive");
   SQLB_CHECK(config.query_n >= 1, "q.n must be >= 1");
 
+  agent_store_.Resize(population_.num_providers());
   providers_.reserve(population_.num_providers());
   for (const ProviderProfile& profile : population_.providers()) {
-    providers_.emplace_back(profile, config_.provider);
+    providers_.emplace_back(profile, &config_.provider, &agent_store_,
+                            static_cast<std::uint32_t>(providers_.size()));
   }
   consumers_.reserve(population_.num_consumers());
   for (std::size_t c = 0; c < population_.num_consumers(); ++c) {
@@ -114,6 +117,7 @@ MediationCore::Shared ScenarioEngine::CoreSharedState() {
   shared.reputation = &reputation_;
   shared.result = &result_;
   shared.response_window = &response_window_;
+  shared.arena = agent_store_.arena(0);
   return shared;
 }
 

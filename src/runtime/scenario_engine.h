@@ -12,6 +12,7 @@
 #include "des/time_series.h"
 #include "model/query.h"
 #include "obs/observability.h"
+#include "runtime/agent_store.h"
 #include "runtime/consumer_agent.h"
 #include "runtime/mediation_core.h"
 #include "runtime/provider_agent.h"
@@ -201,6 +202,14 @@ class ScenarioEngine {
   /// by the driver, per core). Call before Run().
   void SetMethodName(std::string name) { result_.method_name = std::move(name); }
 
+  /// The SoA backing store of every provider agent (hot columns + the
+  /// per-lane chunk arenas when SystemConfig::agent_pool is enabled). The
+  /// sharded driver calls ConfigureArenas(M) from its constructor — before
+  /// any core allocates pooled chunks — to home each lane's chunks on its
+  /// own arena; the mono tier keeps the single default arena.
+  AgentStore& agent_store() { return agent_store_; }
+  const AgentStore& agent_store() const { return agent_store_; }
+
  private:
   void OnArrival(des::Simulator& sim, Driver& driver);
   void SampleMetrics(des::Simulator& sim, Driver& driver);
@@ -223,6 +232,11 @@ class ScenarioEngine {
   Rng query_class_rng_;
   Rng consumer_pick_rng_;
 
+  /// Declared before the agent vectors: providers are views over the store
+  /// and return their pooled chunks to its arenas on destruction, so the
+  /// store must outlive them (members destroy in reverse declaration
+  /// order).
+  AgentStore agent_store_;
   std::vector<ProviderAgent> providers_;
   std::vector<ConsumerAgent> consumers_;
   /// Indices of still-active consumers (swap-removed on departure); active

@@ -53,6 +53,16 @@ class ShardedMediationSystem::GossipSink final : public msg::Node {
   void OnMessage(msg::Network& network, const msg::Message& message) override {
     (void)network;
     if (message.kind == kLoadReportKind) {
+      // A report addressed to a shard (not the router-side sink) is an
+      // aggregation-tree hop: the shard forwards it one hop up (or, under
+      // all-to-all, is simply a broadcast recipient and folds it too).
+      if (message.to != system_->sink_address_ &&
+          system_->config_.gossip_topology ==
+              GossipTopologyKind::kHierarchical) {
+        system_->RelayLoadReport(system_->ShardOfAddress(message.to),
+                                 message);
+        return;
+      }
       const auto& report = std::any_cast<const LoadReport&>(message.payload);
       router_->ReportLoad(report.shard, report.utilization,
                           report.active_providers, report.measured_at,
@@ -146,6 +156,12 @@ ShardedMediationSystem::ShardedMediationSystem(
     snapshots_counter_ = &coord_registry.GetCounter(obs::kMetricSnapshots);
     ring_retries_counter_ =
         &coord_registry.GetCounter(obs::kMetricGossipRingRetries);
+    gossip_load_messages_counter_ =
+        &coord_registry.GetCounter(obs::kMetricGossipLoadMessages);
+    relay_forwards_counter_ =
+        &coord_registry.GetCounter(obs::kMetricGossipRelayForwards);
+    relay_drops_counter_ =
+        &coord_registry.GetCounter(obs::kMetricGossipRelayDrops);
     if (obs::MetricsRegistry* hot = recorder.hot_metrics(coord)) {
       handoff_drain_hist_ = &hot->GetHistogram(obs::kMetricHandoffDrain);
       reissue_delay_hist_ = &hot->GetHistogram(obs::kMetricReissueDelay);
@@ -189,6 +205,12 @@ ShardedMediationSystem::ShardedMediationSystem(
   flush_scratch_.resize(num_shards);
   outcome_scratch_.resize(num_shards);
 
+  // One agent arena per shard lane (pooled storage only): each core homes
+  // its members' chunks on its own arena, so a lane thread allocates and
+  // frees from lane-local pages. Must precede core construction — the
+  // cores re-home their initial members in their constructors.
+  engine_.agent_store().ConfigureArenas(num_shards);
+
   runtime::MediationCore::Shared shared = engine_.CoreSharedState();
   methods_.reserve(num_shards);
   cores_.reserve(num_shards);
@@ -207,6 +229,7 @@ ShardedMediationSystem::ShardedMediationSystem(
     // trace-determinism contract.
     shared.trace = recorder.trace_lane(s);
     shared.metrics = recorder.hot_metrics(s);
+    shared.arena = engine_.agent_store().arena(s);
     cores_.push_back(std::make_unique<runtime::MediationCore>(
         shared, methods_.back().get(), partition[s]));
     result_.shards[s].initial_providers = partition[s].size();
@@ -324,6 +347,12 @@ ShardedRunResult ShardedMediationSystem::Run() {
   result_.snapshots_taken = metrics.CounterValue(obs::kMetricSnapshots);
   result_.gossip_ring_retries =
       metrics.CounterValue(obs::kMetricGossipRingRetries);
+  result_.gossip_load_messages =
+      metrics.CounterValue(obs::kMetricGossipLoadMessages);
+  result_.gossip_relay_forwards =
+      metrics.CounterValue(obs::kMetricGossipRelayForwards);
+  result_.gossip_relay_drops =
+      metrics.CounterValue(obs::kMetricGossipRelayDrops);
   result_.net_sent = metrics.CounterValue(obs::kMetricNetSent);
   result_.net_delivered = metrics.CounterValue(obs::kMetricNetDelivered);
   result_.net_dropped = metrics.CounterValue(obs::kMetricNetDropped);
@@ -335,6 +364,17 @@ ShardedRunResult ShardedMediationSystem::Run() {
   if (consumer_locks_ != nullptr) {
     result_.consumer_lock_contention = consumer_locks_->contended_acquires();
   }
+
+  // End-of-run agent-state residency: columns are layout-independent, the
+  // per-agent term is where eager heap containers and lazy pooled chunks
+  // diverge (the number the memory scale gate divides by the population).
+  const runtime::AgentStore& store = engine_.agent_store();
+  std::size_t agent_bytes = store.columns_bytes();
+  for (const runtime::ProviderAgent& agent : engine_.providers()) {
+    agent_bytes += agent.ResidentBytes();
+  }
+  result_.agent_state_bytes = agent_bytes;
+  result_.arena_bytes_reserved = store.arena_bytes_reserved();
   return std::move(result_);
 }
 
@@ -346,6 +386,8 @@ void ShardedMediationSystem::Execute(des::Simulator& sim, SimTime duration) {
   }
   des::WorkerPoolOptions pool_options;
   pool_options.pin_threads = config_.pin_worker_threads;
+  pool_options.topology_aware = config_.topology_aware_workers;
+  pool_options.static_schedule = config_.topology_aware_workers;
   des::WorkerPool pool(config_.worker_threads, pool_options);
   std::vector<des::Simulator*> lanes;
   lanes.reserve(lane_sims_.size());
@@ -651,6 +693,53 @@ void ShardedMediationSystem::StartAuxiliaryTasks(des::Simulator& sim) {
   }
 }
 
+std::vector<std::uint32_t> ShardedMediationSystem::LiveShardRanks() const {
+  std::vector<std::uint32_t> live;
+  live.reserve(cores_.size());
+  for (std::uint32_t s = 0; s < cores_.size(); ++s) {
+    if (!router_.IsShardDead(s)) live.push_back(s);
+  }
+  return live;
+}
+
+std::uint32_t ShardedMediationSystem::ShardOfAddress(NodeId address) const {
+  const auto it =
+      std::find(shard_addresses_.begin(), shard_addresses_.end(), address);
+  SQLB_CHECK(it != shard_addresses_.end(),
+             "load report relayed to an unknown shard address");
+  return static_cast<std::uint32_t>(it - shard_addresses_.begin());
+}
+
+void ShardedMediationSystem::RelayLoadReport(std::uint32_t shard,
+                                             const msg::Message& message) {
+  // The relay died with the report in flight: drop it. The origin is still
+  // alive and reports again next round, over a tree rebuilt without the
+  // corpse — one round of extra staleness, never a lost shard.
+  if (router_.IsShardDead(shard)) {
+    relay_drops_counter_->Inc();
+    return;
+  }
+  const std::vector<std::uint32_t> live = LiveShardRanks();
+  const auto it = std::find(live.begin(), live.end(), shard);
+  SQLB_CHECK(it != live.end(), "live relay shard missing from rank list");
+  const std::size_t rank = static_cast<std::size_t>(it - live.begin());
+  // One hop up the current tree. Hops always move to a strictly smaller
+  // shard index, so a report can never cycle even while membership churns
+  // under it; rank 0 hands it to the router.
+  msg::Message forward;
+  forward.from = shard_addresses_[shard];
+  forward.to = rank == 0
+                   ? sink_address_
+                   : shard_addresses_[live[GossipParentRank(
+                         rank, config_.gossip_fanout)]];
+  forward.kind = kLoadReportKind;
+  forward.correlation = message.correlation;
+  forward.payload = message.payload;  // measured_at rides through unchanged
+  relay_forwards_counter_->Inc();
+  gossip_load_messages_counter_->Inc();
+  network_.Send(std::move(forward));
+}
+
 void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   const SimTime now = sim.Now();
   if (!window_controllers_.empty()) {
@@ -659,6 +748,10 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
   // In serial runs no barrier merge ever fires; draining on the gossip
   // cadence keeps the per-lane rings from overflowing on long runs.
   engine_.recorder().DrainSpans();
+  const std::vector<std::uint32_t> live =
+      config_.gossip_topology == GossipTopologyKind::kDirect
+          ? std::vector<std::uint32_t>{}
+          : LiveShardRanks();
   for (std::uint32_t s = 0; s < cores_.size(); ++s) {
     if (router_.IsShardDead(s)) continue;  // dead mediators report nothing
     LoadReport report;
@@ -674,13 +767,56 @@ void ShardedMediationSystem::SendLoadReports(des::Simulator& sim) {
                                   report.utilization);
     }
 
-    msg::Message message;
-    message.from = shard_addresses_[s];
-    message.to = sink_address_;
-    message.kind = kLoadReportKind;
-    message.correlation = s;
-    message.payload = report;
-    network_.Send(std::move(message));
+    switch (config_.gossip_topology) {
+      case GossipTopologyKind::kDirect: {
+        msg::Message message;
+        message.from = shard_addresses_[s];
+        message.to = sink_address_;
+        message.kind = kLoadReportKind;
+        message.correlation = s;
+        message.payload = report;
+        gossip_load_messages_counter_->Inc();
+        network_.Send(std::move(message));
+        break;
+      }
+      case GossipTopologyKind::kHierarchical: {
+        // One hop up the round's aggregation tree; the root reports to the
+        // router directly. Interior hops happen at delivery time
+        // (RelayLoadReport), so every hop costs one network latency of
+        // added staleness — surfaced by gossip.staleness_seconds.
+        const auto rank_it = std::find(live.begin(), live.end(), s);
+        const std::size_t rank =
+            static_cast<std::size_t>(rank_it - live.begin());
+        msg::Message message;
+        message.from = shard_addresses_[s];
+        message.to = rank == 0
+                         ? sink_address_
+                         : shard_addresses_[live[GossipParentRank(
+                               rank, config_.gossip_fanout)]];
+        message.kind = kLoadReportKind;
+        message.correlation = s;
+        message.payload = report;
+        gossip_load_messages_counter_->Inc();
+        network_.Send(std::move(message));
+        break;
+      }
+      case GossipTopologyKind::kAllToAll: {
+        // Full mesh: the router plus every live peer hears every report
+        // first-hand. Theta(M^2) messages — the baseline the hierarchical
+        // topology exists to beat.
+        for (std::uint32_t t : live) {
+          msg::Message message;
+          message.from = shard_addresses_[s];
+          message.to = t == s ? sink_address_ : shard_addresses_[t];
+          message.kind = kLoadReportKind;
+          message.correlation = s;
+          message.payload = report;
+          gossip_load_messages_counter_->Inc();
+          network_.Send(std::move(message));
+        }
+        break;
+      }
+    }
   }
 
   // The retry half of loss tolerance: a shard still acknowledging an older

@@ -14,6 +14,7 @@
 #include "runtime/mediation_core.h"
 #include "runtime/scenario.h"
 #include "runtime/scenario_engine.h"
+#include "shard/gossip_topology.h"
 #include "shard/parity.h"
 #include "shard/shard_router.h"
 
@@ -53,6 +54,17 @@ struct ShardedSystemConfig {
   bool gossip_enabled = true;
   SimTime gossip_interval = 5.0;
   msg::LatencyModel gossip_latency{0.005, 0.005};
+
+  /// How load reports travel (shard/gossip_topology.h): kDirect (default,
+  /// byte-identical to the classic path — every shard straight to the
+  /// router, M messages/round), kHierarchical (k-ary aggregation tree over
+  /// the live shards, O(M log M) messages/round, one extra network latency
+  /// of staleness per hop), or kAllToAll (full mesh, Theta(M^2) — the
+  /// scaling baseline). Routing semantics are identical in all three; only
+  /// message count and report staleness differ.
+  GossipTopologyKind gossip_topology = GossipTopologyKind::kDirect;
+  /// Tree fanout k of the hierarchical topology.
+  std::size_t gossip_fanout = 4;
 
   /// Deterministic message loss/delay injected into the gossip network
   /// (msg/network.h). The gossip protocol is proven safe under it: lost
@@ -95,6 +107,16 @@ struct ShardedSystemConfig {
   /// NUMA roadmap item: a pinned lane worker stops migrating between
   /// cores, so a shard's working set stays in one core's cache.
   bool pin_worker_threads = false;
+
+  /// Topology-aware worker placement (des/hw_topo.h): pin lane workers
+  /// along the host's detected CPU topology — physical cores before SMT
+  /// siblings, one socket filled before the next — and run lanes on a
+  /// static lane->thread schedule so each shard's arena pages stay on the
+  /// socket that first touched them. Supersedes pin_worker_threads when
+  /// set; falls back to the legacy round-robin pinning when /sys topology
+  /// is unreadable. Scheduling order within a lane is unchanged, so
+  /// strict parity holds exactly as with the atomic schedule.
+  bool topology_aware_workers = false;
 
   /// Seconds each shard coalesces arrivals before mediating them as one
   /// MediationCore::AllocateBatch burst (one matchmaking pass, one provider
@@ -166,6 +188,12 @@ struct ShardedRunResult {
   std::uint64_t gossip_sent = 0;
   /// Routing decisions that found every load report expired.
   std::uint64_t stale_fallbacks = 0;
+  /// Load-report messages on the wire (origin sends + relay forwards; the
+  /// O(M log M) scale gate bounds this against rounds x budget).
+  std::uint64_t gossip_load_messages = 0;
+  /// Hierarchical relay hops forwarded / dropped on a dead relay shard.
+  std::uint64_t gossip_relay_forwards = 0;
+  std::uint64_t gossip_relay_drops = 0;
   /// Relaxed-parity runs: acquires that found a consumer's sequence lock
   /// held by another lane (0 under strict parity and serial execution).
   std::uint64_t consumer_lock_contention = 0;
@@ -225,6 +253,16 @@ struct ShardedRunResult {
   /// provider): the ownership sequence of the run. Identical digests across
   /// thread counts are the re-partitioning determinism pin.
   std::vector<std::uint64_t> ownership_digests;
+
+  // --- Agent-state residency (runtime/agent_store.h, mem/) -----------------
+  /// End-of-run agent-state footprint: the store's SoA columns plus every
+  /// provider's resident window/queue chunks. Divided by the provider count
+  /// this is the bytes-per-provider figure the memory scale gate compares
+  /// between the pooled and the eager heap layout.
+  std::size_t agent_state_bytes = 0;
+  /// Bytes of arena pages reserved by the pooled layout (0 when
+  /// SystemConfig::agent_pool is off and chunks live on the heap).
+  std::size_t arena_bytes_reserved = 0;
 
   /// max/mean ratio of first-choice routes per shard (1 = perfectly even).
   double RouteImbalance() const;
@@ -304,6 +342,15 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   /// Folds every lane's effect log into the shared sinks (epoch barrier).
   void MergeEffects();
   void SendLoadReports(des::Simulator& sim);
+  /// Ascending live shard indices — the round's gossip tree ranks.
+  std::vector<std::uint32_t> LiveShardRanks() const;
+  /// The shard owning sender address `address` (addresses are registered
+  /// in shard order at construction).
+  std::uint32_t ShardOfAddress(NodeId address) const;
+  /// Hierarchical relay hook: a load report delivered to shard `shard`'s
+  /// address is forwarded one hop up the current tree (or to the router
+  /// when `shard` is the root); dropped and counted when `shard` is dead.
+  void RelayLoadReport(std::uint32_t shard, const msg::Message& message);
   /// The parity policy's view of this run's configuration.
   ParallelRunShape RunShape() const;
 
@@ -461,6 +508,9 @@ class ShardedMediationSystem : private runtime::ScenarioEngine::Driver {
   obs::Counter* drain_ticks_counter_ = nullptr;
   obs::Counter* snapshots_counter_ = nullptr;
   obs::Counter* ring_retries_counter_ = nullptr;
+  obs::Counter* gossip_load_messages_counter_ = nullptr;
+  obs::Counter* relay_forwards_counter_ = nullptr;
+  obs::Counter* relay_drops_counter_ = nullptr;
   std::vector<obs::Counter*> flush_counters_;
   std::vector<obs::Counter*> batched_query_counters_;
   /// Per-shard batch-wait histograms; null entries when histograms are off.

@@ -55,7 +55,9 @@ std::vector<Level> AssignLevels(std::size_t total,
 }
 
 Population::Population(const PopulationConfig& config, std::uint64_t seed)
-    : config_(config), provider_pref_rng_(seed ^ 0xa11c0de5ULL) {
+    : config_(config),
+      provider_pref_rng_(seed ^ 0xa11c0de5ULL),
+      consumer_pref_rng_(seed ^ 0x10e6c0deULL) {
   SQLB_CHECK(config_.num_consumers >= 1, "need at least one consumer");
   SQLB_CHECK(config_.num_providers >= 1, "need at least one provider");
   SQLB_CHECK(!config_.query_class_units.empty(), "need >= 1 query class");
@@ -105,15 +107,18 @@ Population::Population(const PopulationConfig& config, std::uint64_t seed)
   }
 
   // Persistent consumer preferences, drawn within each provider's
-  // interest-class range.
-  consumer_pref_.resize(config_.num_consumers * config_.num_providers);
-  for (std::size_t c = 0; c < config_.num_consumers; ++c) {
-    for (std::size_t p = 0; p < config_.num_providers; ++p) {
-      const PrefRange range =
-          config_.interest_ranges[static_cast<std::size_t>(
-              providers_[p].interest_class)];
-      consumer_pref_[c * config_.num_providers + p] =
-          pref_rng.Uniform(range.lo, range.hi);
+  // interest-class range. Lazy mode skips the C x P matrix entirely and
+  // serves each cell from the keyed counter RNG on demand.
+  if (!config_.lazy_consumer_preferences) {
+    consumer_pref_.resize(config_.num_consumers * config_.num_providers);
+    for (std::size_t c = 0; c < config_.num_consumers; ++c) {
+      for (std::size_t p = 0; p < config_.num_providers; ++p) {
+        const PrefRange range =
+            config_.interest_ranges[static_cast<std::size_t>(
+                providers_[p].interest_class)];
+        consumer_pref_[c * config_.num_providers + p] =
+            pref_rng.Uniform(range.lo, range.hi);
+      }
     }
   }
 
@@ -131,6 +136,12 @@ const ProviderProfile& Population::provider(ProviderId id) const {
 double Population::ConsumerPreference(ConsumerId c, ProviderId p) const {
   SQLB_CHECK(c.index() < config_.num_consumers, "unknown consumer id");
   SQLB_CHECK(p.index() < providers_.size(), "unknown provider id");
+  if (config_.lazy_consumer_preferences) {
+    const PrefRange range = config_.interest_ranges[static_cast<std::size_t>(
+        providers_[p.index()].interest_class)];
+    return consumer_pref_rng_.Uniform(range.lo, range.hi, c.index(),
+                                      p.index());
+  }
   return consumer_pref_[static_cast<std::size_t>(c.index()) *
                             config_.num_providers +
                         p.index()];

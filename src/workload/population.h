@@ -64,6 +64,15 @@ struct PopulationConfig {
 
   /// Query classes: treatment units, uniformly chosen per query.
   std::vector<double> query_class_units{130.0, 150.0};
+
+  /// When true, the persistent consumer->provider preference matrix is
+  /// never materialized: each prf_c(p) is drawn on demand from an
+  /// order-independent counter RNG keyed on (c, p), still uniform within
+  /// the provider's interest-class range and stable across calls. The
+  /// draws differ in value from the eager matrix's sequential fill, so
+  /// this is an opt-in for populations where C x P doubles cannot fit in
+  /// memory (the million-provider scale arm), not a transparent switch.
+  bool lazy_consumer_preferences = false;
 };
 
 /// Immutable per-provider facts.
@@ -116,8 +125,10 @@ class Population {
  private:
   PopulationConfig config_;
   std::vector<ProviderProfile> providers_;
-  std::vector<double> consumer_pref_;  // [c * num_providers + p]
+  std::vector<double> consumer_pref_;  // [c * num_providers + p]; empty
+                                       // under lazy_consumer_preferences
   CounterRng provider_pref_rng_;
+  CounterRng consumer_pref_rng_;
   double total_capacity_ = 0.0;
   double mean_query_units_ = 0.0;
 };

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "des/hw_topo.h"
+#include "des/worker_pool.h"
+
+/// \file
+/// Host-topology detection (des/hw_topo.h) and the worker-pool modes built
+/// on it: placement order validity (a permutation covering physical cores
+/// before SMT siblings), graceful flat fallback, and the static
+/// lane->thread schedule's correctness — every index runs exactly once, on
+/// the thread its residue class names, identically across epochs.
+
+namespace sqlb::des {
+namespace {
+
+TEST(HwTopologyTest, DetectCoversEveryLogicalCpu) {
+  const HwTopology topo = HwTopology::Detect();
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  ASSERT_EQ(topo.cpus.size(), hardware);
+  for (unsigned cpu = 0; cpu < hardware; ++cpu) {
+    EXPECT_EQ(topo.cpus[cpu].cpu, cpu);
+    EXPECT_LT(topo.cpus[cpu].socket, topo.num_sockets);
+  }
+  EXPECT_GE(topo.num_sockets, 1u);
+}
+
+TEST(HwTopologyTest, SmtRanksAreDenseWithinEachCore) {
+  const HwTopology topo = HwTopology::Detect();
+  // Siblings of one (socket, core) get ranks 0, 1, 2, ... in cpu order.
+  std::set<std::tuple<unsigned, unsigned, unsigned>> seen;
+  for (const CpuInfo& info : topo.cpus) {
+    EXPECT_TRUE(
+        seen.insert({info.socket, info.core_id, info.smt_rank}).second)
+        << "duplicate (socket, core, smt_rank) for cpu " << info.cpu;
+    if (info.smt_rank > 0) {
+      EXPECT_TRUE(seen.count({info.socket, info.core_id, info.smt_rank - 1}))
+          << "gap in smt ranks for cpu " << info.cpu;
+    }
+  }
+}
+
+TEST(HwTopologyTest, PlacementOrderIsAPermutation) {
+  const HwTopology topo = HwTopology::Detect();
+  const std::vector<unsigned> order = topo.PlacementOrder(/*skip_cpu0=*/false);
+  ASSERT_EQ(order.size(), topo.cpus.size());
+  std::set<unsigned> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+
+  const std::vector<unsigned> skipped = topo.PlacementOrder(/*skip_cpu0=*/true);
+  EXPECT_EQ(skipped.size(), order.size() - 1);
+  EXPECT_EQ(std::count(skipped.begin(), skipped.end(), 0u), 0);
+}
+
+TEST(HwTopologyTest, PlacementUsesEveryPhysicalCoreBeforeAnySibling) {
+  const HwTopology topo = HwTopology::Detect();
+  const std::vector<unsigned> order = topo.PlacementOrder(/*skip_cpu0=*/false);
+  // smt_rank must be non-decreasing along the placement: all rank-0 CPUs
+  // (one per physical core) come before any rank-1 sibling.
+  unsigned last_rank = 0;
+  for (unsigned cpu : order) {
+    const unsigned rank = topo.cpus[cpu].smt_rank;
+    EXPECT_GE(rank, last_rank) << "cpu " << cpu;
+    last_rank = rank;
+  }
+}
+
+TEST(HwTopologyTest, SyntheticDualSocketSmtPlacement) {
+  // 2 sockets x 2 cores x 2 SMT: cpus 0..3 are socket0/1 core0 thread0,
+  // then the second threads — the common interleaved enumeration.
+  HwTopology topo;
+  topo.num_sockets = 2;
+  topo.detected = true;
+  // cpu, socket, core_id layout: hyperthread pairs (0,4), (1,5), (2,6), (3,7)
+  topo.cpus = {{0, 0, 0, 0}, {1, 0, 1, 0}, {2, 1, 0, 0}, {3, 1, 1, 0},
+               {4, 0, 0, 1}, {5, 0, 1, 1}, {6, 1, 0, 1}, {7, 1, 1, 1}};
+  const std::vector<unsigned> order = topo.PlacementOrder(/*skip_cpu0=*/false);
+  // Physical cores socket-by-socket first, then the SMT siblings.
+  EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(topo.SocketOf(2), 1u);
+  EXPECT_EQ(topo.SocketOf(5), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool static schedule.
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPoolStaticScheduleTest, EveryIndexRunsExactlyOnce) {
+  WorkerPoolOptions options;
+  options.static_schedule = true;
+  WorkerPool pool(4, options);
+  const std::size_t n = 1003;  // not a multiple of the concurrency
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkerPoolStaticScheduleTest, IndexToThreadMappingIsStableAcrossEpochs) {
+  WorkerPoolOptions options;
+  options.static_schedule = true;
+  WorkerPool pool(3, options);
+  const std::size_t n = 64;
+
+  auto run_epoch = [&] {
+    std::vector<std::thread::id> owner(n);
+    pool.ParallelFor(n, [&](std::size_t i) {
+      owner[i] = std::this_thread::get_id();
+    });
+    return owner;
+  };
+  const std::vector<std::thread::id> first = run_epoch();
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    EXPECT_EQ(run_epoch(), first) << "epoch " << epoch;
+  }
+  // Residue classes map to distinct threads, and index i's owner is
+  // determined by i % concurrency alone.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i], first[i % pool.concurrency()]) << i;
+  }
+}
+
+TEST(WorkerPoolStaticScheduleTest, SingleThreadPoolRunsInline) {
+  WorkerPoolOptions options;
+  options.static_schedule = true;
+  WorkerPool pool(1, options);
+  int sum = 0;
+  pool.ParallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(WorkerPoolTopologyTest, TopologyAwarePinningReportsSockets) {
+  WorkerPoolOptions options;
+  options.topology_aware = true;
+  WorkerPool pool(3, options);
+  // thread_sockets has one entry per pool thread; entry 0 is the caller.
+  ASSERT_EQ(pool.thread_sockets().size(), pool.concurrency());
+  const HwTopology topo = HwTopology::Detect();
+  for (unsigned socket : pool.thread_sockets()) {
+    EXPECT_LT(socket, topo.num_sockets);
+  }
+  // Pinning itself is best-effort (cpusets can refuse), but the pool still
+  // runs jobs correctly either way.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace sqlb::des

@@ -170,6 +170,43 @@ TEST(ProviderAgentTest, DepartStopsNothingInFlight) {
   EXPECT_EQ(completions, 1);  // outstanding work still completes
 }
 
+TEST(ProviderAgentTest, DepartAndRejoinAreIdempotent) {
+  ProviderAgent agent(HighCapacityProfile(), SmallConfig());
+  ASSERT_TRUE(agent.active());
+  const std::uint64_t load0 = agent.load_revision();
+  const std::uint64_t char0 = agent.characterization_revision();
+
+  // Rejoining an already-active provider is a no-op: no revision bump, so
+  // no cache invalidation rides a redundant membership event.
+  agent.Rejoin();
+  EXPECT_TRUE(agent.active());
+  EXPECT_EQ(agent.load_revision(), load0);
+  EXPECT_EQ(agent.characterization_revision(), char0);
+
+  // First Depart flips the flag and bumps both revisions exactly once...
+  agent.Depart();
+  EXPECT_FALSE(agent.active());
+  const std::uint64_t load1 = agent.load_revision();
+  const std::uint64_t char1 = agent.characterization_revision();
+  EXPECT_EQ(load1, load0 + 1);
+  EXPECT_EQ(char1, char0 + 1);
+
+  // ...and a second Depart changes nothing.
+  agent.Depart();
+  EXPECT_FALSE(agent.active());
+  EXPECT_EQ(agent.load_revision(), load1);
+  EXPECT_EQ(agent.characterization_revision(), char1);
+
+  // Same unit pin for Rejoin: once to rejoin, idempotent after.
+  agent.Rejoin();
+  EXPECT_TRUE(agent.active());
+  const std::uint64_t load2 = agent.load_revision();
+  EXPECT_EQ(load2, load1 + 1);
+  agent.Rejoin();
+  EXPECT_TRUE(agent.active());
+  EXPECT_EQ(agent.load_revision(), load2);
+}
+
 TEST(ProviderAgentTest, CompletionReportsPerformerId) {
   des::Simulator sim;
   ProviderAgent agent(HighCapacityProfile(7), SmallConfig());
