@@ -39,8 +39,9 @@ void Main() {
     config.departures.grace_period = base.duration * 0.25;
     config.departures.check_interval = 300.0;
 
-    CapacityBasedMethod method(ranking);
-    runtime::RunResult result = runtime::RunScenario(config, &method);
+    runtime::RunResult result = bench::RunMonoService(config, [ranking](std::uint32_t) {
+      return std::make_unique<CapacityBasedMethod>(ranking);
+    });
     const double ut = result.series.Find(MediationSystem::kSeriesUtMean)
                           ->MeanOver(config.stats_warmup, config.duration);
     const double fairness =
@@ -51,7 +52,7 @@ void Main() {
         static_cast<double>(result.tally.ByReason(
             runtime::DepartureReason::kStarvation)) /
         static_cast<double>(result.initial_providers);
-    table.AddRow({method.name(),
+    table.AddRow({result.method_name,
                   FormatNumber(result.response_time.mean(), 3),
                   FormatNumber(ut, 3), FormatNumber(fairness, 3),
                   FormatNumber(starved, 3)});

@@ -57,8 +57,10 @@ void Main() {
 
     SqlbOptions options;
     options.fixed_omega = variant.fixed_omega;
-    SqlbMethod method(options);
-    runtime::RunResult result = runtime::RunScenario(run_config, &method);
+    runtime::RunResult result =
+        bench::RunMonoService(run_config, [options](std::uint32_t) {
+          return std::make_unique<SqlbMethod>(options);
+        });
 
     const double cons =
         result.series.Find(MediationSystem::kSeriesConsAllocSatMean)

@@ -49,8 +49,8 @@ void Main() {
     config.departures.grace_period = base.duration * 0.25;
     config.departures.check_interval = 300.0;
 
-    SqlbMethod method;
-    runtime::RunResult result = runtime::RunScenario(config, &method);
+    runtime::RunResult result = bench::RunMonoService(
+        config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
     const double sat =
         result.series.Find(MediationSystem::kSeriesProvSatPrefMean)
             ->MeanOver(config.stats_warmup, config.duration);

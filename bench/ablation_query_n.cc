@@ -40,8 +40,8 @@ void Main() {
     runtime::SystemConfig config = base;
     config.query_n = n;
 
-    SqlbMethod method;
-    runtime::RunResult result = runtime::RunScenario(config, &method);
+    runtime::RunResult result = bench::RunMonoService(
+        config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
     const double sat =
         result.series.Find(MediationSystem::kSeriesConsSatMean)
             ->MeanOver(config.stats_warmup, config.duration);

@@ -38,8 +38,8 @@ void Main() {
     config.consumer.intention.mode = ConsumerIntentionMode::kFormula;
     config.consumer.intention.upsilon = upsilon;
 
-    SqlbMethod method;
-    runtime::RunResult result = runtime::RunScenario(config, &method);
+    runtime::RunResult result = bench::RunMonoService(
+        config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
     const double sat =
         result.series.Find(MediationSystem::kSeriesConsSatMean)
             ->MeanOver(config.stats_warmup, config.duration);

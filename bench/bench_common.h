@@ -11,6 +11,7 @@
 #include "common/reporting.h"
 #include "des/time_series.h"
 #include "experiments/experiments.h"
+#include "sqlb/service.h"
 
 /// \file
 /// Shared plumbing for the figure/table reproduction binaries: consistent
@@ -20,6 +21,16 @@
 /// trajectory: CI and humans diff them across commits.
 
 namespace sqlb::bench {
+
+/// Runs one mono-mediator scenario through the sqlb::Service facade (the
+/// benches' standard entry point since the serving-tier API unification).
+inline runtime::RunResult RunMonoService(const runtime::SystemConfig& config,
+                                         Service::MethodFactory factory) {
+  Config service_config;
+  service_config.mode = Mode::kMono;
+  service_config.scenario() = config;
+  return Service::Create(service_config, std::move(factory))->Run().run;
+}
 
 // ---------------------------------------------------------------------------
 // Minimal JSON emission (no external deps): enough for flat bench reports —

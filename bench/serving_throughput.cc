@@ -1,0 +1,224 @@
+// Serving-tier throughput: the wall-clock intake path against the
+// DES-pumped baseline, same population and allocation method in every arm.
+//
+// Arms:
+//   des-pump      The mono DES driver (simulated Poisson arrivals); wall
+//                 time covers the whole Run(). This is the ceiling: no
+//                 thread handoff, no queue hop.
+//   serve-open    Real producer threads flood the serving tier open-loop
+//                 (retry on shed). Measures intake throughput plus the
+//                 enqueue->mediation wall latency distribution; the run is
+//                 recorded and replayed through the DES for the parity pin.
+//   serve-closed  Closed-loop producers (one outstanding query each):
+//                 latency under no queueing pressure.
+//
+// The JSON drop carries throughput_ratio (serve-open qps / des-pump qps,
+// CI gates >= 0.8) and replay_parity_exact (CI gates true).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sqlb_method.h"
+#include "runtime/serving_mediator.h"
+
+namespace sqlb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+runtime::SystemConfig Population() {
+  runtime::SystemConfig config;
+  config.population.num_consumers = 24;
+  config.population.num_providers = 48;
+  config.seed = BenchSeed(42);
+  config.record_series = false;
+  return config;
+}
+
+Service::MethodFactory Factory() {
+  return [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
+}
+
+struct ArmResult {
+  std::string name;
+  std::uint64_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  /// Enqueue->mediation wall latency in microseconds; <0 = not measured
+  /// (the DES arm has no wall-clock intake).
+  double p50_us = -1.0;
+  double p99_us = -1.0;
+  double p999_us = -1.0;
+};
+
+/// Arm 1: the DES driver pumps its own simulated arrivals; wall-time the
+/// whole run and report simulated queries per wall second.
+ArmResult RunDesPump() {
+  runtime::SystemConfig config = Population();
+  config.workload = runtime::WorkloadSpec::Constant(0.8);
+  config.duration = FastBenchMode() ? 2000.0 : 8000.0;
+  config.stats_warmup = config.duration * 0.1;
+
+  const Clock::time_point begin = Clock::now();
+  const runtime::RunResult result = bench::RunMonoService(config, Factory());
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+
+  ArmResult arm;
+  arm.name = "des-pump";
+  arm.queries = result.queries_issued;
+  arm.wall_seconds = wall;
+  arm.qps = wall > 0.0 ? static_cast<double>(arm.queries) / wall : 0.0;
+  return arm;
+}
+
+struct ServingArm {
+  ArmResult arm;
+  runtime::ServingReport report;
+};
+
+/// Arms 2 and 3: `producers` real threads drive the serving tier through
+/// the sqlb::Service facade. Open-loop floods (retrying on shed); closed
+/// loop keeps one query outstanding per producer. The service is returned
+/// so the caller can replay its recorded trace.
+ServingArm RunServing(const std::string& name, std::uint32_t producers,
+                      std::uint64_t per_producer, bool closed_loop,
+                      std::unique_ptr<Service>* service_out) {
+  Config config;
+  config.mode = Mode::kServing;
+  config.scenario() = Population();
+  config.serving.shards = 2;
+  // Plenty of simulated provider capacity per wall second: the flood is
+  // mediator-bound, not capacity-bound.
+  config.serving.time_scale = 2000.0;
+  config.serving.max_burst = 256;
+
+  std::unique_ptr<Service> service = Service::Create(config, Factory());
+  std::vector<runtime::ServingProducer*> handles;
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    handles.push_back(service->RegisterProducer());
+  }
+  const std::uint32_t consumers = static_cast<std::uint32_t>(
+      config.scenario().population.num_consumers);
+  const std::uint32_t classes = static_cast<std::uint32_t>(
+      config.scenario().population.query_class_units.size());
+
+  service->Start();
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      runtime::ServingProducer* producer = handles[p];
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        const std::uint32_t consumer =
+            static_cast<std::uint32_t>((p + producers * i) % consumers);
+        while (!service->Submit(producer, consumer,
+                                static_cast<std::uint32_t>(i % classes))) {
+          std::this_thread::yield();
+        }
+        if (closed_loop) producer->AwaitMediated(producer->submitted());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service->Drain();
+
+  ServingArm out;
+  out.report = service->Stop();
+  out.arm.name = name;
+  out.arm.queries = out.report.served;
+  out.arm.wall_seconds = out.report.wall_seconds;
+  out.arm.qps = out.report.wall_seconds > 0.0
+                    ? static_cast<double>(out.report.served) /
+                          out.report.wall_seconds
+                    : 0.0;
+  out.arm.p50_us = out.report.intake_wall.Quantile(0.50) * 1e6;
+  out.arm.p99_us = out.report.intake_wall.Quantile(0.99) * 1e6;
+  out.arm.p999_us = out.report.intake_wall.Quantile(0.999) * 1e6;
+  if (service_out != nullptr) *service_out = std::move(service);
+  return out;
+}
+
+bench::JsonObject ArmJson(const ArmResult& arm) {
+  bench::JsonObject object;
+  object.Add("name", arm.name)
+      .Add("queries", arm.queries)
+      .Add("wall_seconds", arm.wall_seconds)
+      .Add("qps", arm.qps);
+  if (arm.p50_us >= 0.0) {
+    object.Add("p50_us", arm.p50_us)
+        .Add("p99_us", arm.p99_us)
+        .Add("p999_us", arm.p999_us);
+  }
+  return object;
+}
+
+std::string LatencyCell(double value_us) {
+  return value_us < 0.0 ? std::string("-") : FormatNumber(value_us, 1);
+}
+
+void Main() {
+  bench::PrintHeader("Serving throughput",
+                     "wall-clock intake vs the DES-pumped baseline");
+
+  const std::uint32_t kProducers = 4;
+  const std::uint64_t kOpenPerProducer = FastBenchMode() ? 4000 : 20000;
+  const std::uint64_t kClosedPerProducer = FastBenchMode() ? 1000 : 4000;
+
+  const ArmResult des = RunDesPump();
+  std::unique_ptr<Service> recorded;
+  const ServingArm open = RunServing("serve-open", kProducers,
+                                     kOpenPerProducer, /*closed_loop=*/false,
+                                     &recorded);
+  const ServingArm closed = RunServing("serve-closed", kProducers,
+                                       kClosedPerProducer,
+                                       /*closed_loop=*/true, nullptr);
+
+  // The replay oracle over the open-loop run: every recorded decision must
+  // come out of the DES replay bit-for-bit.
+  const runtime::ServingReplayResult replay = recorded->Replay();
+  std::string diff;
+  const bool parity =
+      recorded->trace().decisions.IdenticalTo(replay.decisions, &diff);
+  const double ratio = des.qps > 0.0 ? open.arm.qps / des.qps : 0.0;
+
+  TablePrinter table({"arm", "queries", "wall(s)", "qps", "p50(us)",
+                      "p99(us)", "p999(us)"});
+  for (const ArmResult* arm : {&des, &open.arm, &closed.arm}) {
+    table.AddRow({arm->name, std::to_string(arm->queries),
+                  FormatNumber(arm->wall_seconds, 3),
+                  FormatNumber(arm->qps, 0), LatencyCell(arm->p50_us),
+                  LatencyCell(arm->p99_us), LatencyCell(arm->p999_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("throughput ratio (serve-open / des-pump): %.3f\n", ratio);
+  std::printf("replay oracle: %zu decisions, %s\n",
+              recorded->trace().decisions.size(),
+              parity ? "bit-identical to the live run" : diff.c_str());
+
+  bench::JsonArray arms;
+  arms.Add(ArmJson(des)).Add(ArmJson(open.arm)).Add(ArmJson(closed.arm));
+  bench::JsonObject report;
+  report.Add("bench", "serving_throughput")
+      .Add("fast_mode", FastBenchMode())
+      .AddRaw("arms", arms.ToString())
+      .Add("throughput_ratio", ratio)
+      .Add("replay_parity_exact", parity)
+      .Add("replay_decisions",
+           static_cast<std::uint64_t>(recorded->trace().decisions.size()))
+      .Add("open_shed", open.report.shed)
+      .Add("closed_shed", closed.report.shed);
+  bench::WriteBenchJson("serving_throughput", report);
+}
+
+}  // namespace
+}  // namespace sqlb
+
+int main() {
+  sqlb::Main();
+  return 0;
+}

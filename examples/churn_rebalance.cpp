@@ -23,6 +23,7 @@
 #include "core/sqlb_method.h"
 #include "runtime/mediation_system.h"
 #include "shard/sharded_mediation_system.h"
+#include "sqlb/service.h"
 
 int main() {
   using namespace sqlb;
@@ -55,9 +56,13 @@ int main() {
       config.router, /*shard=*/0, /*num_providers=*/200,
       /*leave_at=*/200.0, /*rejoin_at=*/400.0);
 
-  shard::ShardedMediationSystem system(
-      config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
-  const shard::ShardedRunResult result = system.Run();
+  Config service_config;
+  service_config.mode = Mode::kSharded;
+  service_config.sharded = config;
+  const shard::ShardedRunResult result =
+      Service::Create(service_config, [](std::uint32_t) {
+        return std::make_unique<SqlbMethod>();
+      })->Run();
 
   std::printf("method               : %s on %zu shards (%s routing)\n",
               result.run.method_name.c_str(), result.shards.size(),
@@ -104,9 +109,13 @@ int main() {
   shard::ShardedSystemConfig parallel_config = config;
   parallel_config.worker_threads =
       std::max(2u, std::thread::hardware_concurrency());
-  const shard::ShardedRunResult parallel = shard::RunShardedScenario(
-      parallel_config,
-      [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
+  Config parallel_service_config;
+  parallel_service_config.mode = Mode::kSharded;
+  parallel_service_config.sharded = parallel_config;
+  const shard::ShardedRunResult parallel =
+      Service::Create(parallel_service_config, [](std::uint32_t) {
+        return std::make_unique<SqlbMethod>();
+      })->Run();
 
   const bool identical =
       parallel.run.queries_issued == result.run.queries_issued &&

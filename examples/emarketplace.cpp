@@ -1,154 +1,108 @@
-// The e-marketplace scenario of Section 1.1, run on the *distributed*
-// (message-passing) runtime: eWine asks the mediator for companies able to
-// ship wine internationally; providers answer intention requests; the
-// mediator scores, ranks and allocates with SQLB; responses flow back over
-// the simulated network.
-//
-// This example exercises the parts of the library the batch experiments
-// bypass: real term-based matchmaking (P_q is a strict subset of the
-// provider population), the fork/waituntil/timeout mediation of
-// Algorithm 1, and the reputation registry behind Definition 7.
+// The e-marketplace scenario of Section 1.1, served live: buyer threads
+// submit queries into the wall-clock serving tier through the unified
+// sqlb::Service facade, SQLB mediates them in real time against the
+// provider population, and the run's recorded trace then replays through
+// the deterministic simulator — the replay oracle — to prove the served
+// allocation decisions are exactly the ones the DES would have made.
 //
 //   $ ./build/examples/emarketplace
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sqlb_method.h"
-#include "matchmaking/matchmaker.h"
-#include "msg/network.h"
-#include "runtime/async_mediator.h"
+#include "sqlb/service.h"
 
 int main() {
   using namespace sqlb;
 
-  des::Simulator sim;
-  msg::Network network(sim, msg::LatencyModel{0.010, 0.005}, Rng(2024));
+  // --- The marketplace ----------------------------------------------------
+  // A small pool of shipping/compute companies (providers) serving a
+  // handful of buyers (consumers). Two query classes stand in for the wine
+  // shipment (130 units) and the compute job (150 units) of Section 1.1.
+  Config config;
+  config.mode = Mode::kServing;
+  runtime::SystemConfig& scenario = config.scenario();
+  scenario.population.num_consumers = 8;
+  scenario.population.num_providers = 20;
+  scenario.seed = 99;
+  scenario.record_series = false;
+  config.serving.shards = 2;
+  // 50 simulated seconds of provider capacity per wall second: the demo
+  // finishes in well under a second of wall time.
+  config.serving.time_scale = 50.0;
+  config.serving.max_burst = 16;
 
-  // --- The marketplace catalogue -----------------------------------------
-  TermDictionary dict;
-  const auto kShipping = dict.Intern("shipping");
-  const auto kInternational = dict.Intern("international");
-  const auto kNational = dict.Intern("national");
-  const auto kCompute = dict.Intern("compute");
-
-  struct Listing {
-    const char* name;
-    std::vector<std::uint32_t> capability;
-  };
-  const std::vector<Listing> listings = {
-      {"p1-globalfreight", {kShipping, kInternational}},
-      {"p2-asiacargo", {kShipping, kInternational}},
-      {"p3-wineexpress", {kShipping, kInternational, kNational}},
-      {"p4-localcourier", {kShipping, kNational}},
-      {"p5-gridworks", {kCompute}},
-  };
-
-  // --- Wire the distributed system ---------------------------------------
-  PopulationConfig pop_config;
-  pop_config.num_consumers = 2;
-  pop_config.num_providers = listings.size();
-  Population population(pop_config, /*seed=*/99);
-  runtime::ReputationRegistry reputation(listings.size());
-  reputation.Set(ProviderId(0), 0.9);   // well-reputed
-  reputation.Set(ProviderId(1), -0.4);  // eWine has heard bad things
-  reputation.Set(ProviderId(2), 0.5);
-  reputation.Set(ProviderId(3), 0.2);
-  reputation.Set(ProviderId(4), 0.8);
-
-  SqlbMethod method;
-  TermIndexMatchmaker matchmaker;
-  runtime::AsyncMediator mediator(runtime::AsyncMediatorConfig{}, &method,
-                                  &matchmaker);
-  mediator.set_address(network.Register(&mediator));
-
-  // Consumers blend preference and reputation (upsilon = 0.4: eWine has
-  // little direct experience, so reputation weighs more — Section 5.1).
-  runtime::ConsumerAgentConfig consumer_config;
-  consumer_config.intention.mode = ConsumerIntentionMode::kFormula;
-  consumer_config.intention.upsilon = 0.4;
-
-  std::vector<std::unique_ptr<runtime::AsyncConsumerNode>> consumers;
-  for (std::uint32_t c = 0; c < pop_config.num_consumers; ++c) {
-    auto node = std::make_unique<runtime::AsyncConsumerNode>(
-        ConsumerId(c), consumer_config, &population, &reputation);
-    node->set_address(network.Register(node.get()));
-    mediator.RegisterConsumer(ConsumerId(c), node->address());
-    consumers.push_back(std::move(node));
+  Status status;
+  std::unique_ptr<Service> service = Service::Create(
+      config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); },
+      &status);
+  if (service == nullptr) {
+    std::fprintf(stderr, "invalid config: %s\n", status.message().c_str());
+    return 1;
   }
 
-  std::vector<std::unique_ptr<runtime::AsyncProviderNode>> providers;
-  for (std::uint32_t p = 0; p < listings.size(); ++p) {
-    auto node = std::make_unique<runtime::AsyncProviderNode>(
-        population.provider(ProviderId(p)), runtime::ProviderAgentConfig{},
-        &population);
-    node->set_address(network.Register(node.get()));
-    node->SetConsumerDirectory(&mediator.consumer_directory());
-    mediator.RegisterProvider(ProviderId(p), node->address());
-    matchmaker.Register(ProviderId(p), Capability(listings[p].capability));
-    providers.push_back(std::move(node));
+  // --- Buyer threads ------------------------------------------------------
+  constexpr std::uint32_t kBuyers = 2;
+  constexpr std::uint64_t kQueriesPerBuyer = 400;
+  const std::size_t num_classes = scenario.population.query_class_units.size();
+  std::vector<runtime::ServingProducer*> producers;
+  for (std::uint32_t b = 0; b < kBuyers; ++b) {
+    producers.push_back(service->RegisterProducer());
   }
+  service->Start();
 
-  // --- eWine's call for proposals ----------------------------------------
-  // q.d = {shipping, international}; q.n = 2: proposals from the two best.
-  Query query;
-  query.id = 1;
-  query.consumer = ConsumerId(0);
-  query.n = 2;
-  query.units = 140.0;
-  query.required_terms = {kShipping, kInternational};
-  query.issue_time = sim.Now();
-
-  const auto match = matchmaker.Match(query);
-  std::printf("matchmaking: P_q = {");
-  for (std::size_t i = 0; i < match.size(); ++i) {
-    std::printf("%s%s", i > 0 ? ", " : "", listings[match[i].index()].name);
+  std::vector<std::thread> buyers;
+  for (std::uint32_t b = 0; b < kBuyers; ++b) {
+    buyers.emplace_back([&, b] {
+      runtime::ServingProducer* producer = producers[b];
+      for (std::uint64_t i = 0; i < kQueriesPerBuyer; ++i) {
+        const std::uint32_t consumer =
+            static_cast<std::uint32_t>((b + kBuyers * i) %
+                                       scenario.population.num_consumers);
+        const std::uint32_t cls = static_cast<std::uint32_t>(i % num_classes);
+        while (!service->Submit(producer, consumer, cls)) {
+          std::this_thread::yield();  // intake backpressure: retry
+        }
+        // Closed loop: wait for this buyer's submissions to be mediated
+        // before issuing the next one.
+        producer->AwaitMediated(producer->submitted());
+      }
+    });
   }
-  std::printf("}  (%zu of %zu listings cover the required terms)\n",
-              match.size(), listings.size());
+  for (std::thread& t : buyers) t.join();
+  service->Drain();
+  runtime::ServingReport report = service->Stop();
 
-  consumers[0]->Submit(network, mediator.address(), query);
+  std::printf("served %llu queries in %.3f s wall (%llu bursts, %llu shed)\n",
+              static_cast<unsigned long long>(report.served),
+              report.wall_seconds,
+              static_cast<unsigned long long>(report.bursts),
+              static_cast<unsigned long long>(report.shed));
+  std::printf("intake->mediation wall latency: p50 %.1f us  p99 %.1f us  "
+              "p999 %.1f us\n",
+              report.intake_wall.Quantile(0.50) * 1e6,
+              report.intake_wall.Quantile(0.99) * 1e6,
+              report.intake_wall.Quantile(0.999) * 1e6);
+  std::printf("conservation: completed %llu + infeasible %llu == issued "
+              "%llu\n",
+              static_cast<unsigned long long>(report.run.queries_completed),
+              static_cast<unsigned long long>(report.run.queries_infeasible),
+              static_cast<unsigned long long>(report.run.queries_issued));
 
-  // A second buyer wants compute capacity (the paper's grid scenario) —
-  // a disjoint P_q through the same mediator.
-  Query job;
-  job.id = 2;
-  job.consumer = ConsumerId(1);
-  job.n = 1;
-  job.units = 300.0;
-  job.required_terms = {kCompute};
-  job.issue_time = sim.Now();
-  consumers[1]->Submit(network, mediator.address(), job);
-
-  sim.RunAll();
-
-  std::printf("\nafter the mediation rounds:\n");
-  std::printf("  mediations completed : %llu (timeouts: %llu)\n",
-              static_cast<unsigned long long>(
-                  mediator.mediations_completed()),
-              static_cast<unsigned long long>(mediator.timeouts()));
-  std::printf("  network messages     : %llu sent, %llu delivered\n",
-              static_cast<unsigned long long>(network.sent_messages()),
-              static_cast<unsigned long long>(
-                  network.delivered_messages()));
-  for (std::uint32_t c = 0; c < consumers.size(); ++c) {
-    // RawSatisfaction: the unblended Eq. 2 average over the (few) issued
-    // queries; the blended Satisfaction() would still sit near the 0.5
-    // prior after a single interaction.
-    std::printf("  consumer %u           : %llu response(s), "
-                "per-query satisfaction %.3f\n",
-                c,
-                static_cast<unsigned long long>(
-                    consumers[c]->responses_received()),
-                consumers[c]->agent().window().RawSatisfaction());
-  }
-  for (std::uint32_t p = 0; p < providers.size(); ++p) {
-    const auto& window = providers[p]->agent().window();
-    std::printf("  %-18s: proposed %llu, performed %llu\n",
-                listings[p].name,
-                static_cast<unsigned long long>(window.proposed()),
-                static_cast<unsigned long long>(window.performed()));
-  }
-  return 0;
+  // --- The replay oracle --------------------------------------------------
+  // Re-drive the recorded bursts through the DES with an identically
+  // configured system; every allocation decision must come out the same.
+  runtime::ServingReplayResult replay = service->Replay();
+  std::string diff;
+  const bool identical =
+      service->trace().decisions.IdenticalTo(replay.decisions, &diff);
+  std::printf("replay oracle: %zu decisions, %s\n",
+              service->trace().decisions.size(),
+              identical ? "bit-identical to the live run"
+                        : diff.c_str());
+  return identical ? 0 : 1;
 }

@@ -7,19 +7,23 @@
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "core/sqlb_method.h"
 #include "experiments/experiments.h"
 #include "model/metrics.h"
 #include "runtime/mediation_system.h"
+#include "sqlb/service.h"
 
 int main() {
   using namespace sqlb;
 
-  // 1. Configure the system. SystemConfig defaults mirror the paper's
-  //    Table 2; here we shrink the population so the example runs in
-  //    milliseconds.
-  runtime::SystemConfig config;
+  // 1. Configure the system through the unified facade. The scenario knobs
+  //    (sqlb::Config::scenario()) mirror the paper's Table 2; here we
+  //    shrink the population so the example runs in milliseconds.
+  Config service_config;
+  service_config.mode = Mode::kMono;
+  runtime::SystemConfig& config = service_config.scenario();
   config.population.num_consumers = 20;
   config.population.num_providers = 40;
   config.workload = runtime::WorkloadSpec::Constant(0.6);  // 60% load
@@ -29,11 +33,14 @@ int main() {
 
   // 2. Pick an allocation method. SqlbMethod is the paper's contribution;
   //    methods/*.h has the baselines (CapacityBased, Mariposa-like, ...).
-  SqlbMethod method;
+  //    The factory makes one instance per shard (mono uses exactly one).
+  std::unique_ptr<Service> service = Service::Create(
+      service_config,
+      [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
 
   // 3. Run. The system simulates Poisson query arrivals, Algorithm 1
   //    mediation, FIFO service at providers, and collects metrics.
-  runtime::RunResult result = runtime::RunScenario(config, &method);
+  runtime::RunResult result = service->Run().run;
 
   // 4. Inspect the outcome.
   std::printf("method            : %s\n", result.method_name.c_str());

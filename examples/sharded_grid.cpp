@@ -18,6 +18,7 @@
 #include "core/sqlb_method.h"
 #include "runtime/mediation_system.h"
 #include "shard/sharded_mediation_system.h"
+#include "sqlb/service.h"
 
 int main() {
   using namespace sqlb;
@@ -41,13 +42,18 @@ int main() {
   config.rerouting_enabled = true;
   config.saturation_backlog_seconds = 20.0;  // bounce off drowning shards
 
-  // 2. One allocation method instance per shard (they are stateful).
-  shard::ShardedMediationSystem system(
-      config, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
+  // 2. One allocation method instance per shard (they are stateful); the
+  //    facade validates the config and builds the sharded driver.
+  Config service_config;
+  service_config.mode = Mode::kSharded;
+  service_config.sharded = config;
+  std::unique_ptr<Service> service = Service::Create(
+      service_config,
+      [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
 
   // 3. Run: Poisson arrivals -> router -> per-shard Algorithm 1 -> FIFO
   //    service, with gossip and departure checks on the same clock.
-  const shard::ShardedRunResult result = system.Run();
+  const shard::ShardedRunResult result = service->Run();
 
   std::printf("method             : %s on %zu shards (%s routing)\n",
               result.run.method_name.c_str(), result.shards.size(),
@@ -98,8 +104,13 @@ int main() {
   relaxed.rerouting_enabled = false;  // a mid-epoch bounce would couple lanes
   relaxed.worker_threads = std::max(2u, std::thread::hardware_concurrency());
   relaxed.parity = shard::ParityMode::kRelaxed;
-  const shard::ShardedRunResult parallel = shard::RunShardedScenario(
-      relaxed, [](std::uint32_t) { return std::make_unique<SqlbMethod>(); });
+  Config relaxed_config;
+  relaxed_config.mode = Mode::kSharded;
+  relaxed_config.sharded = relaxed;
+  const shard::ShardedRunResult parallel =
+      Service::Create(relaxed_config, [](std::uint32_t) {
+        return std::make_unique<SqlbMethod>();
+      })->Run();
   std::printf(
       "\n%s-parity rerun on %zu worker threads: issued %llu, "
       "completed %llu, mean rt %.2f s, lock contention %llu\n",

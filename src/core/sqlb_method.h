@@ -9,9 +9,10 @@
 /// \file
 /// The SQLB allocation method: the scoring/ranking/selection part of
 /// Algorithm 1 (Section 5.4). Intention gathering (lines 2-5 of the
-/// algorithm) is the mediator's job — synchronous in runtime/mediation.h,
-/// message-based with timeouts in runtime/async_mediator.h — so this class
-/// receives intentions already collected in the AllocationRequest.
+/// algorithm) is the mediator's job — runtime/mediation_core.h runs it
+/// synchronously for both the DES drivers and the wall-clock serving tier
+/// (runtime/serving_mediator.h) — so this class receives intentions already
+/// collected in the AllocationRequest.
 
 namespace sqlb {
 

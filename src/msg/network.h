@@ -13,14 +13,15 @@
 /// In-process message-passing runtime over the discrete-event kernel: the
 /// distributed-system boilerplate behind Figure 1's architecture. Nodes
 /// (mediator, consumers, providers) exchange asynchronous messages through a
-/// simulated network with configurable latency; Algorithm 1's "fork ask /
-/// waituntil ... or timeout" lines run literally on this substrate
-/// (runtime/async_mediator.h).
+/// simulated network with configurable latency; the sharded tier's gossip
+/// and ring announcements run on this substrate, with seeded drop/delay
+/// injection as the chaos proxy for real transport.
 ///
 /// The experiment harness uses the synchronous pipeline instead (zero
-/// mediation latency, Section 6.1 ignores bandwidth); this layer exists so
-/// the timeout/partial-response code paths are real, tested code, and so the
-/// examples can show a genuinely distributed mediation round.
+/// mediation latency, Section 6.1 ignores bandwidth); queries that arrive
+/// from outside the simulation enter through the wall-clock serving tier
+/// (runtime/serving_mediator.h), whose real-thread intake queues replace
+/// the old in-simulation async-mediator seam.
 
 namespace sqlb::msg {
 

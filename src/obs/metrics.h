@@ -241,6 +241,11 @@ inline constexpr const char kMetricGossipRelayDrops[] =
 // Per-shard gauges (the shard index is appended: "batch.window.0", ...).
 inline constexpr const char kMetricBatchWindowPrefix[] = "batch.window.";
 
+// Wall-clock serving tier (runtime/serving_mediator.h): enqueue ->
+// mediation wall latency, folded over the per-producer histograms at Stop.
+inline constexpr const char kMetricServingIntakeWall[] =
+    "serving.intake_wall_seconds";
+
 }  // namespace sqlb::obs
 
 #endif  // SQLB_OBS_METRICS_H_

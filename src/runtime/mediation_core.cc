@@ -1,6 +1,7 @@
 #include "runtime/mediation_core.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/math_util.h"
 #include "common/status.h"
@@ -157,8 +158,9 @@ void MediationCore::GatherCandidates(const Query& query,
   std::vector<ProviderAgent>& providers = *shared_.providers;
 
   // Lines 2-5 of Algorithm 1: gather the consumer's and the providers'
-  // intentions (synchronously here; runtime/async_mediator.h exercises the
-  // fork/waituntil/timeout version over the message substrate). The
+  // intentions (synchronously here; the wall-clock serving tier —
+  // runtime/serving_mediator.h — feeds this same pipeline from real-thread
+  // intake queues and uses the DES as its replay oracle). The
   // query-independent provider state comes from the characterization cache;
   // only the per-(query, provider) terms — preferences, consumer intention,
   // the preference pow of Definition 8, the asking price — are computed
@@ -320,6 +322,20 @@ MediationCore::Outcome MediationCore::ApplyDecision(
   if (traced) {
     shared_.trace->RecordInstant(obs::SpanKind::kScore, sim.Now(), query.id,
                                  static_cast<double>(columns.size()));
+  }
+
+  // Replay-oracle stream: the decision is final here (dispatch below never
+  // changes it), so record it before either return path.
+  if (shared_.decisions != nullptr) {
+    DecisionLog::Record record;
+    record.query = query.id;
+    record.outcome = decision.selected.empty() ? Outcome::kUnallocated
+                                               : Outcome::kAllocated;
+    record.providers.reserve(decision.selected.size());
+    for (std::size_t idx : decision.selected) {
+      record.providers.push_back(columns.ids[idx].index());
+    }
+    shared_.decisions->Append(std::move(record));
   }
 
   if (decision.selected.empty()) {
@@ -817,6 +833,41 @@ void RunConsumerDepartureChecks(const DepartureConfig& departures,
       ++i;
     }
   }
+}
+
+bool DecisionLog::IdenticalTo(const DecisionLog& other,
+                              std::string* diff) const {
+  auto mismatch = [diff](std::size_t i, const std::string& what) {
+    if (diff != nullptr) {
+      *diff = "decision " + std::to_string(i) + ": " + what;
+    }
+    return false;
+  };
+  if (records_.size() != other.records_.size()) {
+    return mismatch(std::min(records_.size(), other.records_.size()),
+                    "log sizes differ (" + std::to_string(records_.size()) +
+                        " vs " + std::to_string(other.records_.size()) + ")");
+  }
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& a = records_[i];
+    const Record& b = other.records_[i];
+    if (a.query != b.query) {
+      return mismatch(i, "query id " + std::to_string(a.query) + " vs " +
+                             std::to_string(b.query));
+    }
+    if (a.outcome != b.outcome) {
+      return mismatch(i, "outcome " +
+                             std::to_string(static_cast<int>(a.outcome)) +
+                             " vs " +
+                             std::to_string(static_cast<int>(b.outcome)) +
+                             " for query " + std::to_string(a.query));
+    }
+    if (a.providers != b.providers) {
+      return mismatch(i, "provider selection differs for query " +
+                             std::to_string(a.query));
+    }
+  }
+  return true;
 }
 
 }  // namespace sqlb::runtime

@@ -34,6 +34,8 @@
 
 namespace sqlb::runtime {
 
+class DecisionLog;
+
 /// One per-shard Algorithm-1 pipeline over a member subset of the provider
 /// population. Participant vectors are owned by the enclosing system and
 /// indexed globally; the core only ever touches its member providers (and
@@ -100,6 +102,12 @@ class MediationCore {
     /// restored onto this core are re-homed on it (SetArena); their
     /// already-resident chunks keep draining to their original pool.
     mem::AgentArena* arena = nullptr;
+    /// When non-null, every mediation this core decides appends one record
+    /// (query id, outcome, selected provider indices in selection order).
+    /// This is the replay oracle's comparison stream: a wall-clock serving
+    /// run (runtime/serving_mediator.h) and its DES replay each record into
+    /// a log, and the two must be identical. Single-writer, like trace.
+    DecisionLog* decisions = nullptr;
   };
 
   /// What one mediation attempt did, so the caller (mono system or shard
@@ -464,6 +472,38 @@ class MediationCore {
   std::vector<ColumnarRequest> batch_requests_;
   std::vector<std::vector<double>> batch_provider_prefs_;
   std::vector<AllocationDecision> batch_decisions_;
+};
+
+/// Ordered record of the allocation decisions a core (or a set of cores
+/// sharing one log) made — the serving tier's replay-oracle stream: a
+/// recorded serving run and its DES replay must produce identical logs
+/// (runtime/serving_mediator.h, tests/runtime/serving_replay_test.cc).
+///
+/// ApplyDecision appends kAllocated/kUnallocated records in-core; bursts
+/// that never reach it (empty candidate set -> kNoCandidates, saturation
+/// bounce -> kSaturated) are appended by the driver at the call site, so
+/// recorder and replayer — both driving AllocateBatch the same way — agree
+/// on the full stream, not just the allocated subset.
+class DecisionLog {
+ public:
+  struct Record {
+    QueryId query = kInvalidQueryId;
+    MediationCore::Outcome outcome = MediationCore::Outcome::kNoCandidates;
+    /// Global provider indices selected, in selection order (empty unless
+    /// outcome == kAllocated).
+    std::vector<std::uint32_t> providers;
+  };
+
+  void Append(Record record) { records_.push_back(std::move(record)); }
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// True when the two logs are bit-identical. On mismatch, `diff` (when
+  /// non-null) gets a one-line description of the first divergence.
+  bool IdenticalTo(const DecisionLog& other, std::string* diff) const;
+
+ private:
+  std::vector<Record> records_;
 };
 
 // ---------------------------------------------------------------------------

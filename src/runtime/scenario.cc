@@ -44,6 +44,38 @@ WorkloadSpec WorkloadSpec::Ramp(double start, double end) {
   return spec;
 }
 
+Status ValidateSystemConfig(const SystemConfig& config) {
+  if (config.duration <= 0.0) {
+    return Status::InvalidArgument(
+        "SystemConfig::duration must be positive (simulated seconds)");
+  }
+  if (config.query_n < 1) {
+    return Status::InvalidArgument(
+        "SystemConfig::query_n must be >= 1 (providers per query)");
+  }
+  for (const ShardFaultEvent& event : config.shard_faults.events) {
+    if (event.time < 0.0) {
+      return Status::InvalidArgument(
+          "SystemConfig::shard_faults has an event scheduled before t = 0");
+    }
+  }
+  if (!config.shard_faults.events.empty() &&
+      (config.shard_faults.snapshot_interval <= 0.0 ||
+       config.shard_faults.drain_retry_interval <= 0.0)) {
+    return Status::InvalidArgument(
+        "SystemConfig::shard_faults needs positive snapshot_interval and "
+        "drain_retry_interval when fault events are scheduled");
+  }
+  if (!config.provider_churn.events.empty() &&
+      config.churn_retry_interval <= 0.0) {
+    return Status::InvalidArgument(
+        "SystemConfig::churn_retry_interval must be positive when churn "
+        "events are scheduled (a zero interval would retry a deferred "
+        "rejoin at the same timestamp forever)");
+  }
+  return Status::OK();
+}
+
 double RunResult::ProviderDeparturePercent() const {
   if (initial_providers == 0) return 0.0;
   return 100.0 * static_cast<double>(tally.providers_total()) /

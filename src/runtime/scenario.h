@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "des/time_series.h"
 #include "mem/agent_arena.h"
@@ -115,6 +116,13 @@ struct SystemConfig {
   /// tests/obs/trace_determinism_test.cc).
   obs::ObservabilityConfig observability;
 };
+
+/// The one validated entry point for a scenario config: every driver
+/// (mono, sharded, serving) accepts a SystemConfig through this check, and
+/// sqlb::Config::Validate() folds it into the facade-level validation.
+/// Returns InvalidArgument with an actionable message instead of the
+/// scattered per-driver asserts it replaced.
+Status ValidateSystemConfig(const SystemConfig& config);
 
 /// Everything a run produces.
 struct RunResult {

@@ -44,8 +44,12 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
       agent_store_(config.agent_pool),
       reputation_(config.population.num_providers, 0.0, 0.1),
       response_window_(500) {
-  SQLB_CHECK(config.duration > 0.0, "run duration must be positive");
-  SQLB_CHECK(config.query_n >= 1, "q.n must be >= 1");
+  // One validated config path (runtime/scenario.h): drivers that surface
+  // recoverable errors run ValidateSystemConfig via sqlb::Config::Validate()
+  // before construction; reaching here with an invalid config is a
+  // programming error.
+  const Status valid = ValidateSystemConfig(config);
+  SQLB_CHECK(valid.ok(), valid.message().c_str());
 
   agent_store_.Resize(population_.num_providers());
   providers_.reserve(population_.num_providers());
@@ -78,20 +82,6 @@ ScenarioEngine::ScenarioEngine(const SystemConfig& config)
                    [](const ShardFaultEvent& a, const ShardFaultEvent& b) {
                      return a.time < b.time;
                    });
-  for (const ShardFaultEvent& event : fault_events_) {
-    SQLB_CHECK(event.time >= 0.0, "fault event time must be >= 0");
-  }
-  SQLB_CHECK(fault_events_.empty() ||
-                 (config_.shard_faults.snapshot_interval > 0.0 &&
-                  config_.shard_faults.drain_retry_interval > 0.0),
-             "fault snapshot/drain intervals must be positive");
-
-  // A deferred rejoin is retried at now + churn_retry_interval; a zero (or
-  // negative) interval would re-enqueue the retry at the same timestamp
-  // forever and the simulation would never advance past it.
-  SQLB_CHECK(churn_events_.empty() || config_.churn_retry_interval > 0.0,
-             "churn_retry_interval must be positive");
-
   result_.duration = config_.duration;
   result_.initial_providers = providers_.size() - initial_holdouts_.size();
   result_.initial_consumers = consumers_.size();

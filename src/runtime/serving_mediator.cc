@@ -1,0 +1,461 @@
+#include "runtime/serving_mediator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+
+namespace sqlb::runtime {
+
+namespace {
+
+/// Bursts that never reach ApplyDecision (empty candidate set, saturation
+/// bounce) still need decision records — appended at the call site, by the
+/// recorder and the replayer alike, so the two logs stay comparable.
+void AppendCallSiteRecords(const std::vector<Query>& burst,
+                           const std::vector<MediationCore::Outcome>& outcomes,
+                           DecisionLog* log) {
+  if (log == nullptr) return;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (outcomes[i] != MediationCore::Outcome::kNoCandidates &&
+        outcomes[i] != MediationCore::Outcome::kSaturated) {
+      continue;  // ApplyDecision already recorded it in-core
+    }
+    DecisionLog::Record record;
+    record.query = burst[i].id;
+    record.outcome = outcomes[i];
+    log->Append(std::move(record));
+  }
+}
+
+/// Shard membership of the serving partition: provider p -> shard
+/// p % shards, initial holdouts excluded. The replayer must build the
+/// identical partition, so both go through here.
+std::vector<std::vector<std::uint32_t>> PartitionProviders(
+    const ScenarioEngine& engine, std::size_t shards) {
+  std::vector<std::vector<std::uint32_t>> members(shards);
+  const std::vector<ProviderAgent>& providers = engine.providers();
+  for (std::uint32_t p = 0; p < providers.size(); ++p) {
+    if (engine.held_out()[p]) continue;
+    members[p % shards].push_back(p);
+  }
+  return members;
+}
+
+}  // namespace
+
+void ServingProducer::AwaitMediated(std::uint64_t n) const {
+  while (mediated() < n) {
+    std::this_thread::yield();
+  }
+}
+
+ServingMediator::ServingMediator(const SystemConfig& config,
+                                 const ServingConfig& serving,
+                                 MethodFactory factory)
+    : config_(config),
+      serving_(serving),
+      engine_(config),
+      pages_(mem::PagePool::kDefaultPageBytes, 0),
+      slab_(&pages_, des::MpscQueue<Intake>::ChunkBytes()) {
+  SQLB_CHECK(serving_.shards >= 1, "serving needs at least one shard");
+  SQLB_CHECK(serving_.time_scale > 0.0, "time_scale must be positive");
+  SQLB_CHECK(serving_.max_burst >= 1, "max_burst must be >= 1");
+  const DepartureConfig& dep = config_.departures;
+  SQLB_CHECK(!dep.consumers_may_leave && !dep.provider_dissatisfaction &&
+                 !dep.provider_starvation && !dep.provider_overutilization,
+             "serving mode has no departure-check clock; disable departures");
+  SQLB_CHECK(config_.provider_churn.events.empty(),
+             "serving mode does not script churn");
+  SQLB_CHECK(config_.shard_faults.empty(),
+             "serving mode does not script shard faults");
+
+  // Cores capture per-lane recorder pointers, so the recorder must be
+  // shaped for `shards` lanes before any core exists.
+  engine_.ConfigureObservability(serving_.shards);
+
+  std::vector<std::vector<std::uint32_t>> members =
+      PartitionProviders(engine_, serving_.shards);
+  obs::FlightRecorder& recorder = engine_.recorder();
+  for (std::uint32_t s = 0; s < serving_.shards; ++s) {
+    methods_.push_back(factory(s));
+    SQLB_CHECK(methods_.back() != nullptr, "method factory returned null");
+    MediationCore::Shared shared = engine_.CoreSharedState();
+    shared.trace = recorder.trace_lane(s);
+    shared.metrics = recorder.hot_metrics(s);
+    if (serving_.record_trace) {
+      shared.decisions = &trace_.decisions;
+    }
+    cores_.push_back(std::make_unique<MediationCore>(
+        shared, methods_.back().get(), std::move(members[s])));
+  }
+  engine_.SetMethodName(methods_[0]->name());
+
+  // One bounded intake queue per shard. chunks * kNodesPerChunk - 1 live
+  // payloads fit (the stub node holds no payload), so size the chunk cap
+  // to cover max_queued_per_shard.
+  const std::size_t nodes_needed = serving_.max_queued_per_shard + 1;
+  const std::size_t max_chunks = std::max<std::size_t>(
+      1, (nodes_needed + des::MpscQueue<Intake>::kNodesPerChunk - 1) /
+             des::MpscQueue<Intake>::kNodesPerChunk);
+  for (std::uint32_t s = 0; s < serving_.shards; ++s) {
+    auto state = std::make_unique<ShardState>(serving_.adaptive_batch);
+    state->queue =
+        std::make_unique<des::MpscQueue<Intake>>(&slab_, max_chunks);
+    shards_.push_back(std::move(state));
+  }
+
+  // Observability handles, hoisted once (single writer: mediator thread).
+  for (std::uint32_t s = 0; s < serving_.shards; ++s) {
+    flush_counters_.push_back(
+        &recorder.registry(s).GetCounter(obs::kMetricBatchFlushes));
+    batched_query_counters_.push_back(
+        &recorder.registry(s).GetCounter(obs::kMetricBatchedQueries));
+    obs::MetricsRegistry* hot = recorder.hot_metrics(s);
+    batch_wait_hists_.push_back(
+        hot != nullptr ? &hot->GetHistogram(obs::kMetricBatchWait) : nullptr);
+  }
+  coord_trace_ = recorder.trace_lane(recorder.coordinator_lane());
+}
+
+ServingMediator::~ServingMediator() {
+  if (started_ && !stopped_) {
+    Stop();
+  }
+}
+
+ServingProducer* ServingMediator::RegisterProducer() {
+  SQLB_CHECK(!started_, "register producers before Start");
+  auto producer = std::make_unique<ServingProducer>();
+  producer->index_ = static_cast<std::uint32_t>(producers_.size());
+  producers_.push_back(std::move(producer));
+  return producers_.back().get();
+}
+
+void ServingMediator::Start() {
+  SQLB_CHECK(!started_, "Start may only be called once");
+  started_ = true;
+  t0_ = Clock::now();
+  thread_ = std::thread([this] { MediatorLoop(); });
+}
+
+bool ServingMediator::Submit(ServingProducer* producer,
+                             std::uint32_t consumer_index,
+                             std::uint32_t class_index) {
+  SQLB_CHECK(consumer_index < engine_.population().num_consumers(),
+             "consumer index out of range");
+  SQLB_CHECK(class_index < engine_.population().num_query_classes(),
+             "query class out of range");
+  Intake item;
+  item.consumer = consumer_index;
+  item.class_index = class_index;
+  item.producer = producer->index_;
+  item.enqueue_wall = Clock::now();
+  const std::uint32_t shard = consumer_index % shards_.size();
+  if (!shards_[shard]->queue->Push(item)) {
+    producer->shed_.fetch_add(1, std::memory_order_release);
+    return false;
+  }
+  producer->submitted_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void ServingMediator::Drain() {
+  for (;;) {
+    std::uint64_t submitted = 0;
+    for (const auto& producer : producers_) {
+      submitted += producer->submitted();
+    }
+    if (served_.load(std::memory_order_acquire) >= submitted) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+SimTime ServingMediator::SimNowFromWall(Clock::time_point t) const {
+  const double elapsed = std::chrono::duration<double>(t - t0_).count();
+  return std::max(0.0, elapsed) * serving_.time_scale;
+}
+
+void ServingMediator::MediatorLoop() {
+  auto next_housekeeping =
+      t0_ + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(serving_.housekeeping_interval));
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Clock::time_point wall = Clock::now();
+    const SimTime now = SimNowFromWall(wall);
+    // Fire every due DES event (provider service, completion accounting):
+    // the wall clock passing a completion's sim time is what "completes" it.
+    engine_.sim().RunUntil(now);
+    const std::size_t drained = DrainIntake(now);
+    const std::size_t flushed = FlushDue(now, /*force=*/false);
+    if (wall >= next_housekeeping) {
+      Housekeep();
+      next_housekeeping += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(serving_.housekeeping_interval));
+    }
+    if (drained == 0 && flushed == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(serving_.idle_sleep_us));
+    }
+  }
+}
+
+std::size_t ServingMediator::DrainIntake(SimTime now) {
+  std::size_t drained = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardState& state = *shards_[s];
+    Intake item;
+    // Stop at max_burst: a full buffer flushes before more intake drains,
+    // which pushes overload back onto the bounded queue.
+    while (state.buffer.size() < serving_.max_burst &&
+           state.queue->TryPop(&item)) {
+      SimTime arrival = std::min(SimNowFromWall(item.enqueue_wall), now);
+      arrival = std::max(arrival, state.last_arrival);
+      state.last_arrival = arrival;
+      if (serving_.adaptive_batch.enabled) {
+        state.controller.OnArrival(arrival);
+      }
+      Query query;
+      query.id = next_query_id_++;
+      query.consumer = ConsumerId(item.consumer);
+      query.n = config_.query_n;
+      query.units = engine_.population().QueryUnits(item.class_index);
+      query.class_index = item.class_index;
+      query.issue_time = arrival;
+      if (state.buffer.empty()) {
+        state.earliest_arrival = arrival;
+      }
+      state.buffer.push_back(query);
+      state.meta.emplace_back(item.enqueue_wall, item.producer);
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+double ServingMediator::WindowFor(const ShardState& state) const {
+  return serving_.adaptive_batch.enabled ? state.controller.Window()
+                                         : serving_.batch_window;
+}
+
+std::size_t ServingMediator::FlushDue(SimTime now, bool force) {
+  std::size_t flushed = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const ShardState& state = *shards_[s];
+    if (state.buffer.empty()) continue;
+    if (force || state.buffer.size() >= serving_.max_burst ||
+        now >= state.earliest_arrival + WindowFor(state)) {
+      FlushShard(s, now);
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+void ServingMediator::FlushShard(std::uint32_t shard, SimTime now) {
+  ShardState& state = *shards_[shard];
+  const Clock::time_point flush_wall = Clock::now();
+
+  // Every query in the burst is issued now, and recorded as an intake
+  // trace exactly like the DES pump's arrivals (coordinator lane).
+  for (const Query& query : state.buffer) {
+    ++engine_.result().queries_issued;
+    if (coord_trace_ != nullptr && coord_trace_->SamplesQuery(query.id)) {
+      coord_trace_->RecordInstant(obs::SpanKind::kIntake, query.issue_time,
+                                  query.id,
+                                  static_cast<double>(query.consumer.index()));
+    }
+  }
+  if (serving_.record_trace) {
+    ServingBurst burst;
+    burst.shard = shard;
+    burst.flush_time = now;
+    burst.first = trace_.queries.size();
+    burst.count = state.buffer.size();
+    trace_.bursts.push_back(burst);
+    trace_.queries.insert(trace_.queries.end(), state.buffer.begin(),
+                          state.buffer.end());
+  }
+
+  cores_[shard]->AllocateBatch(engine_.sim(), state.buffer, 0.0,
+                               &state.outcomes);
+  AppendCallSiteRecords(state.buffer, state.outcomes,
+                        serving_.record_trace ? &trace_.decisions : nullptr);
+
+  obs::TraceLane* lane = engine_.recorder().trace_lane(shard);
+  for (std::size_t i = 0; i < state.buffer.size(); ++i) {
+    const Query& query = state.buffer[i];
+    if (state.outcomes[i] != MediationCore::Outcome::kAllocated) {
+      ++engine_.result().queries_infeasible;
+      if (lane != nullptr && lane->SamplesQuery(query.id)) {
+        lane->RecordInstant(obs::SpanKind::kReject, now, query.id,
+                            static_cast<double>(state.outcomes[i]));
+      }
+    }
+    if (batch_wait_hists_[shard] != nullptr) {
+      batch_wait_hists_[shard]->Record(now - query.issue_time);
+    }
+    // Per-producer wall latency + the closed-loop mediated ack.
+    ServingProducer& producer = *producers_[state.meta[i].second];
+    producer.intake_wall_.Record(
+        std::chrono::duration<double>(flush_wall - state.meta[i].first)
+            .count());
+    producer.mediated_.fetch_add(1, std::memory_order_release);
+  }
+  flush_counters_[shard]->Inc();
+  batched_query_counters_[shard]->Inc(state.buffer.size());
+  ++bursts_flushed_;
+  served_.fetch_add(state.buffer.size(), std::memory_order_release);
+
+  state.buffer.clear();
+  state.meta.clear();
+  state.outcomes.clear();
+  state.earliest_arrival = kSimTimeInfinity;
+}
+
+void ServingMediator::Housekeep() {
+  obs::FlightRecorder& recorder = engine_.recorder();
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardState& state = *shards_[s];
+    state.controller.OnBacklogSample(cores_[s]->MeanBacklogSeconds());
+    recorder.registry(s)
+        .GetGauge(std::string(obs::kMetricBatchWindowPrefix) +
+                  std::to_string(s))
+        .Set(WindowFor(state));
+  }
+}
+
+ServingReport ServingMediator::Stop() {
+  SQLB_CHECK(started_ && !stopped_, "Stop requires a started, unstopped run");
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+
+  // Final pass on the calling thread (the mediator thread is gone): catch
+  // the clock up, drain whatever is still queued — repeatedly, since one
+  // drain pass stops at max_burst per shard — and flush it all.
+  const Clock::time_point end_wall = Clock::now();
+  wall_seconds_ = std::chrono::duration<double>(end_wall - t0_).count();
+  const SimTime end_sim = SimNowFromWall(end_wall);
+  engine_.sim().RunUntil(end_sim);
+  while (DrainIntake(end_sim) > 0 || FlushDue(end_sim, /*force=*/true) > 0) {
+  }
+  // Complete all in-flight provider service.
+  engine_.sim().RunAll();
+
+  ServingReport report;
+  report.served = served_.load(std::memory_order_acquire);
+  for (const auto& producer : producers_) {
+    report.submitted += producer->submitted();
+    report.shed += producer->shed();
+    report.intake_wall.Merge(producer->intake_wall_);
+  }
+  report.bursts = bursts_flushed_;
+  report.wall_seconds = wall_seconds_;
+
+  // Finalization mirrors ScenarioEngine::Run: remaining counts, sealed
+  // spans, registries folded in fixed lane order. The per-producer
+  // histograms fold into the coordinator registry first so the merged
+  // snapshot carries the serving latency under one canonical name.
+  obs::FlightRecorder& recorder = engine_.recorder();
+  recorder.registry(recorder.coordinator_lane())
+      .GetHistogram(obs::kMetricServingIntakeWall)
+      .Merge(report.intake_wall);
+  std::size_t active = 0;
+  for (const auto& core : cores_) {
+    active += core->active_provider_count();
+  }
+  RunResult& result = engine_.result();
+  result.duration = end_sim;
+  result.remaining_providers = active;
+  result.remaining_consumers = engine_.active_consumers().size();
+  result.trace_spans = recorder.FinishSpans();
+  result.trace_spans_dropped = recorder.DroppedSpans();
+  result.metrics = recorder.MergedMetrics();
+  report.run = std::move(result);
+  return report;
+}
+
+ServingReplayResult ReplayServingTrace(
+    const SystemConfig& config, std::size_t shards,
+    const ServingMediator::MethodFactory& factory, const ServingTrace& trace) {
+  SQLB_CHECK(shards >= 1, "replay needs at least one shard");
+  ServingReplayResult replay;
+
+  ScenarioEngine engine(config);
+  engine.ConfigureObservability(shards);
+  std::vector<std::vector<std::uint32_t>> members =
+      PartitionProviders(engine, shards);
+  obs::FlightRecorder& recorder = engine.recorder();
+  std::vector<std::unique_ptr<AllocationMethod>> methods;
+  std::vector<std::unique_ptr<MediationCore>> cores;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    methods.push_back(factory(s));
+    SQLB_CHECK(methods.back() != nullptr, "method factory returned null");
+    MediationCore::Shared shared = engine.CoreSharedState();
+    shared.trace = recorder.trace_lane(s);
+    shared.metrics = recorder.hot_metrics(s);
+    shared.decisions = &replay.decisions;
+    cores.push_back(std::make_unique<MediationCore>(
+        shared, methods.back().get(), std::move(members[s])));
+  }
+  engine.SetMethodName(methods[0]->name());
+
+  obs::TraceLane* coord_trace =
+      recorder.trace_lane(recorder.coordinator_lane());
+  std::vector<Query> burst;
+  std::vector<MediationCore::Outcome> outcomes;
+  SimTime last_flush = 0.0;
+  for (const ServingBurst& recorded : trace.bursts) {
+    SQLB_CHECK(recorded.first + recorded.count <= trace.queries.size(),
+               "burst range out of trace bounds");
+    // Advance the DES to the recorded flush time: the completions that
+    // fired before this burst in the serving run fire here too, in the
+    // same (time, id) order, so provider state matches exactly.
+    engine.sim().RunUntil(recorded.flush_time);
+    last_flush = recorded.flush_time;
+    burst.assign(trace.queries.begin() + recorded.first,
+                 trace.queries.begin() + recorded.first + recorded.count);
+    for (const Query& query : burst) {
+      ++engine.result().queries_issued;
+      if (coord_trace != nullptr && coord_trace->SamplesQuery(query.id)) {
+        coord_trace->RecordInstant(
+            obs::SpanKind::kIntake, query.issue_time, query.id,
+            static_cast<double>(query.consumer.index()));
+      }
+    }
+    cores[recorded.shard]->AllocateBatch(engine.sim(), burst, 0.0, &outcomes);
+    AppendCallSiteRecords(burst, outcomes, &replay.decisions);
+    obs::TraceLane* lane = recorder.trace_lane(recorded.shard);
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      if (outcomes[i] != MediationCore::Outcome::kAllocated) {
+        ++engine.result().queries_infeasible;
+        if (lane != nullptr && lane->SamplesQuery(burst[i].id)) {
+          lane->RecordInstant(obs::SpanKind::kReject, recorded.flush_time,
+                              burst[i].id,
+                              static_cast<double>(outcomes[i]));
+        }
+      }
+    }
+  }
+  engine.sim().RunAll();
+
+  std::size_t active = 0;
+  for (const auto& core : cores) {
+    active += core->active_provider_count();
+  }
+  RunResult& result = engine.result();
+  result.duration = last_flush;
+  result.remaining_providers = active;
+  result.remaining_consumers = engine.active_consumers().size();
+  result.trace_spans = recorder.FinishSpans();
+  result.trace_spans_dropped = recorder.DroppedSpans();
+  result.metrics = recorder.MergedMetrics();
+  replay.run = std::move(result);
+  return replay;
+}
+
+}  // namespace sqlb::runtime

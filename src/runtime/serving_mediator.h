@@ -1,0 +1,299 @@
+#ifndef SQLB_RUNTIME_SERVING_MEDIATOR_H_
+#define SQLB_RUNTIME_SERVING_MEDIATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/allocation.h"
+#include "des/mpsc_queue.h"
+#include "mem/page_pool.h"
+#include "obs/metrics.h"
+#include "runtime/batch_window.h"
+#include "runtime/mediation_core.h"
+#include "runtime/scenario_engine.h"
+
+/// \file
+/// The wall-clock serving tier: the same Algorithm-1 pipeline the DES
+/// drivers run, fed by real threads instead of the simulated Poisson pump.
+///
+/// Producer threads submit (consumer, query class) requests into per-shard
+/// lock-free MPSC intake queues (des/mpsc_queue.h). One mediator thread owns
+/// everything downstream: it advances the simulation clock to track the wall
+/// clock (sim_now = wall_elapsed * time_scale), drains the queues, coalesces
+/// arrivals in the per-shard batch windows (runtime/batch_window.h — the
+/// exact controller the sharded DES tier uses), and mediates each due burst
+/// through MediationCore::AllocateBatch. Provider service and completion
+/// accounting run as ordinary DES events, fired by the mediator's RunUntil
+/// as the wall clock passes them; wall-cadence housekeeping ticks take the
+/// role of the DES epoch barriers (backlog samples into the adaptive window
+/// controllers, window gauges).
+///
+/// Latency is measured in wall time, per producer thread: the mediator
+/// records each query's enqueue->mediation wall latency into its producer's
+/// own obs::Histogram, and the per-producer histograms fold associatively at
+/// Stop() exactly like the per-lane ones (p50/p99/p999 merge exactly).
+///
+/// Determinism becomes a replay-testing tool: every served query and every
+/// flushed burst is recorded into a ServingTrace (queries verbatim, bursts
+/// as (shard, sim flush time, range)), along with the DecisionLog of every
+/// allocation decision. ReplayServingTrace re-drives the recorded bursts
+/// through identically-constructed cores under the DES and must reproduce
+/// the decision log bit-for-bit (tests/runtime/serving_replay_test.cc pins
+/// this, plus the conservation identity completed + infeasible == issued).
+
+namespace sqlb::runtime {
+
+/// Serving-mode knobs, on top of the scenario's SystemConfig.
+struct ServingConfig {
+  /// Logical mediator shards: provider p belongs to shard p % shards,
+  /// consumer c routes to shard c % shards (consumer-affine, like the
+  /// sharded tier's strict-parity routing).
+  std::size_t shards = 1;
+  /// Simulated seconds per wall-clock second. The service-time model is
+  /// simulated (units / capacity, in sim seconds), so time_scale sets how
+  /// fast provider capacity flows relative to real intake: >1 serves a
+  /// wall-clock request rate higher than the simulated capacity would
+  /// suggest.
+  double time_scale = 1.0;
+  /// Static coalescing window in sim seconds (0 = flush every loop pass).
+  /// Ignored when adaptive_batch.enabled.
+  double batch_window = 0.0;
+  /// Per-shard adaptive window sizing, exactly as in the sharded DES tier.
+  AdaptiveBatchConfig adaptive_batch;
+  /// Flush a shard's buffer at this many queries even mid-window, and stop
+  /// draining its intake queue past it until the flush (backpressure
+  /// toward the bounded queue rather than an unbounded buffer).
+  std::size_t max_burst = 64;
+  /// Wall seconds between housekeeping ticks (the serving stand-in for the
+  /// DES epoch barrier): backlog samples into the adaptive controllers and
+  /// per-shard window gauges.
+  double housekeeping_interval = 0.01;
+  /// Bound on queued-but-undrained submissions per shard; Submit returns
+  /// false (shed) beyond it.
+  std::size_t max_queued_per_shard = 65536;
+  /// Mediator sleep when a loop pass found no work, in microseconds.
+  std::size_t idle_sleep_us = 50;
+  /// Record the replay trace (queries, bursts, decisions). Off for
+  /// pure-throughput benchmarking.
+  bool record_trace = true;
+};
+
+/// One coalesced burst of a recorded serving run: `count` queries starting
+/// at `first` in ServingTrace::queries, mediated on `shard` at sim time
+/// `flush_time`.
+struct ServingBurst {
+  std::uint32_t shard = 0;
+  SimTime flush_time = 0.0;
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+/// Everything a replay needs: the served queries verbatim (ids, issue
+/// times, units — wall arrival order is baked into them), the burst
+/// structure, and the decision log the replay must reproduce.
+struct ServingTrace {
+  std::vector<Query> queries;
+  std::vector<ServingBurst> bursts;
+  DecisionLog decisions;
+};
+
+/// What a serving run produced: the familiar RunResult (counters, metrics,
+/// spans) plus the wall-clock intake accounting.
+struct ServingReport {
+  RunResult run;
+  /// Successful producer submissions (== served once drained).
+  std::uint64_t submitted = 0;
+  /// Submissions refused by queue backpressure (never entered the system).
+  std::uint64_t shed = 0;
+  /// Queries mediated (mirror of run.queries_issued).
+  std::uint64_t served = 0;
+  /// Bursts flushed across all shards.
+  std::uint64_t bursts = 0;
+  /// Start() -> Stop() wall duration in seconds.
+  double wall_seconds = 0.0;
+  /// Enqueue -> mediation wall latency, merged over every producer's
+  /// per-thread histogram (p50/p99/p999 via Quantile).
+  obs::Histogram intake_wall;
+};
+
+/// One producer thread's registration. Submission runs through
+/// ServingMediator::Submit; this handle carries the counters a closed-loop
+/// generator waits on and the per-thread wall-latency histogram.
+class ServingProducer {
+ public:
+  /// Successful submissions from this producer.
+  std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_acquire);
+  }
+  /// Submissions refused by backpressure.
+  std::uint64_t shed() const { return shed_.load(std::memory_order_acquire); }
+  /// How many of this producer's submissions have been mediated.
+  std::uint64_t mediated() const {
+    return mediated_.load(std::memory_order_acquire);
+  }
+  /// Closed-loop wait: spins (yielding) until mediated() >= n.
+  void AwaitMediated(std::uint64_t n) const;
+  /// This producer's enqueue->mediation wall-latency histogram. Stable
+  /// only after ServingMediator::Stop() (the mediator thread writes it).
+  const obs::Histogram& intake_wall() const { return intake_wall_; }
+
+ private:
+  friend class ServingMediator;
+  std::uint32_t index_ = 0;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> mediated_{0};
+  /// Written by the mediator thread only; read after Stop().
+  obs::Histogram intake_wall_;
+};
+
+/// The serving-mode mediator. Lifecycle: construct -> RegisterProducer()
+/// for each producer thread -> Start() -> producers Submit() -> Drain()
+/// (optional) -> Stop() -> read the report and trace().
+///
+/// The scenario SystemConfig must describe a captive, fault-free
+/// population: no departures, no churn, no shard faults (serving has no
+/// scripted clock to fire them on). sqlb::Config::Validate() reports these
+/// as errors; the constructor enforces them.
+class ServingMediator {
+ public:
+  /// Fresh method instance per shard, as in the sharded tier.
+  using MethodFactory =
+      std::function<std::unique_ptr<AllocationMethod>(std::uint32_t shard)>;
+
+  ServingMediator(const SystemConfig& config, const ServingConfig& serving,
+                  MethodFactory factory);
+  ServingMediator(const ServingMediator&) = delete;
+  ServingMediator& operator=(const ServingMediator&) = delete;
+  ~ServingMediator();
+
+  /// Registers one producer thread. Call before Start(); the handle stays
+  /// owned by the mediator and valid for its lifetime.
+  ServingProducer* RegisterProducer();
+
+  /// Launches the mediator thread and starts the wall clock.
+  void Start();
+
+  /// Submits one query request from `producer`'s thread: consumer c issues
+  /// one query of workload class `class_index` (units drawn from the
+  /// population's class table, q.n from the config — exactly how the DES
+  /// arrival pump builds queries). Wait-free; false = shed by queue
+  /// backpressure (the request never entered the system).
+  bool Submit(ServingProducer* producer, std::uint32_t consumer_index,
+              std::uint32_t class_index);
+
+  /// Blocks until every successful submission so far has been mediated.
+  /// Call only after the producers stopped submitting.
+  void Drain();
+
+  /// Stops the mediator thread, flushes any remaining intake, drains
+  /// in-flight provider service through the DES, and finalizes the report
+  /// (metrics merged in fixed lane order, spans sealed, per-producer
+  /// histograms folded). Call once.
+  ServingReport Stop();
+
+  /// The recorded replay trace. Stable after Stop().
+  const ServingTrace& trace() const { return trace_; }
+
+  std::size_t shards() const { return shards_.size(); }
+  const ScenarioEngine& engine() const { return engine_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One queued submission, as pushed by a producer thread.
+  struct Intake {
+    std::uint32_t consumer = 0;
+    std::uint32_t class_index = 0;
+    std::uint32_t producer = 0;
+    Clock::time_point enqueue_wall;
+  };
+
+  struct ShardState {
+    std::unique_ptr<des::MpscQueue<Intake>> queue;
+    BatchWindowController controller;
+    std::vector<Query> buffer;
+    /// Parallel to buffer: (enqueue wall time, producer index) per query.
+    std::vector<std::pair<Clock::time_point, std::uint32_t>> meta;
+    /// Sim arrival time of the oldest buffered query (+inf when empty).
+    SimTime earliest_arrival = kSimTimeInfinity;
+    /// Monotone clamp for the controller's OnArrival.
+    SimTime last_arrival = 0.0;
+    std::vector<MediationCore::Outcome> outcomes;
+
+    explicit ShardState(const AdaptiveBatchConfig& config)
+        : controller(config) {}
+  };
+
+  void MediatorLoop();
+  SimTime SimNowFromWall(Clock::time_point t) const;
+  /// Pops every queue into its shard buffer (bounded by max_burst per
+  /// shard). Returns the number of submissions drained.
+  std::size_t DrainIntake(SimTime now);
+  /// Flushes every shard whose window elapsed (or buffer filled); `force`
+  /// flushes everything non-empty. Returns the number of bursts flushed.
+  std::size_t FlushDue(SimTime now, bool force);
+  void FlushShard(std::uint32_t shard, SimTime now);
+  double WindowFor(const ShardState& state) const;
+  /// Wall-cadence stand-in for the DES epoch barrier.
+  void Housekeep();
+
+  SystemConfig config_;
+  ServingConfig serving_;
+  ScenarioEngine engine_;
+  std::vector<std::unique_ptr<AllocationMethod>> methods_;
+  std::vector<std::unique_ptr<MediationCore>> cores_;
+
+  /// Node storage behind every intake queue (chunked MPSC nodes).
+  mem::PagePool pages_;
+  mem::SlabPool slab_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::unique_ptr<ServingProducer>> producers_;
+
+  ServingTrace trace_;
+  QueryId next_query_id_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  /// Queries mediated so far (Drain's progress signal).
+  std::atomic<std::uint64_t> served_{0};
+  Clock::time_point t0_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::uint64_t bursts_flushed_ = 0;
+  double wall_seconds_ = 0.0;
+
+  // Hoisted observability handles (single-writer: the mediator thread).
+  std::vector<obs::Counter*> flush_counters_;
+  std::vector<obs::Counter*> batched_query_counters_;
+  std::vector<obs::Histogram*> batch_wait_hists_;
+  obs::TraceLane* coord_trace_ = nullptr;
+};
+
+/// What a DES replay of a recorded serving run produced: its own decision
+/// log (compare with ServingTrace::decisions via DecisionLog::IdenticalTo)
+/// and the full RunResult for the conservation pins.
+struct ServingReplayResult {
+  RunResult run;
+  DecisionLog decisions;
+};
+
+/// Replays `trace` through the DES: reconstructs the population and the
+/// per-shard cores exactly as ServingMediator did (same SystemConfig seed,
+/// same shard count, same method factory), then re-drives every recorded
+/// burst at its recorded sim flush time through AllocateBatch. The
+/// resulting decision log must equal the recorded one bit-for-bit.
+ServingReplayResult ReplayServingTrace(const SystemConfig& config,
+                                       std::size_t shards,
+                                       const ServingMediator::MethodFactory& factory,
+                                       const ServingTrace& trace);
+
+}  // namespace sqlb::runtime
+
+#endif  // SQLB_RUNTIME_SERVING_MEDIATOR_H_

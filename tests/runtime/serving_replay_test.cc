@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sqlb_method.h"
+#include "runtime/serving_mediator.h"
+
+/// \file
+/// The replay oracle of the wall-clock serving tier
+/// (runtime/serving_mediator.h): a multi-threaded serving run records every
+/// served query, burst and allocation decision; replaying the recorded
+/// bursts through the DES with an identically-built system must reproduce
+/// the decision log bit-for-bit, and the conservation identity
+/// completed + infeasible == issued must hold on both sides. Wall-clock
+/// timing varies run to run — the pins here are exactly the invariants that
+/// must NOT vary with it.
+
+namespace sqlb::runtime {
+namespace {
+
+SystemConfig SmallScenario() {
+  SystemConfig config;
+  config.population.num_consumers = 12;
+  config.population.num_providers = 24;
+  config.seed = 7;
+  config.record_series = false;
+  return config;
+}
+
+ServingMediator::MethodFactory SqlbFactory() {
+  return [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
+}
+
+/// Runs `producers` threads x `per_producer` submissions against a serving
+/// mediator and returns (report, trace) after a full drain.
+struct ServedRun {
+  ServingReport report;
+  ServingTrace trace;
+};
+
+ServedRun Serve(const SystemConfig& scenario, const ServingConfig& serving,
+                std::uint32_t producers, std::uint64_t per_producer,
+                bool closed_loop = false) {
+  ServingMediator mediator(scenario, serving, SqlbFactory());
+  std::vector<ServingProducer*> handles;
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    handles.push_back(mediator.RegisterProducer());
+  }
+  mediator.Start();
+  std::vector<std::thread> threads;
+  const std::uint32_t consumers =
+      static_cast<std::uint32_t>(scenario.population.num_consumers);
+  const std::uint32_t classes = static_cast<std::uint32_t>(
+      scenario.population.query_class_units.size());
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      ServingProducer* producer = handles[p];
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        const std::uint32_t consumer =
+            static_cast<std::uint32_t>((p + producers * i) % consumers);
+        while (!mediator.Submit(producer, consumer,
+                                static_cast<std::uint32_t>(i % classes))) {
+          std::this_thread::yield();
+        }
+        if (closed_loop) producer->AwaitMediated(producer->submitted());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  mediator.Drain();
+  ServedRun run;
+  run.report = mediator.Stop();
+  run.trace = mediator.trace();
+  return run;
+}
+
+TEST(ServingReplayTest, ReplayReproducesEveryDecisionBitForBit) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 2;
+  serving.time_scale = 200.0;  // plenty of simulated capacity per wall second
+  const ServedRun served = Serve(scenario, serving, /*producers=*/4,
+                                 /*per_producer=*/500);
+
+  ASSERT_EQ(served.report.served, 4u * 500u);
+  ASSERT_EQ(served.trace.queries.size(), served.report.served);
+  ASSERT_EQ(served.trace.decisions.size(), served.report.served);
+
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), served.trace);
+  std::string diff;
+  EXPECT_TRUE(served.trace.decisions.IdenticalTo(replay.decisions, &diff))
+      << diff;
+  // The replay issues exactly the recorded queries, so the headline
+  // counters must agree too.
+  EXPECT_EQ(replay.run.queries_issued, served.report.run.queries_issued);
+  EXPECT_EQ(replay.run.queries_infeasible,
+            served.report.run.queries_infeasible);
+}
+
+TEST(ServingReplayTest, ConservationHoldsOnBothSidesOfTheOracle) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 4;
+  serving.time_scale = 100.0;
+  serving.max_burst = 8;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/3,
+                                 /*per_producer=*/400);
+
+  const RunResult& live = served.report.run;
+  EXPECT_EQ(live.queries_completed + live.queries_infeasible,
+            live.queries_issued);
+  EXPECT_EQ(live.queries_issued, served.report.served);
+
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), served.trace);
+  EXPECT_EQ(replay.run.queries_completed + replay.run.queries_infeasible,
+            replay.run.queries_issued);
+  EXPECT_EQ(replay.run.queries_completed, live.queries_completed);
+}
+
+TEST(ServingReplayTest, ClosedLoopProducersSeeEveryQueryMediated) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.time_scale = 200.0;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/2,
+                                 /*per_producer=*/100, /*closed_loop=*/true);
+  EXPECT_EQ(served.report.served, 200u);
+  EXPECT_EQ(served.report.shed, 0u);
+  // Closed-loop: each producer has at most one query outstanding, so a
+  // burst carries at most one query per producer.
+  EXPECT_GE(served.report.bursts, 100u);
+  EXPECT_LE(served.report.bursts, 200u);
+  // The merged wall-latency histogram saw exactly one sample per query.
+  EXPECT_EQ(served.report.intake_wall.count(), 200u);
+}
+
+TEST(ServingReplayTest, BoundedIntakeShedsInsteadOfGrowingWithoutLimit) {
+  SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.max_queued_per_shard = 64;
+  serving.shards = 1;
+
+  ServingMediator mediator(scenario, serving, SqlbFactory());
+  ServingProducer* producer = mediator.RegisterProducer();
+  // Flood before Start: nothing drains, so the bounded queue must fill and
+  // then shed deterministically.
+  for (int i = 0; i < 5000; ++i) {
+    mediator.Submit(producer, /*consumer_index=*/0, /*class_index=*/0);
+  }
+  EXPECT_GT(producer->shed(), 0u);
+  EXPECT_LE(producer->submitted(), serving.max_queued_per_shard + 8);
+  mediator.Start();
+  mediator.Drain();  // everything accepted must still be served
+  const ServingReport report = mediator.Stop();
+  EXPECT_EQ(report.submitted + report.shed, 5000u);
+  EXPECT_EQ(report.served, report.submitted);
+}
+
+TEST(ServingReplayTest, ServingMetricsCarryTheIntakeHistogram) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.time_scale = 200.0;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/2,
+                                 /*per_producer=*/150);
+  const obs::Histogram* merged = served.report.run.metrics.FindHistogram(
+      obs::kMetricServingIntakeWall);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), served.report.served);
+  // Merged quantiles equal the report's histogram (same fold).
+  EXPECT_DOUBLE_EQ(merged->Quantile(0.99),
+                   served.report.intake_wall.Quantile(0.99));
+}
+
+TEST(ServingReplayTest, AdaptiveBatchingStillReplaysExactly) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 2;
+  serving.time_scale = 50.0;
+  serving.adaptive_batch.enabled = true;
+  serving.adaptive_batch.min_window = 0.0;
+  serving.adaptive_batch.max_window = 0.05;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/4,
+                                 /*per_producer=*/250);
+  ASSERT_EQ(served.report.served, 1000u);
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), served.trace);
+  std::string diff;
+  EXPECT_TRUE(served.trace.decisions.IdenticalTo(replay.decisions, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace sqlb::runtime
