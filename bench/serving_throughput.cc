@@ -2,18 +2,29 @@
 // DES-pumped baseline, same population and allocation method in every arm.
 //
 // Arms:
-//   des-pump      The mono DES driver (simulated Poisson arrivals); wall
-//                 time covers the whole Run(). This is the ceiling: no
-//                 thread handoff, no queue hop.
-//   serve-open    Real producer threads flood the serving tier open-loop
-//                 (retry on shed). Measures intake throughput plus the
-//                 enqueue->mediation wall latency distribution; the run is
-//                 recorded and replayed through the DES for the parity pin.
-//   serve-closed  Closed-loop producers (one outstanding query each):
-//                 latency under no queueing pressure.
+//   des-pump       The mono DES driver (simulated Poisson arrivals); wall
+//                  time covers the whole Run(). This is the ceiling: no
+//                  thread handoff, no queue hop.
+//   serve-open-mK  Real producer threads flood the serving tier open-loop
+//                  (retry on shed) with K mediator threads over the shard
+//                  groups — the scaling ladder (K = 1, 2, 4). Every arm is
+//                  recorded and replayed through the DES for the parity
+//                  pin; K = 1 is the PR-9-identical single-thread tier.
+//   serve-closed   Closed-loop producers (one outstanding query each):
+//                  latency under no queueing pressure.
+//   serve-rate     Rate-controlled open loop at a named offered load (half
+//                  the measured m1 saturation qps): latency honesty — the
+//                  p50/p99 here are "at X qps", not at saturation, and the
+//                  CI gate requires zero shed at this load.
+//   submit micro   Enqueue-side cost only (no mediator running): ns/query
+//                  for per-query Submit vs SubmitMany in chunks — the
+//                  batched path's one-reservation-per-run amortization.
 //
-// The JSON drop carries throughput_ratio (serve-open qps / des-pump qps,
-// CI gates >= 0.8) and replay_parity_exact (CI gates true).
+// The JSON drop carries throughput_ratio (serve-open-m1 qps / des-pump
+// qps, CI gates >= 0.8), replay_parity_exact (AND over the ladder, CI
+// gates true), mediator_scaling_4t (m4 qps / m1 qps, CI gates >= 1.6 when
+// hardware_threads >= 4), rate_shed (CI gates == 0), and the submit-many
+// speedup.
 
 #include <chrono>
 #include <cstdint>
@@ -44,8 +55,22 @@ Service::MethodFactory Factory() {
   return [](std::uint32_t) { return std::make_unique<SqlbMethod>(); };
 }
 
+Config ServingBase(std::size_t mediator_threads) {
+  Config config;
+  config.mode = Mode::kServing;
+  config.scenario() = Population();
+  config.serving.shards = 4;
+  config.serving.mediator_threads = mediator_threads;
+  // Plenty of simulated provider capacity per wall second: the flood is
+  // mediator-bound, not capacity-bound.
+  config.serving.time_scale = 2000.0;
+  config.serving.max_burst = 256;
+  return config;
+}
+
 struct ArmResult {
   std::string name;
+  std::uint64_t mediator_threads = 0;  // 0 = not a serving arm
   std::uint64_t queries = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
@@ -54,6 +79,8 @@ struct ArmResult {
   double p50_us = -1.0;
   double p99_us = -1.0;
   double p999_us = -1.0;
+  /// Offered load of the rate-controlled arm; <0 elsewhere.
+  double offered_qps = -1.0;
 };
 
 /// Arm 1: the DES driver pumps its own simulated arrivals; wall-time the
@@ -82,22 +109,31 @@ struct ServingArm {
   runtime::ServingReport report;
 };
 
-/// Arms 2 and 3: `producers` real threads drive the serving tier through
-/// the sqlb::Service facade. Open-loop floods (retrying on shed); closed
-/// loop keeps one query outstanding per producer. The service is returned
-/// so the caller can replay its recorded trace.
-ServingArm RunServing(const std::string& name, std::uint32_t producers,
-                      std::uint64_t per_producer, bool closed_loop,
-                      std::unique_ptr<Service>* service_out) {
-  Config config;
-  config.mode = Mode::kServing;
-  config.scenario() = Population();
-  config.serving.shards = 2;
-  // Plenty of simulated provider capacity per wall second: the flood is
-  // mediator-bound, not capacity-bound.
-  config.serving.time_scale = 2000.0;
-  config.serving.max_burst = 256;
+void FillArmFromReport(ServingArm* out, const std::string& name,
+                       std::size_t mediator_threads) {
+  out->arm.name = name;
+  out->arm.mediator_threads = mediator_threads;
+  out->arm.queries = out->report.served;
+  out->arm.wall_seconds = out->report.wall_seconds;
+  out->arm.qps = out->report.wall_seconds > 0.0
+                     ? static_cast<double>(out->report.served) /
+                           out->report.wall_seconds
+                     : 0.0;
+  out->arm.p50_us = out->report.intake_wall.Quantile(0.50) * 1e6;
+  out->arm.p99_us = out->report.intake_wall.Quantile(0.99) * 1e6;
+  out->arm.p999_us = out->report.intake_wall.Quantile(0.999) * 1e6;
+}
 
+/// The ladder and closed-loop arms: `producers` real threads drive the
+/// serving tier through the sqlb::Service facade with `mediator_threads`
+/// shard-group threads. Open loop floods (retrying on shed); closed loop
+/// keeps one query outstanding per producer. The service is returned so
+/// the caller can replay its recorded trace.
+ServingArm RunServing(const std::string& name, std::size_t mediator_threads,
+                      std::uint32_t producers, std::uint64_t per_producer,
+                      bool closed_loop,
+                      std::unique_ptr<Service>* service_out) {
+  Config config = ServingBase(mediator_threads);
   std::unique_ptr<Service> service = Service::Create(config, Factory());
   std::vector<runtime::ServingProducer*> handles;
   for (std::uint32_t p = 0; p < producers; ++p) {
@@ -129,18 +165,126 @@ ServingArm RunServing(const std::string& name, std::uint32_t producers,
 
   ServingArm out;
   out.report = service->Stop();
-  out.arm.name = name;
-  out.arm.queries = out.report.served;
-  out.arm.wall_seconds = out.report.wall_seconds;
-  out.arm.qps = out.report.wall_seconds > 0.0
-                    ? static_cast<double>(out.report.served) /
-                          out.report.wall_seconds
-                    : 0.0;
-  out.arm.p50_us = out.report.intake_wall.Quantile(0.50) * 1e6;
-  out.arm.p99_us = out.report.intake_wall.Quantile(0.99) * 1e6;
-  out.arm.p999_us = out.report.intake_wall.Quantile(0.999) * 1e6;
+  FillArmFromReport(&out, name, mediator_threads);
   if (service_out != nullptr) *service_out = std::move(service);
   return out;
+}
+
+/// The rate-controlled arm: producers pace submissions to an offered
+/// arrival rate (sleep_until a per-producer schedule) instead of flooding,
+/// and never retry — at the gated load the intake must absorb everything,
+/// so any shed is reported and gated, not masked by a retry loop.
+ServingArm RunRateControlled(double offered_qps, std::uint32_t producers,
+                             double duration_seconds) {
+  Config config = ServingBase(/*mediator_threads=*/1);
+  std::unique_ptr<Service> service = Service::Create(config, Factory());
+  std::vector<runtime::ServingProducer*> handles;
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    handles.push_back(service->RegisterProducer());
+  }
+  const std::uint32_t consumers = static_cast<std::uint32_t>(
+      config.scenario().population.num_consumers);
+  const std::uint32_t classes = static_cast<std::uint32_t>(
+      config.scenario().population.query_class_units.size());
+  const double per_producer_rate = offered_qps / producers;
+  const std::uint64_t per_producer = static_cast<std::uint64_t>(
+      per_producer_rate * duration_seconds);
+
+  service->Start();
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      runtime::ServingProducer* producer = handles[p];
+      const Clock::time_point begin = Clock::now();
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        const Clock::time_point due =
+            begin + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / per_producer_rate));
+        std::this_thread::sleep_until(due);
+        const std::uint32_t consumer =
+            static_cast<std::uint32_t>((p + producers * i) % consumers);
+        service->Submit(producer, consumer,
+                        static_cast<std::uint32_t>(i % classes));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service->Drain();
+
+  ServingArm out;
+  out.report = service->Stop();
+  FillArmFromReport(&out, "serve-rate", 1);
+  out.arm.offered_qps = offered_qps;
+  return out;
+}
+
+struct SubmitMicro {
+  double submit_ns = 0.0;
+  double submit_many_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Enqueue-side micro arm: no mediator thread runs (Start is never
+/// called), so the timed loops measure exactly the producer-side cost —
+/// reservation + node acquire + construct + publish — per query, for the
+/// per-query and the chunked batched path.
+SubmitMicro RunSubmitMicro() {
+  const std::uint64_t n = FastBenchMode() ? 20'000 : 100'000;
+  SubmitMicro micro;
+  {
+    runtime::ServingConfig serving;
+    serving.shards = 1;
+    serving.max_queued_per_shard = n + 1;
+    serving.record_trace = false;
+    runtime::ServingMediator mediator(Population(), serving, Factory());
+    runtime::ServingProducer* producer = mediator.RegisterProducer();
+    const Clock::time_point begin = Clock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      mediator.Submit(producer, static_cast<std::uint32_t>(i % 24),
+                      static_cast<std::uint32_t>(i % 2));
+    }
+    micro.submit_ns =
+        std::chrono::duration<double>(Clock::now() - begin).count() * 1e9 /
+        static_cast<double>(n);
+  }
+  {
+    runtime::ServingConfig serving;
+    serving.shards = 1;
+    serving.max_queued_per_shard = n + 1;
+    serving.record_trace = false;
+    runtime::ServingMediator mediator(Population(), serving, Factory());
+    runtime::ServingProducer* producer = mediator.RegisterProducer();
+    runtime::ServingRequest chunk[32];
+    const Clock::time_point begin = Clock::now();
+    for (std::uint64_t i = 0; i < n; i += 32) {
+      for (std::uint64_t j = 0; j < 32; ++j) {
+        chunk[j].consumer = static_cast<std::uint32_t>((i + j) % 24);
+        chunk[j].class_index = static_cast<std::uint32_t>((i + j) % 2);
+      }
+      mediator.SubmitMany(producer, chunk, 32);
+    }
+    micro.submit_many_ns =
+        std::chrono::duration<double>(Clock::now() - begin).count() * 1e9 /
+        static_cast<double>(n);
+  }
+  micro.speedup = micro.submit_many_ns > 0.0
+                      ? micro.submit_ns / micro.submit_many_ns
+                      : 0.0;
+  return micro;
+}
+
+/// Replays a recorded arm and returns whether the decision log matched
+/// bit-for-bit (printing the first divergence when not).
+bool CheckReplay(const char* name, const Service& service) {
+  const runtime::ServingReplayResult replay = service.Replay();
+  std::string diff;
+  const bool parity =
+      service.trace().decisions.IdenticalTo(replay.decisions, &diff);
+  std::printf("replay oracle [%s]: %zu decisions, %s\n", name,
+              service.trace().decisions.size(),
+              parity ? "bit-identical to the live run" : diff.c_str());
+  return parity;
 }
 
 bench::JsonObject ArmJson(const ArmResult& arm) {
@@ -149,10 +293,16 @@ bench::JsonObject ArmJson(const ArmResult& arm) {
       .Add("queries", arm.queries)
       .Add("wall_seconds", arm.wall_seconds)
       .Add("qps", arm.qps);
+  if (arm.mediator_threads > 0) {
+    object.Add("mediator_threads", arm.mediator_threads);
+  }
   if (arm.p50_us >= 0.0) {
     object.Add("p50_us", arm.p50_us)
         .Add("p99_us", arm.p99_us)
         .Add("p999_us", arm.p999_us);
+  }
+  if (arm.offered_qps >= 0.0) {
+    object.Add("offered_qps", arm.offered_qps);
   }
   return object;
 }
@@ -168,50 +318,90 @@ void Main() {
   const std::uint32_t kProducers = 4;
   const std::uint64_t kOpenPerProducer = FastBenchMode() ? 4000 : 20000;
   const std::uint64_t kClosedPerProducer = FastBenchMode() ? 1000 : 4000;
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
 
   const ArmResult des = RunDesPump();
-  std::unique_ptr<Service> recorded;
-  const ServingArm open = RunServing("serve-open", kProducers,
-                                     kOpenPerProducer, /*closed_loop=*/false,
-                                     &recorded);
-  const ServingArm closed = RunServing("serve-closed", kProducers,
-                                       kClosedPerProducer,
-                                       /*closed_loop=*/true, nullptr);
+  // The mediator ladder: same flood, 1/2/4 shard-group threads.
+  std::unique_ptr<Service> recorded_m1;
+  std::unique_ptr<Service> recorded_m2;
+  std::unique_ptr<Service> recorded_m4;
+  const ServingArm open_m1 =
+      RunServing("serve-open-m1", 1, kProducers, kOpenPerProducer,
+                 /*closed_loop=*/false, &recorded_m1);
+  const ServingArm open_m2 =
+      RunServing("serve-open-m2", 2, kProducers, kOpenPerProducer,
+                 /*closed_loop=*/false, &recorded_m2);
+  const ServingArm open_m4 =
+      RunServing("serve-open-m4", 4, kProducers, kOpenPerProducer,
+                 /*closed_loop=*/false, &recorded_m4);
+  const ServingArm closed =
+      RunServing("serve-closed", 1, kProducers, kClosedPerProducer,
+                 /*closed_loop=*/true, nullptr);
+  // Latency at a named offered load: half the measured m1 saturation qps.
+  const double offered = open_m1.arm.qps * 0.5;
+  const ServingArm rate = RunRateControlled(
+      offered, /*producers=*/2, FastBenchMode() ? 1.0 : 2.0);
+  const SubmitMicro micro = RunSubmitMicro();
 
-  // The replay oracle over the open-loop run: every recorded decision must
-  // come out of the DES replay bit-for-bit.
-  const runtime::ServingReplayResult replay = recorded->Replay();
-  std::string diff;
-  const bool parity =
-      recorded->trace().decisions.IdenticalTo(replay.decisions, &diff);
-  const double ratio = des.qps > 0.0 ? open.arm.qps / des.qps : 0.0;
+  // The replay oracle over every ladder arm: each recorded decision stream
+  // must come out of the per-group DES replay bit-for-bit.
+  const bool parity = CheckReplay("m1", *recorded_m1) &
+                      CheckReplay("m2", *recorded_m2) &
+                      CheckReplay("m4", *recorded_m4);
+  const double ratio = des.qps > 0.0 ? open_m1.arm.qps / des.qps : 0.0;
+  const double scaling =
+      open_m1.arm.qps > 0.0 ? open_m4.arm.qps / open_m1.arm.qps : 0.0;
 
   TablePrinter table({"arm", "queries", "wall(s)", "qps", "p50(us)",
                       "p99(us)", "p999(us)"});
-  for (const ArmResult* arm : {&des, &open.arm, &closed.arm}) {
+  for (const ArmResult* arm :
+       {&des, &open_m1.arm, &open_m2.arm, &open_m4.arm, &closed.arm,
+        &rate.arm}) {
     table.AddRow({arm->name, std::to_string(arm->queries),
                   FormatNumber(arm->wall_seconds, 3),
                   FormatNumber(arm->qps, 0), LatencyCell(arm->p50_us),
                   LatencyCell(arm->p99_us), LatencyCell(arm->p999_us)});
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("throughput ratio (serve-open / des-pump): %.3f\n", ratio);
-  std::printf("replay oracle: %zu decisions, %s\n",
-              recorded->trace().decisions.size(),
-              parity ? "bit-identical to the live run" : diff.c_str());
+  std::printf("throughput ratio (serve-open-m1 / des-pump): %.3f\n", ratio);
+  std::printf(
+      "mediator scaling (m4 / m1): %.2fx on %u hardware threads\n",
+      scaling, hardware_threads);
+  std::printf("rate arm: offered %.0f qps, shed %llu\n", offered,
+              static_cast<unsigned long long>(rate.report.shed));
+  std::printf(
+      "enqueue micro: Submit %.0f ns/query, SubmitMany %.0f ns/query "
+      "(%.2fx)\n",
+      micro.submit_ns, micro.submit_many_ns, micro.speedup);
+  std::printf("idle parking (m1 open arm): %llu parks, %llu spurious\n",
+              static_cast<unsigned long long>(open_m1.report.idle_parks),
+              static_cast<unsigned long long>(open_m1.report.spurious_wakes));
 
   bench::JsonArray arms;
-  arms.Add(ArmJson(des)).Add(ArmJson(open.arm)).Add(ArmJson(closed.arm));
+  arms.Add(ArmJson(des))
+      .Add(ArmJson(open_m1.arm))
+      .Add(ArmJson(open_m2.arm))
+      .Add(ArmJson(open_m4.arm))
+      .Add(ArmJson(closed.arm))
+      .Add(ArmJson(rate.arm));
   bench::JsonObject report;
   report.Add("bench", "serving_throughput")
       .Add("fast_mode", FastBenchMode())
+      .Add("hardware_threads", static_cast<std::uint64_t>(hardware_threads))
       .AddRaw("arms", arms.ToString())
       .Add("throughput_ratio", ratio)
+      .Add("mediator_scaling_4t", scaling)
       .Add("replay_parity_exact", parity)
       .Add("replay_decisions",
-           static_cast<std::uint64_t>(recorded->trace().decisions.size()))
-      .Add("open_shed", open.report.shed)
-      .Add("closed_shed", closed.report.shed);
+           static_cast<std::uint64_t>(recorded_m1->trace().decisions.size()))
+      .Add("open_shed", open_m1.report.shed)
+      .Add("closed_shed", closed.report.shed)
+      .Add("rate_offered_qps", offered)
+      .Add("rate_shed", rate.report.shed)
+      .Add("idle_parks", open_m1.report.idle_parks)
+      .Add("submit_ns", micro.submit_ns)
+      .Add("submit_many_ns", micro.submit_many_ns)
+      .Add("submit_many_speedup", micro.speedup);
   bench::WriteBenchJson("serving_throughput", report);
 }
 

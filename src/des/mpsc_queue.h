@@ -111,6 +111,39 @@ class MpscQueue {
     return true;
   }
 
+  /// Multi-producer batch push: enqueues `values[0..count)` in order with
+  /// ONE freelist reservation per acquired chain and ONE tail exchange per
+  /// call, instead of one of each per value — the enqueue-amortization path
+  /// behind ServingMediator::SubmitMany. Returns how many values were
+  /// enqueued (a prefix of the input); fewer than `count` means the node
+  /// budget ran out mid-batch, and the refused tail is counted in shed().
+  /// FIFO order within the batch is preserved, and the whole accepted
+  /// prefix becomes visible to the consumer atomically with respect to this
+  /// producer (one publication store).
+  std::size_t PushMany(const T* values, std::size_t count) {
+    if (count == 0) return 0;
+    Node* first = nullptr;
+    Node* last = nullptr;
+    const std::size_t got = AcquireChain(count, &first, &last);
+    if (got < count) {
+      shed_.fetch_add(count - got, std::memory_order_relaxed);
+      if (got == 0) return 0;
+    }
+    // Construct payloads and stitch the queue links locally; the terminal
+    // null and every interior link are published by the single release
+    // store below (happens-before via the consumer's acquire of prev->next).
+    Node* node = first;
+    for (std::size_t i = 0; i < got; ++i) {
+      new (node->storage) T(values[i]);
+      node = node->next.load(std::memory_order_relaxed);
+    }
+    last->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(last, std::memory_order_acq_rel);
+    prev->next.store(first, std::memory_order_release);
+    pushed_.fetch_add(got, std::memory_order_relaxed);
+    return got;
+  }
+
   /// Single consumer. False when the queue is empty. A push caught between
   /// its tail exchange and its next-link publication is waited out with a
   /// bounded spin (the window is two instructions on the producer side).
@@ -203,6 +236,60 @@ class MpscQueue {
         return node;
       }
     }
+  }
+
+  /// Pops up to `want` nodes with one head CAS per acquired run: walk the
+  /// freelist chain from the head, then CAS the head past the whole run.
+  /// While the head (index, version) is unchanged the chain hanging off it
+  /// is immutable — every freelist mutation goes through a head CAS — so a
+  /// successful CAS hands the entire walked run to this producer. The run
+  /// is relinked into a queue-order chain through the nodes' `next` fields
+  /// (relaxed; published later by PushMany's release store). Grows when the
+  /// freelist runs dry; returns fewer than `want` only when the node budget
+  /// is exhausted.
+  std::size_t AcquireChain(std::size_t want, Node** first, Node** last) {
+    std::size_t total = 0;
+    while (total < want) {
+      std::uint64_t head = free_head_.load(std::memory_order_acquire);
+      const std::uint32_t head_index = HeadIndex(head);
+      if (head_index == kNilIndex) {
+        if (!Grow()) break;
+        continue;
+      }
+      // Walk up to the remaining need. A concurrent pop/release moves the
+      // head version and fails the CAS below, so a stale walk never leaks
+      // nodes; indices read mid-walk are always in-range (free_next only
+      // ever holds indices this queue wrote).
+      std::size_t run = 1;
+      std::uint32_t run_last = head_index;
+      std::uint32_t after = NodeAt(run_last)->free_next.load(
+          std::memory_order_relaxed);
+      while (run < want - total && after != kNilIndex) {
+        run_last = after;
+        after = NodeAt(run_last)->free_next.load(std::memory_order_relaxed);
+        ++run;
+      }
+      if (!free_head_.compare_exchange_weak(
+              head, PackHead(after, HeadVersion(head) + 1),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        continue;
+      }
+      // The run is ours and its free_next links are now private; convert it
+      // into a queue-order `next` chain appended to what we have so far.
+      std::uint32_t index = head_index;
+      for (std::size_t i = 0; i < run; ++i) {
+        Node* node = NodeAt(index);
+        if (*first == nullptr) {
+          *first = node;
+        } else {
+          (*last)->next.store(node, std::memory_order_relaxed);
+        }
+        *last = node;
+        index = node->free_next.load(std::memory_order_relaxed);
+      }
+      total += run;
+    }
+    return total;
   }
 
   void ReleaseNode(Node* node) {

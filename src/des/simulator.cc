@@ -36,6 +36,15 @@ bool Simulator::PopLive(Entry* out, Callback* cb) {
   return false;
 }
 
+SimTime Simulator::NextEventTime() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    if (callbacks_.find(top.id) != callbacks_.end()) return top.time;
+    heap_.pop();  // tombstone from Cancel()
+  }
+  return kSimTimeInfinity;
+}
+
 bool Simulator::Step() {
   Entry entry;
   Callback cb;

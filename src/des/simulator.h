@@ -122,6 +122,13 @@ class Simulator {
   /// Executes at most one event. Returns false when no live event remains.
   bool Step();
 
+  /// Time of the earliest live event, or kSimTimeInfinity when none is
+  /// pending. Tombstoned heap entries are discarded on the way (amortized
+  /// against the Cancel that created them). The serving tier's idle parking
+  /// reads this to bound how long a mediator may sleep before the next
+  /// completion is due.
+  SimTime NextEventTime();
+
   /// Number of scheduled-but-unfired events (tombstones excluded).
   std::size_t pending_events() const { return callbacks_.size(); }
   /// Total events executed since construction.

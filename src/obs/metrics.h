@@ -245,6 +245,14 @@ inline constexpr const char kMetricBatchWindowPrefix[] = "batch.window.";
 // mediation wall latency, folded over the per-producer histograms at Stop.
 inline constexpr const char kMetricServingIntakeWall[] =
     "serving.intake_wall_seconds";
+// Idle-parking accounting of the serving mediator groups: how many times a
+// group thread parked on its condvar after the spin -> yield ladder found
+// no work, and how many wakeups found the queues still empty (a produce
+// that raced the park, or a notification for work another pass already
+// drained). Folded over every group at Stop.
+inline constexpr const char kMetricServingIdleParks[] = "serving.idle_parks";
+inline constexpr const char kMetricServingSpuriousWakes[] =
+    "serving.spurious_wakes";
 
 }  // namespace sqlb::obs
 

@@ -495,6 +495,13 @@ class DecisionLog {
   };
 
   void Append(Record record) { records_.push_back(std::move(record)); }
+  /// Concatenates `other`'s records onto this log. The serving tier's
+  /// Stop() folds the per-group logs with this, in group order, so the
+  /// merged stream is the deterministic group-order concatenation.
+  void AppendAll(const DecisionLog& other) {
+    records_.insert(records_.end(), other.records_.begin(),
+                    other.records_.end());
+  }
   const std::vector<Record>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 

@@ -1,5 +1,6 @@
 #include "sqlb/service.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -101,6 +102,18 @@ Status Config::Validate() const {
       if (serving.max_queued_per_shard < 1) {
         return Status::InvalidArgument(
             "serving config: max_queued_per_shard must be >= 1");
+      }
+      if (serving.mediator_threads < 1) {
+        return Status::InvalidArgument(
+            "serving config: mediator_threads must be >= 1");
+      }
+      if (serving.shards % serving.mediator_threads != 0) {
+        return Status::InvalidArgument(
+            "serving config: mediator_threads (" +
+            std::to_string(serving.mediator_threads) +
+            ") must divide shards (" + std::to_string(serving.shards) +
+            ") evenly — each mediator thread owns a contiguous group of "
+            "shards/mediator_threads shards");
       }
       status = ValidateBatching("serving", serving.batch_window,
                                 serving.adaptive_batch);
@@ -206,13 +219,30 @@ bool Service::Submit(runtime::ServingProducer* producer,
   return serving_->Submit(producer, consumer_index, class_index);
 }
 
+std::size_t Service::SubmitMany(runtime::ServingProducer* producer,
+                                const runtime::ServingRequest* requests,
+                                std::size_t count) {
+  return serving_->SubmitMany(producer, requests, count);
+}
+
 std::size_t Service::SubmitBatch(runtime::ServingProducer* producer,
                                  std::uint32_t consumer_index,
                                  std::uint32_t class_index,
                                  std::size_t count) {
+  // Identical requests all land on one shard, so feed the batched path in
+  // fixed-size chunks — each chunk costs one reservation and one tail
+  // exchange instead of one per query.
+  runtime::ServingRequest chunk[64];
+  for (auto& request : chunk) {
+    request.consumer = consumer_index;
+    request.class_index = class_index;
+  }
   std::size_t accepted = 0;
-  for (; accepted < count; ++accepted) {
-    if (!serving_->Submit(producer, consumer_index, class_index)) break;
+  while (accepted < count) {
+    const std::size_t n = std::min<std::size_t>(64, count - accepted);
+    const std::size_t got = serving_->SubmitMany(producer, chunk, n);
+    accepted += got;
+    if (got < n) break;
   }
   return accepted;
 }

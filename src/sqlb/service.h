@@ -93,9 +93,16 @@ class Service {
   /// intake backpressure.
   bool Submit(runtime::ServingProducer* producer, std::uint32_t consumer_index,
               std::uint32_t class_index);
-  /// Submits `count` identical requests; returns how many were accepted
-  /// (stops at the first shed — the queue is full, retrying inline would
-  /// spin against backpressure).
+  /// Batched submission: presents `requests[0..count)` in order with one
+  /// intake reservation per same-shard run (see
+  /// runtime::ServingMediator::SubmitMany). Returns the accepted prefix
+  /// length; the remainder was shed.
+  std::size_t SubmitMany(runtime::ServingProducer* producer,
+                         const runtime::ServingRequest* requests,
+                         std::size_t count);
+  /// Submits `count` identical requests through the batched path; returns
+  /// how many were accepted (stops at the first shed — the queue is full,
+  /// retrying inline would spin against backpressure).
   std::size_t SubmitBatch(runtime::ServingProducer* producer,
                           std::uint32_t consumer_index,
                           std::uint32_t class_index, std::size_t count);

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -153,7 +155,9 @@ TEST(ServingReplayTest, BoundedIntakeShedsInsteadOfGrowingWithoutLimit) {
     mediator.Submit(producer, /*consumer_index=*/0, /*class_index=*/0);
   }
   EXPECT_GT(producer->shed(), 0u);
-  EXPECT_LE(producer->submitted(), serving.max_queued_per_shard + 8);
+  // The per-shard reservation counter enforces the bound exactly — not
+  // rounded up to the queue's chunk granularity.
+  EXPECT_EQ(producer->submitted(), serving.max_queued_per_shard);
   mediator.Start();
   mediator.Drain();  // everything accepted must still be served
   const ServingReport report = mediator.Stop();
@@ -174,6 +178,169 @@ TEST(ServingReplayTest, ServingMetricsCarryTheIntakeHistogram) {
   // Merged quantiles equal the report's histogram (same fold).
   EXPECT_DOUBLE_EQ(merged->Quantile(0.99),
                    served.report.intake_wall.Quantile(0.99));
+}
+
+/// Checks the structural invariants of a merged multi-group trace: the
+/// spans cover the query/burst/decision streams as disjoint contiguous
+/// ranges in group order, every burst stays inside its span's shard range,
+/// and query ids are globally unique with the per-group residue.
+void CheckGroupSpans(const ServingTrace& trace, std::size_t mediator_threads,
+                     std::size_t shards) {
+  ASSERT_EQ(trace.groups.size(), mediator_threads);
+  const std::size_t shards_per_group = shards / mediator_threads;
+  std::size_t query_cursor = 0;
+  std::size_t burst_cursor = 0;
+  std::size_t decision_cursor = 0;
+  std::set<QueryId> seen_ids;
+  for (std::size_t g = 0; g < trace.groups.size(); ++g) {
+    const ServingGroupSpan& span = trace.groups[g];
+    EXPECT_EQ(span.first_shard, g * shards_per_group);
+    EXPECT_EQ(span.shard_count, shards_per_group);
+    EXPECT_EQ(span.query_begin, query_cursor);
+    EXPECT_EQ(span.burst_begin, burst_cursor);
+    EXPECT_EQ(span.decision_begin, decision_cursor);
+    query_cursor = span.query_end;
+    burst_cursor = span.burst_end;
+    decision_cursor = span.decision_end;
+    for (std::size_t b = span.burst_begin; b < span.burst_end; ++b) {
+      const ServingBurst& burst = trace.bursts[b];
+      EXPECT_GE(burst.shard, span.first_shard);
+      EXPECT_LT(burst.shard, span.first_shard + span.shard_count);
+      EXPECT_GE(burst.first, span.query_begin);
+      EXPECT_LE(burst.first + burst.count, span.query_end);
+    }
+    for (std::size_t q = span.query_begin; q < span.query_end; ++q) {
+      EXPECT_EQ(trace.queries[q].id % mediator_threads, g);
+      EXPECT_TRUE(seen_ids.insert(trace.queries[q].id).second)
+          << "duplicate query id " << trace.queries[q].id;
+    }
+  }
+  EXPECT_EQ(query_cursor, trace.queries.size());
+  EXPECT_EQ(burst_cursor, trace.bursts.size());
+  EXPECT_EQ(decision_cursor, trace.decisions.size());
+}
+
+TEST(ServingReplayTest, MultiGroupRunReplaysEveryGroupBitForBit) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 4;
+  serving.mediator_threads = 2;
+  serving.time_scale = 100.0;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/4,
+                                 /*per_producer=*/300);
+
+  ASSERT_EQ(served.report.served, 4u * 300u);
+  CheckGroupSpans(served.trace, serving.mediator_threads, serving.shards);
+
+  const RunResult& live = served.report.run;
+  EXPECT_EQ(live.queries_completed + live.queries_infeasible,
+            live.queries_issued);
+
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), served.trace);
+  std::string diff;
+  EXPECT_TRUE(served.trace.decisions.IdenticalTo(replay.decisions, &diff))
+      << diff;
+  EXPECT_EQ(replay.run.queries_completed + replay.run.queries_infeasible,
+            replay.run.queries_issued);
+  EXPECT_EQ(replay.run.queries_completed, live.queries_completed);
+}
+
+TEST(ServingReplayTest, OneThreadPerShardReplaysExactly) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 4;
+  serving.mediator_threads = 4;
+  serving.time_scale = 100.0;
+  serving.max_burst = 8;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/3,
+                                 /*per_producer=*/200);
+
+  ASSERT_EQ(served.report.served, 3u * 200u);
+  CheckGroupSpans(served.trace, serving.mediator_threads, serving.shards);
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), served.trace);
+  std::string diff;
+  EXPECT_TRUE(served.trace.decisions.IdenticalTo(replay.decisions, &diff))
+      << diff;
+}
+
+TEST(ServingReplayTest, SingleThreadTraceHasOneGroupAndDenseSequentialIds) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 2;
+  serving.time_scale = 200.0;
+  const ServedRun served = Serve(scenario, serving, /*producers=*/2,
+                                 /*per_producer=*/200);
+
+  // mediator_threads defaults to 1: the trace carries exactly one span over
+  // every shard, and the id sequence is the single-thread tier's plain
+  // 0,1,2,... (sorted, since flush order across shards interleaves).
+  ASSERT_EQ(served.trace.groups.size(), 1u);
+  EXPECT_EQ(served.trace.groups[0].first_shard, 0u);
+  EXPECT_EQ(served.trace.groups[0].shard_count, serving.shards);
+  std::vector<QueryId> ids;
+  for (const Query& query : served.trace.queries) ids.push_back(query.id);
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), 400u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<QueryId>(i));
+  }
+}
+
+TEST(ServingReplayTest, SubmitManyDrivenRunReplaysExactly) {
+  const SystemConfig scenario = SmallScenario();
+  ServingConfig serving;
+  serving.shards = 4;
+  serving.mediator_threads = 2;
+  serving.time_scale = 100.0;
+  constexpr std::uint32_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 600;
+
+  ServingMediator mediator(scenario, serving, SqlbFactory());
+  std::vector<ServingProducer*> handles;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    handles.push_back(mediator.RegisterProducer());
+  }
+  mediator.Start();
+  std::vector<std::thread> threads;
+  const std::uint32_t consumers =
+      static_cast<std::uint32_t>(scenario.population.num_consumers);
+  const std::uint32_t classes = static_cast<std::uint32_t>(
+      scenario.population.query_class_units.size());
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      std::vector<ServingRequest> requests(kPerProducer);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].consumer =
+            static_cast<std::uint32_t>((p + kProducers * i) % consumers);
+        requests[i].class_index = static_cast<std::uint32_t>(i % classes);
+      }
+      // Accepted prefix contract: retry the unaccepted suffix only.
+      std::size_t done = 0;
+      while (done < requests.size()) {
+        const std::size_t got = mediator.SubmitMany(
+            handles[p], requests.data() + done, requests.size() - done);
+        done += got;
+        if (got == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  mediator.Drain();
+  const ServingReport report = mediator.Stop();
+
+  EXPECT_EQ(report.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(report.served, report.submitted);
+  EXPECT_EQ(report.run.queries_completed + report.run.queries_infeasible,
+            report.run.queries_issued);
+  CheckGroupSpans(mediator.trace(), serving.mediator_threads, serving.shards);
+  const ServingReplayResult replay = ReplayServingTrace(
+      scenario, serving.shards, SqlbFactory(), mediator.trace());
+  std::string diff;
+  EXPECT_TRUE(
+      mediator.trace().decisions.IdenticalTo(replay.decisions, &diff))
+      << diff;
 }
 
 TEST(ServingReplayTest, AdaptiveBatchingStillReplaysExactly) {
